@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Fig 13: relative efficiency of the five SoC
+ * generations (benchmark iterations per watt-hour, UNCONSTRAINED).
+ * The headline: although efficiency improves across process
+ * generations overall, the SD-805 is *less* efficient than the
+ * SD-800 it replaced — its extra frequency was bought with voltage
+ * on the same 28 nm process.
+ */
+
+#include <cstdio>
+
+#include "accubench/protocol.hh"
+#include "bench_util.hh"
+#include "report/figure.hh"
+#include "report/table.hh"
+
+using namespace pvar;
+
+int
+main()
+{
+    benchQuiet();
+    std::printf("%s", figureHeader(
+        "Fig 13: Relative efficiency of smartphone SoC generations",
+        "efficiency improves overall with process, but the SD-805 is "
+        "less efficient than the SD-800").c_str());
+
+    StudyConfig cfg;
+    cfg.iterations = 3;
+    std::vector<SocStudy> studies = runFullStudy(cfg);
+
+    BarFigure fig("Fig 13: efficiency by SoC generation",
+                  "iterations/Wh");
+    Table t({"Chipset", "Model", "Efficiency (iter/Wh)",
+             "Relative to SD-800"});
+    double sd800_eff = studies[0].efficiencyIterPerWh;
+    for (const auto &s : studies) {
+        fig.addBar(s.socName, s.efficiencyIterPerWh);
+        t.addRow({s.socName, s.model,
+                  fmtDouble(s.efficiencyIterPerWh, 0),
+                  fmtDouble(s.efficiencyIterPerWh / sd800_eff, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("%s", fig.render(true).c_str());
+
+    double eff800 = studies[0].efficiencyIterPerWh;
+    double eff805 = studies[1].efficiencyIterPerWh;
+    double eff810 = studies[2].efficiencyIterPerWh;
+    double eff820 = studies[3].efficiencyIterPerWh;
+    double eff821 = studies[4].efficiencyIterPerWh;
+
+    std::printf("\nSHAPE CHECK vs paper:\n");
+    shapeCheck(eff805 < eff800,
+               "SD-805 is less efficient than its predecessor SD-800");
+    shapeCheck(eff810 > eff805,
+               "the 20 nm SD-810 recovers efficiency over the SD-805");
+    shapeCheck(eff820 > eff810 && eff821 > eff810,
+               "the 14 nm FinFET parts are the most efficient");
+    shapeCheck(std::max({eff820, eff821}) / eff805 > 1.5,
+               "overall efficiency improved substantially across the "
+               "five generations");
+    return 0;
+}

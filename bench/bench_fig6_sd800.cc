@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates paper Figs 6a/6b: SD-800 (Nexus 5) process variation.
+ * The paper's counterintuitive headline lives here: bin-0, fused at
+ * the *highest* voltage, is both the fastest and the most
+ * energy-frugal unit, because its transistors leak the least.
+ */
+
+#include "soc_figure.hh"
+
+using namespace pvar;
+
+int
+main()
+{
+    SocFigureSpec spec;
+    spec.figureId = "Fig 6";
+    spec.socName = "SD-800";
+    spec.paperPerfPercent = 14.0;
+    spec.paperEnergyPercent = 19.0;
+    return runSocFigure(spec);
+}

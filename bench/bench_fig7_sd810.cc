@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates paper Figs 7a/7b: SD-810 (Nexus 6P) process variation.
+ * All units report "speed-bin 0" and run RBCPR closed-loop voltage;
+ * the variation survives anyway: dev-363 is ~10% slower and ~12%
+ * hungrier than dev-793.
+ */
+
+#include "soc_figure.hh"
+
+using namespace pvar;
+
+int
+main()
+{
+    SocFigureSpec spec;
+    spec.figureId = "Fig 7";
+    spec.socName = "SD-810";
+    spec.paperPerfPercent = 10.0;
+    spec.paperEnergyPercent = 12.0;
+    return runSocFigure(spec);
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Regenerates paper Figs 8a/8b: SD-820 (LG G5) process variation.
+ * The study powers the G5 from the Monsoon at 4.4 V — its battery's
+ * maximum — because at the nominal 3.85 V the phone's input-voltage
+ * throttle would mask the thermal effects entirely (see Fig 10).
+ */
+
+#include "soc_figure.hh"
+
+using namespace pvar;
+
+int
+main()
+{
+    SocFigureSpec spec;
+    spec.figureId = "Fig 8";
+    spec.socName = "SD-820";
+    spec.paperPerfPercent = 4.0;
+    spec.paperEnergyPercent = 10.0;
+    spec.perfTolerance = 3.5;
+    return runSocFigure(spec);
+}

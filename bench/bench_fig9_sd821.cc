@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates paper Figs 9a/9b: SD-821 (Google Pixel) process
+ * variation. Similar character to the SD-820 it tweaks: ~5%
+ * performance and ~9% energy spread across three units.
+ */
+
+#include "soc_figure.hh"
+
+using namespace pvar;
+
+int
+main()
+{
+    SocFigureSpec spec;
+    spec.figureId = "Fig 9";
+    spec.socName = "SD-821";
+    spec.paperPerfPercent = 5.0;
+    spec.paperEnergyPercent = 9.0;
+    spec.perfTolerance = 4.0;
+    return runSocFigure(spec);
+}

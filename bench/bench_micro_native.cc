@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Native microbenchmarks (google-benchmark): the real pi-digit
+ * kernel the paper's workload runs, plus the hot paths of the
+ * simulation substrate itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "device/catalog.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "thermal/rc_network.hh"
+#include "workload/pi_spigot.hh"
+
+namespace pvar
+{
+namespace
+{
+
+/** The paper's unit of work: digits of pi by spigot. */
+void
+BM_PiSpigot(benchmark::State &state)
+{
+    int digits = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        std::string d = spigotPiDigits(digits);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations() * digits);
+}
+BENCHMARK(BM_PiSpigot)->Arg(100)->Arg(1000)->Arg(paperPiDigits)
+    ->Unit(benchmark::kMillisecond);
+
+/** One full paper iteration (4,285 digits + checksum). */
+void
+BM_PiPaperIteration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        std::uint64_t h = piIterationChecksum();
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_PiPaperIteration)->Unit(benchmark::kMillisecond);
+
+/** Leakage model evaluation (hot in every power computation). */
+void
+BM_LeakageModel(benchmark::State &state)
+{
+    VariationModel model(node28nmHPm());
+    Die die = model.dieAtCorner(0.5, 0.2, 0.0, "bench");
+    double t = 40.0;
+    for (auto _ : state) {
+        Watts p = die.leakagePower(Volts(0.95), Celsius(t));
+        benchmark::DoNotOptimize(p);
+        t = t < 90.0 ? t + 0.001 : 40.0;
+    }
+}
+BENCHMARK(BM_LeakageModel);
+
+/** RC thermal network step (5-node phone package shape). */
+void
+BM_ThermalStep(benchmark::State &state)
+{
+    ThermalNetwork net;
+    auto die = net.addNode("die", JoulesPerKelvin(2.0), Celsius(40));
+    auto soc = net.addNode("soc", JoulesPerKelvin(22.0), Celsius(35));
+    auto batt = net.addNode("batt", JoulesPerKelvin(40.0), Celsius(30));
+    auto cas = net.addNode("case", JoulesPerKelvin(60.0), Celsius(30));
+    auto amb = net.addBoundary("amb", Celsius(26));
+    net.connect(die, soc, WattsPerKelvin(0.32));
+    net.connect(soc, cas, WattsPerKelvin(0.33));
+    net.connect(soc, batt, WattsPerKelvin(0.10));
+    net.connect(batt, cas, WattsPerKelvin(0.15));
+    net.connect(cas, amb, WattsPerKelvin(0.23));
+    net.setPower(die, Watts(5.0));
+
+    for (auto _ : state)
+        net.step(Time::msec(10));
+}
+BENCHMARK(BM_ThermalStep);
+
+/** Full device tick: the simulator's inner loop. */
+void
+BM_DeviceTick(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    auto device = makeNexus5(2, UnitCorner{"bench", 0.3, 0.1, 0.0});
+    Simulator sim(Time::msec(10));
+    sim.add(device.get());
+    device->acquireWakelock();
+    device->startWorkload(CpuIntensiveWorkload{});
+
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceTick);
+
+/** Simulated-seconds-per-wall-second of the whole experiment stack. */
+void
+BM_SimulatedMinute(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    auto device = makeNexus5(2, UnitCorner{"bench", 0.3, 0.1, 0.0});
+    Simulator sim(Time::msec(10));
+    sim.add(device.get());
+    device->acquireWakelock();
+    device->startWorkload(CpuIntensiveWorkload{});
+
+    for (auto _ : state)
+        sim.runFor(Time::minutes(1));
+    state.SetItemsProcessed(state.iterations() * 60);
+}
+BENCHMARK(BM_SimulatedMinute)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace pvar
+
+BENCHMARK_MAIN();

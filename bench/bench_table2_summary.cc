@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates paper Table II: the summary of energy-performance
+ * variations across all five SoC generations, by running the complete
+ * study protocol (both workloads, 5 iterations, every unit of every
+ * fleet) inside the simulated THERMABOX.
+ */
+
+#include <cstdio>
+
+#include "accubench/protocol.hh"
+#include "bench_util.hh"
+#include "report/figure.hh"
+#include "report/table.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *soc;
+    const char *model;
+    int devices;
+    double perf;
+    double energy;
+};
+
+const PaperRow paperRows[] = {
+    {"SD-800", "Nexus 5", 4, 14.0, 19.0},
+    {"SD-805", "Nexus 6", 3, 2.0, 2.0},
+    {"SD-810", "Nexus 6P", 3, 10.0, 12.0},
+    {"SD-820", "LG G5", 5, 4.0, 10.0},
+    {"SD-821", "Google Pixel", 3, 5.0, 9.0},
+};
+
+} // namespace
+
+int
+main()
+{
+    benchQuiet();
+    std::printf("%s", figureHeader(
+        "Table II: Summary of energy-performance variations",
+        "SD-800 14/19, SD-805 2/2, SD-810 10/12, SD-820 4/10, "
+        "SD-821 5/9 (%perf/%energy)").c_str());
+
+    StudyConfig cfg;
+    cfg.iterations = 5;
+    std::vector<SocStudy> studies = runFullStudy(cfg);
+
+    Table t({"Chipset", "Model", "# Devices", "Perf (sim)",
+             "Perf (paper)", "Energy (sim)", "Energy (paper)",
+             "Mean score RSD"});
+    bool all_in_band = true;
+    for (std::size_t i = 0; i < studies.size(); ++i) {
+        const SocStudy &s = studies[i];
+        const PaperRow &p = paperRows[i];
+        t.addRow({s.socName, s.model, std::to_string(s.units.size()),
+                  fmtPercent(s.perfVariationPercent),
+                  fmtPercent(p.perf, 0),
+                  fmtPercent(s.energyVariationPercent),
+                  fmtPercent(p.energy, 0),
+                  fmtPercent(s.meanScoreRsdPercent, 2)});
+        if (std::abs(s.perfVariationPercent - p.perf) > 6.0 ||
+            std::abs(s.energyVariationPercent - p.energy) > 7.0)
+            all_in_band = false;
+    }
+    std::printf("%s", t.render().c_str());
+
+    std::printf("\nSHAPE CHECK vs paper:\n");
+    shapeCheck(all_in_band,
+               "every SoC's perf/energy variation lands within a few "
+               "points of Table II");
+    shapeCheck(studies[0].perfVariationPercent >
+                       studies[1].perfVariationPercent &&
+                   studies[0].energyVariationPercent >
+                       studies[1].energyVariationPercent,
+               "the SD-800 varies far more than the SD-805");
+    shapeCheck(studies[2].perfVariationPercent >
+                   studies[3].perfVariationPercent,
+               "the 20 nm SD-810 varies more than the 14 nm SD-820");
+    double total_units = 0;
+    for (const auto &s : studies)
+        total_units += static_cast<double>(s.units.size());
+    shapeCheck(total_units == 18,
+               "the study covers the paper's 18 units");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries.
+ *
+ * Every bench binary prints:
+ *   - a header naming the paper artifact and its claim,
+ *   - the regenerated rows/series from the simulation,
+ *   - a short SHAPE CHECK section comparing against the paper.
+ */
+
+#ifndef PVAR_BENCH_BENCH_UTIL_HH
+#define PVAR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+/** Silence library chatter for clean bench output. */
+inline void
+benchQuiet()
+{
+    setLogLevel(LogLevel::Quiet);
+}
+
+/** Print a pass/fail shape-check line. */
+inline void
+shapeCheck(bool ok, const std::string &what)
+{
+    std::printf("  [%s] %s\n", ok ? " ok " : "MISS", what.c_str());
+}
+
+} // namespace pvar
+
+#endif // PVAR_BENCH_BENCH_UTIL_HH

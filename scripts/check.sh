@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build (warnings as errors), run
+# the test suite, and execute every bench binary's shape checks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DPVAR_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+fail=0
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    out=$("$b" 2>&1) || { echo "FAILED to run: $name"; fail=1; continue; }
+    misses=$(grep -c 'MISS' <<<"$out" || true)
+    if [ "$misses" != "0" ]; then
+        echo "SHAPE CHECK MISS in $name:"
+        grep 'MISS' <<<"$out"
+        fail=1
+    else
+        echo "ok: $name"
+    fi
+done
+exit $fail

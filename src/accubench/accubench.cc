@@ -1,0 +1,93 @@
+#include "accubench/accubench.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+void
+markPhase(Trace *trace, Time now, AccubenchPhase phase)
+{
+    if (trace)
+        trace->record("phase", now, static_cast<double>(phase));
+}
+
+} // namespace
+
+IterationResult
+runAccubenchIteration(Simulator &sim, Device &device,
+                      const AccubenchConfig &cfg, Trace *trace)
+{
+    IterationResult result;
+    EnergyMeter &meter = device.energyMeter();
+
+    // ---- Phase 1: warmup -------------------------------------------------
+    markPhase(trace, sim.now(), AccubenchPhase::Warmup);
+    device.acquireWakelock();
+    device.startWorkload(cfg.workload);
+
+    Time warmup_start = sim.now();
+    Joules e0 = meter.total();
+    sim.runFor(cfg.warmupDuration);
+    result.warmupTime = sim.now() - warmup_start;
+
+    // ---- Phase 2: cooldown ----------------------------------------------
+    markPhase(trace, sim.now(), AccubenchPhase::Cooldown);
+    device.stopWorkload();
+    device.releaseWakelock();
+    device.setSuspendAllowed(true);
+
+    Time cooldown_start = sim.now();
+    Time deadline = cooldown_start + cfg.cooldownTimeout;
+    result.cooldownReachedTarget = false;
+    while (sim.now() < deadline) {
+        // Sleep until the next poll, then wake momentarily to read the
+        // sensor, as the paper's app does.
+        sim.runFor(cfg.cooldownPoll);
+        device.stayAwakeUntil(sim.now() + cfg.pollWakeSpan);
+        if (device.readCpuTemp() <= cfg.cooldownTarget) {
+            result.cooldownReachedTarget = true;
+            break;
+        }
+    }
+    if (!result.cooldownReachedTarget)
+        warn("ACCUBENCH %s: cooldown timed out above %.1fC",
+             device.name().c_str(), cfg.cooldownTarget.value());
+    result.cooldownTime = sim.now() - cooldown_start;
+    device.setSuspendAllowed(false);
+
+    // ---- Phase 3: workload ------------------------------------------------
+    markPhase(trace, sim.now(), AccubenchPhase::Workload);
+    device.acquireWakelock();
+    device.resetIterations();
+    result.tempAtWorkloadStart = device.readCpuTemp();
+
+    Time workload_start = sim.now();
+    Joules e_workload_start = meter.total();
+    device.startWorkload(cfg.workload);
+
+    double peak = device.readCpuTemp().value();
+    Time sample_deadline = sim.now() + cfg.workloadDuration;
+    while (sim.now() < sample_deadline) {
+        sim.step();
+        peak = std::max(peak, device.readCpuTemp().value());
+    }
+
+    device.stopWorkload();
+    device.releaseWakelock();
+    markPhase(trace, sim.now(), AccubenchPhase::Idle);
+
+    result.workloadTime = sim.now() - workload_start;
+    result.score = device.iterations();
+    result.workloadEnergy = meter.total() - e_workload_start;
+    result.totalEnergy = meter.total() - e0;
+    result.peakWorkloadTemp = Celsius(peak);
+    return result;
+}
+
+} // namespace pvar

@@ -1,0 +1,64 @@
+#include "accubench/ambient_estimator.hh"
+
+namespace pvar
+{
+
+AmbientEstimate
+estimateAmbient(const std::vector<double> &times_s,
+                const std::vector<double> &temps_c)
+{
+    AmbientEstimate est;
+    est.samplesUsed = times_s.size();
+    if (times_s.size() < 4 || times_s.size() != temps_c.size())
+        return est;
+
+    // Require a genuinely decaying window: the fit is meaningless on
+    // flat or rising data (e.g. a cooldown cut short).
+    double drop = temps_c.front() - temps_c.back();
+    if (drop < 1.0)
+        return est;
+
+    // A cooling phone is a two-time-constant system: the die relaxes
+    // onto the case in seconds, then the case relaxes onto the
+    // environment over minutes. A single-exponential fit over the
+    // whole window latches onto the fast component and reports the
+    // *case* temperature as the asymptote. Fitting only the tail —
+    // after the fast component has died — recovers the true ambient.
+    std::size_t n = times_s.size();
+    std::size_t tail_start = n >= 10 ? n * 2 / 5 : 0;
+    std::vector<double> tail_t(times_s.begin() +
+                                   static_cast<long>(tail_start),
+                               times_s.end());
+    std::vector<double> tail_c(temps_c.begin() +
+                                   static_cast<long>(tail_start),
+                               temps_c.end());
+    if (tail_t.size() < 4 || tail_c.front() - tail_c.back() < 1.0) {
+        // Tail too short or too flat: fall back to the full window.
+        tail_t = times_s;
+        tail_c = temps_c;
+    }
+
+    CoolingFit fit = fitCooling(tail_t, tail_c);
+    est.ambient = Celsius(fit.ambient);
+    est.tauSeconds = fit.tau;
+    est.rmse = fit.rmse;
+    est.valid = fit.tau > 0.0 && fit.rmse < 2.0;
+    return est;
+}
+
+AmbientEstimate
+estimateAmbientFromTrace(const TraceChannel &temp_channel,
+                         Time window_start, Time window_end)
+{
+    std::vector<double> times_s;
+    std::vector<double> temps_c;
+    for (const auto &s : temp_channel.samples()) {
+        if (s.when < window_start || s.when > window_end)
+            continue;
+        times_s.push_back((s.when - window_start).toSec());
+        temps_c.push_back(s.value);
+    }
+    return estimateAmbient(times_s, temps_c);
+}
+
+} // namespace pvar

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ambient-temperature estimation from the cooldown curve (paper §VI).
+ *
+ * In the wild there is no THERMABOX; the paper proposes estimating
+ * the ambient temperature from the temperatures the device reports
+ * while it passively cools during the ACCUBENCH cooldown phase. A
+ * passively cooling body follows Newton's law, so the asymptote of
+ * an exponential fit to the cooldown samples *is* the ambient.
+ */
+
+#ifndef PVAR_ACCUBENCH_AMBIENT_ESTIMATOR_HH
+#define PVAR_ACCUBENCH_AMBIENT_ESTIMATOR_HH
+
+#include "sim/trace.hh"
+#include "sim/units.hh"
+#include "stats/fit.hh"
+
+namespace pvar
+{
+
+/** Outcome of an ambient estimation. */
+struct AmbientEstimate
+{
+    /** Estimated environment temperature. */
+    Celsius ambient{0.0};
+
+    /** Fitted cooling time constant (seconds). */
+    double tauSeconds = 0.0;
+
+    /** Fit quality (RMSE in degrees); large values mean "distrust". */
+    double rmse = 0.0;
+
+    /** Number of cooldown samples used. */
+    std::size_t samplesUsed = 0;
+
+    /** True when enough decaying samples were available to fit. */
+    bool valid = false;
+};
+
+/**
+ * Estimate ambient temperature from explicit cooldown samples.
+ *
+ * @param times_s sample times (seconds, ascending).
+ * @param temps_c sensor temperatures.
+ */
+AmbientEstimate estimateAmbient(const std::vector<double> &times_s,
+                                const std::vector<double> &temps_c);
+
+/**
+ * Estimate ambient from an experiment trace: extracts the die
+ * temperature samples that fall inside the given cooldown window.
+ *
+ * @param temp_channel the recorded temperature channel.
+ * @param window_start start of the cooldown phase.
+ * @param window_end end of the cooldown phase.
+ */
+AmbientEstimate estimateAmbientFromTrace(const TraceChannel &temp_channel,
+                                         Time window_start,
+                                         Time window_end);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_AMBIENT_ESTIMATOR_HH

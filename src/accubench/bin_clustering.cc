@@ -1,0 +1,40 @@
+#include "accubench/bin_clustering.hh"
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+BinRecovery
+recoverBins(const std::vector<ScoredUnit> &units, std::size_t max_bins,
+            Rng &rng)
+{
+    if (units.empty())
+        fatal("recoverBins: no units");
+
+    std::vector<double> scores;
+    scores.reserve(units.size());
+    for (const auto &u : units)
+        scores.push_back(u.score);
+
+    // A strict elbow gain: splitting a single Gaussian score blob in
+    // half "gains" ~64% inertia, so anything below that is treated as
+    // noise rather than a real bin boundary.
+    KMeansResult km = kmeansAuto(scores, max_bins, rng, 0.5);
+
+    BinRecovery out;
+    out.bins.resize(km.centers.size());
+    for (std::size_t b = 0; b < km.centers.size(); ++b) {
+        out.bins[b].index = static_cast<int>(b);
+        out.bins[b].centerScore = km.centers[b];
+    }
+    out.assignment.reserve(units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        auto b = km.assignment[i];
+        out.bins[b].unitIds.push_back(units[i].unitId);
+        out.assignment.push_back(static_cast<int>(b));
+    }
+    return out;
+}
+
+} // namespace pvar

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Recovering hidden bins from benchmark scores (paper §VI).
+ *
+ * "In cases where there is no clear bin labels ... we plan to create
+ * our own bins by clustering the performance data using unstructured
+ * learning algorithms." This module does that: given many units'
+ * ACCUBENCH scores, it clusters them into performance bins with
+ * k-means and reports center scores and memberships.
+ */
+
+#ifndef PVAR_ACCUBENCH_BIN_CLUSTERING_HH
+#define PVAR_ACCUBENCH_BIN_CLUSTERING_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stats/kmeans.hh"
+
+namespace pvar
+{
+
+/** One unit's crowd-sourced score. */
+struct ScoredUnit
+{
+    std::string unitId;
+    double score = 0.0;
+};
+
+/** One recovered bin. */
+struct RecoveredBin
+{
+    /** Bin index: 0 = lowest-scoring group. */
+    int index = 0;
+
+    /** Cluster center score. */
+    double centerScore = 0.0;
+
+    /** Members. */
+    std::vector<std::string> unitIds;
+};
+
+/** Clustering outcome. */
+struct BinRecovery
+{
+    std::vector<RecoveredBin> bins;
+
+    /** Per-input bin assignment (parallel to the input order). */
+    std::vector<int> assignment;
+};
+
+/**
+ * Cluster unit scores into performance bins.
+ *
+ * @param units scored units.
+ * @param max_bins upper bound on the bin count (elbow-selected below).
+ * @param rng seeding source for k-means++.
+ */
+BinRecovery recoverBins(const std::vector<ScoredUnit> &units,
+                        std::size_t max_bins, Rng &rng);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_BIN_CLUSTERING_HH

@@ -1,0 +1,75 @@
+#include "accubench/crowd.hh"
+
+#include "accubench/ambient_estimator.hh"
+#include "accubench/experiment.hh"
+#include "accubench/phase_windows.hh"
+#include "device/fleet.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+std::vector<CrowdReport>
+CrowdResult::reports() const
+{
+    std::vector<CrowdReport> out;
+    out.reserve(outcomes.size());
+    for (const auto &o : outcomes)
+        out.push_back(o.report);
+    return out;
+}
+
+CrowdResult
+simulateCrowd(const CrowdConfig &cfg)
+{
+    if (cfg.units < 1)
+        fatal("simulateCrowd: need at least one unit");
+    if (cfg.iterations < 2)
+        fatal("simulateCrowd: need >= 2 iterations (the ambient fit "
+              "uses the second cooldown)");
+
+    Rng rng(cfg.seed);
+    CrowdResult result;
+
+    for (int i = 0; i < cfg.units; ++i) {
+        UnitCorner corner;
+        corner.id = strfmt("%s-crowd-%03d", cfg.socName.c_str(), i);
+        corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
+        corner.leakResidual = rng.gaussian(0.0, 0.3);
+        double ambient = rng.uniform(cfg.ambientLoC, cfg.ambientHiC);
+
+        auto device = makeUnitForSoc(cfg.socName, corner);
+
+        ExperimentConfig exp;
+        exp.mode = WorkloadMode::Unconstrained;
+        exp.iterations = cfg.iterations;
+        exp.accubench = cfg.accubench;
+        exp.supply = SupplyChoice::Battery; // no lab gear in the wild
+        exp.thermabox.target = Celsius(ambient);
+        exp.accubench.cooldownTarget = Celsius(ambient + 8.0);
+        ExperimentResult r = runExperiment(*device, exp);
+
+        // The app-side ambient estimate: fit the second cooldown.
+        AmbientEstimate est;
+        if (auto w = phaseWindow(r.trace, AccubenchPhase::Cooldown, 1)) {
+            est = estimateAmbientFromTrace(r.trace.channel("die_temp"),
+                                           w->begin, w->end);
+        }
+
+        CrowdUnitOutcome out;
+        out.report.unitId = corner.id;
+        out.report.model = device->model();
+        out.report.score = r.meanScore();
+        out.report.estimatedAmbientC =
+            est.valid ? est.ambient.value() : -273.0;
+        out.report.ambientValid = est.valid;
+        out.trueAmbientC = ambient;
+        out.leakFactor = device->soc().die().params().leakFactor;
+        out.speedFactor = device->soc().die().params().speedFactor;
+        result.outcomes.push_back(out);
+    }
+    return result;
+}
+
+} // namespace pvar

@@ -1,0 +1,79 @@
+#include "accubench/experiment.hh"
+
+#include <memory>
+
+#include "power/monsoon.hh"
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+ExperimentResult
+runExperiment(Device &device, const ExperimentConfig &cfg)
+{
+    ExperimentResult result;
+    result.unitId = device.unitId();
+    result.model = device.model();
+    result.socName = device.socName();
+
+    Simulator sim(cfg.dt);
+    Thermabox box(cfg.thermabox);
+
+    // Chamber first, device second: the box pins the ambient the
+    // device sees during the same step.
+    sim.add(&box);
+    sim.add(&device);
+    box.placeDevice(&device);
+
+    // -- Power source -------------------------------------------------------
+    std::unique_ptr<Monsoon> monsoon;
+    switch (cfg.supply) {
+      case SupplyChoice::MonsoonNominal:
+        monsoon = std::make_unique<Monsoon>(device.config().battery.nominal);
+        device.attachExternalSupply(monsoon.get());
+        break;
+      case SupplyChoice::MonsoonExplicit:
+        monsoon = std::make_unique<Monsoon>(cfg.monsoonVoltage);
+        device.attachExternalSupply(monsoon.get());
+        break;
+      case SupplyChoice::Battery:
+        device.attachExternalSupply(nullptr);
+        device.battery().setStateOfCharge(cfg.batterySoc);
+        break;
+    }
+
+    // -- DVFS mode ----------------------------------------------------------
+    if (cfg.mode == WorkloadMode::FixedFrequency)
+        device.setFixedFrequency(cfg.fixedFrequency);
+    else
+        device.setPerformanceMode();
+
+    device.resetExperimentState();
+    device.setSuspendAllowed(false);
+    if (cfg.soakFirst)
+        device.soakTo(box.airTemp());
+    device.attachTrace(&result.trace);
+
+    // -- Confirm the chamber is in band (the app's first step). -------------
+    bool stable = sim.runUntilCondition([&box] { return box.stable(); },
+                                        sim.now() + Time::minutes(30));
+    if (!stable)
+        warn("runExperiment: thermabox failed to stabilize; "
+             "proceeding anyway");
+
+    // -- N back-to-back iterations. ------------------------------------------
+    for (int i = 0; i < cfg.iterations; ++i) {
+        IterationResult it = runAccubenchIteration(
+            sim, device, cfg.accubench, &result.trace);
+        result.iterations.push_back(it);
+    }
+
+    // -- Restore the device for the next experiment. -------------------------
+    device.attachTrace(nullptr);
+    device.attachExternalSupply(nullptr);
+    device.setPerformanceMode();
+
+    return result;
+}
+
+} // namespace pvar

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment runner: ACCUBENCH iterations under controlled conditions.
+ *
+ * Reproduces the paper's §III procedure end to end: the device sits
+ * inside a THERMABOX, is powered by a Monsoon (or its own battery),
+ * the app confirms the chamber is within its target band, and then
+ * runs N back-to-back ACCUBENCH iterations in one of two modes:
+ *
+ *  - UNCONSTRAINED: performance governor, free thermal throttling —
+ *    measures performance variation;
+ *  - FIXED-FREQUENCY: all clusters pinned at a low OPP that never
+ *    throttles — measures energy variation at equal work.
+ */
+
+#ifndef PVAR_ACCUBENCH_EXPERIMENT_HH
+#define PVAR_ACCUBENCH_EXPERIMENT_HH
+
+#include "accubench/accubench.hh"
+#include "accubench/result.hh"
+#include "device/device.hh"
+#include "thermabox/thermabox.hh"
+
+namespace pvar
+{
+
+/** The paper's two workload configurations. */
+enum class WorkloadMode
+{
+    Unconstrained,
+    FixedFrequency,
+};
+
+/** Power-source selection. */
+enum class SupplyChoice
+{
+    /** Monsoon programmed to the battery's nominal voltage (default). */
+    MonsoonNominal,
+
+    /** Monsoon programmed to an explicit voltage. */
+    MonsoonExplicit,
+
+    /** The phone's own battery. */
+    Battery,
+};
+
+/** Full experiment configuration. */
+struct ExperimentConfig
+{
+    WorkloadMode mode = WorkloadMode::Unconstrained;
+
+    /** Pinned frequency for FIXED-FREQUENCY mode. */
+    MegaHertz fixedFrequency{1190.0};
+
+    /** Back-to-back iterations (paper: minimum 5). */
+    int iterations = 5;
+
+    AccubenchConfig accubench;
+    ThermaboxParams thermabox;
+
+    SupplyChoice supply = SupplyChoice::MonsoonNominal;
+
+    /** Voltage for SupplyChoice::MonsoonExplicit. */
+    Volts monsoonVoltage{3.85};
+
+    /** Battery state of charge for SupplyChoice::Battery. */
+    double batterySoc = 0.95;
+
+    /** Simulation step. */
+    Time dt = Time::msec(10);
+
+    /** Soak the device to the chamber target before iteration 1. */
+    bool soakFirst = true;
+};
+
+/**
+ * Run one experiment (N iterations) on one device.
+ *
+ * The device's DVFS mode, supply and environment are configured from
+ * `cfg`; the device is restored to performance mode afterwards.
+ */
+ExperimentResult runExperiment(Device &device, const ExperimentConfig &cfg);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_EXPERIMENT_HH

@@ -1,0 +1,59 @@
+#include "accubench/lower_bound.hh"
+
+#include <algorithm>
+
+#include "accubench/experiment.hh"
+#include "device/fleet.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "stats/summary.hh"
+
+namespace pvar
+{
+
+std::vector<LowerBoundPoint>
+sampleSizeStudy(const LowerBoundConfig &cfg)
+{
+    if (cfg.replicates < 1)
+        fatal("sampleSizeStudy: need at least one replicate");
+    for (int n : cfg.sampleSizes) {
+        if (n < 2)
+            fatal("sampleSizeStudy: sample sizes must be >= 2");
+    }
+
+    ExperimentConfig exp;
+    exp.mode = WorkloadMode::Unconstrained;
+    exp.iterations = cfg.iterations;
+    exp.accubench = cfg.accubench;
+    exp.supply = SupplyChoice::MonsoonExplicit;
+    exp.monsoonVoltage = studyMonsoonVoltageForSoc(cfg.socName);
+
+    Rng rng(cfg.seed);
+    std::vector<LowerBoundPoint> out;
+
+    for (int n : cfg.sampleSizes) {
+        OnlineSummary spreads;
+        for (int rep = 0; rep < cfg.replicates; ++rep) {
+            std::vector<double> scores;
+            for (int u = 0; u < n; ++u) {
+                UnitCorner corner;
+                corner.id = strfmt("lb-n%d-r%d-u%d", n, rep, u);
+                corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
+                corner.leakResidual = rng.gaussian(0.0, 0.3);
+                auto device = makeUnitForSoc(cfg.socName, corner);
+                scores.push_back(
+                    runExperiment(*device, exp).meanScore());
+            }
+            spreads.add(relativeSpread(scores) * 100.0);
+        }
+        LowerBoundPoint p;
+        p.sampleSize = n;
+        p.meanSpreadPercent = spreads.mean();
+        p.minSpreadPercent = spreads.min();
+        p.maxSpreadPercent = spreads.max();
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace pvar

@@ -1,0 +1,42 @@
+#include "accubench/phase_windows.hh"
+
+namespace pvar
+{
+
+std::vector<PhaseWindow>
+phaseWindows(const Trace &trace)
+{
+    std::vector<PhaseWindow> out;
+    if (!trace.hasChannel("phase"))
+        return out;
+    const auto &samples = trace.channel("phase").samples();
+    if (samples.empty())
+        return out;
+
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        PhaseWindow w;
+        w.phase = static_cast<AccubenchPhase>(
+            static_cast<int>(samples[i].value));
+        w.begin = samples[i].when;
+        w.end = i + 1 < samples.size() ? samples[i + 1].when
+                                       : samples.back().when;
+        out.push_back(w);
+    }
+    return out;
+}
+
+std::optional<PhaseWindow>
+phaseWindow(const Trace &trace, AccubenchPhase phase, int occurrence)
+{
+    int seen = 0;
+    for (const auto &w : phaseWindows(trace)) {
+        if (w.phase != phase)
+            continue;
+        if (seen == occurrence)
+            return w;
+        ++seen;
+    }
+    return std::nullopt;
+}
+
+} // namespace pvar

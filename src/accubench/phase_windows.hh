@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Phase-window extraction from recorded traces.
+ *
+ * ACCUBENCH annotates its trace with a "phase" channel (one sample at
+ * each transition). Analyses frequently need the time window of a
+ * specific phase of a specific iteration — e.g. the second cooldown,
+ * to fit an ambient estimate — so this header turns the marker
+ * stream back into typed windows.
+ */
+
+#ifndef PVAR_ACCUBENCH_PHASE_WINDOWS_HH
+#define PVAR_ACCUBENCH_PHASE_WINDOWS_HH
+
+#include <optional>
+#include <vector>
+
+#include "accubench/accubench.hh"
+#include "sim/trace.hh"
+
+namespace pvar
+{
+
+/** One contiguous phase span. */
+struct PhaseWindow
+{
+    AccubenchPhase phase = AccubenchPhase::Idle;
+    Time begin;
+    Time end;
+
+    Time duration() const { return end - begin; }
+};
+
+/**
+ * Decode all phase windows from a trace.
+ *
+ * The final marker's window extends to the last sample recorded in
+ * the channel. Returns an empty list when the trace has no "phase"
+ * channel.
+ */
+std::vector<PhaseWindow> phaseWindows(const Trace &trace);
+
+/**
+ * The window of the `occurrence`-th (0-based) span of `phase`, or
+ * nullopt when there were fewer occurrences.
+ */
+std::optional<PhaseWindow> phaseWindow(const Trace &trace,
+                                       AccubenchPhase phase,
+                                       int occurrence);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_PHASE_WINDOWS_HH

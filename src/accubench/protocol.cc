@@ -1,0 +1,107 @@
+#include "accubench/protocol.hh"
+
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+namespace pvar
+{
+
+SocStudy
+reduceSocStudy(const std::string &soc_name, const std::string &model,
+               const std::vector<ExperimentResult> &unconstrained,
+               const std::vector<ExperimentResult> &fixed_freq)
+{
+    if (unconstrained.size() != fixed_freq.size())
+        fatal("reduceSocStudy: mismatched experiment lists (%zu vs %zu)",
+              unconstrained.size(), fixed_freq.size());
+
+    SocStudy study;
+    study.socName = soc_name;
+    study.model = model;
+
+    std::vector<double> mean_scores;
+    std::vector<double> mean_fixed_energies;
+    std::vector<double> mean_fixed_scores;
+    OnlineSummary rsd_acc;
+    OnlineSummary efficiency_acc;
+
+    for (std::size_t i = 0; i < unconstrained.size(); ++i) {
+        const ExperimentResult &unc = unconstrained[i];
+        const ExperimentResult &fix = fixed_freq[i];
+
+        UnitOutcome unit;
+        unit.unitId = unc.unitId;
+        unit.meanScore = unc.meanScore();
+        unit.scoreRsdPercent = unc.scoreRsdPercent();
+        unit.meanUnconstrainedEnergyJ = unc.meanWorkloadEnergy().value();
+        unit.meanFixedEnergyJ = fix.meanWorkloadEnergy().value();
+        unit.fixedEnergyRsdPercent = fix.energyRsdPercent();
+        unit.meanFixedScore = fix.meanScore();
+        unit.fixedScoreRsdPercent = fix.scoreRsdPercent();
+        study.units.push_back(unit);
+
+        mean_scores.push_back(unit.meanScore);
+        mean_fixed_energies.push_back(unit.meanFixedEnergyJ);
+        mean_fixed_scores.push_back(unit.meanFixedScore);
+        rsd_acc.add(unit.scoreRsdPercent);
+
+        if (unit.meanUnconstrainedEnergyJ > 0.0) {
+            efficiency_acc.add(unit.meanScore /
+                               (unit.meanUnconstrainedEnergyJ / 3600.0));
+        }
+    }
+
+    study.perfVariationPercent = relativeSpread(mean_scores) * 100.0;
+    study.energyVariationPercent =
+        relativeExcess(mean_fixed_energies) * 100.0;
+    study.fixedPerfSpreadPercent =
+        relativeSpread(mean_fixed_scores) * 100.0;
+    study.meanScoreRsdPercent = rsd_acc.mean();
+    study.efficiencyIterPerWh = efficiency_acc.mean();
+    return study;
+}
+
+SocStudy
+runSocStudy(const std::string &soc_name, const StudyConfig &cfg)
+{
+    Fleet fleet = fleetForSoc(soc_name);
+    inform("study: %s (%zu units)", soc_name.c_str(), fleet.size());
+
+    ExperimentConfig unc_cfg;
+    unc_cfg.mode = WorkloadMode::Unconstrained;
+    unc_cfg.iterations = cfg.iterations;
+    unc_cfg.accubench = cfg.accubench;
+    unc_cfg.thermabox = cfg.thermabox;
+    unc_cfg.dt = cfg.dt;
+    unc_cfg.supply = SupplyChoice::MonsoonExplicit;
+    unc_cfg.monsoonVoltage = studyMonsoonVoltageForSoc(soc_name);
+
+    ExperimentConfig fix_cfg = unc_cfg;
+    fix_cfg.mode = WorkloadMode::FixedFrequency;
+    fix_cfg.fixedFrequency = fixedFrequencyForSoc(soc_name);
+
+    std::vector<ExperimentResult> unconstrained;
+    std::vector<ExperimentResult> fixed_freq;
+    std::string model;
+    for (auto &device : fleet) {
+        model = device->model();
+        inform("study:   unit %s unconstrained",
+               device->unitId().c_str());
+        unconstrained.push_back(runExperiment(*device, unc_cfg));
+        inform("study:   unit %s fixed-frequency",
+               device->unitId().c_str());
+        fixed_freq.push_back(runExperiment(*device, fix_cfg));
+    }
+    return reduceSocStudy(soc_name, model, unconstrained, fixed_freq);
+}
+
+std::vector<SocStudy>
+runFullStudy(const StudyConfig &cfg)
+{
+    std::vector<SocStudy> studies;
+    for (const auto &soc : studySocNames())
+        studies.push_back(runSocStudy(soc, cfg));
+    return studies;
+}
+
+} // namespace pvar

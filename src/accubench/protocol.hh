@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The full study protocol of paper §IV.
+ *
+ * For each SoC generation: run the UNCONSTRAINED experiment (for
+ * performance) and the FIXED-FREQUENCY experiment (for energy) on
+ * every unit of the fleet, then reduce to the variation numbers the
+ * paper reports in Figures 6-9 and Table II, plus the Fig 13
+ * efficiency metric.
+ */
+
+#ifndef PVAR_ACCUBENCH_PROTOCOL_HH
+#define PVAR_ACCUBENCH_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "accubench/experiment.hh"
+#include "device/fleet.hh"
+
+namespace pvar
+{
+
+/** Study-wide knobs. */
+struct StudyConfig
+{
+    /** Iterations per experiment (paper: 5). */
+    int iterations = 5;
+
+    /** Simulation step. */
+    Time dt = Time::msec(10);
+
+    /** Chamber parameters (paper: 26 +/- 0.5 C). */
+    ThermaboxParams thermabox;
+
+    /** ACCUBENCH parameters. */
+    AccubenchConfig accubench;
+};
+
+/** Per-unit outcome of both experiments. */
+struct UnitOutcome
+{
+    std::string unitId;
+
+    /** UNCONSTRAINED results. */
+    double meanScore = 0.0;
+    double scoreRsdPercent = 0.0;
+    double meanUnconstrainedEnergyJ = 0.0;
+
+    /** FIXED-FREQUENCY results. */
+    double meanFixedEnergyJ = 0.0;
+    double fixedEnergyRsdPercent = 0.0;
+    double meanFixedScore = 0.0;
+    double fixedScoreRsdPercent = 0.0;
+};
+
+/** Per-SoC reduction (one Table II row). */
+struct SocStudy
+{
+    std::string socName;
+    std::string model;
+    std::vector<UnitOutcome> units;
+
+    /** Performance variation: spread of UNCONSTRAINED mean scores. */
+    double perfVariationPercent = 0.0;
+
+    /** Energy variation: excess of FIXED-FREQUENCY mean energies. */
+    double energyVariationPercent = 0.0;
+
+    /** Spread of FIXED-FREQUENCY scores (setup sanity; small). */
+    double fixedPerfSpreadPercent = 0.0;
+
+    /** Mean per-unit score RSD (repeatability). */
+    double meanScoreRsdPercent = 0.0;
+
+    /**
+     * Fig 13 efficiency: UNCONSTRAINED iterations per watt-hour,
+     * averaged over units.
+     */
+    double efficiencyIterPerWh = 0.0;
+};
+
+/** Run both experiments on every unit of one SoC's fleet. */
+SocStudy runSocStudy(const std::string &soc_name, const StudyConfig &cfg);
+
+/** Reduce already-run experiment results into a SocStudy. */
+SocStudy reduceSocStudy(
+    const std::string &soc_name, const std::string &model,
+    const std::vector<ExperimentResult> &unconstrained,
+    const std::vector<ExperimentResult> &fixed_freq);
+
+/** Run the whole study (all five SoCs, paper order). */
+std::vector<SocStudy> runFullStudy(const StudyConfig &cfg);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_PROTOCOL_HH

@@ -1,0 +1,62 @@
+#include "accubench/ranking.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace pvar
+{
+
+std::vector<ModelRanking>
+rankDevices(const std::vector<CrowdReport> &reports,
+            const RankingConfig &cfg)
+{
+    // Group by model, preserving first-seen order.
+    std::vector<std::string> model_order;
+    std::map<std::string, ModelRanking> by_model;
+
+    for (const auto &r : reports) {
+        auto it = by_model.find(r.model);
+        if (it == by_model.end()) {
+            model_order.push_back(r.model);
+            it = by_model.emplace(r.model, ModelRanking{}).first;
+            it->second.model = r.model;
+        }
+        ModelRanking &mr = it->second;
+
+        bool ambient_ok = r.estimatedAmbientC >= cfg.ambientLoC &&
+                          r.estimatedAmbientC <= cfg.ambientHiC;
+        bool trust_ok = !cfg.requireValidAmbient || r.ambientValid;
+        if (!ambient_ok || !trust_ok) {
+            ++mr.filteredOut;
+            continue;
+        }
+
+        RankedDevice rd;
+        rd.unitId = r.unitId;
+        rd.model = r.model;
+        rd.score = r.score;
+        mr.ranked.push_back(rd);
+    }
+
+    std::vector<ModelRanking> out;
+    out.reserve(model_order.size());
+    for (const auto &model : model_order) {
+        ModelRanking &mr = by_model[model];
+        std::sort(mr.ranked.begin(), mr.ranked.end(),
+                  [](const RankedDevice &a, const RankedDevice &b) {
+                      return a.score > b.score;
+                  });
+        std::size_t n = mr.ranked.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            mr.ranked[i].rank = static_cast<int>(i) + 1;
+            mr.ranked[i].percentile =
+                n > 1 ? 100.0 * static_cast<double>(n - 1 - i) /
+                            static_cast<double>(n - 1)
+                      : 100.0;
+        }
+        out.push_back(std::move(mr));
+    }
+    return out;
+}
+
+} // namespace pvar

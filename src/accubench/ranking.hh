@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Crowdsourced device ranking (paper §VI).
+ *
+ * The future-work vision: ACCUBENCH reports arrive from devices in
+ * the wild, each tagged with an ambient estimate from its cooldown
+ * curve. Reports whose estimated ambient falls outside a comparable
+ * window are filtered ("strict filters"), and the survivors are
+ * ranked within their model so a user can see where their unit falls.
+ */
+
+#ifndef PVAR_ACCUBENCH_RANKING_HH
+#define PVAR_ACCUBENCH_RANKING_HH
+
+#include <string>
+#include <vector>
+
+namespace pvar
+{
+
+/** One report from the wild. */
+struct CrowdReport
+{
+    std::string unitId;
+    std::string model;
+    double score = 0.0;
+
+    /** Ambient estimated from the cooldown curve. */
+    double estimatedAmbientC = 0.0;
+
+    /** Whether the estimator trusted its fit. */
+    bool ambientValid = true;
+};
+
+/** Filtering / ranking knobs. */
+struct RankingConfig
+{
+    /** Accepted ambient window (comparable thermal conditions). */
+    double ambientLoC = 20.0;
+    double ambientHiC = 30.0;
+
+    /** Drop reports whose ambient estimate was not trusted. */
+    bool requireValidAmbient = true;
+};
+
+/** One ranked entry. */
+struct RankedDevice
+{
+    std::string unitId;
+    std::string model;
+    double score = 0.0;
+
+    /** 1 = best within the model. */
+    int rank = 0;
+
+    /** Percentile within the model (100 = best). */
+    double percentile = 0.0;
+};
+
+/** Result of ranking one model's reports. */
+struct ModelRanking
+{
+    std::string model;
+    std::vector<RankedDevice> ranked;
+
+    /** Reports rejected by the ambient filter. */
+    std::size_t filteredOut = 0;
+};
+
+/**
+ * Filter and rank reports, grouped by model.
+ *
+ * @return one ranking per model present in the input, in first-seen
+ *         model order.
+ */
+std::vector<ModelRanking> rankDevices(
+    const std::vector<CrowdReport> &reports, const RankingConfig &cfg);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_RANKING_HH

@@ -1,0 +1,24 @@
+#include "accubench/result.hh"
+
+namespace pvar
+{
+
+OnlineSummary
+ExperimentResult::scoreSummary() const
+{
+    OnlineSummary s;
+    for (const auto &it : iterations)
+        s.add(it.score);
+    return s;
+}
+
+OnlineSummary
+ExperimentResult::workloadEnergySummary() const
+{
+    OnlineSummary s;
+    for (const auto &it : iterations)
+        s.add(it.workloadEnergy.value());
+    return s;
+}
+
+} // namespace pvar

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Result types for ACCUBENCH runs.
+ */
+
+#ifndef PVAR_ACCUBENCH_RESULT_HH
+#define PVAR_ACCUBENCH_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+#include "sim/trace.hh"
+#include "sim/units.hh"
+#include "stats/summary.hh"
+
+namespace pvar
+{
+
+/** Outcome of one ACCUBENCH iteration (warmup + cooldown + workload). */
+struct IterationResult
+{
+    /** Benchmark score: iterations completed across all cores. */
+    double score = 0.0;
+
+    /** Energy drawn from the supply during the workload phase. */
+    Joules workloadEnergy{0.0};
+
+    /** Energy drawn across the whole iteration. */
+    Joules totalEnergy{0.0};
+
+    /** @name Phase durations. @{ */
+    Time warmupTime;
+    Time cooldownTime;
+    Time workloadTime;
+    /** @} */
+
+    /** Sensor temperature when the workload phase began. */
+    Celsius tempAtWorkloadStart{0.0};
+
+    /** Peak sensor temperature during the workload phase. */
+    Celsius peakWorkloadTemp{0.0};
+
+    /** True if the cooldown reached the target before its timeout. */
+    bool cooldownReachedTarget = true;
+};
+
+/** Outcome of a multi-iteration experiment on one device. */
+struct ExperimentResult
+{
+    std::string unitId;
+    std::string model;
+    std::string socName;
+
+    std::vector<IterationResult> iterations;
+
+    /** Full time series over the whole experiment. */
+    Trace trace;
+
+    /** @name Reductions over iterations. @{ */
+    OnlineSummary scoreSummary() const;
+    OnlineSummary workloadEnergySummary() const;
+    double meanScore() const { return scoreSummary().mean(); }
+    double scoreRsdPercent() const { return scoreSummary().rsdPercent(); }
+    Joules meanWorkloadEnergy() const
+    {
+        return Joules(workloadEnergySummary().mean());
+    }
+    double energyRsdPercent() const
+    {
+        return workloadEnergySummary().rsdPercent();
+    }
+    /** @} */
+};
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_RESULT_HH

@@ -1,0 +1,61 @@
+#include "accubench/throttle_analysis.hh"
+
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+namespace pvar
+{
+
+ThrottleAnalysis
+analyzeThrottling(const Trace &trace, const ThrottleAnalysisConfig &cfg)
+{
+    if (!trace.hasChannel(cfg.freqChannel))
+        fatal("analyzeThrottling: missing channel '%s'",
+              cfg.freqChannel.c_str());
+    if (!trace.hasChannel(cfg.tempChannel))
+        fatal("analyzeThrottling: missing channel '%s'",
+              cfg.tempChannel.c_str());
+
+    const auto &freq = trace.channel(cfg.freqChannel).samples();
+    const auto &temp = trace.channel(cfg.tempChannel).samples();
+
+    ThrottleAnalysis out;
+    out.freqHist = Histogram(cfg.freqLoMhz, cfg.freqHiMhz, cfg.bins);
+    out.tempHist = Histogram(cfg.tempLoC, cfg.tempHiC, cfg.bins);
+
+    OnlineSummary freq_sum;
+    Time awake = Time::zero(), capped = Time::zero(), hot = Time::zero();
+    double prev_freq = -1.0;
+
+    for (std::size_t i = 0; i + 1 < freq.size(); ++i) {
+        double f = freq[i].value;
+        if (f <= 0.0) {
+            prev_freq = -1.0; // suspend gap breaks a change streak
+            continue;
+        }
+        Time span = freq[i + 1].when - freq[i].when;
+        double t =
+            temp[i < temp.size() ? i : temp.size() - 1].value;
+
+        awake += span;
+        freq_sum.add(f);
+        out.freqHist.add(f);
+        out.tempHist.add(t);
+        if (cfg.topFreqMhz > 0.0 && f < cfg.topFreqMhz)
+            capped += span;
+        if (t >= cfg.hotThresholdC)
+            hot += span;
+        if (prev_freq > 0.0 && f != prev_freq)
+            ++out.freqChanges;
+        prev_freq = f;
+    }
+
+    out.meanFreqMhz = freq_sum.mean();
+    if (awake > Time::zero()) {
+        out.fractionCapped = capped / awake;
+        out.fractionHot = hot / awake;
+    }
+    return out;
+}
+
+} // namespace pvar

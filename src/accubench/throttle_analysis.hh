@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Throttling analysis over recorded experiment traces (paper §IV-B).
+ *
+ * The paper's source-of-variation analysis reads frequency and
+ * temperature distributions out of per-iteration traces: mean
+ * delivered frequency, time spent capped, and time at temperature.
+ * This module computes those metrics from an ExperimentResult's
+ * trace so figures and studies share one implementation.
+ */
+
+#ifndef PVAR_ACCUBENCH_THROTTLE_ANALYSIS_HH
+#define PVAR_ACCUBENCH_THROTTLE_ANALYSIS_HH
+
+#include <string>
+
+#include "sim/trace.hh"
+#include "stats/histogram.hh"
+
+namespace pvar
+{
+
+/** Aggregate throttling metrics for one experiment trace. */
+struct ThrottleAnalysis
+{
+    /** Mean frequency over awake samples (MHz). */
+    double meanFreqMhz = 0.0;
+
+    /** Fraction of awake time spent below the reference top OPP. */
+    double fractionCapped = 0.0;
+
+    /** Fraction of awake time at or above the hot threshold. */
+    double fractionHot = 0.0;
+
+    /** Number of distinct frequency changes observed while awake. */
+    int freqChanges = 0;
+
+    /** Distribution of awake frequencies (MHz). */
+    Histogram freqHist{0, 1, 1};
+
+    /** Distribution of die temperatures while awake (C). */
+    Histogram tempHist{0, 1, 1};
+};
+
+/** Knobs for the analysis. */
+struct ThrottleAnalysisConfig
+{
+    /** Trace channel carrying the cluster frequency. */
+    std::string freqChannel = "freq_cpu";
+
+    /** Trace channel carrying the die temperature. */
+    std::string tempChannel = "die_temp";
+
+    /** The unthrottled top frequency (samples below count as capped). */
+    double topFreqMhz = 0.0;
+
+    /** "Time at temperature" threshold (C). */
+    double hotThresholdC = 70.0;
+
+    /** Histogram ranges. */
+    double freqLoMhz = 0.0;
+    double freqHiMhz = 2500.0;
+    double tempLoC = 25.0;
+    double tempHiC = 90.0;
+
+    /** Bins for both histograms. */
+    std::size_t bins = 8;
+};
+
+/**
+ * Analyze a recorded trace.
+ *
+ * Samples where the frequency channel reads zero (system suspended)
+ * are excluded; every retained sample is weighted by its hold time.
+ */
+ThrottleAnalysis analyzeThrottling(const Trace &trace,
+                                   const ThrottleAnalysisConfig &cfg);
+
+} // namespace pvar
+
+#endif // PVAR_ACCUBENCH_THROTTLE_ANALYSIS_HH

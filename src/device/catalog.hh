@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Device catalog: the five phone models of the paper's study.
+ *
+ * Each maker function assembles a fully configured Device for one
+ * physical unit. Units are identified the way the paper identifies
+ * them: Nexus 5 / Nexus 6 units by CPU bin (their kernels expose it),
+ * later units by a device id (binning hidden; "dev-363", "dev-488"...).
+ *
+ * The corner parameters of every unit live in fleet.cc and are
+ * calibrated so the simulated study reproduces Table II.
+ */
+
+#ifndef PVAR_DEVICE_CATALOG_HH
+#define PVAR_DEVICE_CATALOG_HH
+
+#include <memory>
+#include <string>
+
+#include "device/device.hh"
+#include "silicon/process_node.hh"
+#include "silicon/vf_table.hh"
+
+namespace pvar
+{
+
+/** A unit's silicon corner, as pinned by the fleet calibration. */
+struct UnitCorner
+{
+    /** Unit id, e.g. "bin-0" or "dev-363". */
+    std::string id;
+
+    /** Latent process deviate (negative = slow & low-leakage). */
+    double corner = 0.0;
+
+    /** Residual log-leakage deviate. */
+    double leakResidual = 0.0;
+
+    /** Threshold-voltage offset (volts). */
+    double vthOffset = 0.0;
+};
+
+/** @name Nexus 5 (Snapdragon 800, 28 nm, 4x Krait-400). @{ */
+
+/**
+ * The kernel voltage table of paper Table I for one bin (0..6),
+ * expanded to the full 8-step frequency ladder by interpolation.
+ */
+VfTable nexus5BinTable(int bin);
+
+/** Raw Table I voltage (mV) for a bin at one of the five published
+ *  frequencies {300, 729, 960, 1574, 2265}; test hook. */
+double nexus5TableIMillivolts(int bin, double freq_mhz);
+
+/** Device config (everything except the die). */
+DeviceConfig nexus5Config(int bin);
+
+/** Assemble one Nexus 5 unit at a silicon corner. */
+std::unique_ptr<Device> makeNexus5(int bin, const UnitCorner &corner);
+
+/** @} */
+
+/** @name Nexus 6 (Snapdragon 805, 28 nm, 4x Krait-450). @{ */
+DeviceConfig nexus6Config();
+std::unique_ptr<Device> makeNexus6(const UnitCorner &corner);
+/** @} */
+
+/** @name Nexus 6P (Snapdragon 810, 20 nm, 4x A57 + 4x A53, RBCPR). @{ */
+DeviceConfig nexus6pConfig();
+std::unique_ptr<Device> makeNexus6p(const UnitCorner &corner);
+/** @} */
+
+/** @name LG G5 (Snapdragon 820, 14 nm, 2+2 Kryo, V-in throttle). @{ */
+DeviceConfig lgG5Config();
+std::unique_ptr<Device> makeLgG5(const UnitCorner &corner);
+/** @} */
+
+/** @name Google Pixel (Snapdragon 821, 14 nm, 2+2 Kryo). @{ */
+DeviceConfig pixelConfig();
+std::unique_ptr<Device> makePixel(const UnitCorner &corner);
+/** @} */
+
+/** @name Google Pixel 2 (Snapdragon 835, 10 nm) — EXTENSION. @{ */
+
+/** The 10 nm LPE node the extension predicts with (not paper data). */
+ProcessNode node10nmLPE();
+
+DeviceConfig pixel2Config();
+std::unique_ptr<Device> makePixel2(const UnitCorner &corner);
+/** @} */
+
+} // namespace pvar
+
+#endif // PVAR_DEVICE_CATALOG_HH

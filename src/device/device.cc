@@ -1,0 +1,276 @@
+#include "device/device.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+Device::Device(DeviceConfig config, Die die)
+    : _config(std::move(config)), _soc(_config.soc, std::move(die)),
+      _package(_config.package, _config.initialAmbient),
+      _sensor("tsens0", _config.sensor,
+              [this]() { return _package.dieTemp(); },
+              Rng(_config.sensorSeed)),
+      _battery(_config.battery), _externalSupply(nullptr),
+      _engine(&_soc), _thermalGov(_config.thermalGov),
+      _inputThrottle(_config.inputThrottle),
+      _inputThrottleEnabled(_config.hasInputVoltageThrottle),
+      _wakelocks(0), _suspendAllowed(false), _suspended(false),
+      _wakeUntil(Time::zero()), _lastSupplyVoltage(Volts(0.0)),
+      _lastPower(Watts(0.0)), _trace(nullptr),
+      _lastTraceSample(Time::zero()),
+      _noiseRng(Rng(_config.sensorSeed).fork(0xb6)),
+      _lastNoiseUpdate(Time::zero()), _noisePrimed(false)
+{
+    if (_config.hasRbcpr) {
+        for (std::size_t i = 0; i < _soc.clusterCount(); ++i)
+            _rbcpr.emplace_back(_config.rbcpr);
+    }
+    for (std::size_t i = 0; i < _soc.clusterCount(); ++i)
+        _cpufreq.push_back(std::make_unique<PerformanceGovernor>());
+    _lastSupplyVoltage = supply().terminalVoltage(Amps(0.0));
+}
+
+std::string
+Device::name() const
+{
+    return strfmt("%s/%s", _config.model.c_str(), unitId().c_str());
+}
+
+void
+Device::attachExternalSupply(PowerSupply *external)
+{
+    _externalSupply = external;
+}
+
+PowerSupply &
+Device::supply()
+{
+    return _externalSupply ? *_externalSupply : _battery;
+}
+
+void
+Device::acquireWakelock()
+{
+    ++_wakelocks;
+}
+
+void
+Device::releaseWakelock()
+{
+    if (_wakelocks <= 0) {
+        warn("Device %s: wakelock underflow", name().c_str());
+        return;
+    }
+    --_wakelocks;
+}
+
+void
+Device::stayAwakeUntil(Time until)
+{
+    _wakeUntil = std::max(_wakeUntil, until);
+}
+
+void
+Device::startWorkload(const CpuIntensiveWorkload &w)
+{
+    _engine.start(w);
+}
+
+void
+Device::stopWorkload()
+{
+    _engine.stop();
+}
+
+void
+Device::setPerformanceMode()
+{
+    for (auto &g : _cpufreq)
+        g = std::make_unique<PerformanceGovernor>();
+}
+
+void
+Device::setFixedFrequency(MegaHertz f)
+{
+    for (std::size_t i = 0; i < _soc.clusterCount(); ++i) {
+        std::size_t idx = _soc.cluster(i).table().indexAtOrBelow(f);
+        _cpufreq[i] = std::make_unique<UserspaceGovernor>(idx);
+    }
+}
+
+void
+Device::setInteractiveMode()
+{
+    for (auto &g : _cpufreq)
+        g = std::make_unique<InteractiveGovernor>();
+}
+
+void
+Device::soakTo(Celsius t)
+{
+    _package.soakTo(t);
+    _sensor.refresh();
+}
+
+void
+Device::attachTrace(Trace *trace, const std::string &prefix)
+{
+    _trace = trace;
+    _tracePrefix = prefix;
+    _lastTraceSample = Time::zero();
+}
+
+void
+Device::resetExperimentState()
+{
+    _thermalGov.reset();
+    _inputThrottle.reset();
+    for (auto &r : _rbcpr)
+        r.reset();
+    for (auto &g : _cpufreq)
+        g->reset();
+    _meter.reset();
+    _engine.resetIterations();
+    _wakeUntil = Time::zero();
+    _suspendAllowed = false;
+    _suspended = false;
+    _sensor.refresh();
+}
+
+void
+Device::applyGovernors(Time now)
+{
+    _thermalGov.update(now, _sensor.read());
+    if (_inputThrottleEnabled)
+        _inputThrottle.update(now, _lastSupplyVoltage);
+
+    MegaHertz cap = _thermalGov.freqCap();
+    if (_inputThrottleEnabled)
+        cap = std::min(cap, _inputThrottle.freqCap());
+
+    // Core shutdown applies to the first (big) cluster, which carries
+    // the thermal load on every modeled SoC.
+    int forced_off = _thermalGov.coresForcedOffline();
+    CpuCluster &first = _soc.cluster(0);
+    first.setOnlineCores(first.coreCount() - forced_off);
+
+    for (std::size_t i = 0; i < _soc.clusterCount(); ++i) {
+        CpuCluster &c = _soc.cluster(i);
+
+        if (_config.hasRbcpr) {
+            Volts recoup =
+                _rbcpr[i].update(now, _soc.die(), _package.dieTemp());
+            c.setVoltageRecoup(recoup);
+        }
+
+        std::size_t desired =
+            _cpufreq[i]->desiredIndex(c.table(), c.utilization(), now);
+        std::size_t max_idx = c.table().indexAtOrBelow(cap);
+        c.setOppIndex(std::min(desired, max_idx));
+    }
+}
+
+void
+Device::tick(Time now, Time dt)
+{
+    // -- OS suspend state ------------------------------------------------
+    bool want_awake = _wakelocks > 0 || !_suspendAllowed ||
+                      now <= _wakeUntil;
+    _suspended = !want_awake;
+
+    // -- Workload --------------------------------------------------------
+    if (_suspended) {
+        for (auto &c : _soc.clusters())
+            c.setUtilization(0.0);
+    } else {
+        updateBackgroundNoise(now);
+        _engine.tick(dt);
+    }
+
+    // -- Power -----------------------------------------------------------
+    Celsius die_temp = _package.dieTemp();
+    Watts p_soc = _soc.power(die_temp, _suspended);
+    Watts p_board = _suspended ? _config.boardSuspended
+                               : _config.boardActive;
+    Watts p_load = p_soc + p_board;
+    Watts p_supply = Watts(p_load.value() / _config.pmicEfficiency);
+
+    PowerSupply &src = supply();
+    Amps i_draw = src.operatingCurrent(p_supply);
+    _lastSupplyVoltage = src.terminalVoltage(i_draw);
+    src.drain(i_draw, dt);
+    _lastPower = p_supply;
+    _meter.accumulate(p_supply, now, dt);
+
+    // -- Thermals ----------------------------------------------------------
+    // SoC heat lands on the die node; board and PMIC conversion loss on
+    // the board node; battery self-heating only when running from the
+    // internal cell.
+    Watts pmic_loss = p_supply - p_load;
+    _package.setCpuPower(p_soc);
+    _package.setBoardPower(p_board + pmic_loss);
+    if (!_externalSupply)
+        _package.setBatteryPower(_battery.selfHeating(i_draw));
+    else
+        _package.setBatteryPower(Watts(0.0));
+    _package.step(dt);
+
+    // -- Sensor and governors ---------------------------------------------
+    _sensor.tick(now);
+    if (!_suspended)
+        applyGovernors(now);
+
+    recordTrace(now);
+}
+
+void
+Device::updateBackgroundNoise(Time now)
+{
+    if (_config.backgroundNoiseMean <= 0.0)
+        return;
+    if (_noisePrimed && now >= _lastNoiseUpdate &&
+        now - _lastNoiseUpdate < _config.backgroundNoisePeriod)
+        return;
+    _lastNoiseUpdate = now;
+    _noisePrimed = true;
+
+    // Background activity is bursty: an exponential draw around the
+    // configured mean, capped well below saturation.
+    double u = _noiseRng.uniform();
+    double steal = -_config.backgroundNoiseMean * std::log(1.0 - u);
+    steal = std::min(steal, 10.0 * _config.backgroundNoiseMean);
+    _engine.setBackgroundSteal(std::min(steal, 0.9));
+}
+
+void
+Device::recordTrace(Time now)
+{
+    if (!_trace || _config.tracePeriod <= Time::zero())
+        return;
+    if (now - _lastTraceSample < _config.tracePeriod &&
+        _lastTraceSample > Time::zero())
+        return;
+    _lastTraceSample = now;
+
+    const std::string &p = _tracePrefix;
+    _trace->record(p + "die_temp", now, _package.dieTemp().value());
+    _trace->record(p + "case_temp", now, _package.caseTemp().value());
+    _trace->record(p + "power_w", now, _lastPower.value());
+    _trace->record(p + "supply_v", now, _lastSupplyVoltage.value());
+    _trace->record(p + "online_cores", now,
+                   static_cast<double>(_soc.cluster(0).onlineCores()));
+    for (std::size_t i = 0; i < _soc.clusterCount(); ++i) {
+        const CpuCluster &c = _soc.cluster(i);
+        double f = _suspended ? 0.0 : c.frequency().value();
+        _trace->record(strfmt("%sfreq_%s", p.c_str(), c.name().c_str()),
+                       now, f);
+    }
+}
+
+} // namespace pvar

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * LG G5 (Snapdragon 820) model.
+ *
+ * 14 nm FinFET, 2 performance + 2 efficiency Kryo cores. Two
+ * behaviours the paper documents are specific to this phone:
+ *
+ *  - neither binning information nor voltage tables are exposed
+ *    (per-die fused tables here), and
+ *  - the OS throttles the CPU on *input voltage*: powered from a
+ *    Monsoon at the battery's nominal 3.85 V it benchmarks ~20%
+ *    slower than on its own battery; 4.4 V restores parity (Fig 10).
+ */
+
+#include "device/catalog.hh"
+
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+const double perfLadderMhz[] = {307, 556, 825, 1113, 1401, 1593, 1824,
+                                2150};
+const double effLadderMhz[] = {307, 556, 825, 1113, 1363, 1593};
+
+VoltageBinningConfig
+ladderConfig(const double *mhz, std::size_t n)
+{
+    VoltageBinningConfig cfg;
+    for (std::size_t i = 0; i < n; ++i)
+        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    cfg.guardBand = 0.025;
+    cfg.vCeiling = Volts(1.10);
+    cfg.vFloor = Volts(0.55);
+    return cfg;
+}
+
+} // namespace
+
+DeviceConfig
+lgG5Config()
+{
+    DeviceConfig cfg;
+    cfg.model = "LG G5";
+    cfg.socName = "SD-820";
+
+    cfg.package.dieCapacitance = 2.2;
+    cfg.package.socCapacitance = 24.0;
+    cfg.package.batteryCapacitance = 48.0;
+    cfg.package.caseCapacitance = 75.0;
+    cfg.package.dieToSoc = 0.24;
+    cfg.package.socToCase = 0.36;
+    cfg.package.socToBattery = 0.10;
+    cfg.package.batteryToCase = 0.15;
+    cfg.package.caseToAmbient = 0.27;
+
+    CoreType kryoPerf;
+    kryoPerf.name = "Kryo-perf";
+    kryoPerf.sizeFactor = 2.40;
+    kryoPerf.cyclesPerIteration = 1.9e9;
+
+    CoreType kryoEff;
+    kryoEff.name = "Kryo-eff";
+    kryoEff.sizeFactor = 1.50;
+    kryoEff.cyclesPerIteration = 2.1e9;
+
+    ClusterParams perf;
+    perf.name = "perf";
+    perf.coreType = kryoPerf;
+    perf.coreCount = 2;
+    // Table filled per die in makeLgG5().
+
+    ClusterParams eff;
+    eff.name = "eff";
+    eff.coreType = kryoEff;
+    eff.coreCount = 2;
+
+    cfg.soc.name = "SD-820";
+    cfg.soc.clusters = {perf, eff};
+    cfg.soc.uncoreActive = Watts(0.26);
+    cfg.soc.uncoreSuspended = Watts(0.012);
+
+    cfg.sensor.period = Time::msec(100);
+    cfg.sensor.quantum = 1.0;
+    cfg.sensor.noiseSigma = 0.2;
+
+    cfg.thermalGov.trips = {
+        TripPoint{Celsius(66), Celsius(63), MegaHertz(1824)},
+        TripPoint{Celsius(69), Celsius(66), MegaHertz(1593)},
+        TripPoint{Celsius(74), Celsius(71), MegaHertz(1401)},
+        TripPoint{Celsius(77), Celsius(74), MegaHertz(1113)},
+    };
+    cfg.thermalGov.pollPeriod = Time::msec(250);
+
+    cfg.hasRbcpr = true;
+    cfg.rbcpr.baseRecoup = 0.012;
+    cfg.rbcpr.leakGain = 0.004;
+    cfg.rbcpr.speedGain = 0.18;
+    cfg.rbcpr.tempGain = 0.00012;
+    cfg.rbcpr.maxRecoup = 0.030;
+
+    // The Fig 10 anomaly: cap engages below 4.0 V on the rail.
+    cfg.hasInputVoltageThrottle = true;
+    cfg.inputThrottle.engageBelow = Volts(3.88);
+    cfg.inputThrottle.releaseAbove = Volts(3.98);
+    cfg.inputThrottle.cap = MegaHertz(1593);
+    cfg.inputThrottle.pollPeriod = Time::msec(500);
+
+    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
+    cfg.backgroundNoisePeriod = Time::sec(15);
+    cfg.boardActive = Watts(0.11);
+    cfg.pmicEfficiency = 0.89;
+
+    cfg.battery.capacityWh = 10.8; // 2800 mAh
+    cfg.battery.internalResistance = 0.07;
+    cfg.battery.nominal = Volts(3.85);
+    cfg.battery.vFull = Volts(4.40); // the G5 ships a 4.4 V cell
+
+    return cfg;
+}
+
+std::unique_ptr<Device>
+makeLgG5(const UnitCorner &corner)
+{
+    DeviceConfig cfg = lgG5Config();
+    VariationModel model(node14nmFinFET());
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+
+    cfg.soc.clusters[0].table = fuseTableForDie(
+        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
+    cfg.soc.clusters[1].table = fuseTableForDie(
+        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
+
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

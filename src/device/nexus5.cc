@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Nexus 5 (Snapdragon 800) model.
+ *
+ * The SD-800 is the one SoC whose binning the paper could fully read
+ * out of the kernel: seven voltage bins sharing one frequency ladder
+ * (paper Table I). Bin-0 carries the slowest transistors at the
+ * highest voltages; bin-6 the fastest/leakiest at the lowest.
+ */
+
+#include "device/catalog.hh"
+
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+/** The five frequencies Table I publishes (MHz). */
+const double tableIFreqs[] = {300, 729, 960, 1574, 2265};
+
+/** Paper Table I: fused millivolts per bin (rows) and frequency
+ *  (columns), verbatim. */
+const double tableIMv[7][5] = {
+    {800, 835, 865, 965, 1100}, // bin-0
+    {800, 820, 850, 945, 1075}, // bin-1
+    {775, 805, 835, 925, 1050}, // bin-2
+    {775, 790, 820, 910, 1025}, // bin-3
+    {775, 780, 810, 895, 1000}, // bin-4
+    {750, 770, 800, 880, 975},  // bin-5
+    {750, 760, 790, 870, 950},  // bin-6
+};
+
+/** The DVFS ladder the model exposes (superset of Table I's five). */
+const double ladderMhz[] = {300, 729, 960, 1190, 1574, 1728, 1958, 2265};
+
+/** Interpolate a bin's Table I voltage onto an arbitrary frequency. */
+double
+interpolateMv(int bin, double freq)
+{
+    const double *mv = tableIMv[bin];
+    if (freq <= tableIFreqs[0])
+        return mv[0];
+    for (int i = 1; i < 5; ++i) {
+        if (freq <= tableIFreqs[i]) {
+            double f = (freq - tableIFreqs[i - 1]) /
+                       (tableIFreqs[i] - tableIFreqs[i - 1]);
+            return mv[i - 1] + f * (mv[i] - mv[i - 1]);
+        }
+    }
+    return mv[4];
+}
+
+} // namespace
+
+double
+nexus5TableIMillivolts(int bin, double freq_mhz)
+{
+    if (bin < 0 || bin > 6)
+        fatal("nexus5TableIMillivolts: bin %d out of range [0,6]", bin);
+    for (int i = 0; i < 5; ++i) {
+        if (tableIFreqs[i] == freq_mhz)
+            return tableIMv[bin][i];
+    }
+    fatal("nexus5TableIMillivolts: %g MHz is not a Table I frequency",
+          freq_mhz);
+}
+
+VfTable
+nexus5BinTable(int bin)
+{
+    if (bin < 0 || bin > 6)
+        fatal("nexus5BinTable: bin %d out of range [0,6]", bin);
+    std::vector<OperatingPoint> pts;
+    for (double f : ladderMhz) {
+        pts.push_back(OperatingPoint{
+            MegaHertz(f),
+            Volts::fromMillivolts(interpolateMv(bin, f))});
+    }
+    return VfTable(std::move(pts));
+}
+
+DeviceConfig
+nexus5Config(int bin)
+{
+    DeviceConfig cfg;
+    cfg.model = "Nexus 5";
+    cfg.socName = "SD-800";
+
+    // -- Package: a compact 2013 5-inch phone. ---------------------------
+    cfg.package.dieCapacitance = 2.0;
+    cfg.package.socCapacitance = 22.0;
+    cfg.package.batteryCapacitance = 40.0;
+    cfg.package.caseCapacitance = 60.0;
+    cfg.package.dieToSoc = 0.32;
+    cfg.package.socToCase = 0.33;
+    cfg.package.socToBattery = 0.10;
+    cfg.package.batteryToCase = 0.15;
+    cfg.package.caseToAmbient = 0.23;
+
+    // -- SoC: one quad-Krait cluster. -------------------------------------
+    CoreType krait;
+    krait.name = "Krait-400";
+    krait.sizeFactor = 1.0;
+    krait.cyclesPerIteration = 2.6e9;
+
+    ClusterParams cluster;
+    cluster.name = "cpu";
+    cluster.coreType = krait;
+    cluster.coreCount = 4;
+    cluster.table = nexus5BinTable(bin);
+
+    cfg.soc.name = "SD-800";
+    cfg.soc.clusters = {cluster};
+    cfg.soc.uncoreActive = Watts(0.25);
+    cfg.soc.uncoreSuspended = Watts(0.010);
+
+    // -- Sensor: msm tsens, whole-degree resolution. ----------------------
+    cfg.sensor.period = Time::msec(100);
+    cfg.sensor.quantum = 1.0;
+    cfg.sensor.noiseSigma = 0.2;
+
+    // -- msm_thermal-style mitigation; one core shut at 80C (Fig 1). ------
+    cfg.thermalGov.trips = {
+        TripPoint{Celsius(70), Celsius(67), MegaHertz(1958)},
+        TripPoint{Celsius(73), Celsius(70), MegaHertz(1728)},
+        TripPoint{Celsius(76), Celsius(73), MegaHertz(1574)},
+        TripPoint{Celsius(79), Celsius(76), MegaHertz(1190)},
+    };
+    cfg.thermalGov.shutdowns = {
+        CoreShutdownRule{Celsius(78), Celsius(72), 1},
+    };
+    cfg.thermalGov.pollPeriod = Time::msec(250);
+
+    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
+    cfg.backgroundNoisePeriod = Time::sec(15);
+    cfg.boardActive = Watts(0.10);
+    cfg.pmicEfficiency = 0.88;
+
+    cfg.battery.capacityWh = 8.7; // 2300 mAh
+    cfg.battery.nominal = Volts(3.8);
+
+    return cfg;
+}
+
+std::unique_ptr<Device>
+makeNexus5(int bin, const UnitCorner &corner)
+{
+    DeviceConfig cfg = nexus5Config(bin);
+    VariationModel model(node28nmHPm());
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

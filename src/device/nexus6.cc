@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Nexus 6 (Snapdragon 805) model.
+ *
+ * A faster-clocked Krait part in a much larger (6-inch) chassis. The
+ * paper found *negligible* variation across its three units (2% both
+ * axes) — the fleet pins them to near-identical corners — and Fig 13
+ * shows the SD-805 to be *less efficient* than the SD-800: the extra
+ * frequency was bought with voltage on the same 28 nm process.
+ *
+ * No per-bin kernel table was found for this model, so a single
+ * representative fused table (built from a typical die) is shared by
+ * all units, matching what the paper could observe.
+ */
+
+#include "device/catalog.hh"
+
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+/** Frequency ladder of the Nexus 6 kernel (MHz, abbreviated). */
+const double ladderMhz[] = {300, 729, 1032, 1190, 1574, 1958, 2265, 2649};
+
+/** One shared fused V-F table, built from the typical SD-805 die. */
+VfTable
+nexus6Table()
+{
+    VariationModel model(node28nmHPm());
+    Die typical = model.dieAtCorner(0.0, 0.0, 0.0, "sd805-typ");
+
+    VoltageBinningConfig bin_cfg;
+    for (double f : ladderMhz)
+        bin_cfg.frequencyLadder.push_back(MegaHertz(f));
+    // 2.65 GHz on 28 nm needs generous guard band; the top OPP lands
+    // around 1.16 V, which is exactly why this part ran hot.
+    bin_cfg.guardBand = 0.035;
+    bin_cfg.vCeiling = Volts(1.20);
+    bin_cfg.vFloor = Volts(0.70);
+    return fuseTableForDie(typical, bin_cfg);
+}
+
+} // namespace
+
+DeviceConfig
+nexus6Config()
+{
+    DeviceConfig cfg;
+    cfg.model = "Nexus 6";
+    cfg.socName = "SD-805";
+
+    // -- Package: big 6-inch chassis spreads heat much better. -----------
+    cfg.package.dieCapacitance = 2.2;
+    cfg.package.socCapacitance = 28.0;
+    cfg.package.batteryCapacitance = 55.0;
+    cfg.package.caseCapacitance = 90.0;
+    cfg.package.dieToSoc = 0.55;
+    cfg.package.socToCase = 0.40;
+    cfg.package.socToBattery = 0.10;
+    cfg.package.batteryToCase = 0.15;
+    cfg.package.caseToAmbient = 0.32;
+
+    CoreType krait;
+    krait.name = "Krait-450";
+    krait.sizeFactor = 1.05;
+    krait.cyclesPerIteration = 2.6e9; // ~1 s/iteration at 2.65 GHz
+
+    ClusterParams cluster;
+    cluster.name = "cpu";
+    cluster.coreType = krait;
+    cluster.coreCount = 4;
+    cluster.table = nexus6Table();
+
+    cfg.soc.name = "SD-805";
+    cfg.soc.clusters = {cluster};
+    cfg.soc.uncoreActive = Watts(0.28);
+    cfg.soc.uncoreSuspended = Watts(0.012);
+
+    cfg.sensor.period = Time::msec(100);
+    cfg.sensor.quantum = 1.0;
+    cfg.sensor.noiseSigma = 0.2;
+
+    cfg.thermalGov.trips = {
+        TripPoint{Celsius(77), Celsius(74), MegaHertz(2265)},
+        TripPoint{Celsius(80), Celsius(77), MegaHertz(1958)},
+        TripPoint{Celsius(83), Celsius(80), MegaHertz(1574)},
+        TripPoint{Celsius(86), Celsius(83), MegaHertz(1190)},
+    };
+    cfg.thermalGov.shutdowns = {
+        CoreShutdownRule{Celsius(82), Celsius(77), 1},
+    };
+    cfg.thermalGov.pollPeriod = Time::msec(250);
+
+    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
+    cfg.backgroundNoisePeriod = Time::sec(15);
+    cfg.boardActive = Watts(0.12);
+    cfg.pmicEfficiency = 0.88;
+
+    cfg.battery.capacityWh = 12.4; // 3220 mAh
+    cfg.battery.nominal = Volts(3.8);
+
+    return cfg;
+}
+
+std::unique_ptr<Device>
+makeNexus6(const UnitCorner &corner)
+{
+    DeviceConfig cfg = nexus6Config();
+    VariationModel model(node28nmHPm());
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google Pixel (Snapdragon 821) model.
+ *
+ * The SD-821 is a speed-tuned SD-820 on the same 14 nm process. The
+ * paper's §IV-B uses two Pixel units to show that "time spent at
+ * temperature is not sufficient to capture the complexities of
+ * thermal throttling": dev-488 spends *more* time hot than dev-653
+ * yet delivers 7% more performance, because dev-653 recovers from
+ * throttling more slowly. The Pixel model therefore uses narrower
+ * hysteresis bands than the G5 — units whose capped steady state
+ * lands between `clear` and `trip` stay latched at the cap.
+ */
+
+#include "device/catalog.hh"
+
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+const double perfLadderMhz[] = {307, 556, 825, 1113, 1401, 1593, 1824,
+                                2150, 2342};
+const double effLadderMhz[] = {307, 556, 825, 1113, 1363, 1593, 1824,
+                               2150};
+
+VoltageBinningConfig
+ladderConfig(const double *mhz, std::size_t n)
+{
+    VoltageBinningConfig cfg;
+    for (std::size_t i = 0; i < n; ++i)
+        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    cfg.guardBand = 0.025;
+    cfg.vCeiling = Volts(1.12);
+    cfg.vFloor = Volts(0.55);
+    return cfg;
+}
+
+} // namespace
+
+DeviceConfig
+pixelConfig()
+{
+    DeviceConfig cfg;
+    cfg.model = "Google Pixel";
+    cfg.socName = "SD-821";
+
+    cfg.package.dieCapacitance = 2.2;
+    cfg.package.socCapacitance = 24.0;
+    cfg.package.batteryCapacitance = 46.0;
+    cfg.package.caseCapacitance = 72.0;
+    cfg.package.dieToSoc = 0.32;
+    cfg.package.socToCase = 0.36;
+    cfg.package.socToBattery = 0.10;
+    cfg.package.batteryToCase = 0.15;
+    cfg.package.caseToAmbient = 0.26;
+
+    CoreType kryoPerf;
+    kryoPerf.name = "Kryo-perf";
+    kryoPerf.sizeFactor = 2.40;
+    kryoPerf.cyclesPerIteration = 1.85e9;
+
+    CoreType kryoEff;
+    kryoEff.name = "Kryo-eff";
+    kryoEff.sizeFactor = 1.50;
+    kryoEff.cyclesPerIteration = 2.05e9;
+
+    ClusterParams perf;
+    perf.name = "perf";
+    perf.coreType = kryoPerf;
+    perf.coreCount = 2;
+    // Table filled per die in makePixel().
+
+    ClusterParams eff;
+    eff.name = "eff";
+    eff.coreType = kryoEff;
+    eff.coreCount = 2;
+
+    cfg.soc.name = "SD-821";
+    cfg.soc.clusters = {perf, eff};
+    cfg.soc.uncoreActive = Watts(0.26);
+    cfg.soc.uncoreSuspended = Watts(0.012);
+
+    cfg.sensor.period = Time::msec(100);
+    cfg.sensor.quantum = 1.0;
+    cfg.sensor.noiseSigma = 0.2;
+
+    // Narrow hysteresis: 1.5 C bands (see file comment).
+    cfg.thermalGov.trips = {
+        TripPoint{Celsius(70.0), Celsius(68.5), MegaHertz(2150)},
+        TripPoint{Celsius(73.0), Celsius(71.5), MegaHertz(1824)},
+        TripPoint{Celsius(76.0), Celsius(74.5), MegaHertz(1593)},
+        TripPoint{Celsius(79.0), Celsius(77.5), MegaHertz(1401)},
+    };
+    cfg.thermalGov.pollPeriod = Time::msec(250);
+
+    cfg.hasRbcpr = true;
+    cfg.rbcpr.baseRecoup = 0.012;
+    cfg.rbcpr.leakGain = 0.004;
+    cfg.rbcpr.speedGain = 0.18;
+    cfg.rbcpr.tempGain = 0.00012;
+    cfg.rbcpr.maxRecoup = 0.030;
+
+    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
+    cfg.backgroundNoisePeriod = Time::sec(15);
+    cfg.boardActive = Watts(0.11);
+    cfg.pmicEfficiency = 0.89;
+
+    cfg.battery.capacityWh = 10.7; // 2770 mAh
+    cfg.battery.nominal = Volts(3.85);
+
+    return cfg;
+}
+
+std::unique_ptr<Device>
+makePixel(const UnitCorner &corner)
+{
+    DeviceConfig cfg = pixelConfig();
+    VariationModel model(node14nmFinFET());
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+
+    cfg.soc.clusters[0].table = fuseTableForDie(
+        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
+    cfg.soc.clusters[1].table = fuseTableForDie(
+        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
+
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Google Pixel 2 (Snapdragon 835) model — EXTENSION, not paper data.
+ *
+ * The paper covered "5 out of the possible 8 generations of Qualcomm
+ * SoCs released since 2013"; the SD-835 (10 nm LPE, 2017) is the next
+ * generation after the studied SD-821. This model extends the catalog
+ * one step to let the library *predict* how the variation story
+ * continues: a further FinFET shrink with lower supply voltages and
+ * lower reference leakage, so both knobs that expose process
+ * variation shrink with it. The extension bench checks the predicted
+ * trend (variation below the SD-821's, efficiency above it).
+ *
+ * Parameters follow the same engineering-calibration approach as the
+ * five paper models; nothing here is measured silicon data.
+ */
+
+#include "device/catalog.hh"
+
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+
+namespace pvar
+{
+
+ProcessNode
+node10nmLPE()
+{
+    ProcessNode node;
+    node.name = "10nm LPE FinFET";
+    node.feature_nm = 10.0;
+    node.vNominal = Volts(0.80);
+    node.vMin = Volts(0.50);
+    node.vMax = Volts(1.00);
+    node.vThreshold = Volts(0.28);
+    node.alpha = 1.25;
+    node.speedConstant = 5400.0;
+    node.ceffPerCore = 0.33e-9;
+    // Second-generation FinFET: lower reference leakage again, and a
+    // slightly tighter die-to-die spread as the process matures.
+    node.leakRef = Amps(0.100);
+    node.leakVoltSlope = 0.19;
+    node.leakTempSlope = 34.0;
+    node.tRef = Celsius(40.0);
+    node.sigmaSpeed = 0.007;
+    node.corrLeak = 0.70;
+    node.sigmaLeakResidual = 0.09;
+    node.sigmaVth = 0.008;
+    return node;
+}
+
+namespace
+{
+
+const double perfLadderMhz[] = {300, 576, 825, 1113, 1401, 1574, 1824,
+                                2112, 2457};
+const double effLadderMhz[] = {300, 576, 825, 1113, 1401, 1670, 1900};
+
+VoltageBinningConfig
+ladderConfig(const double *mhz, std::size_t n)
+{
+    VoltageBinningConfig cfg;
+    for (std::size_t i = 0; i < n; ++i)
+        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    cfg.guardBand = 0.022;
+    cfg.vCeiling = Volts(1.00);
+    cfg.vFloor = Volts(0.50);
+    return cfg;
+}
+
+} // namespace
+
+DeviceConfig
+pixel2Config()
+{
+    DeviceConfig cfg;
+    cfg.model = "Google Pixel 2";
+    cfg.socName = "SD-835";
+
+    cfg.package.dieCapacitance = 2.2;
+    cfg.package.socCapacitance = 24.0;
+    cfg.package.batteryCapacitance = 44.0;
+    cfg.package.caseCapacitance = 70.0;
+    cfg.package.dieToSoc = 0.34;
+    cfg.package.socToCase = 0.36;
+    cfg.package.socToBattery = 0.10;
+    cfg.package.batteryToCase = 0.15;
+    cfg.package.caseToAmbient = 0.26;
+
+    CoreType kryoGold;
+    kryoGold.name = "Kryo-280-gold";
+    kryoGold.sizeFactor = 2.00;
+    kryoGold.cyclesPerIteration = 1.75e9;
+
+    CoreType kryoSilver;
+    kryoSilver.name = "Kryo-280-silver";
+    kryoSilver.sizeFactor = 0.90;
+    kryoSilver.cyclesPerIteration = 2.60e9;
+
+    ClusterParams gold;
+    gold.name = "gold";
+    gold.coreType = kryoGold;
+    gold.coreCount = 4;
+    // Table filled per die in makePixel2().
+
+    ClusterParams silver;
+    silver.name = "silver";
+    silver.coreType = kryoSilver;
+    silver.coreCount = 4;
+
+    cfg.soc.name = "SD-835";
+    cfg.soc.clusters = {gold, silver};
+    cfg.soc.uncoreActive = Watts(0.24);
+    cfg.soc.uncoreSuspended = Watts(0.010);
+
+    cfg.sensor.period = Time::msec(100);
+    cfg.sensor.quantum = 1.0;
+    cfg.sensor.noiseSigma = 0.2;
+
+    cfg.thermalGov.trips = {
+        TripPoint{Celsius(72.0), Celsius(70.0), MegaHertz(2112)},
+        TripPoint{Celsius(75.0), Celsius(73.0), MegaHertz(1824)},
+        TripPoint{Celsius(78.0), Celsius(76.0), MegaHertz(1574)},
+        TripPoint{Celsius(81.0), Celsius(79.0), MegaHertz(1401)},
+    };
+    cfg.thermalGov.pollPeriod = Time::msec(250);
+
+    cfg.hasRbcpr = true;
+    cfg.rbcpr.baseRecoup = 0.012;
+    cfg.rbcpr.leakGain = 0.004;
+    cfg.rbcpr.speedGain = 0.18;
+    cfg.rbcpr.tempGain = 0.00012;
+    cfg.rbcpr.maxRecoup = 0.030;
+
+    cfg.backgroundNoiseMean = 0.008;
+    cfg.backgroundNoisePeriod = Time::sec(15);
+    cfg.boardActive = Watts(0.10);
+    cfg.pmicEfficiency = 0.90;
+
+    cfg.battery.capacityWh = 10.7; // 2700 mAh
+    cfg.battery.nominal = Volts(3.85);
+
+    return cfg;
+}
+
+std::unique_ptr<Device>
+makePixel2(const UnitCorner &corner)
+{
+    DeviceConfig cfg = pixel2Config();
+    VariationModel model(node10nmLPE());
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+
+    cfg.soc.clusters[0].table = fuseTableForDie(
+        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
+    cfg.soc.clusters[1].table = fuseTableForDie(
+        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
+
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

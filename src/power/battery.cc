@@ -1,0 +1,110 @@
+#include "power/battery.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+Battery::Battery(const BatteryParams &params) : _params(params), _soc(1.0)
+{
+    if (params.capacityWh <= 0.0)
+        fatal("Battery: capacity must be positive");
+    if (params.age < 0.0 || params.age > 1.0)
+        fatal("Battery: age must lie in [0, 1]");
+}
+
+Volts
+Battery::openCircuitVoltage() const
+{
+    // Piecewise-linear OCV curve typical of LiCoO2 cells: a steep
+    // knee below 10%, a long shallow plateau, and a steeper top. The
+    // reference curve spans 3.30-4.35 V and is rescaled onto the
+    // cell's rated [vEmpty, vFull] window (the LG G5 ships a 4.4 V
+    // high-voltage cell, for example).
+    struct Knot
+    {
+        double soc;
+        double v;
+    };
+    static const Knot curve[] = {
+        {0.00, 3.30}, {0.05, 3.55}, {0.10, 3.65}, {0.25, 3.72},
+        {0.50, 3.82}, {0.75, 3.98}, {0.90, 4.15}, {1.00, 4.35},
+    };
+    constexpr double ref_lo = 3.30, ref_hi = 4.35;
+
+    auto rescale = [this](double v) {
+        double f = (v - ref_lo) / (ref_hi - ref_lo);
+        return _params.vEmpty.value() +
+               f * (_params.vFull.value() - _params.vEmpty.value());
+    };
+
+    if (_soc <= curve[0].soc)
+        return Volts(rescale(curve[0].v));
+    for (std::size_t i = 1; i < std::size(curve); ++i) {
+        if (_soc <= curve[i].soc) {
+            double f = (_soc - curve[i - 1].soc) /
+                       (curve[i].soc - curve[i - 1].soc);
+            return Volts(rescale(curve[i - 1].v +
+                                 f * (curve[i].v - curve[i - 1].v)));
+        }
+    }
+    return Volts(rescale(curve[std::size(curve) - 1].v));
+}
+
+Ohms
+Battery::internalResistance() const
+{
+    // Aged cells roughly double their series resistance at end of life.
+    return Ohms(_params.internalResistance * (1.0 + _params.age));
+}
+
+double
+Battery::effectiveCapacityWh() const
+{
+    // End-of-life convention: 80% capacity at age 1.
+    return _params.capacityWh * (1.0 - 0.2 * _params.age);
+}
+
+Volts
+Battery::terminalVoltage(Amps load) const
+{
+    Volts sag = load * internalResistance();
+    return openCircuitVoltage() - sag;
+}
+
+void
+Battery::drain(Amps current, Time dt)
+{
+    if (current.value() < 0.0)
+        fatal("Battery: negative drain current (charging unsupported)");
+    Joules drawn = terminalVoltage(current) * current * dt;
+    double frac = drawn.value() / (effectiveCapacityWh() * 3600.0);
+    _soc = std::max(0.0, _soc - frac);
+}
+
+void
+Battery::setAge(double age)
+{
+    if (age < 0.0 || age > 1.0)
+        fatal("Battery: age %g outside [0, 1]", age);
+    _params.age = age;
+}
+
+void
+Battery::setStateOfCharge(double soc)
+{
+    if (soc < 0.0 || soc > 1.0)
+        fatal("Battery: SoC %g outside [0, 1]", soc);
+    _soc = soc;
+}
+
+Watts
+Battery::selfHeating(Amps load) const
+{
+    return Watts(load.value() * load.value() *
+                 internalResistance().value());
+}
+
+} // namespace pvar

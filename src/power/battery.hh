@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lithium-ion battery model.
+ *
+ * Open-circuit voltage follows a piecewise-linear OCV(SoC) curve;
+ * the terminal sags under load through an internal series resistance
+ * that grows as the cell ages — the effect behind both the LG G5's
+ * battery-voltage throttling and the iPhone throttling episode the
+ * paper's discussion cites.
+ */
+
+#ifndef PVAR_POWER_BATTERY_HH
+#define PVAR_POWER_BATTERY_HH
+
+#include <vector>
+
+#include "power/power_supply.hh"
+
+namespace pvar
+{
+
+/** Construction parameters of a cell. */
+struct BatteryParams
+{
+    /** Usable capacity in watt-hours (new cell). */
+    double capacityWh = 8.7; // ~2300 mAh at 3.8 V nominal
+
+    /** Internal series resistance of a new cell (ohms). */
+    double internalResistance = 0.12;
+
+    /**
+     * Aging factor in [0, 1]: 0 = new. Scales capacity down and
+     * resistance up (an aged cell has ~2x the resistance).
+     */
+    double age = 0.0;
+
+    /** Nominal (label) voltage, informational. */
+    Volts nominal{3.8};
+
+    /** Fully-charged open-circuit voltage. */
+    Volts vFull{4.35};
+
+    /** Empty (cutoff) open-circuit voltage. */
+    Volts vEmpty{3.30};
+};
+
+/**
+ * A rechargeable cell with state of charge.
+ */
+class Battery : public PowerSupply
+{
+  public:
+    explicit Battery(const BatteryParams &params);
+
+    std::string name() const override { return "battery"; }
+
+    /** Open-circuit voltage at the current state of charge. */
+    Volts openCircuitVoltage() const;
+
+    Volts terminalVoltage(Amps load) const override;
+
+    void drain(Amps current, Time dt) override;
+
+    /** State of charge in [0, 1]. */
+    double stateOfCharge() const { return _soc; }
+
+    /** Set state of charge (recharge / test setup). */
+    void setStateOfCharge(double soc);
+
+    /** Age the cell in place (0 = new, 1 = end of life). */
+    void setAge(double age);
+
+    /** Effective (aged) internal resistance. */
+    Ohms internalResistance() const;
+
+    /** Effective (aged) capacity in watt-hours. */
+    double effectiveCapacityWh() const;
+
+    /** Heat dissipated inside the cell at the given load (I^2 R). */
+    Watts selfHeating(Amps load) const;
+
+    const BatteryParams &params() const { return _params; }
+
+  private:
+    BatteryParams _params;
+    double _soc;
+};
+
+} // namespace pvar
+
+#endif // PVAR_POWER_BATTERY_HH

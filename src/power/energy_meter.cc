@@ -1,0 +1,59 @@
+#include "power/energy_meter.hh"
+
+namespace pvar
+{
+
+EnergyMeter::EnergyMeter()
+    : _total(Joules(0.0)), _open(false), _openStart(Time::zero()),
+      _openStartEnergy(Joules(0.0))
+{
+}
+
+void
+EnergyMeter::accumulate(Watts p, Time now, Time dt)
+{
+    (void)now;
+    _total += p * dt;
+}
+
+void
+EnergyMeter::beginSpan(const std::string &label, Time now)
+{
+    if (_open)
+        endSpan(now);
+    _open = true;
+    _openLabel = label;
+    _openStart = now;
+    _openStartEnergy = _total;
+}
+
+void
+EnergyMeter::endSpan(Time now)
+{
+    if (!_open)
+        return;
+    _spans.push_back(EnergySpan{_openLabel, _openStart, now,
+                                _total - _openStartEnergy});
+    _open = false;
+}
+
+Joules
+EnergyMeter::energyOf(const std::string &label) const
+{
+    Joules sum(0.0);
+    for (const auto &s : _spans) {
+        if (s.label == label)
+            sum += s.energy;
+    }
+    return sum;
+}
+
+void
+EnergyMeter::reset()
+{
+    _total = Joules(0.0);
+    _spans.clear();
+    _open = false;
+}
+
+} // namespace pvar

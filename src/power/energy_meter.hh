@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Phase-aware energy accounting.
+ *
+ * ACCUBENCH needs per-phase energy (warmup vs cooldown vs workload);
+ * EnergyMeter integrates power over time and lets callers mark phase
+ * boundaries, retrieving the energy of each named span afterwards.
+ */
+
+#ifndef PVAR_POWER_ENERGY_METER_HH
+#define PVAR_POWER_ENERGY_METER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** One closed accounting span. */
+struct EnergySpan
+{
+    std::string label;
+    Time start;
+    Time end;
+    Joules energy;
+};
+
+/**
+ * Accumulates energy and slices it into labeled spans.
+ */
+class EnergyMeter
+{
+  public:
+    EnergyMeter();
+
+    /** Integrate `p` over `dt` ending at `now`. */
+    void accumulate(Watts p, Time now, Time dt);
+
+    /** Total energy since construction (or reset). */
+    Joules total() const { return _total; }
+
+    /**
+     * Open a new labeled span at `now`, closing any open span first.
+     */
+    void beginSpan(const std::string &label, Time now);
+
+    /** Close the open span at `now`; no-op when none is open. */
+    void endSpan(Time now);
+
+    /** All closed spans, oldest first. */
+    const std::vector<EnergySpan> &spans() const { return _spans; }
+
+    /**
+     * Sum of the energies of all closed spans with the given label.
+     */
+    Joules energyOf(const std::string &label) const;
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    Joules _total;
+    std::vector<EnergySpan> _spans;
+    bool _open;
+    std::string _openLabel;
+    Time _openStart;
+    Joules _openStartEnergy;
+};
+
+} // namespace pvar
+
+#endif // PVAR_POWER_ENERGY_METER_HH

@@ -1,0 +1,80 @@
+#include "power/monsoon.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+Monsoon::Monsoon(Volts vout, Ohms source_resistance)
+    : _vout(vout), _sourceResistance(source_resistance), _capturing(false),
+      _captureStart(Time::zero()), _lastDrain(Time::zero()),
+      _captureEnergy(Joules(0.0)), _peak(Amps(0.0)),
+      _lifetimeEnergy(Joules(0.0))
+{
+    if (vout.value() <= 0.0)
+        fatal("Monsoon: vout must be positive");
+}
+
+void
+Monsoon::setVout(Volts v)
+{
+    if (v.value() <= 0.0)
+        fatal("Monsoon: vout must be positive");
+    _vout = v;
+}
+
+Volts
+Monsoon::terminalVoltage(Amps load) const
+{
+    return _vout - load * _sourceResistance;
+}
+
+void
+Monsoon::drain(Amps current, Time dt)
+{
+    _lastDrain += dt;
+    Joules e = terminalVoltage(current) * current * dt;
+    _lifetimeEnergy += e;
+    if (_capturing) {
+        _captureEnergy += e;
+        _peak = std::max(_peak, current);
+        _samples.push_back(CurrentSample{_lastDrain, current});
+    }
+}
+
+void
+Monsoon::startCapture(Time now)
+{
+    if (_capturing)
+        warn("Monsoon: capture already open; restarting");
+    _capturing = true;
+    _captureStart = now;
+    _lastDrain = now;
+    _captureEnergy = Joules(0.0);
+    _peak = Amps(0.0);
+    _samples.clear();
+}
+
+CaptureResult
+Monsoon::stopCapture(Time now)
+{
+    if (!_capturing)
+        fatal("Monsoon: stopCapture without startCapture");
+    _capturing = false;
+
+    CaptureResult r;
+    r.start = _captureStart;
+    r.duration = now - _captureStart;
+    r.energy = _captureEnergy;
+    r.averagePower = r.duration > Time::zero()
+                         ? _captureEnergy / r.duration
+                         : Watts(0.0);
+    r.peakCurrent = _peak;
+    r.samples = std::move(_samples);
+    _samples.clear();
+    return r;
+}
+
+} // namespace pvar

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Monsoon power monitor model.
+ *
+ * The Monsoon replaces the phone's battery with a programmable,
+ * low-impedance voltage source and samples the current drawn, which
+ * is how the paper measures energy. Captures are explicit: callers
+ * mark the start/stop of a measurement window and receive integrated
+ * energy, average power, and the raw sample series.
+ */
+
+#ifndef PVAR_POWER_MONSOON_HH
+#define PVAR_POWER_MONSOON_HH
+
+#include <vector>
+
+#include "power/power_supply.hh"
+
+namespace pvar
+{
+
+/** One captured current sample. */
+struct CurrentSample
+{
+    Time when;
+    Amps current;
+};
+
+/** Result of a completed capture window. */
+struct CaptureResult
+{
+    Time start;
+    Time duration;
+    Joules energy;
+    Watts averagePower;
+    Amps peakCurrent;
+    std::vector<CurrentSample> samples;
+};
+
+/**
+ * The power monitor.
+ */
+class Monsoon : public PowerSupply
+{
+  public:
+    /**
+     * @param vout programmed output voltage.
+     * @param source_resistance effective source + lead resistance.
+     */
+    explicit Monsoon(Volts vout, Ohms source_resistance = Ohms(0.012));
+
+    std::string name() const override { return "monsoon"; }
+
+    /** Reprogram the output voltage (takes effect immediately). */
+    void setVout(Volts v);
+    Volts vout() const { return _vout; }
+
+    Volts terminalVoltage(Amps load) const override;
+
+    void drain(Amps current, Time dt) override;
+
+    /** @name Capture control. @{ */
+
+    /** Begin a measurement window at `now`. */
+    void startCapture(Time now);
+
+    /** True while a window is open. */
+    bool capturing() const { return _capturing; }
+
+    /** Close the window and return the integrated result. */
+    CaptureResult stopCapture(Time now);
+
+    /** @} */
+
+    /** Total energy delivered since construction (all windows). */
+    Joules lifetimeEnergy() const { return _lifetimeEnergy; }
+
+  private:
+    Volts _vout;
+    Ohms _sourceResistance;
+    bool _capturing;
+    Time _captureStart;
+    Time _lastDrain;
+    Joules _captureEnergy;
+    Amps _peak;
+    std::vector<CurrentSample> _samples;
+    Joules _lifetimeEnergy;
+};
+
+} // namespace pvar
+
+#endif // PVAR_POWER_MONSOON_HH

@@ -1,0 +1,25 @@
+#include "power/power_supply.hh"
+
+namespace pvar
+{
+
+Amps
+PowerSupply::operatingCurrent(Watts demand) const
+{
+    if (demand.value() <= 0.0)
+        return Amps(0.0);
+
+    // Fixed-point iteration: I_{k+1} = P / V(I_k). The source
+    // impedance of both supplies is far below the load impedance, so
+    // a handful of iterations suffices.
+    Amps i(demand.value() / terminalVoltage(Amps(0.0)).value());
+    for (int k = 0; k < 8; ++k) {
+        Volts v = terminalVoltage(i);
+        if (v.value() <= 0.1)
+            return i; // collapsed supply; caller will notice
+        i = demand / v;
+    }
+    return i;
+}
+
+} // namespace pvar

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Power-supply interface.
+ *
+ * A Device draws its electrical power from exactly one supply: the
+ * phone's battery, or the Monsoon power monitor that the paper uses to
+ * replace the battery. The OS can observe the supply's terminal
+ * voltage — which is precisely the channel through which the LG G5's
+ * anomalous input-voltage throttling acts (paper Fig 10).
+ */
+
+#ifndef PVAR_POWER_POWER_SUPPLY_HH
+#define PVAR_POWER_POWER_SUPPLY_HH
+
+#include <string>
+
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/**
+ * Abstract source of electrical power.
+ */
+class PowerSupply
+{
+  public:
+    virtual ~PowerSupply() = default;
+
+    /** Diagnostic name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Terminal voltage when sourcing `load` amps.
+     */
+    virtual Volts terminalVoltage(Amps load) const = 0;
+
+    /**
+     * Account a completed interval: the device drew `current` for
+     * `dt`. Implementations update state of charge, heating, and any
+     * measurement capture.
+     */
+    virtual void drain(Amps current, Time dt) = 0;
+
+    /**
+     * Solve the operating point for a power demand: find I such that
+     * I * V(I) = `demand`. The default implementation runs a short
+     * fixed-point iteration, which converges for any realistic source
+     * impedance.
+     */
+    virtual Amps operatingCurrent(Watts demand) const;
+};
+
+} // namespace pvar
+
+#endif // PVAR_POWER_POWER_SUPPLY_HH

@@ -1,0 +1,91 @@
+#include "report/figure.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+BarFigure::BarFigure(std::string title, std::string unit)
+    : _title(std::move(title)), _unit(std::move(unit))
+{
+}
+
+void
+BarFigure::addBar(const std::string &label, double value)
+{
+    _bars.emplace_back(label, value);
+}
+
+std::vector<double>
+BarFigure::values() const
+{
+    std::vector<double> out;
+    out.reserve(_bars.size());
+    for (const auto &[label, v] : _bars)
+        out.push_back(v);
+    return out;
+}
+
+std::string
+BarFigure::render(bool normalize_to_max) const
+{
+    if (_bars.empty())
+        fatal("BarFigure '%s': no bars", _title.c_str());
+
+    double best = _bars.front().second;
+    for (const auto &[label, v] : _bars)
+        best = normalize_to_max ? std::max(best, v) : std::min(best, v);
+    if (best == 0.0)
+        best = 1.0;
+
+    std::size_t label_w = 0;
+    for (const auto &[label, v] : _bars)
+        label_w = std::max(label_w, label.size());
+
+    std::string out = strfmt("%s [%s]\n", _title.c_str(), _unit.c_str());
+    for (const auto &[label, v] : _bars) {
+        double norm = v / best;
+        auto bar_len = static_cast<std::size_t>(
+            std::llround(std::min(norm, 2.0) * 30.0));
+        out += strfmt("  %-*s %12.2f  %6.3f  %s\n",
+                      static_cast<int>(label_w), label.c_str(), v, norm,
+                      std::string(bar_len, '#').c_str());
+    }
+    return out;
+}
+
+std::string
+figureHeader(const std::string &figure_id, const std::string &paper_claim)
+{
+    std::string bar(70, '=');
+    return strfmt("%s\n== %s\n== paper: %s\n%s\n", bar.c_str(),
+                  figure_id.c_str(), paper_claim.c_str(), bar.c_str());
+}
+
+std::string
+traceSeriesCsv(const Trace &trace,
+               const std::vector<std::string> &channels,
+               std::size_t max_points)
+{
+    std::string out = "channel,time_s,value\n";
+    for (const auto &name : channels) {
+        if (!trace.hasChannel(name)) {
+            warn("traceSeriesCsv: missing channel '%s'", name.c_str());
+            continue;
+        }
+        const auto &samples = trace.channel(name).samples();
+        std::size_t stride =
+            std::max<std::size_t>(1, samples.size() / max_points);
+        for (std::size_t i = 0; i < samples.size(); i += stride) {
+            out += strfmt("%s,%.3f,%.6g\n", name.c_str(),
+                          samples[i].when.toSec(), samples[i].value);
+        }
+    }
+    return out;
+}
+
+} // namespace pvar

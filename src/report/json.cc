@@ -1,0 +1,245 @@
+#include "report/json.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+JsonWriter::JsonWriter()
+{
+    _needComma.push_back(false);
+}
+
+void
+JsonWriter::preValue()
+{
+    if (_needComma.back())
+        _out += ',';
+    _needComma.back() = true;
+}
+
+void
+JsonWriter::appendEscaped(const std::string &s)
+{
+    _out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            _out += "\\\"";
+            break;
+          case '\\':
+            _out += "\\\\";
+            break;
+          case '\n':
+            _out += "\\n";
+            break;
+          case '\t':
+            _out += "\\t";
+            break;
+          case '\r':
+            _out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                _out += strfmt("\\u%04x", c);
+            else
+                _out += c;
+        }
+    }
+    _out += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    _out += '{';
+    _needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (_needComma.size() < 2)
+        panic("JsonWriter: endObject with no open container");
+    _needComma.pop_back();
+    _out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    _out += '[';
+    _needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (_needComma.size() < 2)
+        panic("JsonWriter: endArray with no open container");
+    _needComma.pop_back();
+    _out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    preValue();
+    appendEscaped(k);
+    _out += ':';
+    // The value following a key must not emit another comma.
+    _needComma.back() = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    appendEscaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    if (std::isfinite(v))
+        _out += strfmt("%.10g", v);
+    else
+        _out += "null"; // JSON has no NaN/Inf
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    preValue();
+    _out += strfmt("%d", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    _out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    preValue();
+    _out += "null";
+    return *this;
+}
+
+namespace
+{
+
+void
+writeExperiment(JsonWriter &w, const ExperimentResult &r)
+{
+    w.beginObject();
+    w.key("unit").value(r.unitId);
+    w.key("model").value(r.model);
+    w.key("soc").value(r.socName);
+    w.key("mean_score").value(r.meanScore());
+    w.key("score_rsd_percent").value(r.scoreRsdPercent());
+    w.key("mean_workload_energy_j").value(
+        r.meanWorkloadEnergy().value());
+    w.key("energy_rsd_percent").value(r.energyRsdPercent());
+    w.key("iterations").beginArray();
+    for (const auto &it : r.iterations) {
+        w.beginObject();
+        w.key("score").value(it.score);
+        w.key("workload_energy_j").value(it.workloadEnergy.value());
+        w.key("total_energy_j").value(it.totalEnergy.value());
+        w.key("warmup_s").value(it.warmupTime.toSec());
+        w.key("cooldown_s").value(it.cooldownTime.toSec());
+        w.key("workload_s").value(it.workloadTime.toSec());
+        w.key("start_temp_c").value(it.tempAtWorkloadStart.value());
+        w.key("peak_temp_c").value(it.peakWorkloadTemp.value());
+        w.key("cooldown_reached_target")
+            .value(it.cooldownReachedTarget);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeStudy(JsonWriter &w, const SocStudy &s)
+{
+    w.beginObject();
+    w.key("soc").value(s.socName);
+    w.key("model").value(s.model);
+    w.key("perf_variation_percent").value(s.perfVariationPercent);
+    w.key("energy_variation_percent").value(s.energyVariationPercent);
+    w.key("fixed_perf_spread_percent").value(s.fixedPerfSpreadPercent);
+    w.key("mean_score_rsd_percent").value(s.meanScoreRsdPercent);
+    w.key("efficiency_iter_per_wh").value(s.efficiencyIterPerWh);
+    w.key("units").beginArray();
+    for (const auto &u : s.units) {
+        w.beginObject();
+        w.key("unit").value(u.unitId);
+        w.key("mean_score").value(u.meanScore);
+        w.key("score_rsd_percent").value(u.scoreRsdPercent);
+        w.key("mean_unconstrained_energy_j")
+            .value(u.meanUnconstrainedEnergyJ);
+        w.key("mean_fixed_energy_j").value(u.meanFixedEnergyJ);
+        w.key("fixed_energy_rsd_percent")
+            .value(u.fixedEnergyRsdPercent);
+        w.key("mean_fixed_score").value(u.meanFixedScore);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const ExperimentResult &result)
+{
+    JsonWriter w;
+    writeExperiment(w, result);
+    return w.str();
+}
+
+std::string
+toJson(const SocStudy &study)
+{
+    JsonWriter w;
+    writeStudy(w, study);
+    return w.str();
+}
+
+std::string
+toJson(const std::vector<SocStudy> &studies)
+{
+    JsonWriter w;
+    w.beginArray();
+    for (const auto &s : studies)
+        writeStudy(w, s);
+    w.endArray();
+    return w.str();
+}
+
+} // namespace pvar

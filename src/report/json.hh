@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal JSON emission for experiment and study results.
+ *
+ * The library deliberately avoids external dependencies, so this is a
+ * small hand-rolled writer: a JsonWriter value builder plus canned
+ * serializers for the result types downstream tooling wants to
+ * ingest (plotting scripts, dashboards, the crowdsourcing backend).
+ */
+
+#ifndef PVAR_REPORT_JSON_HH
+#define PVAR_REPORT_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "accubench/protocol.hh"
+#include "accubench/result.hh"
+
+namespace pvar
+{
+
+/**
+ * A streaming JSON writer with automatic comma management.
+ *
+ * Usage:
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("name").value("SD-800");
+ *   w.key("units").beginArray();
+ *   w.value(1.0).value(2.0);
+ *   w.endArray();
+ *   w.endObject();
+ *   std::string out = w.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object). */
+    JsonWriter &key(const std::string &k);
+
+    /** @name Scalar values. @{ */
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+    /** @} */
+
+    /** The document so far. */
+    const std::string &str() const { return _out; }
+
+  private:
+    std::string _out;
+    // Stack of "needs a comma before the next element" flags.
+    std::vector<bool> _needComma;
+
+    void preValue();
+    void appendEscaped(const std::string &s);
+};
+
+/** Serialize one experiment result (scores, energies, durations). */
+std::string toJson(const ExperimentResult &result);
+
+/** Serialize one SoC study (per-unit outcomes + reductions). */
+std::string toJson(const SocStudy &study);
+
+/** Serialize a whole multi-SoC study. */
+std::string toJson(const std::vector<SocStudy> &studies);
+
+} // namespace pvar
+
+#endif // PVAR_REPORT_JSON_HH

@@ -1,0 +1,73 @@
+#include "report/table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        fatal("Table: row has %zu cells, expected %zu", cells.size(),
+              _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += strfmt("%c %-*s", c == 0 ? '|' : '|',
+                           static_cast<int>(widths[c]), row[c].c_str());
+            line += ' ';
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string rule = "+";
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c] + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out = rule + render_row(_headers) + rule;
+    for (const auto &row : _rows)
+        out += render_row(row);
+    out += rule;
+    return out;
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    return strfmt("%.*f", decimals, v);
+}
+
+std::string
+fmtPercent(double v, int decimals)
+{
+    return strfmt("%.*f%%", decimals, v);
+}
+
+} // namespace pvar

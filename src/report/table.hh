@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table rendering for bench output.
+ */
+
+#ifndef PVAR_REPORT_TABLE_HH
+#define PVAR_REPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pvar
+{
+
+/**
+ * A simple left/right-aligned text table.
+ *
+ * Usage:
+ *   Table t({"Chipset", "Perf", "Energy"});
+ *   t.addRow({"SD-800", "14%", "19%"});
+ *   std::cout << t.render();
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render with column alignment and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Helper: format a double like "%.*f". */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Helper: format a percentage like "12.3%". */
+std::string fmtPercent(double v, int decimals = 1);
+
+} // namespace pvar
+
+#endif // PVAR_REPORT_TABLE_HH

@@ -1,0 +1,128 @@
+#include "silicon/binning.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+int
+speedBin(const Die &die, const SpeedBinningConfig &cfg)
+{
+    if (cfg.speedGrades.empty())
+        fatal("speedBin: empty speed grade list");
+    for (std::size_t i = 0; i < cfg.speedGrades.size(); ++i) {
+        MegaHertz required = cfg.speedGrades[i] * cfg.guardBand;
+        if (die.passesAt(required, cfg.testVoltage))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+namespace
+{
+
+/** Guard-banded, quantized fused voltage for one frequency. */
+Volts
+fuseVoltage(const Die &die, MegaHertz freq, const VoltageBinningConfig &cfg)
+{
+    Volts vmin = die.minVoltageFor(freq);
+    double fused = vmin.value() + cfg.guardBand;
+    fused = std::ceil(fused / cfg.quantum) * cfg.quantum;
+    fused = std::max(fused, cfg.vFloor.value());
+    return Volts(fused);
+}
+
+} // namespace
+
+VfTable
+fuseTableForDie(const Die &die, const VoltageBinningConfig &cfg)
+{
+    std::vector<OperatingPoint> pts;
+    pts.reserve(cfg.frequencyLadder.size());
+    for (MegaHertz f : cfg.frequencyLadder)
+        pts.push_back(OperatingPoint{f, fuseVoltage(die, f, cfg)});
+    return VfTable(std::move(pts));
+}
+
+VoltageBinningResult
+voltageBin(const std::vector<Die> &lot, const VoltageBinningConfig &cfg)
+{
+    if (lot.empty())
+        fatal("voltageBin: empty lot");
+    if (cfg.frequencyLadder.empty())
+        fatal("voltageBin: empty frequency ladder");
+    if (cfg.binCount == 0)
+        fatal("voltageBin: binCount must be >= 1");
+
+    MegaHertz top = *std::max_element(cfg.frequencyLadder.begin(),
+                                      cfg.frequencyLadder.end());
+
+    VoltageBinningResult result;
+    result.assignment.assign(lot.size(), -1);
+
+    // Need-voltage (at the top frequency) determines bin membership;
+    // dies that cannot make the ladder inside the PMIC ceiling are
+    // scrapped, exactly as a real screen would discard them.
+    struct Need
+    {
+        std::size_t die_index;
+        double voltage;
+    };
+    std::vector<Need> usable;
+    for (std::size_t i = 0; i < lot.size(); ++i) {
+        Volts v = lot[i].minVoltageFor(top);
+        if (v.value() + cfg.guardBand > cfg.vCeiling.value()) {
+            ++result.scrapped;
+            continue;
+        }
+        usable.push_back(Need{i, v.value()});
+    }
+    if (usable.empty())
+        fatal("voltageBin: every die scrapped; ladder unattainable");
+
+    // Sort descending by need: the neediest (slowest) dies form bin-0,
+    // matching Table I's convention (bin-0 = slowest transistors,
+    // highest fused voltages).
+    std::sort(usable.begin(), usable.end(), [](const Need &a,
+                                               const Need &b) {
+        return a.voltage > b.voltage;
+    });
+
+    std::size_t bins = std::min(cfg.binCount, usable.size());
+    result.binTables.resize(bins);
+
+    for (std::size_t b = 0; b < bins; ++b) {
+        std::size_t begin = b * usable.size() / bins;
+        std::size_t end = (b + 1) * usable.size() / bins;
+
+        // Fuse each ladder frequency at the worst (highest) need
+        // across the bin's members. Ranking by top-frequency need
+        // alone is not enough: threshold-voltage offsets bend the
+        // V-f curves, so different members can be the binding
+        // constraint at different frequencies.
+        std::vector<OperatingPoint> pts;
+        pts.reserve(cfg.frequencyLadder.size());
+        for (MegaHertz f : cfg.frequencyLadder) {
+            double need = 0.0;
+            for (std::size_t j = begin; j < end; ++j) {
+                const Die &die = lot[usable[j].die_index];
+                need = std::max(need, die.minVoltageFor(f).value());
+            }
+            double fused = need + cfg.guardBand;
+            fused = std::ceil(fused / cfg.quantum) * cfg.quantum;
+            fused = std::max(fused, cfg.vFloor.value());
+            pts.push_back(OperatingPoint{f, Volts(fused)});
+        }
+        result.binTables[b] = VfTable(std::move(pts));
+
+        for (std::size_t j = begin; j < end; ++j)
+            result.assignment[usable[j].die_index] = static_cast<int>(b);
+    }
+    return result;
+}
+
+} // namespace pvar

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Manufacturing test and binning algorithms (paper §II).
+ *
+ * Speed binning: test each die at descending target frequencies until
+ * it meets timing at the node's maximum voltage; the passing frequency
+ * labels its bin. Desktop parts are priced by this label.
+ *
+ * Voltage binning: mobile parts instead keep the *frequency ladder
+ * identical* across all dies and assign each die a per-frequency
+ * voltage: slow dies get raised voltage so they still make timing;
+ * fast (leaky) dies get lowered voltage to contain their leakage.
+ * The result is a family of V-F tables like the paper's Table I,
+ * with bin-0 the slowest/highest-voltage and bin-N the fastest/
+ * lowest-voltage member.
+ */
+
+#ifndef PVAR_SILICON_BINNING_HH
+#define PVAR_SILICON_BINNING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "silicon/die.hh"
+#include "silicon/vf_table.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** Configuration of a speed-binning test flow. */
+struct SpeedBinningConfig
+{
+    /** Descending candidate shipping frequencies (MHz). */
+    std::vector<MegaHertz> speedGrades;
+
+    /** Voltage applied during the screen. */
+    Volts testVoltage{1.0};
+
+    /** Multiplicative timing guard band (>= 1; 1.05 = 5% slack). */
+    double guardBand = 1.05;
+};
+
+/**
+ * Speed-bin one die.
+ *
+ * @return index into cfg.speedGrades of the highest grade the die
+ *         passes (with guard band), or -1 if it fails them all.
+ */
+int speedBin(const Die &die, const SpeedBinningConfig &cfg);
+
+/** Configuration of a voltage-binning flow. */
+struct VoltageBinningConfig
+{
+    /** The common frequency ladder every shipped part must support. */
+    std::vector<MegaHertz> frequencyLadder;
+
+    /** Number of voltage bins to fuse. */
+    std::size_t binCount = 7;
+
+    /** Additive voltage guard band on the measured minimum (volts). */
+    double guardBand = 0.025;
+
+    /** Fused voltages are quantized up to multiples of this (volts). */
+    double quantum = 0.005;
+
+    /** PMIC output ceiling; dies needing more are scrapped. */
+    Volts vCeiling{1.15};
+
+    /** Retention floor: no fused voltage goes below this. */
+    Volts vFloor{0.60};
+};
+
+/** Outcome of voltage-binning a lot. */
+struct VoltageBinningResult
+{
+    /** Per-bin V-F tables; index 0 = slowest dies, highest voltage. */
+    std::vector<VfTable> binTables;
+
+    /** Bin index per input die; -1 for scrapped dies. */
+    std::vector<int> assignment;
+
+    /** Number of dies that could not meet the ladder at vCeiling. */
+    std::size_t scrapped = 0;
+};
+
+/**
+ * Voltage-bin a lot of dies.
+ *
+ * Dies are ranked by the voltage they need for the top ladder
+ * frequency and split into cfg.binCount equal-population bins; each
+ * bin's fused table uses the *worst* (highest-need) die in the bin
+ * plus guard band, so every member is guaranteed stable.
+ */
+VoltageBinningResult voltageBin(const std::vector<Die> &lot,
+                                const VoltageBinningConfig &cfg);
+
+/**
+ * Fuse an individual V-F table for one die (per-die binning, as RBCPR
+ * -era parts effectively do at finer grain).
+ */
+VfTable fuseTableForDie(const Die &die, const VoltageBinningConfig &cfg);
+
+} // namespace pvar
+
+#endif // PVAR_SILICON_BINNING_HH

@@ -1,0 +1,78 @@
+#include "silicon/die.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "silicon/timing.hh"
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+Die::Die(ProcessNode node, DieParams params)
+    : _node(std::move(node)), _params(std::move(params))
+{
+    if (_params.speedFactor <= 0.0 || _params.leakFactor <= 0.0)
+        fatal("Die '%s': non-positive variation factors",
+              _params.id.c_str());
+}
+
+Volts
+Die::vThreshold() const
+{
+    return _node.vThreshold + Volts(_params.vthOffset);
+}
+
+MegaHertz
+Die::fmaxAt(Volts v) const
+{
+    return alphaPowerFmax(v, vThreshold(), _node.alpha,
+                          _node.speedConstant * _params.speedFactor);
+}
+
+Volts
+Die::minVoltageFor(MegaHertz freq) const
+{
+    return minVoltageForFreq(freq, vThreshold(), _node.alpha,
+                             _node.speedConstant * _params.speedFactor,
+                             _node.vMax);
+}
+
+bool
+Die::passesAt(MegaHertz freq, Volts v) const
+{
+    return fmaxAt(v) >= freq;
+}
+
+Amps
+Die::leakageCurrent(Volts v, Celsius t, double size_factor) const
+{
+    // Clamp to the exponential model's validity range; outside it a
+    // real part has long since hit hardware thermal shutdown, and an
+    // unclamped exponent would poison the simulation with infinities.
+    t = Celsius(std::clamp(t.value(), -40.0, 200.0));
+    v = Volts(std::clamp(v.value(), 0.0, 2.0));
+    double volt_term =
+        std::exp((v.value() - _node.vNominal.value()) / _node.leakVoltSlope);
+    double temp_term =
+        std::exp((t.value() - _node.tRef.value()) / _node.leakTempSlope);
+    return Amps(_node.leakRef.value() * _params.leakFactor * size_factor *
+                volt_term * temp_term);
+}
+
+Watts
+Die::leakagePower(Volts v, Celsius t, double size_factor) const
+{
+    return v * leakageCurrent(v, t, size_factor);
+}
+
+Watts
+Die::dynamicPower(Volts v, MegaHertz f, double activity,
+                  double size_factor) const
+{
+    return Watts(_node.ceffPerCore * size_factor * v.value() * v.value() *
+                 f.toHertz() * activity);
+}
+
+} // namespace pvar

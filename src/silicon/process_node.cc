@@ -1,0 +1,82 @@
+#include "silicon/process_node.hh"
+
+namespace pvar
+{
+
+ProcessNode
+node28nmHPm()
+{
+    ProcessNode node;
+    node.name = "28nm HPm";
+    node.feature_nm = 28.0;
+    node.vNominal = Volts(1.00);
+    node.vMin = Volts(0.65);
+    node.vMax = Volts(1.15);
+    node.vThreshold = Volts(0.35);
+    node.alpha = 1.40;
+    node.speedConstant = 3900.0;
+    node.ceffPerCore = 0.45e-9;
+    node.leakRef = Amps(0.145);
+    node.leakVoltSlope = 0.25;
+    node.leakTempSlope = 26.0;
+    node.tRef = Celsius(40.0);
+    node.sigmaSpeed = 0.040;
+    node.corrLeak = 0.57;
+    node.sigmaLeakResidual = 0.12;
+    node.sigmaVth = 0.012;
+    return node;
+}
+
+ProcessNode
+node20nmSoC()
+{
+    ProcessNode node;
+    node.name = "20nm SoC";
+    node.feature_nm = 20.0;
+    node.vNominal = Volts(0.95);
+    node.vMin = Volts(0.60);
+    node.vMax = Volts(1.10);
+    node.vThreshold = Volts(0.32);
+    node.alpha = 1.35;
+    node.speedConstant = 3700.0;
+    node.ceffPerCore = 0.52e-9;
+    // The 20 nm planar node leaks substantially more at temperature:
+    // higher reference leakage and a faster thermal e-fold.
+    node.leakRef = Amps(0.200);
+    node.leakVoltSlope = 0.22;
+    node.leakTempSlope = 26.0;
+    node.tRef = Celsius(40.0);
+    node.sigmaSpeed = 0.020;
+    node.corrLeak = 0.75;
+    node.sigmaLeakResidual = 0.12;
+    node.sigmaVth = 0.011;
+    return node;
+}
+
+ProcessNode
+node14nmFinFET()
+{
+    ProcessNode node;
+    node.name = "14nm LPP FinFET";
+    node.feature_nm = 14.0;
+    node.vNominal = Volts(0.90);
+    node.vMin = Volts(0.55);
+    node.vMax = Volts(1.10);
+    node.vThreshold = Volts(0.30);
+    node.alpha = 1.30;
+    node.speedConstant = 4300.0;
+    node.ceffPerCore = 0.40e-9;
+    // FinFET gates leak less and have a steeper subthreshold slope,
+    // but die-to-die leakage spread remains significant.
+    node.leakRef = Amps(0.130);
+    node.leakVoltSlope = 0.20;
+    node.leakTempSlope = 32.0;
+    node.tRef = Celsius(40.0);
+    node.sigmaSpeed = 0.008;
+    node.corrLeak = 0.80;
+    node.sigmaLeakResidual = 0.10;
+    node.sigmaVth = 0.009;
+    return node;
+}
+
+} // namespace pvar

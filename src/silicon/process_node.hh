@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Technology-node parameter sets.
+ *
+ * A ProcessNode carries the first-order electrical constants of a
+ * manufacturing process: nominal supply and threshold voltages, the
+ * alpha-power-law speed constants, switched capacitance, leakage
+ * reference values, and the die-to-die variation magnitudes from which
+ * individual dies are sampled.
+ *
+ * Three nodes are provided, matching the SoCs the paper studies:
+ *  - 28 nm HPm (SD-800/805, planar),
+ *  - 20 nm SoC (SD-810, planar, notoriously leaky),
+ *  - 14 nm LPP FinFET (SD-820/821).
+ *
+ * Constants are order-of-magnitude engineering values chosen to place
+ * simulated package power, die temperature, and energy in the ranges
+ * the paper reports; they are not foundry data.
+ */
+
+#ifndef PVAR_SILICON_PROCESS_NODE_HH
+#define PVAR_SILICON_PROCESS_NODE_HH
+
+#include <string>
+
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/**
+ * Electrical description of one technology node.
+ */
+struct ProcessNode
+{
+    /** Human-readable name, e.g. "28nm HPm". */
+    std::string name;
+
+    /** Drawn feature size in nanometres (informational). */
+    double feature_nm = 28.0;
+
+    /** Nominal supply voltage. */
+    Volts vNominal{1.0};
+
+    /** Lowest usable supply voltage (retention + margin). */
+    Volts vMin{0.6};
+
+    /** Highest allowed supply voltage (reliability limit). */
+    Volts vMax{1.25};
+
+    /** Threshold voltage of the nominal transistor. */
+    Volts vThreshold{0.35};
+
+    /**
+     * Velocity-saturation exponent of the alpha-power delay model:
+     * f_max proportional to (V - Vth)^alpha / V.
+     */
+    double alpha = 1.4;
+
+    /**
+     * Speed constant k such that a nominal die sustains
+     * f_max = k * (V - Vth)^alpha / V  [MHz with V in volts].
+     */
+    double speedConstant = 3900.0;
+
+    /** Effective switched capacitance per core (farads). */
+    double ceffPerCore = 0.45e-9;
+
+    /**
+     * Leakage current of a nominal core at (vNominal, tRef), amps.
+     */
+    Amps leakRef{0.130};
+
+    /** Supply-voltage e-folding scale of leakage (volts). */
+    double leakVoltSlope = 0.25;
+
+    /** Temperature e-folding scale of leakage (kelvin). */
+    double leakTempSlope = 35.0;
+
+    /** Temperature at which leakRef is quoted. */
+    Celsius tRef{40.0};
+
+    /** @name Die-to-die variation magnitudes. @{ */
+
+    /**
+     * Sigma of the underlying "process corner" deviate x ~ N(0,1)
+     * scaled into log-speed: speedFactor = exp(x * sigmaSpeed).
+     */
+    double sigmaSpeed = 0.035;
+
+    /**
+     * Log-leakage sensitivity to the same deviate:
+     * leakFactor = exp(x * corrLeak + e * sigmaLeakResidual).
+     * corrLeak >> sigmaSpeed encodes that fast (short-channel) dies
+     * leak disproportionately more.
+     */
+    double corrLeak = 0.65;
+
+    /** Independent residual spread of log-leakage. */
+    double sigmaLeakResidual = 0.12;
+
+    /** Sigma of the threshold-voltage offset (volts). */
+    double sigmaVth = 0.012;
+
+    /** @} */
+};
+
+/** 28 nm HPm planar node (SD-800 / SD-805 era). */
+ProcessNode node28nmHPm();
+
+/** 20 nm SoC planar node (SD-810); high leakage at temperature. */
+ProcessNode node20nmSoC();
+
+/** 14 nm LPP FinFET node (SD-820 / SD-821); steep subthreshold slope. */
+ProcessNode node14nmFinFET();
+
+} // namespace pvar
+
+#endif // PVAR_SILICON_PROCESS_NODE_HH

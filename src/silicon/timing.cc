@@ -1,0 +1,42 @@
+#include "silicon/timing.hh"
+
+#include <cmath>
+
+namespace pvar
+{
+
+MegaHertz
+alphaPowerFmax(Volts v, Volts vth, double alpha, double speed_constant)
+{
+    double overdrive = v.value() - vth.value();
+    if (overdrive <= 0.0 || v.value() <= 0.0)
+        return MegaHertz(0.0);
+    return MegaHertz(speed_constant * std::pow(overdrive, alpha) /
+                     v.value());
+}
+
+Volts
+minVoltageForFreq(MegaHertz target, Volts vth, double alpha,
+                  double speed_constant, Volts v_hi)
+{
+    // f_max is monotonically increasing in V over the region of
+    // interest (dV term dominates the 1/V factor for V > Vth), so
+    // bisection is safe.
+    double lo = vth.value() + 1e-4;
+    double hi = v_hi.value();
+    if (alphaPowerFmax(Volts(hi), vth, alpha, speed_constant) < target)
+        return v_hi;
+
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (alphaPowerFmax(Volts(mid), vth, alpha, speed_constant) >=
+            target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return Volts(hi);
+}
+
+} // namespace pvar

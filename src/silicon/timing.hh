@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Alpha-power-law timing model.
+ *
+ * Critical-path delay of a CMOS stage follows Sakurai-Newton's
+ * alpha-power law; the maximum stable clock frequency is its inverse:
+ *
+ *     f_max(V) = k * (V - Vth)^alpha / V
+ *
+ * These free functions implement the law and its numerical inverse
+ * (minimum voltage sustaining a target frequency). They are kept
+ * independent of Die so property tests can probe them directly.
+ */
+
+#ifndef PVAR_SILICON_TIMING_HH
+#define PVAR_SILICON_TIMING_HH
+
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/**
+ * Maximum stable frequency at a supply voltage.
+ *
+ * @param v supply voltage.
+ * @param vth threshold voltage.
+ * @param alpha velocity-saturation exponent.
+ * @param speed_constant k in MHz (with voltages in volts).
+ * @return f_max; zero when v <= vth.
+ */
+MegaHertz alphaPowerFmax(Volts v, Volts vth, double alpha,
+                         double speed_constant);
+
+/**
+ * Minimum supply voltage at which `target` is stable, found by
+ * bisection of alphaPowerFmax over [vth + epsilon, v_hi].
+ *
+ * @param target frequency to sustain.
+ * @param vth threshold voltage.
+ * @param alpha exponent.
+ * @param speed_constant k in MHz.
+ * @param v_hi upper search bound.
+ * @return the minimum voltage, or v_hi if even v_hi cannot sustain
+ *         the target (callers must check with alphaPowerFmax).
+ */
+Volts minVoltageForFreq(MegaHertz target, Volts vth, double alpha,
+                        double speed_constant, Volts v_hi);
+
+} // namespace pvar
+
+#endif // PVAR_SILICON_TIMING_HH

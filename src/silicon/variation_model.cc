@@ -1,0 +1,61 @@
+#include "silicon/variation_model.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+VariationModel::VariationModel(ProcessNode node) : _node(std::move(node))
+{
+}
+
+DieParams
+VariationModel::sampleParams(Rng &rng, const std::string &id) const
+{
+    double corner = rng.gaussian();
+    double leak_residual = rng.gaussian();
+    double vth_noise = rng.gaussian();
+
+    DieParams p;
+    p.id = id;
+    p.speedFactor = std::exp(corner * _node.sigmaSpeed);
+    p.leakFactor = std::exp(corner * _node.corrLeak +
+                            leak_residual * _node.sigmaLeakResidual);
+    p.vthOffset = vth_noise * _node.sigmaVth;
+    return p;
+}
+
+Die
+VariationModel::sampleDie(Rng &rng, const std::string &id) const
+{
+    return Die(_node, sampleParams(rng, id));
+}
+
+std::vector<Die>
+VariationModel::sampleLot(Rng &rng, std::size_t n,
+                          const std::string &prefix) const
+{
+    std::vector<Die> lot;
+    lot.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        lot.push_back(sampleDie(rng, strfmt("%s-%zu", prefix.c_str(), i)));
+    return lot;
+}
+
+Die
+VariationModel::dieAtCorner(double corner, double leak_residual,
+                            double vth_offset, const std::string &id) const
+{
+    DieParams p;
+    p.id = id;
+    p.speedFactor = std::exp(corner * _node.sigmaSpeed);
+    p.leakFactor = std::exp(corner * _node.corrLeak +
+                            leak_residual * _node.sigmaLeakResidual);
+    p.vthOffset = vth_offset;
+    return Die(_node, p);
+}
+
+} // namespace pvar

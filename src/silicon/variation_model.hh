@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sampling dies from a process distribution.
+ *
+ * A single latent "corner" deviate x ~ N(0,1) drives the correlated
+ * pair (speed, leakage): a die drawn at a fast corner has shorter
+ * effective channels, so it is both faster *and* leakier. An
+ * independent residual adds the part of leakage spread not explained
+ * by speed, and a small independent Vth offset perturbs the threshold.
+ *
+ *   speedFactor = exp(x * sigmaSpeed)
+ *   leakFactor  = exp(x * corrLeak + e * sigmaLeakResidual),  e ~ N(0,1)
+ *   vthOffset   = n * sigmaVth,                               n ~ N(0,1)
+ *
+ * This is the standard lognormal leakage / lognormal speed abstraction
+ * used in the voltage-binning literature (Zolotov et al., ICCAD'09).
+ */
+
+#ifndef PVAR_SILICON_VARIATION_MODEL_HH
+#define PVAR_SILICON_VARIATION_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "silicon/die.hh"
+#include "silicon/process_node.hh"
+#include "sim/rng.hh"
+
+namespace pvar
+{
+
+/**
+ * Generator of die populations for a process node.
+ */
+class VariationModel
+{
+  public:
+    explicit VariationModel(ProcessNode node);
+
+    const ProcessNode &node() const { return _node; }
+
+    /** Sample one die's variation parameters. */
+    DieParams sampleParams(Rng &rng, const std::string &id) const;
+
+    /** Sample one complete die. */
+    Die sampleDie(Rng &rng, const std::string &id) const;
+
+    /**
+     * Sample a lot of `n` dies named "<prefix>-<i>".
+     */
+    std::vector<Die> sampleLot(Rng &rng, std::size_t n,
+                               const std::string &prefix = "die") const;
+
+    /**
+     * Construct a die at an exact corner (deterministic; used by the
+     * device catalog to pin the paper's fleet).
+     *
+     * @param corner latent deviate x (0 = typical, +fast/leaky).
+     * @param leak_residual residual log-leakage deviate e.
+     * @param vth_offset threshold offset in volts.
+     */
+    Die dieAtCorner(double corner, double leak_residual, double vth_offset,
+                    const std::string &id) const;
+
+  private:
+    ProcessNode _node;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SILICON_VARIATION_MODEL_HH

@@ -1,0 +1,100 @@
+#include "silicon/vf_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+VfTable::VfTable(std::vector<OperatingPoint> points)
+    : _points(std::move(points))
+{
+    std::sort(_points.begin(), _points.end(),
+              [](const OperatingPoint &a, const OperatingPoint &b) {
+                  return a.freq < b.freq;
+              });
+    for (std::size_t i = 0; i + 1 < _points.size(); ++i) {
+        if (_points[i].freq == _points[i + 1].freq)
+            fatal("VfTable: duplicate OPP at %.0f MHz",
+                  _points[i].freq.value());
+        if (_points[i].voltage > _points[i + 1].voltage)
+            warn("VfTable: voltage not monotonic at %.0f MHz",
+                 _points[i + 1].freq.value());
+    }
+}
+
+const OperatingPoint &
+VfTable::point(std::size_t i) const
+{
+    if (i >= _points.size())
+        fatal("VfTable: index %zu out of range (%zu points)", i,
+              _points.size());
+    return _points[i];
+}
+
+const OperatingPoint &
+VfTable::lowest() const
+{
+    if (_points.empty())
+        fatal("VfTable: lowest() on empty table");
+    return _points.front();
+}
+
+const OperatingPoint &
+VfTable::highest() const
+{
+    if (_points.empty())
+        fatal("VfTable: highest() on empty table");
+    return _points.back();
+}
+
+Volts
+VfTable::voltageFor(MegaHertz freq) const
+{
+    for (const auto &p : _points) {
+        if (p.freq >= freq)
+            return p.voltage;
+    }
+    fatal("VfTable: no OPP sustains %.0f MHz (max %.0f MHz)", freq.value(),
+          _points.empty() ? 0.0 : _points.back().freq.value());
+}
+
+std::size_t
+VfTable::indexAtOrBelow(MegaHertz cap) const
+{
+    if (_points.empty())
+        fatal("VfTable: indexAtOrBelow() on empty table");
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < _points.size(); ++i) {
+        if (_points[i].freq <= cap)
+            idx = i;
+    }
+    return idx;
+}
+
+std::size_t
+VfTable::indexOf(MegaHertz freq) const
+{
+    for (std::size_t i = 0; i < _points.size(); ++i) {
+        if (_points[i].freq == freq)
+            return i;
+    }
+    fatal("VfTable: no OPP at %.0f MHz", freq.value());
+}
+
+std::string
+VfTable::toString() const
+{
+    std::string out;
+    for (const auto &p : _points) {
+        if (!out.empty())
+            out += " ";
+        out += strfmt("%.0f:%0.0fmV", p.freq.value(),
+                      p.voltage.toMillivolts());
+    }
+    return out;
+}
+
+} // namespace pvar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Voltage-frequency operating-point tables.
+ *
+ * A VfTable is the software-visible face of binning: the list of
+ * (frequency, voltage) operating performance points (OPPs) the DVFS
+ * subsystem may select, as found in kernel sources (paper Table I).
+ */
+
+#ifndef PVAR_SILICON_VF_TABLE_HH
+#define PVAR_SILICON_VF_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** One DVFS operating point. */
+struct OperatingPoint
+{
+    MegaHertz freq;
+    Volts voltage;
+};
+
+/**
+ * An ordered set of operating points (ascending frequency).
+ */
+class VfTable
+{
+  public:
+    VfTable() = default;
+
+    /** Build from points; sorts ascending and validates monotonicity. */
+    explicit VfTable(std::vector<OperatingPoint> points);
+
+    bool empty() const { return _points.empty(); }
+    std::size_t size() const { return _points.size(); }
+
+    const OperatingPoint &point(std::size_t i) const;
+    const std::vector<OperatingPoint> &points() const { return _points; }
+
+    /** Lowest-frequency OPP. */
+    const OperatingPoint &lowest() const;
+
+    /** Highest-frequency OPP. */
+    const OperatingPoint &highest() const;
+
+    /**
+     * Voltage for a frequency: the OPP with the smallest frequency
+     * >= `freq` (fatal if `freq` exceeds the highest OPP).
+     */
+    Volts voltageFor(MegaHertz freq) const;
+
+    /**
+     * Largest OPP index whose frequency does not exceed `cap`;
+     * returns 0 when even the lowest OPP exceeds the cap.
+     */
+    std::size_t indexAtOrBelow(MegaHertz cap) const;
+
+    /** Index of the exact OPP for `freq`; fatal when absent. */
+    std::size_t indexOf(MegaHertz freq) const;
+
+    /** Render as "freq:voltage" pairs for logs. */
+    std::string toString() const;
+
+  private:
+    std::vector<OperatingPoint> _points;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SILICON_VF_TABLE_HH

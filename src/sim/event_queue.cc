@@ -1,0 +1,67 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace pvar
+{
+
+EventQueue::EventQueue() : _nextSeq(0), _nextId(1)
+{
+}
+
+EventId
+EventQueue::schedule(Time when, std::function<void()> fn)
+{
+    EventId id = _nextId++;
+    _queue.push(Entry{when, _nextSeq++, id});
+    _callbacks.emplace(id, std::move(fn));
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    _callbacks.erase(id);
+}
+
+Time
+EventQueue::nextDeadline() const
+{
+    // Entries whose callback was cancelled may linger at the head; they
+    // are cheap to fire (no-op) so the conservative deadline is fine.
+    return _queue.empty() ? Time::max() : _queue.top().when;
+}
+
+int
+EventQueue::runUntil(Time now)
+{
+    int fired = 0;
+    while (!_queue.empty() && _queue.top().when <= now) {
+        Entry top = _queue.top();
+        _queue.pop();
+        auto it = _callbacks.find(top.id);
+        if (it == _callbacks.end())
+            continue; // cancelled
+        auto fn = std::move(it->second);
+        _callbacks.erase(it);
+        fn();
+        ++fired;
+    }
+    return fired;
+}
+
+std::size_t
+EventQueue::pending() const
+{
+    return _callbacks.size();
+}
+
+void
+EventQueue::clear()
+{
+    while (!_queue.empty())
+        _queue.pop();
+    _callbacks.clear();
+}
+
+} // namespace pvar

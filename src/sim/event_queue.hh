@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Discrete event queue.
+ *
+ * The co-simulation loop in Simulator advances components on a fixed
+ * tick, but several behaviours in the model are naturally one-shot or
+ * periodic events (sensor polls every 5 s, governor windows, phase
+ * transitions). EventQueue holds those callbacks ordered by time and is
+ * drained by the Simulator as the clock passes each deadline.
+ */
+
+#ifndef PVAR_SIM_EVENT_QUEUE_HH
+#define PVAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * Events scheduled for the same instant fire in scheduling order
+ * (FIFO), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    /**
+     * Schedule a callback.
+     *
+     * @param when absolute simulation time at which to fire.
+     * @param fn the callback.
+     * @return handle usable with cancel().
+     */
+    EventId schedule(Time when, std::function<void()> fn);
+
+    /** Cancel a pending event; a no-op if it already fired. */
+    void cancel(EventId id);
+
+    /** Earliest pending deadline, or Time::max() when empty. */
+    Time nextDeadline() const;
+
+    /**
+     * Fire every event with deadline <= now.
+     *
+     * Events may schedule further events; newly scheduled events whose
+     * deadline is also <= now fire within the same call.
+     *
+     * @return the number of events fired.
+     */
+    int runUntil(Time now);
+
+    /** Number of pending (uncancelled) events. */
+    std::size_t pending() const;
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _queue;
+    std::unordered_map<EventId, std::function<void()>> _callbacks;
+    std::uint64_t _nextSeq;
+    EventId _nextId;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SIM_EVENT_QUEUE_HH

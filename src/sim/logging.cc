@@ -1,0 +1,91 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+LogLevel current_level = LogLevel::Normal;
+
+void
+emit(const char *tag, const char *fmt, va_list ap)
+{
+    std::string msg = vstrfmt(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel old = current_level;
+    current_level = level;
+    return old;
+}
+
+LogLevel
+logLevel()
+{
+    return current_level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (current_level == LogLevel::Quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (current_level != LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace pvar

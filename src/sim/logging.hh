@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting, in the gem5 idiom.
+ *
+ * - panic():  a library invariant was violated (a bug in libpvar);
+ *             aborts so a debugger/core dump captures the state.
+ * - fatal():  the *user's* configuration is unusable; exits cleanly.
+ * - warn():   something questionable happened but simulation continues.
+ * - inform(): plain status output, gated by the global verbosity level.
+ */
+
+#ifndef PVAR_SIM_LOGGING_HH
+#define PVAR_SIM_LOGGING_HH
+
+#include <string>
+
+namespace pvar
+{
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel
+{
+    Quiet,  ///< only warnings and errors
+    Normal, ///< informational messages
+    Debug,  ///< per-tick diagnostics
+};
+
+/** Set the global verbosity; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Report an unrecoverable internal error and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unusable configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status (suppressed at LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report verbose diagnostics (shown only at LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace pvar
+
+#endif // PVAR_SIM_LOGGING_HH

@@ -1,0 +1,111 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace pvar
+{
+
+namespace
+{
+
+/** splitmix64 step; used only to spread seeds across the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : _spare(0.0), _hasSpare(false)
+{
+    std::uint64_t x = seed;
+    for (auto &s : _s)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    _spare = mag * std::sin(2.0 * M_PI * u2);
+    _hasSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+Rng
+Rng::fork(std::uint64_t stream)
+{
+    // Mix the raw state with the stream label through splitmix to give
+    // the child a seed uncorrelated with the parent's future output.
+    std::uint64_t x = _s[0] ^ (stream * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(x));
+}
+
+} // namespace pvar

@@ -1,0 +1,65 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+Simulator::Simulator(Time dt) : _dt(dt), _now(Time::zero()), _steps(0)
+{
+    if (dt <= Time::zero())
+        fatal("Simulator step must be positive, got %s",
+              dt.toString().c_str());
+}
+
+void
+Simulator::add(Tickable *component)
+{
+    _components.push_back(component);
+}
+
+void
+Simulator::remove(Tickable *component)
+{
+    _components.erase(
+        std::remove(_components.begin(), _components.end(), component),
+        _components.end());
+}
+
+void
+Simulator::step()
+{
+    _now += _dt;
+    ++_steps;
+    for (auto *c : _components)
+        c->tick(_now, _dt);
+    _events.runUntil(_now);
+}
+
+void
+Simulator::runUntil(Time deadline)
+{
+    while (_now < deadline)
+        step();
+}
+
+void
+Simulator::runFor(Time span)
+{
+    runUntil(_now + span);
+}
+
+bool
+Simulator::runUntilCondition(const std::function<bool()> &pred, Time deadline)
+{
+    while (_now < deadline) {
+        step();
+        if (pred())
+            return true;
+    }
+    return pred();
+}
+
+} // namespace pvar

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-step co-simulation driver.
+ */
+
+#ifndef PVAR_SIM_SIMULATOR_HH
+#define PVAR_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/tickable.hh"
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/**
+ * Owns the simulation clock and drives registered components.
+ *
+ * The loop advances in fixed steps of `dt`; after each step it drains
+ * the event queue up to the new time. Components are *not* owned by the
+ * simulator — the experiment object that assembles a device graph keeps
+ * ownership and must outlive the run.
+ */
+class Simulator
+{
+  public:
+    /** @param dt fixed step length (default 10 ms). */
+    explicit Simulator(Time dt = Time::msec(10));
+
+    /** Register a component; order defines per-step evaluation order. */
+    void add(Tickable *component);
+
+    /** Remove a previously registered component. */
+    void remove(Tickable *component);
+
+    /** Current simulation time. */
+    Time now() const { return _now; }
+
+    /** Fixed step length. */
+    Time dt() const { return _dt; }
+
+    /** One-shot and periodic callbacks. */
+    EventQueue &events() { return _events; }
+
+    /** Advance by exactly one step. */
+    void step();
+
+    /** Advance until the clock reaches (at least) `deadline`. */
+    void runUntil(Time deadline);
+
+    /** Advance by `span`. */
+    void runFor(Time span);
+
+    /**
+     * Advance until `pred` returns true (checked after every step) or
+     * `deadline` passes.
+     *
+     * @return true if the predicate fired, false on deadline.
+     */
+    bool runUntilCondition(const std::function<bool()> &pred, Time deadline);
+
+    /** Total steps executed (diagnostics). */
+    std::uint64_t stepsExecuted() const { return _steps; }
+
+  private:
+    Time _dt;
+    Time _now;
+    std::uint64_t _steps;
+    std::vector<Tickable *> _components;
+    EventQueue _events;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SIM_SIMULATOR_HH

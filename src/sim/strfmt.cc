@@ -1,0 +1,34 @@
+#include "sim/strfmt.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace pvar
+{
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrfmt(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+} // namespace pvar

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal printf-style string formatting helper.
+ *
+ * The toolchain (GCC 12) does not ship std::format, so the library uses
+ * this thin vsnprintf wrapper wherever formatted strings are needed.
+ */
+
+#ifndef PVAR_SIM_STRFMT_HH
+#define PVAR_SIM_STRFMT_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pvar
+{
+
+/**
+ * Format a string printf-style into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strfmt(). */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+} // namespace pvar
+
+#endif // PVAR_SIM_STRFMT_HH

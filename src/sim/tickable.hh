@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Interface for components advanced by the co-simulation loop.
+ */
+
+#ifndef PVAR_SIM_TICKABLE_HH
+#define PVAR_SIM_TICKABLE_HH
+
+#include <string>
+
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/**
+ * A component that evolves in fixed time steps.
+ *
+ * The Simulator calls tick() on every registered component each step,
+ * in registration order. Registration order therefore encodes the data
+ * flow of one step: workload -> power -> thermal -> sensors -> governors.
+ */
+class Tickable
+{
+  public:
+    virtual ~Tickable() = default;
+
+    /**
+     * Advance the component.
+     *
+     * @param now simulation time at the *end* of the step.
+     * @param dt length of the step.
+     */
+    virtual void tick(Time now, Time dt) = 0;
+
+    /** Diagnostic name used in traces and log messages. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SIM_TICKABLE_HH

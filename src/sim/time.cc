@@ -1,0 +1,24 @@
+#include "sim/time.hh"
+
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+std::string
+Time::toString() const
+{
+    double s = toSec();
+    if (s < 0)
+        return strfmt("-%s", Time(-_usec).toString().c_str());
+    if (s < 1e-3)
+        return strfmt("%ldus", static_cast<long>(_usec));
+    if (s < 1.0)
+        return strfmt("%.1fms", toMsec());
+    if (s < 60.0)
+        return strfmt("%.1fs", s);
+    auto whole_min = static_cast<long>(s / 60.0);
+    return strfmt("%ldm%.1fs", whole_min, s - 60.0 * whole_min);
+}
+
+} // namespace pvar

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Strong physical-unit types used throughout the library.
+ *
+ * Mixing volts with watts or joules with degrees is the classic failure
+ * mode of hand-rolled power models, so every physical quantity in the
+ * library is a distinct type. Quantities of the same unit support the
+ * usual affine arithmetic; a handful of free operators encode the
+ * physically meaningful cross-unit products (V*A = W, W*s = J, ...).
+ */
+
+#ifndef PVAR_SIM_UNITS_HH
+#define PVAR_SIM_UNITS_HH
+
+#include <compare>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/**
+ * CRTP base for strongly typed scalar quantities.
+ *
+ * @tparam Derived the concrete unit type (e.g. Volts).
+ */
+template <typename Derived>
+class Quantity
+{
+  public:
+    constexpr Quantity() : _value(0.0) {}
+    explicit constexpr Quantity(double v) : _value(v) {}
+
+    /** Raw numeric value in the unit's canonical scale. */
+    constexpr double value() const { return _value; }
+
+    constexpr Derived
+    operator+(Derived o) const
+    {
+        return Derived(_value + o.value());
+    }
+
+    constexpr Derived
+    operator-(Derived o) const
+    {
+        return Derived(_value - o.value());
+    }
+
+    constexpr Derived operator-() const { return Derived(-_value); }
+    constexpr Derived operator*(double k) const { return Derived(_value * k); }
+    constexpr Derived operator/(double k) const { return Derived(_value / k); }
+
+    /** Ratio of two like quantities is a plain number. */
+    constexpr double operator/(Derived o) const { return _value / o.value(); }
+
+    Derived &
+    operator+=(Derived o)
+    {
+        _value += o.value();
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator-=(Derived o)
+    {
+        _value -= o.value();
+        return static_cast<Derived &>(*this);
+    }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double _value;
+};
+
+template <typename D>
+constexpr D
+operator*(double k, Quantity<D> q)
+{
+    return D(q.value() * k);
+}
+
+/** Temperature in degrees Celsius. */
+class Celsius : public Quantity<Celsius>
+{
+  public:
+    using Quantity::Quantity;
+    /** Absolute temperature in kelvin (for physics expressions). */
+    constexpr double toKelvin() const { return value() + 273.15; }
+};
+
+/** Electric potential in volts. */
+class Volts : public Quantity<Volts>
+{
+  public:
+    using Quantity::Quantity;
+    constexpr double toMillivolts() const { return value() * 1e3; }
+    static constexpr Volts fromMillivolts(double mv) { return Volts(mv / 1e3); }
+};
+
+/** Electric current in amperes. */
+class Amps : public Quantity<Amps>
+{
+  public:
+    using Quantity::Quantity;
+    constexpr double toMilliamps() const { return value() * 1e3; }
+    static constexpr Amps fromMilliamps(double ma) { return Amps(ma / 1e3); }
+};
+
+/** Power in watts. */
+class Watts : public Quantity<Watts>
+{
+  public:
+    using Quantity::Quantity;
+    constexpr double toMilliwatts() const { return value() * 1e3; }
+};
+
+/** Energy in joules. */
+class Joules : public Quantity<Joules>
+{
+  public:
+    using Quantity::Quantity;
+    /** Energy in milliamp-hours at the given supply voltage. */
+    constexpr double
+    toMilliampHours(Volts v) const
+    {
+        return value() / v.value() / 3.6;
+    }
+};
+
+/** Clock frequency in megahertz. */
+class MegaHertz : public Quantity<MegaHertz>
+{
+  public:
+    using Quantity::Quantity;
+    constexpr double toHertz() const { return value() * 1e6; }
+    constexpr double toGigahertz() const { return value() / 1e3; }
+};
+
+/** Electrical resistance in ohms. */
+class Ohms : public Quantity<Ohms>
+{
+  public:
+    using Quantity::Quantity;
+};
+
+/** Thermal conductance in watts per kelvin (1/R_theta). */
+class WattsPerKelvin : public Quantity<WattsPerKelvin>
+{
+  public:
+    using Quantity::Quantity;
+};
+
+/** Thermal capacitance in joules per kelvin. */
+class JoulesPerKelvin : public Quantity<JoulesPerKelvin>
+{
+  public:
+    using Quantity::Quantity;
+};
+
+/** @name Physically meaningful cross-unit products. @{ */
+
+/** Electrical power: P = V * I. */
+constexpr Watts
+operator*(Volts v, Amps i)
+{
+    return Watts(v.value() * i.value());
+}
+
+constexpr Watts
+operator*(Amps i, Volts v)
+{
+    return v * i;
+}
+
+/** Current from power at a supply voltage: I = P / V. */
+constexpr Amps
+operator/(Watts p, Volts v)
+{
+    return Amps(p.value() / v.value());
+}
+
+/** Ohm's law: V = I * R. */
+constexpr Volts
+operator*(Amps i, Ohms r)
+{
+    return Volts(i.value() * r.value());
+}
+
+/** Energy accumulated over a time span: E = P * t. */
+constexpr Joules
+operator*(Watts p, Time t)
+{
+    return Joules(p.value() * t.toSec());
+}
+
+constexpr Joules
+operator*(Time t, Watts p)
+{
+    return p * t;
+}
+
+/** Average power over a span: P = E / t. */
+constexpr Watts
+operator/(Joules e, Time t)
+{
+    return Watts(e.value() / t.toSec());
+}
+
+/** Heat flow across a thermal conductance: P = G * dT. */
+constexpr Watts
+heatFlow(WattsPerKelvin g, Celsius hot, Celsius cold)
+{
+    return Watts(g.value() * (hot.value() - cold.value()));
+}
+
+/** @} */
+
+} // namespace pvar
+
+#endif // PVAR_SIM_UNITS_HH

@@ -1,0 +1,78 @@
+#include "soc/cpufreq.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvar
+{
+
+std::size_t
+PerformanceGovernor::desiredIndex(const VfTable &table, double utilization,
+                                  Time now)
+{
+    (void)utilization;
+    (void)now;
+    return table.size() - 1;
+}
+
+std::size_t
+UserspaceGovernor::desiredIndex(const VfTable &table, double utilization,
+                                Time now)
+{
+    (void)utilization;
+    (void)now;
+    return std::min(_index, table.size() - 1);
+}
+
+InteractiveGovernor::InteractiveGovernor() : InteractiveGovernor(Params())
+{
+}
+
+InteractiveGovernor::InteractiveGovernor(const Params &params)
+    : _params(params), _current(0), _lastChange(Time::zero()),
+      _primed(false)
+{
+}
+
+std::size_t
+InteractiveGovernor::desiredIndex(const VfTable &table, double utilization,
+                                  Time now)
+{
+    if (_primed && now >= _lastChange &&
+        now - _lastChange < _params.minSampleTime)
+        return std::min(_current, table.size() - 1);
+
+    std::size_t desired;
+    if (utilization >= _params.hispeedLoad) {
+        desired = table.size() - 1;
+    } else {
+        // Pick the slowest OPP that keeps projected load at or below
+        // the target: f_needed = f_cur * util / target, approximated
+        // against the top frequency for scale stability.
+        double top = table.highest().freq.value();
+        double needed = top * utilization / _params.targetLoad;
+        desired = 0;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            desired = i;
+            if (table.point(i).freq.value() >= needed)
+                break;
+        }
+    }
+
+    if (!_primed || desired != _current) {
+        _current = desired;
+        _lastChange = now;
+        _primed = true;
+    }
+    return std::min(_current, table.size() - 1);
+}
+
+void
+InteractiveGovernor::reset()
+{
+    _current = 0;
+    _lastChange = Time::zero();
+    _primed = false;
+}
+
+} // namespace pvar

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CPU frequency (cpufreq) governors.
+ *
+ * The governor chooses the desired OPP for a cluster from the load;
+ * the Device then clamps it by the thermal governor's cap. Three
+ * policies cover the paper's experiments:
+ *
+ *  - Performance: always the top OPP (UNCONSTRAINED workload).
+ *  - Userspace: a fixed, caller-chosen OPP (FIXED-FREQUENCY workload).
+ *  - Interactive: ramps with utilization, approximating the stock
+ *    interactive/schedutil behaviour for background realism.
+ */
+
+#ifndef PVAR_SOC_CPUFREQ_HH
+#define PVAR_SOC_CPUFREQ_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "silicon/vf_table.hh"
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/**
+ * Abstract cpufreq policy.
+ */
+class CpufreqGovernor
+{
+  public:
+    virtual ~CpufreqGovernor() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Desired OPP index for the cluster.
+     *
+     * @param table the cluster's V-F table.
+     * @param utilization current load (0..1).
+     * @param now current time (for ramp timing).
+     */
+    virtual std::size_t desiredIndex(const VfTable &table,
+                                     double utilization, Time now) = 0;
+
+    /** Reset internal ramp state. */
+    virtual void reset() {}
+};
+
+/** Always selects the highest OPP. */
+class PerformanceGovernor : public CpufreqGovernor
+{
+  public:
+    std::string name() const override { return "performance"; }
+    std::size_t desiredIndex(const VfTable &table, double utilization,
+                             Time now) override;
+};
+
+/** Pins a fixed OPP chosen by the caller. */
+class UserspaceGovernor : public CpufreqGovernor
+{
+  public:
+    explicit UserspaceGovernor(std::size_t index) : _index(index) {}
+
+    std::string name() const override { return "userspace"; }
+    std::size_t desiredIndex(const VfTable &table, double utilization,
+                             Time now) override;
+
+    void setIndex(std::size_t index) { _index = index; }
+    std::size_t index() const { return _index; }
+
+  private:
+    std::size_t _index;
+};
+
+/**
+ * Utilization-driven ramp with a go-to-max threshold, loosely modeled
+ * on Android's interactive governor.
+ */
+class InteractiveGovernor : public CpufreqGovernor
+{
+  public:
+    /** Tunables. */
+    struct Params
+    {
+        /** Utilization above which the governor jumps to max. */
+        double hispeedLoad = 0.90;
+
+        /** Target load for proportional selection below that. */
+        double targetLoad = 0.80;
+
+        /** Minimum dwell between frequency changes. */
+        Time minSampleTime = Time::msec(40);
+    };
+
+    InteractiveGovernor();
+    explicit InteractiveGovernor(const Params &params);
+
+    std::string name() const override { return "interactive"; }
+    std::size_t desiredIndex(const VfTable &table, double utilization,
+                             Time now) override;
+    void reset() override;
+
+  private:
+    Params _params;
+    std::size_t _current;
+    Time _lastChange;
+    bool _primed;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SOC_CPUFREQ_HH

@@ -1,0 +1,51 @@
+#include "soc/input_voltage_throttle.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+InputVoltageThrottle::InputVoltageThrottle(
+    const InputVoltageThrottleParams &params)
+    : _params(params), _engaged(false), _lastPoll(Time::zero()),
+      _primed(false)
+{
+    if (_params.releaseAbove <= _params.engageBelow)
+        fatal("InputVoltageThrottle: release threshold must exceed "
+              "engage threshold");
+}
+
+void
+InputVoltageThrottle::update(Time now, Volts rail)
+{
+    if (_primed && now >= _lastPoll &&
+        now - _lastPoll < _params.pollPeriod)
+        return;
+    _lastPoll = now;
+    _primed = true;
+
+    if (!_engaged && rail < _params.engageBelow)
+        _engaged = true;
+    else if (_engaged && rail > _params.releaseAbove)
+        _engaged = false;
+}
+
+MegaHertz
+InputVoltageThrottle::freqCap() const
+{
+    if (_engaged)
+        return _params.cap;
+    return MegaHertz(std::numeric_limits<double>::infinity());
+}
+
+void
+InputVoltageThrottle::reset()
+{
+    _engaged = false;
+    _lastPoll = Time::zero();
+    _primed = false;
+}
+
+} // namespace pvar

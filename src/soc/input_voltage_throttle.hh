@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Input-voltage (non-thermal) throttling.
+ *
+ * The LG G5 throttles its CPU when the battery-rail voltage is low —
+ * the anomaly of paper Fig 10: powered from a Monsoon programmed to
+ * the battery's *nominal* 3.85 V, the phone runs ~20% slower than on
+ * its own (fresher, higher-voltage) battery; programming 4.4 V
+ * restores full performance. The mechanism protects against brownout
+ * on aged cells, and is the same family of behaviour as the iPhone
+ * slowdowns the paper's discussion cites.
+ */
+
+#ifndef PVAR_SOC_INPUT_VOLTAGE_THROTTLE_HH
+#define PVAR_SOC_INPUT_VOLTAGE_THROTTLE_HH
+
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** Rule configuration. */
+struct InputVoltageThrottleParams
+{
+    /** Engage when the sampled rail drops below this. */
+    Volts engageBelow{4.00};
+
+    /** Release when the rail rises above this (hysteresis). */
+    Volts releaseAbove{4.10};
+
+    /** Frequency cap while engaged. */
+    MegaHertz cap{1593.0};
+
+    /** Rail sampling period. */
+    Time pollPeriod = Time::msec(500);
+};
+
+/**
+ * The brownout-protection state machine.
+ */
+class InputVoltageThrottle
+{
+  public:
+    explicit InputVoltageThrottle(const InputVoltageThrottleParams &params);
+
+    /**
+     * Sample the rail; a no-op between poll periods.
+     */
+    void update(Time now, Volts rail);
+
+    /** True while the cap is engaged. */
+    bool engaged() const { return _engaged; }
+
+    /** Current cap, or infinity when released. */
+    MegaHertz freqCap() const;
+
+    void reset();
+
+    const InputVoltageThrottleParams &params() const { return _params; }
+
+  private:
+    InputVoltageThrottleParams _params;
+    bool _engaged;
+    Time _lastPoll;
+    bool _primed;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SOC_INPUT_VOLTAGE_THROTTLE_HH

@@ -1,0 +1,94 @@
+#include "soc/soc.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+Soc::Soc(SocParams params, Die die)
+    : _params(std::move(params)), _die(std::move(die))
+{
+    if (_params.clusters.empty())
+        fatal("Soc '%s': needs at least one cluster",
+              _params.name.c_str());
+    _clusters.reserve(_params.clusters.size());
+    for (const auto &cp : _params.clusters)
+        _clusters.emplace_back(cp);
+}
+
+CpuCluster &
+Soc::cluster(std::size_t i)
+{
+    if (i >= _clusters.size())
+        fatal("Soc '%s': cluster %zu out of range", _params.name.c_str(),
+              i);
+    return _clusters[i];
+}
+
+const CpuCluster &
+Soc::cluster(std::size_t i) const
+{
+    if (i >= _clusters.size())
+        fatal("Soc '%s': cluster %zu out of range", _params.name.c_str(),
+              i);
+    return _clusters[i];
+}
+
+int
+Soc::totalCores() const
+{
+    int n = 0;
+    for (const auto &c : _clusters)
+        n += c.coreCount();
+    return n;
+}
+
+Watts
+Soc::power(Celsius die_temp, bool suspended) const
+{
+    if (suspended) {
+        // Clusters are power-collapsed: retention leakage only, at the
+        // lowest table voltage.
+        Watts total = _params.uncoreSuspended;
+        for (const auto &c : _clusters) {
+            Volts v = c.table().lowest().voltage;
+            double size = c.params().coreType.sizeFactor *
+                          c.params().offlineLeakFraction;
+            total += _die.leakagePower(v, die_temp,
+                                       size * c.coreCount());
+        }
+        return total;
+    }
+
+    Watts total = _params.uncoreActive;
+    for (const auto &c : _clusters)
+        total += c.power(_die, die_temp);
+    return total;
+}
+
+double
+Soc::workRate() const
+{
+    double rate = 0.0;
+    for (const auto &c : _clusters)
+        rate += c.workRate();
+    return rate;
+}
+
+void
+Soc::toLowestOpp()
+{
+    for (auto &c : _clusters)
+        c.setOppIndex(0);
+}
+
+void
+Soc::toHighestOpp()
+{
+    for (auto &c : _clusters)
+        c.setOppIndex(c.table().size() - 1);
+}
+
+} // namespace pvar

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The system-on-chip: a die carrying one or more CPU clusters.
+ */
+
+#ifndef PVAR_SOC_SOC_HH
+#define PVAR_SOC_SOC_HH
+
+#include <string>
+#include <vector>
+
+#include "silicon/die.hh"
+#include "soc/cluster.hh"
+
+namespace pvar
+{
+
+/** Static configuration of an SoC model. */
+struct SocParams
+{
+    /** Marketing name, e.g. "SD-800". */
+    std::string name = "soc";
+
+    /** Clusters, ordered big-to-LITTLE where applicable. */
+    std::vector<ClusterParams> clusters;
+
+    /** Uncore power while the system is awake (rails, memory ctrl). */
+    Watts uncoreActive{0.25};
+
+    /** Uncore power while suspended. */
+    Watts uncoreSuspended{0.012};
+};
+
+/**
+ * A die plus its clusters; the power-relevant heart of a Device.
+ */
+class Soc
+{
+  public:
+    Soc(SocParams params, Die die);
+
+    const std::string &name() const { return _params.name; }
+    const Die &die() const { return _die; }
+
+    std::size_t clusterCount() const { return _clusters.size(); }
+    CpuCluster &cluster(std::size_t i);
+    const CpuCluster &cluster(std::size_t i) const;
+    std::vector<CpuCluster> &clusters() { return _clusters; }
+    const std::vector<CpuCluster> &clusters() const { return _clusters; }
+
+    /** Total core count across clusters. */
+    int totalCores() const;
+
+    /**
+     * Total SoC electrical power.
+     *
+     * @param die_temp junction temperature.
+     * @param suspended true when the OS suspended the system; clusters
+     *        are power-collapsed and only retention leakage remains.
+     */
+    Watts power(Celsius die_temp, bool suspended) const;
+
+    /** Sum of cluster work rates (iterations/second). */
+    double workRate() const;
+
+    /** Set every cluster to its lowest OPP. */
+    void toLowestOpp();
+
+    /** Set every cluster to its highest OPP. */
+    void toHighestOpp();
+
+  private:
+    SocParams _params;
+    Die _die;
+    std::vector<CpuCluster> _clusters;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SOC_SOC_HH

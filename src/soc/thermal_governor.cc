@@ -1,0 +1,95 @@
+#include "soc/thermal_governor.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+ThermalGovernor::ThermalGovernor(ThermalGovernorParams params)
+    : _params(std::move(params)),
+      _tripActive(_params.trips.size(), false),
+      _shutdownActive(_params.shutdowns.size(), false),
+      _lastPoll(Time::zero()), _primed(false)
+{
+    for (const auto &t : _params.trips) {
+        if (t.clear >= t.trip)
+            fatal("ThermalGovernor: trip at %.1fC must clear below "
+                  "itself (clear %.1fC)",
+                  t.trip.value(), t.clear.value());
+    }
+    for (const auto &s : _params.shutdowns) {
+        if (s.clear >= s.trip)
+            fatal("ThermalGovernor: shutdown at %.1fC must clear below "
+                  "itself",
+                  s.trip.value());
+        if (s.coresOffline < 1)
+            fatal("ThermalGovernor: shutdown rule must drop >= 1 core");
+    }
+}
+
+void
+ThermalGovernor::update(Time now, Celsius reading)
+{
+    if (_primed && now >= _lastPoll &&
+        now - _lastPoll < _params.pollPeriod)
+        return;
+    _lastPoll = now;
+    _primed = true;
+
+    for (std::size_t i = 0; i < _params.trips.size(); ++i) {
+        const auto &t = _params.trips[i];
+        if (!_tripActive[i] && reading >= t.trip)
+            _tripActive[i] = true;
+        else if (_tripActive[i] && reading < t.clear)
+            _tripActive[i] = false;
+    }
+    for (std::size_t i = 0; i < _params.shutdowns.size(); ++i) {
+        const auto &s = _params.shutdowns[i];
+        if (!_shutdownActive[i] && reading >= s.trip)
+            _shutdownActive[i] = true;
+        else if (_shutdownActive[i] && reading < s.clear)
+            _shutdownActive[i] = false;
+    }
+}
+
+MegaHertz
+ThermalGovernor::freqCap() const
+{
+    MegaHertz cap = unlimited();
+    for (std::size_t i = 0; i < _params.trips.size(); ++i) {
+        if (_tripActive[i])
+            cap = std::min(cap, _params.trips[i].cap);
+    }
+    return cap;
+}
+
+int
+ThermalGovernor::coresForcedOffline() const
+{
+    int n = 0;
+    for (std::size_t i = 0; i < _params.shutdowns.size(); ++i) {
+        if (_shutdownActive[i])
+            n = std::max(n, _params.shutdowns[i].coresOffline);
+    }
+    return n;
+}
+
+bool
+ThermalGovernor::mitigating() const
+{
+    return freqCap() < unlimited() || coresForcedOffline() > 0;
+}
+
+void
+ThermalGovernor::reset()
+{
+    std::fill(_tripActive.begin(), _tripActive.end(), false);
+    std::fill(_shutdownActive.begin(), _shutdownActive.end(), false);
+    _primed = false;
+    _lastPoll = Time::zero();
+}
+
+} // namespace pvar

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Thermal throttling governor.
+ *
+ * Models msm_thermal-style mitigation: an ordered list of trip points,
+ * each with a frequency cap, evaluated against the die sensor at a
+ * fixed polling period with hysteresis (a trip engages at `trip` and
+ * releases only below `clear`). Optionally, core-shutdown rules take
+ * whole cores offline at higher temperatures — the Nexus 5 behaviour
+ * the paper's Fig 1 caption describes ("Once thermal limits of 80C are
+ * reached, one CPU core is shut down").
+ *
+ * §IV-B of the paper hinges on exactly this mechanism: two dies with
+ * different leakage see different temperature trajectories, engage
+ * different trips for different durations, and therefore deliver
+ * different mean frequency and benchmark scores.
+ */
+
+#ifndef PVAR_SOC_THERMAL_GOVERNOR_HH
+#define PVAR_SOC_THERMAL_GOVERNOR_HH
+
+#include <limits>
+#include <vector>
+
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** One frequency-cap trip point. */
+struct TripPoint
+{
+    /** Temperature at which the cap engages. */
+    Celsius trip{75.0};
+
+    /** Temperature below which the cap releases (trip - hysteresis). */
+    Celsius clear{72.0};
+
+    /** Frequency cap applied while engaged. */
+    MegaHertz cap{1728.0};
+};
+
+/** One core-shutdown rule. */
+struct CoreShutdownRule
+{
+    Celsius trip{80.0};
+    Celsius clear{76.0};
+
+    /** Cores forced offline while engaged. */
+    int coresOffline = 1;
+};
+
+/** Static configuration of a governor instance. */
+struct ThermalGovernorParams
+{
+    std::vector<TripPoint> trips;
+    std::vector<CoreShutdownRule> shutdowns;
+
+    /** Sensor evaluation period. */
+    Time pollPeriod = Time::msec(250);
+};
+
+/**
+ * The mitigation state machine.
+ */
+class ThermalGovernor
+{
+  public:
+    explicit ThermalGovernor(ThermalGovernorParams params);
+
+    /**
+     * Evaluate the sensor reading; a no-op between poll periods.
+     *
+     * @param now current time.
+     * @param reading latched sensor temperature.
+     */
+    void update(Time now, Celsius reading);
+
+    /**
+     * Current frequency cap (min across engaged trips), or
+     * `unlimited()` when no trip is engaged.
+     */
+    MegaHertz freqCap() const;
+
+    /** Number of cores currently forced offline. */
+    int coresForcedOffline() const;
+
+    /** True if any mitigation is active. */
+    bool mitigating() const;
+
+    /** Sentinel meaning "no cap". */
+    static constexpr MegaHertz
+    unlimited()
+    {
+        return MegaHertz(std::numeric_limits<double>::infinity());
+    }
+
+    /** Reset all latched state (new experiment iteration). */
+    void reset();
+
+    const ThermalGovernorParams &params() const { return _params; }
+
+  private:
+    ThermalGovernorParams _params;
+    std::vector<bool> _tripActive;
+    std::vector<bool> _shutdownActive;
+    Time _lastPoll;
+    bool _primed;
+};
+
+} // namespace pvar
+
+#endif // PVAR_SOC_THERMAL_GOVERNOR_HH

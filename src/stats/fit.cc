@@ -1,0 +1,153 @@
+#include "stats/fit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("fitLinear: size mismatch (%zu vs %zu)", xs.size(), ys.size());
+    if (xs.size() < 2)
+        fatal("fitLinear: need at least two points");
+
+    auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+
+    double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (std::fabs(denom) < 1e-300) {
+        // Vertical data; fall back to a flat fit through the mean.
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double ss_tot = syy - sy * sy / n;
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+        ss_res += r * r;
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+namespace
+{
+
+/**
+ * RMSE of the cooling model for a fixed candidate ambient; also
+ * reports the implied t0 and tau through the out-parameters.
+ */
+double
+coolingRmse(const std::vector<double> &times_s,
+            const std::vector<double> &temps_c, double ambient, double *t0,
+            double *tau)
+{
+    std::vector<double> xs, ys;
+    xs.reserve(times_s.size());
+    ys.reserve(times_s.size());
+    for (std::size_t i = 0; i < times_s.size(); ++i) {
+        double excess = temps_c[i] - ambient;
+        if (excess <= 1e-9)
+            return std::numeric_limits<double>::infinity();
+        xs.push_back(times_s[i]);
+        ys.push_back(std::log(excess));
+    }
+    LinearFit lf = fitLinear(xs, ys);
+    if (lf.slope >= 0.0)
+        return std::numeric_limits<double>::infinity();
+
+    double fitted_tau = -1.0 / lf.slope;
+    double fitted_t0 = ambient + std::exp(lf.intercept);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < times_s.size(); ++i) {
+        double model = ambient + (fitted_t0 - ambient) *
+                                     std::exp(-times_s[i] / fitted_tau);
+        double r = temps_c[i] - model;
+        sse += r * r;
+    }
+    if (t0)
+        *t0 = fitted_t0;
+    if (tau)
+        *tau = fitted_tau;
+    return std::sqrt(sse / static_cast<double>(times_s.size()));
+}
+
+} // namespace
+
+CoolingFit
+fitCooling(const std::vector<double> &times_s,
+           const std::vector<double> &temps_c, double ambient_lo,
+           double ambient_hi)
+{
+    if (times_s.size() != temps_c.size())
+        fatal("fitCooling: size mismatch");
+    if (times_s.size() < 3)
+        fatal("fitCooling: need at least three points");
+
+    // The asymptote must lie strictly below every observed temperature.
+    double min_temp = *std::min_element(temps_c.begin(), temps_c.end());
+    ambient_hi = std::min(ambient_hi, min_temp - 1e-3);
+    if (ambient_hi <= ambient_lo)
+        ambient_lo = ambient_hi - 40.0;
+
+    // Golden-section search for the ambient minimizing RMSE.
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = ambient_lo, b = ambient_hi;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = coolingRmse(times_s, temps_c, c, nullptr, nullptr);
+    double fd = coolingRmse(times_s, temps_c, d, nullptr, nullptr);
+    for (int i = 0; i < 80 && (b - a) > 1e-4; ++i) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = coolingRmse(times_s, temps_c, c, nullptr, nullptr);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = coolingRmse(times_s, temps_c, d, nullptr, nullptr);
+        }
+    }
+
+    CoolingFit fit;
+    fit.ambient = 0.5 * (a + b);
+    fit.rmse = coolingRmse(times_s, temps_c, fit.ambient, &fit.t0, &fit.tau);
+    if (!std::isfinite(fit.rmse)) {
+        // Degenerate data (non-decaying); report a flat fit at the mean.
+        double mean = 0.0;
+        for (double t : temps_c)
+            mean += t;
+        mean /= static_cast<double>(temps_c.size());
+        fit.ambient = mean;
+        fit.t0 = mean;
+        fit.tau = 1.0;
+        fit.rmse = 0.0;
+        warn("fitCooling: non-decaying input, returning flat fit");
+    }
+    return fit;
+}
+
+} // namespace pvar

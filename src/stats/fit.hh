@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Curve fitting: ordinary least squares and exponential cooling fits.
+ *
+ * The exponential fit backs the paper's future-work idea (§VI) of
+ * estimating ambient temperature from the ACCUBENCH cooldown curve:
+ * a passively cooling device follows Newton's law of cooling,
+ *   T(t) = T_amb + (T_0 - T_amb) * exp(-t / tau),
+ * so T_amb is recoverable as the asymptote of the observed decay.
+ */
+
+#ifndef PVAR_STATS_FIT_HH
+#define PVAR_STATS_FIT_HH
+
+#include <vector>
+
+namespace pvar
+{
+
+/** Result of a simple linear regression y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/**
+ * Ordinary least squares on paired samples.
+ * Requires xs.size() == ys.size() >= 2.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Result of fitting T(t) = ambient + (t0 - ambient) * exp(-t/tau). */
+struct CoolingFit
+{
+    double ambient = 0.0; ///< asymptotic temperature
+    double t0 = 0.0;      ///< fitted initial temperature
+    double tau = 0.0;     ///< time constant, seconds
+    double rmse = 0.0;    ///< root-mean-square residual
+};
+
+/**
+ * Fit Newton's-law cooling to (time, temperature) samples.
+ *
+ * The asymptote is found by golden-section search over candidate
+ * ambients; for each candidate the remaining parameters follow from a
+ * linear fit of log(T - ambient) against t.
+ *
+ * @param times_s sample times in seconds (ascending).
+ * @param temps_c sample temperatures in Celsius (decaying).
+ * @param ambient_lo search bracket lower bound.
+ * @param ambient_hi search bracket upper bound (must be below min temp).
+ */
+CoolingFit fitCooling(const std::vector<double> &times_s,
+                      const std::vector<double> &temps_c,
+                      double ambient_lo = -20.0, double ambient_hi = 60.0);
+
+} // namespace pvar
+
+#endif // PVAR_STATS_FIT_HH

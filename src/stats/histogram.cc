@@ -1,0 +1,105 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo), _width((hi - lo) / static_cast<double>(bins)),
+      _counts(bins, 0), _total(0)
+{
+    if (bins == 0)
+        fatal("Histogram: need at least one bin");
+    if (hi <= lo)
+        fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<long>(std::floor((x - _lo) / _width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(_counts.size()) - 1);
+    ++_counts[static_cast<std::size_t>(idx)];
+    ++_total;
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::count(std::size_t i) const
+{
+    if (i >= _counts.size())
+        fatal("Histogram: bin %zu out of range (%zu bins)", i,
+              _counts.size());
+    return _counts[i];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(_total);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return _lo + (static_cast<double>(i) + 0.5) * _width;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return _lo + static_cast<double>(i) * _width;
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    auto it = std::max_element(_counts.begin(), _counts.end());
+    return static_cast<std::size_t>(it - _counts.begin());
+}
+
+std::vector<double>
+Histogram::fractions() const
+{
+    std::vector<double> out(_counts.size());
+    for (std::size_t i = 0; i < _counts.size(); ++i)
+        out[i] = fraction(i);
+    return out;
+}
+
+std::string
+Histogram::toAscii(std::size_t max_width) const
+{
+    std::string out;
+    std::size_t peak = _total ? *std::max_element(_counts.begin(),
+                                                  _counts.end())
+                              : 1;
+    if (peak == 0)
+        peak = 1;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(_counts[i]) *
+                         static_cast<double>(max_width) /
+                         static_cast<double>(peak)));
+        out += strfmt("%10.2f | %-*s %5.1f%%\n", binCenter(i),
+                      static_cast<int>(max_width),
+                      std::string(bar_len, '#').c_str(),
+                      fraction(i) * 100.0);
+    }
+    return out;
+}
+
+} // namespace pvar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-width histograms.
+ *
+ * Figures 11 and 12 of the paper present frequency and temperature
+ * *distributions over time* for pairs of devices. Histogram bins a
+ * sample stream into uniform buckets and reports per-bin counts and
+ * fractions of total observation count.
+ */
+
+#ifndef PVAR_STATS_HISTOGRAM_HH
+#define PVAR_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pvar
+{
+
+/**
+ * Uniform-bin histogram over [lo, hi).
+ *
+ * Out-of-range samples clamp into the first/last bin so a stray
+ * observation is visible rather than silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin (must exceed lo).
+     * @param bins number of bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void addAll(const std::vector<double> &xs);
+
+    std::size_t binCount() const { return _counts.size(); }
+    std::size_t total() const { return _total; }
+
+    /** Count in bin i. */
+    std::size_t count(std::size_t i) const;
+
+    /** Fraction of all samples in bin i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** Center value of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Width of each bin. */
+    double binWidth() const { return _width; }
+
+    /** Index of the fullest bin (0 when empty). */
+    std::size_t modeBin() const;
+
+    /** All per-bin fractions. */
+    std::vector<double> fractions() const;
+
+    /** Render as a compact multi-line ASCII bar chart. */
+    std::string toAscii(std::size_t max_width = 50) const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<std::size_t> _counts;
+    std::size_t _total;
+};
+
+} // namespace pvar
+
+#endif // PVAR_STATS_HISTOGRAM_HH

@@ -1,0 +1,164 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+/** Squared distance to the nearest center. */
+double
+nearestSq(const std::vector<double> &centers, double x,
+          std::size_t *which = nullptr)
+{
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+        double d = (x - centers[i]) * (x - centers[i]);
+        if (d < best) {
+            best = d;
+            best_i = i;
+        }
+    }
+    if (which)
+        *which = best_i;
+    return best;
+}
+
+/** k-means++ seeding. */
+std::vector<double>
+seedCenters(const std::vector<double> &data, std::size_t k, Rng &rng)
+{
+    std::vector<double> centers;
+    centers.reserve(k);
+    centers.push_back(
+        data[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(data.size()) - 1))]);
+    while (centers.size() < k) {
+        std::vector<double> d2(data.size());
+        double total = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            d2[i] = nearestSq(centers, data[i]);
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a center; duplicate one.
+            centers.push_back(centers.back());
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        std::size_t chosen = data.size() - 1;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            acc += d2[i];
+            if (acc >= pick) {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push_back(data[chosen]);
+    }
+    return centers;
+}
+
+} // namespace
+
+KMeansResult
+kmeans1d(const std::vector<double> &data, std::size_t k, Rng &rng,
+         int max_iters)
+{
+    if (data.empty())
+        fatal("kmeans1d: empty data");
+    if (k == 0 || k > data.size())
+        fatal("kmeans1d: k=%zu invalid for %zu points", k, data.size());
+
+    std::vector<double> centers = seedCenters(data, k, rng);
+    std::vector<std::size_t> assignment(data.size(), 0);
+
+    KMeansResult result;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            std::size_t which = 0;
+            nearestSq(centers, data[i], &which);
+            if (which != assignment[i]) {
+                assignment[i] = which;
+                changed = true;
+            }
+        }
+
+        std::vector<double> sums(k, 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            sums[assignment[i]] += data[i];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] > 0)
+                centers[c] = sums[c] / static_cast<double>(counts[c]);
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+    }
+
+    // Sort centers ascending and remap assignments.
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return centers[a] < centers[b];
+    });
+    std::vector<std::size_t> rank(k);
+    for (std::size_t i = 0; i < k; ++i)
+        rank[order[i]] = i;
+
+    result.centers.resize(k);
+    for (std::size_t i = 0; i < k; ++i)
+        result.centers[i] = centers[order[i]];
+    result.assignment.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        result.assignment[i] = rank[assignment[i]];
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        double d = data[i] - result.centers[result.assignment[i]];
+        result.inertia += d * d;
+    }
+    return result;
+}
+
+KMeansResult
+kmeansAuto(const std::vector<double> &data, std::size_t max_k, Rng &rng,
+           double min_gain)
+{
+    if (data.empty())
+        fatal("kmeansAuto: empty data");
+    max_k = std::min(max_k, data.size());
+
+    // The k=1 inertia is n * variance: the scale against which further
+    // splits must justify themselves. Once the residual inertia is a
+    // negligible sliver of it, extra clusters only chase noise.
+    KMeansResult best = kmeans1d(data, 1, rng);
+    const double scale = best.inertia;
+
+    for (std::size_t k = 2; k <= max_k; ++k) {
+        double prev_inertia = best.inertia;
+        if (prev_inertia <= 1e-3 * scale)
+            break; // essentially a perfect fit already
+        KMeansResult next = kmeans1d(data, k, rng);
+        double gain = (prev_inertia - next.inertia) / prev_inertia;
+        if (gain < min_gain)
+            break;
+        best = next;
+    }
+    return best;
+}
+
+} // namespace pvar

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 1-D k-means clustering.
+ *
+ * Paper §VI (future work) proposes recovering hidden CPU bins from
+ * crowdsourced benchmark scores "by clustering the performance data
+ * using unstructured learning algorithms". This implements exactly
+ * that: k-means over scalar scores with deterministic k-means++
+ * seeding and an elbow heuristic for choosing k.
+ */
+
+#ifndef PVAR_STATS_KMEANS_HH
+#define PVAR_STATS_KMEANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace pvar
+{
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    /** Cluster centers, sorted ascending. */
+    std::vector<double> centers;
+    /** Cluster index per input point (into `centers`). */
+    std::vector<std::size_t> assignment;
+    /** Sum of squared distances to assigned centers. */
+    double inertia = 0.0;
+    /** Lloyd iterations executed. */
+    int iterations = 0;
+};
+
+/**
+ * Cluster scalar data into k groups.
+ *
+ * @param data input points (unsorted is fine).
+ * @param k number of clusters (1 <= k <= data.size()).
+ * @param rng seeding source for k-means++ initialization.
+ * @param max_iters Lloyd iteration cap.
+ */
+KMeansResult kmeans1d(const std::vector<double> &data, std::size_t k,
+                      Rng &rng, int max_iters = 100);
+
+/**
+ * Pick a cluster count via the elbow heuristic: smallest k whose
+ * incremental inertia improvement falls below `min_gain` (relative
+ * to the k-1 inertia).
+ *
+ * @param data input points.
+ * @param max_k largest k to consider.
+ * @param rng seeding source.
+ * @param min_gain relative improvement threshold (default 25%).
+ * @return best clustering found.
+ */
+KMeansResult kmeansAuto(const std::vector<double> &data, std::size_t max_k,
+                        Rng &rng, double min_gain = 0.25);
+
+} // namespace pvar
+
+#endif // PVAR_STATS_KMEANS_HH

@@ -1,0 +1,161 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+OnlineSummary::OnlineSummary()
+    : _n(0), _mean(0.0), _m2(0.0),
+      _min(std::numeric_limits<double>::infinity()),
+      _max(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+OnlineSummary::add(double x)
+{
+    ++_n;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+double
+OnlineSummary::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n - 1);
+}
+
+double
+OnlineSummary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineSummary::rsd() const
+{
+    if (_mean == 0.0)
+        return 0.0;
+    return std::fabs(stddev() / _mean);
+}
+
+void
+OnlineSummary::merge(const OnlineSummary &other)
+{
+    if (other._n == 0)
+        return;
+    if (_n == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(_n);
+    double nb = static_cast<double>(other._n);
+    double delta = other._mean - _mean;
+    double total = na + nb;
+    _mean += delta * nb / total;
+    _m2 += other._m2 + delta * delta * na * nb / total;
+    _n += other._n;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+OnlineSummary
+summarize(const std::vector<double> &values)
+{
+    OnlineSummary s;
+    for (double v : values)
+        s.add(v);
+    return s;
+}
+
+double
+relativeSpread(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    if (*mx == 0.0)
+        return 0.0;
+    return (*mx - *mn) / *mx;
+}
+
+double
+relativeExcess(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    if (*mn == 0.0)
+        return 0.0;
+    return (*mx - *mn) / *mn;
+}
+
+std::vector<double>
+normalizeToMax(const std::vector<double> &values)
+{
+    std::vector<double> out(values);
+    if (values.empty())
+        return out;
+    double mx = *std::max_element(values.begin(), values.end());
+    if (mx == 0.0)
+        fatal("normalizeToMax: max value is zero");
+    for (double &v : out)
+        v /= mx;
+    return out;
+}
+
+std::vector<double>
+normalizeToMin(const std::vector<double> &values)
+{
+    std::vector<double> out(values);
+    if (values.empty())
+        return out;
+    double mn = *std::min_element(values.begin(), values.end());
+    if (mn == 0.0)
+        fatal("normalizeToMin: min value is zero");
+    for (double &v : out)
+        v /= mn;
+    return out;
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return *std::min_element(values.begin(), values.end());
+    if (q >= 100.0)
+        return *std::max_element(values.begin(), values.end());
+    std::sort(values.begin(), values.end());
+    double idx = q / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    double frac = idx - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+} // namespace pvar

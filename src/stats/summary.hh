@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scalar summary statistics.
+ *
+ * The paper reports every result as a mean with Relative Standard
+ * Deviation (RSD, the absolute coefficient of variation) and presents
+ * cross-device comparisons in normalized form. This header provides
+ * exactly those reductions.
+ */
+
+#ifndef PVAR_STATS_SUMMARY_HH
+#define PVAR_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pvar
+{
+
+/**
+ * Numerically stable streaming summary (Welford's algorithm).
+ */
+class OnlineSummary
+{
+  public:
+    OnlineSummary();
+
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    std::size_t count() const { return _n; }
+    double mean() const { return _mean; }
+
+    /** Sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Relative standard deviation: |stddev / mean|.
+     * Returns 0 when the mean is 0.
+     */
+    double rsd() const;
+
+    /** RSD expressed in percent. */
+    double rsdPercent() const { return rsd() * 100.0; }
+
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    /** Merge another summary into this one (parallel Welford). */
+    void merge(const OnlineSummary &other);
+
+  private:
+    std::size_t _n;
+    double _mean;
+    double _m2;
+    double _min;
+    double _max;
+};
+
+/** Summarize a batch of values in one call. */
+OnlineSummary summarize(const std::vector<double> &values);
+
+/**
+ * Peak-to-peak spread relative to the best (largest) value:
+ * (max - min) / max. This is how the paper quotes "bin-0 is 14% faster
+ * than bin-3" style variation numbers.
+ */
+double relativeSpread(const std::vector<double> &values);
+
+/**
+ * Peak-to-peak spread relative to the smallest value:
+ * (max - min) / min. Used for energy ("consumes 19% more energy").
+ */
+double relativeExcess(const std::vector<double> &values);
+
+/** Divide every value by the maximum (normalized form, best = 1.0). */
+std::vector<double> normalizeToMax(const std::vector<double> &values);
+
+/** Divide every value by the minimum (normalized form, best = 1.0). */
+std::vector<double> normalizeToMin(const std::vector<double> &values);
+
+/** Median of a batch (by copy; the input is left untouched). */
+double median(std::vector<double> values);
+
+/** q-th percentile (0..100) with linear interpolation. */
+double percentile(std::vector<double> values, double q);
+
+} // namespace pvar
+
+#endif // PVAR_STATS_SUMMARY_HH

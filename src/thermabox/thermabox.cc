@@ -1,0 +1,131 @@
+#include "thermabox/thermabox.hh"
+
+#include <cmath>
+
+namespace pvar
+{
+
+Thermabox::Thermabox(const ThermaboxParams &params)
+    : _params(params), _device(nullptr), _probe(params.target),
+      _lampOn(false), _compressorOn(false), _lastControl(Time::zero()),
+      _controlPrimed(false), _inBandSince(Time::zero()), _inBand(false),
+      _stable(false), _observed(Time::zero()),
+      _lampOnTime(Time::zero()), _compressorOnTime(Time::zero())
+{
+    // Start the chamber pre-regulated at the target: the paper's
+    // protocol begins by *confirming* stability, not by waiting for a
+    // cold chamber to converge from room temperature.
+    _air = _net.addNode("air", JoulesPerKelvin(_params.airCapacitance),
+                        _params.target);
+    _wall = _net.addNode("wall", JoulesPerKelvin(_params.wallCapacitance),
+                         _params.target);
+    _room = _net.addBoundary("room", _params.room);
+    _net.connect(_air, _wall, WattsPerKelvin(_params.airToWall));
+    _net.connect(_wall, _room, WattsPerKelvin(_params.wallToRoom));
+}
+
+void
+Thermabox::placeDevice(Device *device)
+{
+    _device = device;
+    if (_device)
+        _device->setAmbient(airTemp());
+}
+
+void
+Thermabox::setTarget(Celsius t)
+{
+    _params.target = t;
+    _stable = false;
+    _inBand = false;
+}
+
+Celsius
+Thermabox::airTemp() const
+{
+    return _net.temperature(_air);
+}
+
+double
+Thermabox::lampDutyCycle() const
+{
+    return _observed > Time::zero() ? _lampOnTime / _observed : 0.0;
+}
+
+double
+Thermabox::compressorDutyCycle() const
+{
+    return _observed > Time::zero() ? _compressorOnTime / _observed : 0.0;
+}
+
+void
+Thermabox::tick(Time now, Time dt)
+{
+    // -- Probe lag: first-order response toward the air temperature. ----
+    double alpha = 1.0 - std::exp(-dt.toSec() / _params.probeTau.toSec());
+    _probe = Celsius(_probe.value() +
+                     alpha * (airTemp().value() - _probe.value()));
+
+    // -- Bang-bang controller at its own period. -------------------------
+    if (!_controlPrimed || now < _lastControl ||
+        now - _lastControl >= _params.controllerPeriod) {
+        _lastControl = now;
+        _controlPrimed = true;
+        double err = _probe.value() - _params.target.value();
+        // Engage at the band edge, but keep driving until the probe
+        // crosses the target: releasing at the edge would leave the
+        // air grazing out of band on every drift cycle.
+        if (err < -_params.deadband) {
+            _lampOn = true;
+            _compressorOn = false;
+        } else if (err > _params.deadband) {
+            _lampOn = false;
+            _compressorOn = true;
+        } else if ((_lampOn && err >= 0.0) ||
+                   (_compressorOn && err <= 0.0)) {
+            _lampOn = false;
+            _compressorOn = false;
+        }
+    }
+
+    // -- Heat balance of the chamber. --------------------------------------
+    // Actuator power splits between the air and the walls (the lamp
+    // radiates mostly onto surfaces; the evaporator is wall-like),
+    // which is what keeps bang-bang regulation inside a +/-0.5 C band.
+    double actuator = 0.0;
+    if (_lampOn)
+        actuator += _params.lampPower;
+    if (_compressorOn)
+        actuator -= _params.compressorPower;
+    double to_air = actuator * _params.actuatorAirFraction;
+    double to_wall = actuator - to_air;
+    if (_device)
+        to_air += _device->heatToAmbientW();
+    _net.setPower(_air, Watts(to_air));
+    _net.setPower(_wall, Watts(to_wall));
+    _net.step(dt);
+
+    // -- Couple the device's environment to the chamber. -----------------
+    if (_device)
+        _device->setAmbient(airTemp());
+
+    // -- Stability bookkeeping. -------------------------------------------
+    // A small margin over the control band: the bang-bang cycle by
+    // design grazes the edges, and momentary edge contact should not
+    // reset the dwell clock.
+    bool in_band =
+        std::fabs(airTemp().value() - _params.target.value()) <=
+        _params.deadband + 0.15;
+    if (in_band && !_inBand)
+        _inBandSince = now;
+    _inBand = in_band;
+    _stable = in_band && (now - _inBandSince >= _params.stabilityDwell);
+
+    _observed += dt;
+    if (_lampOn)
+        _lampOnTime += dt;
+    if (_compressorOn)
+        _compressorOnTime += dt;
+}
+
+} // namespace pvar

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * THERMABOX: the controlled thermal environment (paper §III, Fig 3).
+ *
+ * The paper's chamber is a box with a RaspberryPi controller, an
+ * ESP-8266 + thermistor probe, a 250 W halogen lamp for heating and a
+ * compressor for cooling, regulating to 26 +/- 0.5 C. The model is a
+ * two-mass network (air, walls) against the lab room, a first-order
+ * probe, and a bang-bang controller that duty-cycles lamp/compressor
+ * exactly as the hardware does.
+ *
+ * The device under test sits in the chamber: every tick the box pins
+ * the device's ambient to the chamber air temperature and absorbs the
+ * device's dissipated heat into the air node.
+ */
+
+#ifndef PVAR_THERMABOX_THERMABOX_HH
+#define PVAR_THERMABOX_THERMABOX_HH
+
+#include "device/device.hh"
+#include "sim/tickable.hh"
+#include "thermal/rc_network.hh"
+
+namespace pvar
+{
+
+/** Chamber constants. */
+struct ThermaboxParams
+{
+    /** Regulation target. */
+    Celsius target{26.0};
+
+    /** Half-width of the regulation band (paper: 0.5 C). */
+    double deadband = 0.5;
+
+    /** Lab room temperature outside the box. */
+    Celsius room{22.0};
+
+    /** Heat capacity of the chamber air and interior fixtures (J/K). */
+    double airCapacitance = 600.0;
+
+    /** Heat capacity of the chamber walls (J/K). */
+    double wallCapacitance = 6000.0;
+
+    /** Air <-> wall conductance (W/K). */
+    double airToWall = 6.0;
+
+    /** Wall <-> room conductance (W/K). */
+    double wallToRoom = 1.8;
+
+    /** Halogen lamp heating power (paper: 250 W). */
+    double lampPower = 250.0;
+
+    /** Compressor cooling power (heat removal rate, W). */
+    double compressorPower = 220.0;
+
+    /**
+     * Fraction of actuator power that acts on the air directly; the
+     * rest lands on the walls (the halogen lamp radiates mostly onto
+     * surfaces, and the compressor's evaporator plate is wall-like).
+     */
+    double actuatorAirFraction = 0.25;
+
+    /** Probe (thermistor) time constant. */
+    Time probeTau = Time::sec(2.0);
+
+    /** Controller polling period (RaspberryPi loop). */
+    Time controllerPeriod = Time::sec(1.0);
+
+    /** Dwell inside the band before the chamber counts as stable. */
+    Time stabilityDwell = Time::sec(60.0);
+};
+
+/**
+ * The chamber, its probe, and its controller.
+ */
+class Thermabox : public Tickable
+{
+  public:
+    explicit Thermabox(const ThermaboxParams &params);
+
+    std::string name() const override { return "thermabox"; }
+
+    /** Place a device in the chamber (nullptr removes it). */
+    void placeDevice(Device *device);
+
+    /** Change the regulation target (ambient sweeps, Fig 2). */
+    void setTarget(Celsius t);
+    Celsius target() const { return _params.target; }
+
+    /** True chamber air temperature. */
+    Celsius airTemp() const;
+
+    /** What the probe currently reads (lagged). */
+    Celsius probeTemp() const { return _probe; }
+
+    /** True when the probe has stayed in band for the dwell time. */
+    bool stable() const { return _stable; }
+
+    /** @name Actuator state (duty-cycle diagnostics). @{ */
+    bool lampOn() const { return _lampOn; }
+    bool compressorOn() const { return _compressorOn; }
+    double lampDutyCycle() const;
+    double compressorDutyCycle() const;
+    /** @} */
+
+    void tick(Time now, Time dt) override;
+
+    const ThermaboxParams &params() const { return _params; }
+
+  private:
+    ThermaboxParams _params;
+    ThermalNetwork _net;
+    ThermalNodeId _air;
+    ThermalNodeId _wall;
+    ThermalNodeId _room;
+
+    Device *_device;
+    Celsius _probe;
+    bool _lampOn;
+    bool _compressorOn;
+    Time _lastControl;
+    bool _controlPrimed;
+
+    Time _inBandSince;
+    bool _inBand;
+    bool _stable;
+
+    Time _observed;
+    Time _lampOnTime;
+    Time _compressorOnTime;
+};
+
+} // namespace pvar
+
+#endif // PVAR_THERMABOX_THERMABOX_HH

@@ -1,0 +1,45 @@
+#include "thermal/package.hh"
+
+namespace pvar
+{
+
+PhonePackage::PhonePackage(const PackageParams &params, Celsius ambient)
+    : _caseToAmbient(params.caseToAmbient)
+{
+    _die = _net.addNode("die", JoulesPerKelvin(params.dieCapacitance),
+                        ambient);
+    _soc = _net.addNode("soc", JoulesPerKelvin(params.socCapacitance),
+                        ambient);
+    _battery = _net.addNode("battery",
+                            JoulesPerKelvin(params.batteryCapacitance),
+                            ambient);
+    _case = _net.addNode("case", JoulesPerKelvin(params.caseCapacitance),
+                         ambient);
+    _ambient = _net.addBoundary("ambient", ambient);
+
+    _net.connect(_die, _soc, WattsPerKelvin(params.dieToSoc));
+    _net.connect(_soc, _case, WattsPerKelvin(params.socToCase));
+    _net.connect(_soc, _battery, WattsPerKelvin(params.socToBattery));
+    _net.connect(_battery, _case, WattsPerKelvin(params.batteryToCase));
+    _net.connect(_case, _ambient, WattsPerKelvin(params.caseToAmbient));
+}
+
+Watts
+PhonePackage::heatToAmbient() const
+{
+    // Only the case->ambient edge counts; the case node's other edges
+    // move heat within the phone.
+    return heatFlow(WattsPerKelvin(_caseToAmbient), caseTemp(),
+                    ambientTemp());
+}
+
+void
+PhonePackage::soakTo(Celsius t)
+{
+    for (ThermalNodeId i = 0; i < _net.nodeCount(); ++i) {
+        if (!_net.isBoundary(i))
+            _net.setTemperature(i, t);
+    }
+}
+
+} // namespace pvar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Smartphone thermal package.
+ *
+ * A standard five-node abstraction of a phone:
+ *
+ *     die --- soc(pcb) --- case --- [ambient]
+ *                |           |
+ *             battery -------+
+ *
+ * The die is the CPU silicon plus its spreader (small mass, heats in
+ * seconds — the paper notes top-frequency phones hit thermal limits
+ * "within seconds"); the soc node lumps package and board copper; the
+ * battery is the largest mass; the case exchanges heat with ambient by
+ * natural convection. There is no fan or heat sink, by construction.
+ */
+
+#ifndef PVAR_THERMAL_PACKAGE_HH
+#define PVAR_THERMAL_PACKAGE_HH
+
+#include "thermal/rc_network.hh"
+
+namespace pvar
+{
+
+/** Geometry/material parameters of one phone model's package. */
+struct PackageParams
+{
+    /** @name Heat capacities (J/K). @{ */
+    double dieCapacitance = 2.0;
+    double socCapacitance = 25.0;
+    double batteryCapacitance = 45.0;
+    double caseCapacitance = 70.0;
+    /** @} */
+
+    /** @name Conductances (W/K). @{ */
+    double dieToSoc = 0.50;
+    double socToCase = 0.33;
+    double socToBattery = 0.10;
+    double batteryToCase = 0.15;
+    double caseToAmbient = 0.24;
+    /** @} */
+};
+
+/**
+ * The assembled network with named access to the standard nodes.
+ */
+class PhonePackage
+{
+  public:
+    /**
+     * @param params package constants.
+     * @param ambient initial ambient temperature.
+     */
+    PhonePackage(const PackageParams &params, Celsius ambient);
+
+    /** Underlying network (tests / advanced callers). */
+    ThermalNetwork &network() { return _net; }
+    const ThermalNetwork &network() const { return _net; }
+
+    /** @name Power injection. @{ */
+    void setCpuPower(Watts p) { _net.setPower(_die, p); }
+    /** Rest-of-board power (display off, radios off: small). */
+    void setBoardPower(Watts p) { _net.setPower(_soc, p); }
+    /** Battery self-heating (I^2 R). */
+    void setBatteryPower(Watts p) { _net.setPower(_battery, p); }
+    /** @} */
+
+    /** @name Temperatures. @{ */
+    Celsius dieTemp() const { return _net.temperature(_die); }
+    Celsius socTemp() const { return _net.temperature(_soc); }
+    Celsius batteryTemp() const { return _net.temperature(_battery); }
+    Celsius caseTemp() const { return _net.temperature(_case); }
+    Celsius ambientTemp() const { return _net.temperature(_ambient); }
+    /** @} */
+
+    /** Update the environment temperature (driven by the THERMABOX). */
+    void setAmbient(Celsius t) { _net.setTemperature(_ambient, t); }
+
+    /** Heat currently leaving the case into the environment (W). */
+    Watts heatToAmbient() const;
+
+    /** Advance the package by `dt`. */
+    void step(Time dt) { _net.step(dt); }
+
+    /** Equalize every node to the given temperature (cold start). */
+    void soakTo(Celsius t);
+
+    /** Node handles (for trace labels / tests). */
+    ThermalNodeId dieNode() const { return _die; }
+    ThermalNodeId socNode() const { return _soc; }
+    ThermalNodeId batteryNode() const { return _battery; }
+    ThermalNodeId caseNode() const { return _case; }
+    ThermalNodeId ambientNode() const { return _ambient; }
+
+  private:
+    ThermalNetwork _net;
+    double _caseToAmbient;
+    ThermalNodeId _die;
+    ThermalNodeId _soc;
+    ThermalNodeId _battery;
+    ThermalNodeId _case;
+    ThermalNodeId _ambient;
+};
+
+} // namespace pvar
+
+#endif // PVAR_THERMAL_PACKAGE_HH

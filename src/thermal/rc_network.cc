@@ -1,0 +1,186 @@
+#include "thermal/rc_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+ThermalNodeId
+ThermalNetwork::addNode(const std::string &node_name,
+                        JoulesPerKelvin capacitance, Celsius initial)
+{
+    if (capacitance.value() <= 0.0)
+        fatal("ThermalNetwork: node '%s' needs positive capacitance",
+              node_name.c_str());
+    _nodes.push_back(
+        Node{node_name, capacitance.value(), initial.value(), 0.0});
+    _adj.emplace_back();
+    return _nodes.size() - 1;
+}
+
+ThermalNodeId
+ThermalNetwork::addBoundary(const std::string &node_name, Celsius temp)
+{
+    _nodes.push_back(Node{node_name, 0.0, temp.value(), 0.0});
+    _adj.emplace_back();
+    return _nodes.size() - 1;
+}
+
+void
+ThermalNetwork::connect(ThermalNodeId a, ThermalNodeId b, WattsPerKelvin g)
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        fatal("ThermalNetwork: self edge on '%s'", _nodes[a].name.c_str());
+    if (g.value() <= 0.0)
+        fatal("ThermalNetwork: non-positive conductance between '%s' "
+              "and '%s'",
+              _nodes[a].name.c_str(), _nodes[b].name.c_str());
+    _edges.push_back(Edge{a, b, g.value()});
+    _adj[a].emplace_back(b, g.value());
+    _adj[b].emplace_back(a, g.value());
+}
+
+void
+ThermalNetwork::setPower(ThermalNodeId node, Watts p)
+{
+    checkNode(node);
+    _nodes[node].power = p.value();
+}
+
+Watts
+ThermalNetwork::power(ThermalNodeId node) const
+{
+    checkNode(node);
+    return Watts(_nodes[node].power);
+}
+
+Celsius
+ThermalNetwork::temperature(ThermalNodeId node) const
+{
+    checkNode(node);
+    return Celsius(_nodes[node].temp);
+}
+
+void
+ThermalNetwork::setTemperature(ThermalNodeId node, Celsius t)
+{
+    checkNode(node);
+    _nodes[node].temp = t.value();
+}
+
+bool
+ThermalNetwork::isBoundary(ThermalNodeId node) const
+{
+    checkNode(node);
+    return _nodes[node].capacitance <= 0.0;
+}
+
+const std::string &
+ThermalNetwork::nodeName(ThermalNodeId node) const
+{
+    checkNode(node);
+    return _nodes[node].name;
+}
+
+void
+ThermalNetwork::checkNode(ThermalNodeId node) const
+{
+    if (node >= _nodes.size())
+        panic("ThermalNetwork: node id %zu out of range (%zu nodes)", node,
+              _nodes.size());
+}
+
+double
+ThermalNetwork::minTimeConstant() const
+{
+    double tau = std::numeric_limits<double>::infinity();
+    for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+        if (_nodes[i].capacitance <= 0.0)
+            continue;
+        double g_total = 0.0;
+        for (const auto &[other, g] : _adj[i])
+            g_total += g;
+        if (g_total > 0.0)
+            tau = std::min(tau, _nodes[i].capacitance / g_total);
+    }
+    return tau;
+}
+
+void
+ThermalNetwork::step(Time dt)
+{
+    if (_nodes.empty() || dt <= Time::zero())
+        return;
+
+    // Explicit Euler is stable for h < tau_min; halve further for
+    // accuracy headroom.
+    double h_total = dt.toSec();
+    double tau = minTimeConstant();
+    int substeps = 1;
+    if (std::isfinite(tau) && tau > 0.0)
+        substeps = std::max(1, static_cast<int>(
+                                   std::ceil(h_total / (0.5 * tau))));
+    double h = h_total / substeps;
+
+    std::vector<double> flux(_nodes.size());
+    for (int s = 0; s < substeps; ++s) {
+        std::fill(flux.begin(), flux.end(), 0.0);
+        for (const auto &e : _edges) {
+            double q = e.conductance * (_nodes[e.a].temp - _nodes[e.b].temp);
+            flux[e.a] -= q;
+            flux[e.b] += q;
+        }
+        for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+            if (_nodes[i].capacitance <= 0.0)
+                continue; // boundary holds its temperature
+            double dT = (flux[i] + _nodes[i].power) * h /
+                        _nodes[i].capacitance;
+            _nodes[i].temp += dT;
+        }
+    }
+}
+
+bool
+ThermalNetwork::solveSteadyState(double tolerance, int max_iters)
+{
+    for (int iter = 0; iter < max_iters; ++iter) {
+        double worst = 0.0;
+        for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+            if (_nodes[i].capacitance <= 0.0)
+                continue;
+            double g_total = 0.0;
+            double g_weighted = 0.0;
+            for (const auto &[other, g] : _adj[i]) {
+                g_total += g;
+                g_weighted += g * _nodes[other].temp;
+            }
+            if (g_total <= 0.0)
+                continue; // isolated node with power would diverge
+            double updated = (g_weighted + _nodes[i].power) / g_total;
+            worst = std::max(worst, std::fabs(updated - _nodes[i].temp));
+            _nodes[i].temp = updated;
+        }
+        if (worst < tolerance)
+            return true;
+    }
+    warn("ThermalNetwork: steady-state solve did not converge");
+    return false;
+}
+
+Watts
+ThermalNetwork::heatOutflow(ThermalNodeId node) const
+{
+    checkNode(node);
+    double q = 0.0;
+    for (const auto &[other, g] : _adj[node])
+        q += g * (_nodes[node].temp - _nodes[other].temp);
+    return Watts(q);
+}
+
+} // namespace pvar

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lumped-parameter (RC) thermal network.
+ *
+ * Heat conduction through a small device is well approximated by a
+ * graph of thermal capacitances (nodes) joined by thermal conductances
+ * (edges), with dissipating components injecting power into nodes and
+ * the environment modeled as fixed-temperature boundary nodes. This is
+ * the same abstraction Therminator and gem5's thermal model use.
+ *
+ * Integration is explicit Euler with automatic sub-stepping: the step
+ * is subdivided until it is below half of the smallest node time
+ * constant, which keeps the forward method stable for any network.
+ */
+
+#ifndef PVAR_THERMAL_RC_NETWORK_HH
+#define PVAR_THERMAL_RC_NETWORK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** Index of a node within a ThermalNetwork. */
+using ThermalNodeId = std::size_t;
+
+/**
+ * A graph of thermal masses and conductances.
+ */
+class ThermalNetwork
+{
+  public:
+    ThermalNetwork() = default;
+
+    /**
+     * Add a thermal mass.
+     *
+     * @param node_name diagnostic name.
+     * @param capacitance heat capacity (J/K); must be positive.
+     * @param initial starting temperature.
+     */
+    ThermalNodeId addNode(const std::string &node_name,
+                          JoulesPerKelvin capacitance, Celsius initial);
+
+    /**
+     * Add a fixed-temperature boundary (e.g. ambient air).
+     */
+    ThermalNodeId addBoundary(const std::string &node_name, Celsius temp);
+
+    /** Join two nodes with a thermal conductance (W/K). */
+    void connect(ThermalNodeId a, ThermalNodeId b, WattsPerKelvin g);
+
+    /** Number of nodes (including boundaries). */
+    std::size_t nodeCount() const { return _nodes.size(); }
+
+    /** Set the power injected into a node (held until changed). */
+    void setPower(ThermalNodeId node, Watts p);
+
+    /** Current injected power. */
+    Watts power(ThermalNodeId node) const;
+
+    /** Instantaneous temperature of a node. */
+    Celsius temperature(ThermalNodeId node) const;
+
+    /** Force a node's temperature (initialization / boundary update). */
+    void setTemperature(ThermalNodeId node, Celsius t);
+
+    /** True if the node is a fixed-temperature boundary. */
+    bool isBoundary(ThermalNodeId node) const;
+
+    /** Node's diagnostic name. */
+    const std::string &nodeName(ThermalNodeId node) const;
+
+    /** Advance the network by `dt` (sub-stepped as needed). */
+    void step(Time dt);
+
+    /**
+     * Jump to the steady state for the current powers and boundary
+     * temperatures (Gauss-Seidel iteration).
+     *
+     * @param tolerance convergence threshold in kelvin.
+     * @param max_iters iteration cap.
+     * @return true on convergence.
+     */
+    bool solveSteadyState(double tolerance = 1e-6, int max_iters = 20000);
+
+    /** Net heat flow out of a node through its edges right now (W). */
+    Watts heatOutflow(ThermalNodeId node) const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        double capacitance; // J/K; <= 0 marks a boundary
+        double temp;        // Celsius
+        double power;       // W injected
+    };
+
+    struct Edge
+    {
+        ThermalNodeId a;
+        ThermalNodeId b;
+        double conductance; // W/K
+    };
+
+    std::vector<Node> _nodes;
+    std::vector<Edge> _edges;
+    // Adjacency: per node, list of (other node, conductance).
+    std::vector<std::vector<std::pair<ThermalNodeId, double>>> _adj;
+
+    void checkNode(ThermalNodeId node) const;
+    double minTimeConstant() const;
+};
+
+} // namespace pvar
+
+#endif // PVAR_THERMAL_RC_NETWORK_HH

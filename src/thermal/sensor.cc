@@ -1,0 +1,51 @@
+#include "thermal/sensor.hh"
+
+#include <cmath>
+#include <utility>
+
+namespace pvar
+{
+
+TemperatureSensor::TemperatureSensor(std::string sensor_name,
+                                     const SensorParams &params,
+                                     std::function<Celsius()> source,
+                                     Rng rng)
+    : _name(std::move(sensor_name)), _params(params),
+      _source(std::move(source)), _rng(rng), _latched(Celsius(0.0)),
+      _lastRefresh(Time::zero()), _primed(false)
+{
+    refresh();
+}
+
+Celsius
+TemperatureSensor::sample()
+{
+    double t = _source().value() + _params.offset;
+    if (_params.noiseSigma > 0.0)
+        t += _rng.gaussian(0.0, _params.noiseSigma);
+    if (_params.quantum > 0.0)
+        t = std::round(t / _params.quantum) * _params.quantum;
+    return Celsius(t);
+}
+
+void
+TemperatureSensor::tick(Time now)
+{
+    // `now < _lastRefresh` means the clock restarted (a new
+    // experiment's simulator); treat the latch as expired.
+    if (!_primed || now < _lastRefresh ||
+        now - _lastRefresh >= _params.period) {
+        _latched = sample();
+        _lastRefresh = now;
+        _primed = true;
+    }
+}
+
+void
+TemperatureSensor::refresh()
+{
+    _latched = sample();
+    _primed = true;
+}
+
+} // namespace pvar

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Temperature sensors (tsens).
+ *
+ * The software stack never sees the true die temperature: it sees a
+ * quantized, slightly noisy sample refreshed at the sensor's polling
+ * period. Thermal governors and ACCUBENCH's cooldown phase both read
+ * through this interface, so sensor granularity effects (e.g. the
+ * whole-degree quantization of msm tsens) are part of the model.
+ */
+
+#ifndef PVAR_THERMAL_SENSOR_HH
+#define PVAR_THERMAL_SENSOR_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+#include "sim/units.hh"
+
+namespace pvar
+{
+
+/** Static characteristics of a sensor. */
+struct SensorParams
+{
+    /** Refresh period of the register the OS reads. */
+    Time period = Time::msec(100);
+
+    /** Reading quantization step in degrees (0 = continuous). */
+    double quantum = 1.0;
+
+    /** Gaussian read noise sigma in degrees. */
+    double noiseSigma = 0.15;
+
+    /** Constant calibration offset in degrees. */
+    double offset = 0.0;
+};
+
+/**
+ * A sampled temperature sensor bound to a temperature source.
+ */
+class TemperatureSensor
+{
+  public:
+    /**
+     * @param sensor_name diagnostic name (e.g. "tsens_tz_sensor0").
+     * @param params sensor characteristics.
+     * @param source callable returning the true temperature.
+     * @param rng noise stream (forked; the sensor keeps its own copy).
+     */
+    TemperatureSensor(std::string sensor_name, const SensorParams &params,
+                      std::function<Celsius()> source, Rng rng);
+
+    const std::string &name() const { return _name; }
+
+    /**
+     * Advance sensor time; refreshes the latched reading whenever a
+     * period boundary passes.
+     */
+    void tick(Time now);
+
+    /** Latched reading (what /sys would report). */
+    Celsius read() const { return _latched; }
+
+    /** Force an immediate refresh (used at reset). */
+    void refresh();
+
+  private:
+    std::string _name;
+    SensorParams _params;
+    std::function<Celsius()> _source;
+    Rng _rng;
+    Celsius _latched;
+    Time _lastRefresh;
+    bool _primed;
+
+    Celsius sample();
+};
+
+} // namespace pvar
+
+#endif // PVAR_THERMAL_SENSOR_HH

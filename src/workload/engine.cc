@@ -1,0 +1,82 @@
+#include "workload/engine.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+WorkloadEngine::WorkloadEngine(Soc *soc)
+    : _soc(soc), _running(false), _iterations(0.0),
+      _backgroundSteal(0.0), _phaseClock(Time::zero())
+{
+    if (!soc)
+        fatal("WorkloadEngine: null SoC");
+    _clusterIterations.assign(_soc->clusterCount(), 0.0);
+}
+
+void
+WorkloadEngine::setBackgroundSteal(double fraction)
+{
+    if (fraction < 0.0 || fraction >= 1.0)
+        fatal("WorkloadEngine: steal fraction %g outside [0, 1)",
+              fraction);
+    _backgroundSteal = fraction;
+}
+
+void
+WorkloadEngine::start(const CpuIntensiveWorkload &w)
+{
+    _workload = w;
+    _running = true;
+    _phaseClock = Time::zero();
+}
+
+void
+WorkloadEngine::stop()
+{
+    _running = false;
+    for (auto &c : _soc->clusters())
+        c.setUtilization(0.0);
+}
+
+void
+WorkloadEngine::tick(Time dt)
+{
+    if (!_running)
+        return;
+
+    // Duty-cycled (interactive-style) workloads alternate between a
+    // busy window and idle for the rest of each burst period.
+    double util = _workload.utilization;
+    if (_workload.burstPeriod > Time::zero()) {
+        _phaseClock += dt;
+        double phase = std::fmod(_phaseClock.toSec(),
+                                 _workload.burstPeriod.toSec());
+        bool busy =
+            phase < _workload.burstDuty * _workload.burstPeriod.toSec();
+        if (!busy)
+            util = 0.0;
+    }
+
+    for (std::size_t i = 0; i < _soc->clusterCount(); ++i) {
+        CpuCluster &c = _soc->cluster(i);
+        // The benchmark keeps the cores busy regardless; stolen
+        // cycles consume power without producing iterations.
+        c.setUtilization(util);
+        double done =
+            c.workRate() * (1.0 - _backgroundSteal) * dt.toSec();
+        _clusterIterations[i] += done;
+        _iterations += done;
+    }
+}
+
+void
+WorkloadEngine::resetIterations()
+{
+    _iterations = 0.0;
+    _clusterIterations.assign(_soc->clusterCount(), 0.0);
+}
+
+} // namespace pvar

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workload engine: applies load to an SoC and accrues iterations.
+ */
+
+#ifndef PVAR_WORKLOAD_ENGINE_HH
+#define PVAR_WORKLOAD_ENGINE_HH
+
+#include <vector>
+
+#include "soc/soc.hh"
+#include "sim/time.hh"
+#include "workload/workload.hh"
+
+namespace pvar
+{
+
+/**
+ * Drives cluster utilization while a workload runs, and integrates
+ * the iteration count delivered at the actually-granted frequencies.
+ */
+class WorkloadEngine
+{
+  public:
+    /** @param soc the SoC to load; must outlive the engine. */
+    explicit WorkloadEngine(Soc *soc);
+
+    /** Begin running `w`; idempotent if already running. */
+    void start(const CpuIntensiveWorkload &w);
+
+    /** Stop the workload; cluster utilizations drop to idle. */
+    void stop();
+
+    bool running() const { return _running; }
+
+    /**
+     * Advance one step: apply utilization and accrue iterations.
+     * Call once per simulator tick, before power is computed.
+     */
+    void tick(Time dt);
+
+    /**
+     * Fraction of CPU cycles stolen by background activity (0..1).
+     * Stolen cycles still burn power (the cores stay busy) but do not
+     * produce benchmark iterations — the paper's residual-noise model.
+     */
+    void setBackgroundSteal(double fraction);
+    double backgroundSteal() const { return _backgroundSteal; }
+
+    /** Iterations completed since the last resetIterations(). */
+    double iterations() const { return _iterations; }
+
+    /** Per-cluster iteration counts (same order as soc clusters). */
+    const std::vector<double> &clusterIterations() const
+    {
+        return _clusterIterations;
+    }
+
+    /** Zero the iteration counters (start of a scored phase). */
+    void resetIterations();
+
+  private:
+    Soc *_soc;
+    bool _running;
+    CpuIntensiveWorkload _workload;
+    double _iterations;
+    double _backgroundSteal;
+    Time _phaseClock;
+    std::vector<double> _clusterIterations;
+};
+
+} // namespace pvar
+
+#endif // PVAR_WORKLOAD_ENGINE_HH

@@ -1,0 +1,86 @@
+#include "workload/pi_spigot.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+std::string
+spigotPiDigits(int ndigits)
+{
+    if (ndigits < 1)
+        fatal("spigotPiDigits: need at least one digit");
+
+    // Rabinowitz & Wagon, "A spigot algorithm for the digits of pi",
+    // Amer. Math. Monthly 102(3), 1995. The mixed-radix representation
+    // needs ~10n/3 terms for n digits; a small margin absorbs the
+    // predigit pipeline.
+    const int len = ndigits * 10 / 3 + 16;
+    std::vector<std::int64_t> a(static_cast<std::size_t>(len), 2);
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(ndigits) + 8);
+
+    int nines = 0;
+    int predigit = 0;
+    bool have_predigit = false;
+
+    // Each pass emits (on average) one digit; iterate with margin and
+    // truncate to the requested count at the end.
+    for (int pass = 0; pass < ndigits + 4; ++pass) {
+        std::int64_t carry = 0;
+        for (int i = len - 1; i >= 0; --i) {
+            std::int64_t x = 10 * a[static_cast<std::size_t>(i)] +
+                             carry * (i + 1);
+            a[static_cast<std::size_t>(i)] = x % (2 * i + 1);
+            carry = x / (2 * i + 1);
+        }
+        a[0] = carry % 10;
+        int q = static_cast<int>(carry / 10);
+
+        if (q == 9) {
+            ++nines;
+        } else if (q == 10) {
+            // Carry ripples through the buffered 9s.
+            out += static_cast<char>('0' + predigit + 1);
+            out.append(static_cast<std::size_t>(nines), '0');
+            nines = 0;
+            predigit = 0;
+            have_predigit = true;
+        } else {
+            if (have_predigit)
+                out += static_cast<char>('0' + predigit);
+            out.append(static_cast<std::size_t>(nines), '9');
+            nines = 0;
+            predigit = q;
+            have_predigit = true;
+        }
+        if (static_cast<int>(out.size()) >= ndigits)
+            break;
+    }
+    if (static_cast<int>(out.size()) < ndigits)
+        out += static_cast<char>('0' + predigit);
+
+    if (static_cast<int>(out.size()) < ndigits)
+        panic("spigotPiDigits: produced %zu of %d digits", out.size(),
+              ndigits);
+    out.resize(static_cast<std::size_t>(ndigits));
+    return out;
+}
+
+std::uint64_t
+piIterationChecksum()
+{
+    std::string digits = spigotPiDigits(paperPiDigits);
+    // FNV-1a over the digit characters.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : digits) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace pvar

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Spigot computation of the digits of pi.
+ *
+ * The paper's CPU-intensive task "consists of computing the digits of
+ * pi in a loop on all available CPUs. Specifically, we compute the
+ * first 4,285 digits of pi." This is the native C++ equivalent of
+ * that JavaScript kernel: the Rabinowitz-Wagon spigot algorithm,
+ * which streams decimal digits using only integer arithmetic.
+ *
+ * It serves two roles: a real benchmarkable kernel (bench/examples),
+ * and ground truth for the simulated workload's cycles-per-iteration
+ * constant.
+ */
+
+#ifndef PVAR_WORKLOAD_PI_SPIGOT_HH
+#define PVAR_WORKLOAD_PI_SPIGOT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pvar
+{
+
+/** The digit count the paper's workload uses per iteration. */
+inline constexpr int paperPiDigits = 4285;
+
+/**
+ * Compute the first `ndigits` decimal digits of pi.
+ *
+ * @param ndigits number of digits to produce (>= 1).
+ * @return the digit string, starting "3141592653...", of length
+ *         exactly `ndigits`.
+ */
+std::string spigotPiDigits(int ndigits);
+
+/**
+ * One benchmark iteration exactly as the paper defines it: compute
+ * 4,285 digits and fold them into a checksum (so the work cannot be
+ * optimized away).
+ *
+ * @return a digit checksum, stable across runs.
+ */
+std::uint64_t piIterationChecksum();
+
+} // namespace pvar
+
+#endif // PVAR_WORKLOAD_PI_SPIGOT_HH

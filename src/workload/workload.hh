@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload descriptions.
+ *
+ * In simulation a workload is characterized by the load it places on
+ * each cluster; the work *output* (benchmark iterations) follows from
+ * the frequencies the governors actually deliver. This is exactly the
+ * quantity the paper scores: "Performance is measured by the number
+ * of iterations the device is able to complete across all cores
+ * within T_workload."
+ */
+
+#ifndef PVAR_WORKLOAD_WORKLOAD_HH
+#define PVAR_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "sim/time.hh"
+
+namespace pvar
+{
+
+/**
+ * A CPU-bound workload spanning all online cores.
+ *
+ * With `burstPeriod` left at zero the load is sustained (the paper's
+ * pi workload). Setting a period turns it into a duty-cycled burst
+ * pattern — the shape of interactive use (scroll, render, idle) —
+ * which the engine applies as alternating on/off windows.
+ */
+struct CpuIntensiveWorkload
+{
+    /** Name for traces/logs. */
+    std::string name = "pi-digits";
+
+    /** Per-core utilization the task sustains (1.0 = fully compute bound). */
+    double utilization = 1.0;
+
+    /** Burst cycle length; zero means sustained load. */
+    Time burstPeriod = Time::zero();
+
+    /** Fraction of each cycle spent busy (ignored when sustained). */
+    double burstDuty = 0.5;
+};
+
+} // namespace pvar
+
+#endif // PVAR_WORKLOAD_WORKLOAD_HH

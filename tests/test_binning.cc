@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the speed- and voltage-binning flows (paper §II).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+
+namespace pvar
+{
+namespace
+{
+
+SpeedBinningConfig
+speedCfg()
+{
+    SpeedBinningConfig cfg;
+    cfg.speedGrades = {MegaHertz(2265), MegaHertz(1958), MegaHertz(1574),
+                       MegaHertz(1190)};
+    cfg.testVoltage = Volts(1.05);
+    cfg.guardBand = 1.05;
+    return cfg;
+}
+
+VoltageBinningConfig
+voltageCfg()
+{
+    VoltageBinningConfig cfg;
+    cfg.frequencyLadder = {MegaHertz(300), MegaHertz(729), MegaHertz(960),
+                           MegaHertz(1574), MegaHertz(2265)};
+    cfg.binCount = 7;
+    cfg.guardBand = 0.025;
+    cfg.quantum = 0.005;
+    cfg.vCeiling = Volts(1.15);
+    cfg.vFloor = Volts(0.60);
+    return cfg;
+}
+
+TEST(SpeedBinning, FasterDieGetsBetterGrade)
+{
+    VariationModel m(node28nmHPm());
+    Die slow = m.dieAtCorner(-2.5, 0, 0, "slow");
+    Die fast = m.dieAtCorner(+2.5, 0, 0, "fast");
+    int bin_slow = speedBin(slow, speedCfg());
+    int bin_fast = speedBin(fast, speedCfg());
+    ASSERT_GE(bin_slow, 0);
+    ASSERT_GE(bin_fast, 0);
+    // Grade 0 is the top bin; the fast die must grade at least as high.
+    EXPECT_LE(bin_fast, bin_slow);
+}
+
+TEST(SpeedBinning, HopelessDieFailsAllGrades)
+{
+    VariationModel m(node28nmHPm());
+    Die dud = m.dieAtCorner(0, 0, 0, "dud");
+    SpeedBinningConfig cfg = speedCfg();
+    cfg.testVoltage = Volts(0.45); // barely above threshold
+    EXPECT_EQ(speedBin(dud, cfg), -1);
+}
+
+TEST(SpeedBinning, GuardBandIsApplied)
+{
+    VariationModel m(node28nmHPm());
+    Die d = m.dieAtCorner(0, 0, 0, "typ");
+    // Pick a grade exactly at this die's fmax: with a guard band the
+    // die must fail it.
+    MegaHertz fmax = d.fmaxAt(Volts(1.05));
+    SpeedBinningConfig cfg;
+    cfg.speedGrades = {fmax};
+    cfg.testVoltage = Volts(1.05);
+    cfg.guardBand = 1.05;
+    EXPECT_EQ(speedBin(d, cfg), -1);
+    cfg.guardBand = 1.0;
+    EXPECT_EQ(speedBin(d, cfg), 0);
+}
+
+TEST(VoltageBinning, FusedTableKeepsDieStable)
+{
+    VariationModel m(node28nmHPm());
+    Rng rng(5);
+    for (const auto &die : m.sampleLot(rng, 50)) {
+        VfTable table = fuseTableForDie(die, voltageCfg());
+        for (const auto &opp : table.points())
+            EXPECT_TRUE(die.passesAt(opp.freq, opp.voltage))
+                << die.id() << " at " << opp.freq.value() << " MHz";
+    }
+}
+
+TEST(VoltageBinning, FusedVoltagesAreQuantized)
+{
+    VariationModel m(node28nmHPm());
+    Die d = m.dieAtCorner(0.3, 0.1, 0, "q");
+    VfTable table = fuseTableForDie(d, voltageCfg());
+    for (const auto &opp : table.points()) {
+        double mv = opp.voltage.toMillivolts();
+        EXPECT_NEAR(std::fmod(mv, 5.0), 0.0, 1e-6) << mv;
+    }
+}
+
+TEST(VoltageBinning, BinZeroHasHighestVoltages)
+{
+    // The defining property of paper Table I: bin-0 (slowest dies)
+    // carries the highest fused voltage at every frequency.
+    VariationModel m(node28nmHPm());
+    Rng rng(9);
+    auto lot = m.sampleLot(rng, 350);
+    VoltageBinningResult r = voltageBin(lot, voltageCfg());
+
+    ASSERT_GE(r.binTables.size(), 2u);
+    const VfTable &first = r.binTables.front();
+    const VfTable &last = r.binTables.back();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_GE(first.point(i).voltage.value(),
+                  last.point(i).voltage.value())
+            << "at " << first.point(i).freq.value() << " MHz";
+    }
+    // And strictly higher at the top frequency.
+    EXPECT_GT(first.highest().voltage.value(),
+              last.highest().voltage.value());
+}
+
+TEST(VoltageBinning, EveryMemberPassesItsBinTable)
+{
+    VariationModel m(node28nmHPm());
+    Rng rng(11);
+    auto lot = m.sampleLot(rng, 200);
+    VoltageBinningConfig cfg = voltageCfg();
+    VoltageBinningResult r = voltageBin(lot, cfg);
+
+    for (std::size_t i = 0; i < lot.size(); ++i) {
+        int bin = r.assignment[i];
+        if (bin < 0)
+            continue; // scrapped
+        const VfTable &table = r.binTables[static_cast<std::size_t>(bin)];
+        for (const auto &opp : table.points())
+            EXPECT_TRUE(lot[i].passesAt(opp.freq, opp.voltage))
+                << lot[i].id() << " bin " << bin;
+    }
+}
+
+TEST(VoltageBinning, MonotoneVoltageAcrossBins)
+{
+    VariationModel m(node28nmHPm());
+    Rng rng(13);
+    auto lot = m.sampleLot(rng, 400);
+    VoltageBinningResult r = voltageBin(lot, voltageCfg());
+
+    MegaHertz top = MegaHertz(2265);
+    for (std::size_t b = 0; b + 1 < r.binTables.size(); ++b) {
+        EXPECT_GE(r.binTables[b].voltageFor(top).value(),
+                  r.binTables[b + 1].voltageFor(top).value())
+            << "bins " << b << " and " << b + 1;
+    }
+}
+
+TEST(VoltageBinning, ScrapsDiesBeyondCeiling)
+{
+    VariationModel m(node28nmHPm());
+    std::vector<Die> lot;
+    lot.push_back(m.dieAtCorner(0, 0, 0, "ok"));
+    // A die with a huge threshold offset cannot reach 2265 MHz at any
+    // legal voltage.
+    lot.push_back(m.dieAtCorner(-3.0, 0, 0.25, "dud"));
+    VoltageBinningResult r = voltageBin(lot, voltageCfg());
+    EXPECT_EQ(r.scrapped, 1u);
+    EXPECT_EQ(r.assignment[1], -1);
+    EXPECT_GE(r.assignment[0], 0);
+}
+
+TEST(VoltageBinning, ShapeMatchesTableI)
+{
+    // Qualitative reproduction of paper Table I from a sampled lot:
+    // voltages rise with frequency within every bin, and the bin-0 to
+    // bin-N spread at the top frequency is on the order of 100-200 mV.
+    VariationModel m(node28nmHPm());
+    Rng rng(17);
+    auto lot = m.sampleLot(rng, 700);
+    VoltageBinningResult r = voltageBin(lot, voltageCfg());
+    ASSERT_EQ(r.binTables.size(), 7u);
+
+    for (const auto &table : r.binTables) {
+        for (std::size_t i = 0; i + 1 < table.size(); ++i)
+            EXPECT_LE(table.point(i).voltage.value(),
+                      table.point(i + 1).voltage.value());
+    }
+    double spread_mv =
+        r.binTables.front().voltageFor(MegaHertz(2265)).toMillivolts() -
+        r.binTables.back().voltageFor(MegaHertz(2265)).toMillivolts();
+    EXPECT_GT(spread_mv, 40.0);
+    EXPECT_LT(spread_mv, 350.0);
+}
+
+/** Parameterized: the flow behaves across lot sizes and bin counts. */
+struct BinCase
+{
+    std::size_t lot;
+    std::size_t bins;
+};
+
+class VoltageBinningSweep : public ::testing::TestWithParam<BinCase>
+{
+};
+
+TEST_P(VoltageBinningSweep, AssignmentsCoverEveryUsableDie)
+{
+    auto [lot_size, bins] = GetParam();
+    VariationModel m(node14nmFinFET());
+    Rng rng(lot_size * 31 + bins);
+    auto lot = m.sampleLot(rng, lot_size);
+
+    VoltageBinningConfig cfg = voltageCfg();
+    cfg.binCount = bins;
+    cfg.vCeiling = Volts(1.10);
+    VoltageBinningResult r = voltageBin(lot, cfg);
+
+    std::size_t assigned = 0;
+    for (int a : r.assignment) {
+        if (a >= 0) {
+            EXPECT_LT(static_cast<std::size_t>(a), r.binTables.size());
+            ++assigned;
+        }
+    }
+    EXPECT_EQ(assigned + r.scrapped, lot.size());
+    EXPECT_LE(r.binTables.size(), bins);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VoltageBinningSweep,
+    ::testing::Values(BinCase{3, 7}, BinCase{10, 3}, BinCase{50, 7},
+                      BinCase{200, 5}, BinCase{500, 10}));
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for CPU clusters and SoC power composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+#include "soc/soc.hh"
+
+namespace pvar
+{
+namespace
+{
+
+VfTable
+smallTable()
+{
+    return VfTable({
+        {MegaHertz(300), Volts(0.80)},
+        {MegaHertz(960), Volts(0.865)},
+        {MegaHertz(1574), Volts(0.965)},
+        {MegaHertz(2265), Volts(1.10)},
+    });
+}
+
+ClusterParams
+quadParams()
+{
+    ClusterParams p;
+    p.name = "cpu";
+    p.coreType = CoreType{"krait", 1.0, 2.6e9};
+    p.coreCount = 4;
+    p.table = smallTable();
+    return p;
+}
+
+Die
+typicalDie()
+{
+    VariationModel m(node28nmHPm());
+    return m.dieAtCorner(0, 0, 0, "typ");
+}
+
+TEST(Cluster, OppSelectionClamped)
+{
+    CpuCluster c(quadParams());
+    c.setOppIndex(2);
+    EXPECT_DOUBLE_EQ(c.frequency().value(), 1574);
+    EXPECT_DOUBLE_EQ(c.fusedVoltage().value(), 0.965);
+    c.setOppIndex(99);
+    EXPECT_DOUBLE_EQ(c.frequency().value(), 2265);
+}
+
+TEST(Cluster, VoltageRecoupLowersAppliedVoltage)
+{
+    CpuCluster c(quadParams());
+    c.setOppIndex(3);
+    c.setVoltageRecoup(Volts(0.030));
+    EXPECT_NEAR(c.appliedVoltage().value(), 1.07, 1e-12);
+}
+
+TEST(Cluster, OnlineCoreClamping)
+{
+    CpuCluster c(quadParams());
+    c.setOnlineCores(2);
+    EXPECT_EQ(c.onlineCores(), 2);
+    c.setOnlineCores(0); // at least one core stays online
+    EXPECT_EQ(c.onlineCores(), 1);
+    c.setOnlineCores(99);
+    EXPECT_EQ(c.onlineCores(), 4);
+}
+
+TEST(Cluster, UtilizationClamped)
+{
+    CpuCluster c(quadParams());
+    c.setUtilization(1.7);
+    EXPECT_DOUBLE_EQ(c.utilization(), 1.0);
+    c.setUtilization(-0.5);
+    EXPECT_DOUBLE_EQ(c.utilization(), 0.0);
+}
+
+TEST(Cluster, WorkRateMath)
+{
+    CpuCluster c(quadParams());
+    c.setOppIndex(3); // 2265 MHz
+    c.setUtilization(1.0);
+    // 4 cores * 2.265e9 Hz / 2.6e9 cycles/iter.
+    EXPECT_NEAR(c.workRate(), 4.0 * 2.265e9 / 2.6e9, 1e-9);
+    c.setOnlineCores(3);
+    EXPECT_NEAR(c.workRate(), 3.0 * 2.265e9 / 2.6e9, 1e-9);
+    c.setUtilization(0.5);
+    EXPECT_NEAR(c.workRate(), 1.5 * 2.265e9 / 2.6e9, 1e-9);
+}
+
+TEST(Cluster, PowerIncreasesWithLoadFreqTemp)
+{
+    CpuCluster c(quadParams());
+    Die die = typicalDie();
+
+    c.setOppIndex(1);
+    c.setUtilization(0.0);
+    double idle = c.power(die, Celsius(40)).value();
+    c.setUtilization(1.0);
+    double busy = c.power(die, Celsius(40)).value();
+    EXPECT_GT(busy, idle * 3.0);
+
+    c.setOppIndex(3);
+    double busy_fast = c.power(die, Celsius(40)).value();
+    EXPECT_GT(busy_fast, busy);
+
+    double busy_hot = c.power(die, Celsius(90)).value();
+    EXPECT_GT(busy_hot, busy_fast);
+}
+
+TEST(Cluster, OfflineCoresLeakLittle)
+{
+    CpuCluster c(quadParams());
+    Die die = typicalDie();
+    c.setOppIndex(3);
+    c.setUtilization(1.0);
+    double all4 = c.power(die, Celsius(80)).value();
+    c.setOnlineCores(3);
+    double just3 = c.power(die, Celsius(80)).value();
+    // Dropping one of four busy cores sheds roughly a quarter of
+    // the power (the collapsed core retains ~5% leakage).
+    EXPECT_LT(just3, all4 * 0.80);
+    EXPECT_GT(just3, all4 * 0.70);
+}
+
+TEST(Soc, PowerSumsClustersPlusUncore)
+{
+    SocParams sp;
+    sp.name = "test";
+    sp.clusters = {quadParams()};
+    sp.uncoreActive = Watts(0.25);
+    Soc soc(sp, typicalDie());
+
+    soc.cluster(0).setUtilization(1.0);
+    soc.cluster(0).setOppIndex(3);
+    double total = soc.power(Celsius(40), false).value();
+    double cluster_only =
+        soc.cluster(0).power(soc.die(), Celsius(40)).value();
+    EXPECT_NEAR(total, cluster_only + 0.25, 1e-9);
+}
+
+TEST(Soc, SuspendedPowerIsTiny)
+{
+    SocParams sp;
+    sp.clusters = {quadParams()};
+    Soc soc(sp, typicalDie());
+    soc.cluster(0).setUtilization(1.0);
+    soc.toHighestOpp();
+
+    double active = soc.power(Celsius(40), false).value();
+    double suspended = soc.power(Celsius(40), true).value();
+    EXPECT_LT(suspended, active / 50.0);
+    EXPECT_GT(suspended, 0.0);
+}
+
+TEST(Soc, BigLittleComposition)
+{
+    ClusterParams big = quadParams();
+    big.name = "big";
+    ClusterParams little = quadParams();
+    little.name = "little";
+    little.coreType = CoreType{"a53", 0.4, 4.2e9};
+    little.table = VfTable({{MegaHertz(384), Volts(0.70)},
+                            {MegaHertz(1555), Volts(0.90)}});
+
+    SocParams sp;
+    sp.clusters = {big, little};
+    Soc soc(sp, typicalDie());
+    EXPECT_EQ(soc.clusterCount(), 2u);
+    EXPECT_EQ(soc.totalCores(), 8);
+
+    soc.toHighestOpp();
+    for (auto &c : soc.clusters())
+        c.setUtilization(1.0);
+    // Work rate includes both clusters.
+    double expected = 4.0 * 2.265e9 / 2.6e9 + 4.0 * 1.555e9 / 4.2e9;
+    EXPECT_NEAR(soc.workRate(), expected, 1e-9);
+}
+
+TEST(Soc, ToLowestAndHighestOpp)
+{
+    SocParams sp;
+    sp.clusters = {quadParams()};
+    Soc soc(sp, typicalDie());
+    soc.toHighestOpp();
+    EXPECT_DOUBLE_EQ(soc.cluster(0).frequency().value(), 2265);
+    soc.toLowestOpp();
+    EXPECT_DOUBLE_EQ(soc.cluster(0).frequency().value(), 300);
+}
+
+TEST(Soc, InvalidConfigDies)
+{
+    SocParams sp; // no clusters
+    EXPECT_DEATH(Soc(sp, typicalDie()), "");
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and property tests for the Die electrical model.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "silicon/die.hh"
+#include "silicon/process_node.hh"
+
+namespace pvar
+{
+namespace
+{
+
+Die
+typicalDie()
+{
+    return Die(node28nmHPm(), DieParams{"typ", 1.0, 1.0, 0.0});
+}
+
+TEST(Die, RejectsNonPositiveFactors)
+{
+    EXPECT_DEATH(
+        { Die d(node28nmHPm(), DieParams{"bad", 0.0, 1.0, 0.0}); }, "");
+    EXPECT_DEATH(
+        { Die d(node28nmHPm(), DieParams{"bad", 1.0, -1.0, 0.0}); }, "");
+}
+
+TEST(Die, FasterFactorMeansHigherFmax)
+{
+    Die slow(node28nmHPm(), DieParams{"s", 0.95, 1.0, 0.0});
+    Die fast(node28nmHPm(), DieParams{"f", 1.10, 1.0, 0.0});
+    EXPECT_GT(fast.fmaxAt(Volts(1.0)), slow.fmaxAt(Volts(1.0)));
+    EXPECT_LT(fast.minVoltageFor(MegaHertz(2265)),
+              slow.minVoltageFor(MegaHertz(2265)));
+}
+
+TEST(Die, VthOffsetShiftsThreshold)
+{
+    Die low(node28nmHPm(), DieParams{"l", 1.0, 1.0, -0.02});
+    Die high(node28nmHPm(), DieParams{"h", 1.0, 1.0, +0.02});
+    EXPECT_GT(low.fmaxAt(Volts(0.9)), high.fmaxAt(Volts(0.9)));
+    EXPECT_DOUBLE_EQ(high.vThreshold().value(),
+                     node28nmHPm().vThreshold.value() + 0.02);
+}
+
+TEST(Die, PassesAtIsConsistentWithFmax)
+{
+    Die d = typicalDie();
+    MegaHertz fmax = d.fmaxAt(Volts(1.0));
+    EXPECT_TRUE(d.passesAt(fmax * 0.99, Volts(1.0)));
+    EXPECT_FALSE(d.passesAt(fmax * 1.01, Volts(1.0)));
+}
+
+TEST(Die, LeakageMonotonicInTemperature)
+{
+    Die d = typicalDie();
+    double prev = 0.0;
+    for (double t = 0.0; t <= 110.0; t += 5.0) {
+        double i = d.leakageCurrent(Volts(1.0), Celsius(t)).value();
+        EXPECT_GT(i, prev) << "at T=" << t;
+        prev = i;
+    }
+}
+
+TEST(Die, LeakageMonotonicInVoltage)
+{
+    Die d = typicalDie();
+    double prev = 0.0;
+    for (double v = 0.6; v <= 1.2; v += 0.05) {
+        double i = d.leakageCurrent(Volts(v), Celsius(50)).value();
+        EXPECT_GT(i, prev) << "at V=" << v;
+        prev = i;
+    }
+}
+
+TEST(Die, LeakageScalesWithFactorAndSize)
+{
+    ProcessNode node = node28nmHPm();
+    Die base(node, DieParams{"b", 1.0, 1.0, 0.0});
+    Die leaky(node, DieParams{"l", 1.0, 2.0, 0.0});
+    double i_base = base.leakageCurrent(Volts(1.0), Celsius(60)).value();
+    double i_leaky = leaky.leakageCurrent(Volts(1.0), Celsius(60)).value();
+    EXPECT_NEAR(i_leaky / i_base, 2.0, 1e-9);
+
+    double i_half =
+        base.leakageCurrent(Volts(1.0), Celsius(60), 0.5).value();
+    EXPECT_NEAR(i_half / i_base, 0.5, 1e-9);
+}
+
+TEST(Die, LeakageReferencePoint)
+{
+    // At (vNominal, tRef) a nominal die draws exactly leakRef.
+    ProcessNode node = node28nmHPm();
+    Die d(node, DieParams{"t", 1.0, 1.0, 0.0});
+    EXPECT_NEAR(d.leakageCurrent(node.vNominal, node.tRef).value(),
+                node.leakRef.value(), 1e-12);
+}
+
+TEST(Die, LeakageTemperatureEFold)
+{
+    ProcessNode node = node28nmHPm();
+    Die d(node, DieParams{"t", 1.0, 1.0, 0.0});
+    double i1 = d.leakageCurrent(node.vNominal, node.tRef).value();
+    double i2 = d.leakageCurrent(node.vNominal,
+                                 node.tRef + Celsius(node.leakTempSlope))
+                    .value();
+    EXPECT_NEAR(i2 / i1, std::exp(1.0), 1e-9);
+}
+
+TEST(Die, LeakageClampsExtremeInputs)
+{
+    Die d = typicalDie();
+    double at_limit = d.leakageCurrent(Volts(1.0), Celsius(200)).value();
+    double beyond = d.leakageCurrent(Volts(1.0), Celsius(5000)).value();
+    EXPECT_DOUBLE_EQ(at_limit, beyond);
+    EXPECT_TRUE(std::isfinite(beyond));
+}
+
+TEST(Die, DynamicPowerQuadraticInVoltage)
+{
+    Die d = typicalDie();
+    double p1 = d.dynamicPower(Volts(0.5), MegaHertz(1000)).value();
+    double p2 = d.dynamicPower(Volts(1.0), MegaHertz(1000)).value();
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Die, DynamicPowerLinearInFrequencyActivitySize)
+{
+    Die d = typicalDie();
+    double base = d.dynamicPower(Volts(1.0), MegaHertz(1000)).value();
+    EXPECT_NEAR(
+        d.dynamicPower(Volts(1.0), MegaHertz(2000)).value() / base, 2.0,
+        1e-9);
+    EXPECT_NEAR(
+        d.dynamicPower(Volts(1.0), MegaHertz(1000), 0.5).value() / base,
+        0.5, 1e-9);
+    EXPECT_NEAR(d.dynamicPower(Volts(1.0), MegaHertz(1000), 1.0, 2.0)
+                        .value() /
+                    base,
+                2.0, 1e-9);
+}
+
+TEST(Die, LeakagePowerIsVTimesI)
+{
+    Die d = typicalDie();
+    Volts v(0.95);
+    Celsius t(55);
+    EXPECT_NEAR(d.leakagePower(v, t).value(),
+                v.value() * d.leakageCurrent(v, t).value(), 1e-12);
+}
+
+/** Property: the speed/leakage/power relations hold on every node. */
+class DieNodeSweep
+    : public ::testing::TestWithParam<ProcessNode (*)()>
+{
+};
+
+TEST_P(DieNodeSweep, CoupledSpeedAndLeakInvariants)
+{
+    ProcessNode node = GetParam()();
+    Die d(node, DieParams{"x", 1.0, 1.0, 0.0});
+
+    // fmax at vMax must exceed fmax at vMin.
+    EXPECT_GT(d.fmaxAt(node.vMax), d.fmaxAt(node.vMin));
+
+    // Leakage at vMax/hot must exceed leakage at vMin/cold.
+    EXPECT_GT(d.leakageCurrent(node.vMax, Celsius(90)).value(),
+              d.leakageCurrent(node.vMin, Celsius(20)).value());
+
+    // Dynamic power is positive at any in-range OPP.
+    EXPECT_GT(d.dynamicPower(node.vNominal, MegaHertz(1000)).value(),
+              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, DieNodeSweep,
+                         ::testing::Values(&node28nmHPm, &node20nmSoC,
+                                           &node14nmFinFET));
+
+} // namespace
+} // namespace pvar

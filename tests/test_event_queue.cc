@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the discrete event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(Time::sec(3), [&] { fired.push_back(3); });
+    q.schedule(Time::sec(1), [&] { fired.push_back(1); });
+    q.schedule(Time::sec(2), [&] { fired.push_back(2); });
+
+    EXPECT_EQ(q.runUntil(Time::sec(10)), 3);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameDeadlineIsFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(Time::sec(1), [&fired, i] { fired.push_back(i); });
+    q.runUntil(Time::sec(1));
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, OnlyDueEventsFire)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(Time::sec(1), [&] { ++count; });
+    q.schedule(Time::sec(5), [&] { ++count; });
+
+    EXPECT_EQ(q.runUntil(Time::sec(2)), 1);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.runUntil(Time::sec(5)), 1);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, Cancel)
+{
+    EventQueue q;
+    int count = 0;
+    EventId id = q.schedule(Time::sec(1), [&] { ++count; });
+    q.schedule(Time::sec(1), [&] { ++count; });
+    q.cancel(id);
+
+    EXPECT_EQ(q.runUntil(Time::sec(2)), 1);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(Time::sec(1), [] {});
+    q.runUntil(Time::sec(1));
+    q.cancel(id); // must not crash or affect anything
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, NextDeadline)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextDeadline(), Time::max());
+    q.schedule(Time::sec(7), [] {});
+    q.schedule(Time::sec(4), [] {});
+    EXPECT_EQ(q.nextDeadline(), Time::sec(4));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(Time::sec(1), [&] {
+        fired.push_back(1);
+        // Due immediately; must fire within the same runUntil call.
+        q.schedule(Time::sec(1), [&] { fired.push_back(2); });
+        // Future event; must not fire yet.
+        q.schedule(Time::sec(9), [&] { fired.push_back(3); });
+    });
+    EXPECT_EQ(q.runUntil(Time::sec(2)), 2);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, Clear)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(Time::sec(1), [&] { ++count; });
+    q.schedule(Time::sec(2), [&] { ++count; });
+    q.clear();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.runUntil(Time::sec(10)), 0);
+    EXPECT_EQ(count, 0);
+}
+
+TEST(EventQueue, PeriodicSelfReschedule)
+{
+    EventQueue q;
+    int fires = 0;
+    std::function<void()> periodic = [&] {
+        ++fires;
+        if (fires < 5)
+            q.schedule(Time::sec(fires + 1), periodic);
+    };
+    q.schedule(Time::sec(1), periodic);
+    q.runUntil(Time::sec(100));
+    EXPECT_EQ(fires, 5);
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for least-squares and cooling-curve fitting.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/fit.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(LinearFit, ExactLine)
+{
+    std::vector<double> xs = {0, 1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x - 2.0);
+    LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, 3.0, 1e-12);
+    EXPECT_NEAR(f.intercept, -2.0, 1e-12);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLine)
+{
+    Rng rng(1);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(2.0 * x + 5.0 + rng.gaussian(0.0, 0.2));
+    }
+    LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, 2.0, 0.05);
+    EXPECT_NEAR(f.intercept, 5.0, 0.2);
+    EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinearFit, FlatData)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {4, 4, 4};
+    LinearFit f = fitLinear(xs, ys);
+    EXPECT_NEAR(f.slope, 0.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+}
+
+std::vector<double>
+coolingCurve(const std::vector<double> &times_s, double ambient, double t0,
+             double tau, Rng *noise = nullptr, double sigma = 0.0)
+{
+    std::vector<double> out;
+    for (double t : times_s) {
+        double v = ambient + (t0 - ambient) * std::exp(-t / tau);
+        if (noise)
+            v += noise->gaussian(0.0, sigma);
+        out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<double>
+sampleTimes(int n, double step)
+{
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(i * step);
+    return out;
+}
+
+TEST(CoolingFit, RecoversExactParameters)
+{
+    auto ts = sampleTimes(60, 5.0);
+    auto temps = coolingCurve(ts, 26.0, 75.0, 120.0);
+    CoolingFit f = fitCooling(ts, temps);
+    EXPECT_NEAR(f.ambient, 26.0, 0.05);
+    EXPECT_NEAR(f.t0, 75.0, 0.2);
+    EXPECT_NEAR(f.tau, 120.0, 1.0);
+    EXPECT_LT(f.rmse, 0.01);
+}
+
+TEST(CoolingFit, ToleratesSensorNoise)
+{
+    Rng rng(5);
+    auto ts = sampleTimes(80, 5.0);
+    auto temps = coolingCurve(ts, 26.0, 70.0, 150.0, &rng, 0.3);
+    CoolingFit f = fitCooling(ts, temps);
+    EXPECT_NEAR(f.ambient, 26.0, 1.5);
+    EXPECT_NEAR(f.tau, 150.0, 20.0);
+}
+
+/** Parameterized across ambient temperatures (the §VI use case). */
+class CoolingAmbient : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CoolingAmbient, AmbientRecovered)
+{
+    double ambient = GetParam();
+    auto ts = sampleTimes(60, 5.0);
+    auto temps = coolingCurve(ts, ambient, ambient + 45.0, 180.0);
+    CoolingFit f = fitCooling(ts, temps, -20.0, 60.0);
+    EXPECT_NEAR(f.ambient, ambient, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ambients, CoolingAmbient,
+                         ::testing::Values(0.0, 10.0, 22.0, 26.0, 35.0,
+                                           45.0));
+
+TEST(CoolingFit, NonDecayingInputFallsBack)
+{
+    std::vector<double> ts = {0, 5, 10, 15};
+    std::vector<double> temps = {30.0, 30.0, 30.0, 30.0};
+    CoolingFit f = fitCooling(ts, temps);
+    // Flat input: the fit degrades to a constant at the mean.
+    EXPECT_NEAR(f.ambient, 30.0, 1.0);
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the paper's §VI future-work features: ambient estimation
+ * from cooldown curves, bin recovery by clustering, and crowdsourced
+ * ranking.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "accubench/ambient_estimator.hh"
+#include "accubench/bin_clustering.hh"
+#include "accubench/ranking.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(AmbientEstimator, RecoversSyntheticAmbient)
+{
+    std::vector<double> ts, temps;
+    for (int i = 0; i < 60; ++i) {
+        double t = i * 5.0;
+        ts.push_back(t);
+        temps.push_back(24.0 + (70.0 - 24.0) * std::exp(-t / 140.0));
+    }
+    AmbientEstimate est = estimateAmbient(ts, temps);
+    EXPECT_TRUE(est.valid);
+    EXPECT_NEAR(est.ambient.value(), 24.0, 0.3);
+    EXPECT_NEAR(est.tauSeconds, 140.0, 5.0);
+}
+
+TEST(AmbientEstimator, RejectsFlatWindow)
+{
+    std::vector<double> ts = {0, 5, 10, 15, 20};
+    std::vector<double> temps = {30.0, 30.1, 29.9, 30.0, 30.05};
+    AmbientEstimate est = estimateAmbient(ts, temps);
+    EXPECT_FALSE(est.valid);
+}
+
+TEST(AmbientEstimator, RejectsTooFewSamples)
+{
+    AmbientEstimate est = estimateAmbient({0, 5}, {50, 45});
+    EXPECT_FALSE(est.valid);
+}
+
+TEST(AmbientEstimator, FromTraceWindow)
+{
+    TraceChannel ch("die_temp");
+    // Pre-window garbage, then a clean decay inside the window.
+    ch.record(Time::sec(0), 80.0);
+    for (int i = 0; i <= 50; ++i) {
+        double t = i * 5.0;
+        ch.record(Time::sec(100 + t),
+                  26.0 + 44.0 * std::exp(-t / 120.0));
+    }
+    AmbientEstimate est = estimateAmbientFromTrace(
+        ch, Time::sec(100), Time::sec(100 + 250));
+    EXPECT_TRUE(est.valid);
+    EXPECT_NEAR(est.ambient.value(), 26.0, 0.5);
+}
+
+TEST(BinClustering, RecoversThreePerformanceBins)
+{
+    std::vector<ScoredUnit> units;
+    Rng gen(3);
+    for (int i = 0; i < 20; ++i)
+        units.push_back({"slow-" + std::to_string(i),
+                         gen.gaussian(850.0, 4.0)});
+    for (int i = 0; i < 20; ++i)
+        units.push_back({"mid-" + std::to_string(i),
+                         gen.gaussian(950.0, 4.0)});
+    for (int i = 0; i < 20; ++i)
+        units.push_back({"fast-" + std::to_string(i),
+                         gen.gaussian(1050.0, 4.0)});
+
+    Rng rng(7);
+    BinRecovery r = recoverBins(units, 7, rng);
+    ASSERT_EQ(r.bins.size(), 3u);
+    EXPECT_NEAR(r.bins[0].centerScore, 850.0, 10.0);
+    EXPECT_NEAR(r.bins[1].centerScore, 950.0, 10.0);
+    EXPECT_NEAR(r.bins[2].centerScore, 1050.0, 10.0);
+    EXPECT_EQ(r.bins[0].unitIds.size(), 20u);
+
+    // Every "slow-*" unit landed in bin 0.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(BinClustering, SingleBinForUniformUnits)
+{
+    std::vector<ScoredUnit> units;
+    Rng gen(5);
+    for (int i = 0; i < 40; ++i)
+        units.push_back({"u-" + std::to_string(i),
+                         gen.gaussian(1000.0, 3.0)});
+    Rng rng(9);
+    BinRecovery r = recoverBins(units, 7, rng);
+    EXPECT_LE(r.bins.size(), 2u);
+}
+
+TEST(Ranking, OrdersByScoreWithinModel)
+{
+    std::vector<CrowdReport> reports = {
+        {"a", "Nexus 5", 900.0, 25.0, true},
+        {"b", "Nexus 5", 1000.0, 24.0, true},
+        {"c", "Nexus 5", 950.0, 26.0, true},
+    };
+    auto rankings = rankDevices(reports, RankingConfig{});
+    ASSERT_EQ(rankings.size(), 1u);
+    const auto &r = rankings[0].ranked;
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0].unitId, "b");
+    EXPECT_EQ(r[0].rank, 1);
+    EXPECT_DOUBLE_EQ(r[0].percentile, 100.0);
+    EXPECT_EQ(r[2].unitId, "a");
+    EXPECT_DOUBLE_EQ(r[2].percentile, 0.0);
+}
+
+TEST(Ranking, FiltersOutOfBandAmbients)
+{
+    std::vector<CrowdReport> reports = {
+        {"hot-car", "Nexus 5", 700.0, 42.0, true},
+        {"fridge", "Nexus 5", 1200.0, 4.0, true}, // the Antutu trick
+        {"normal", "Nexus 5", 950.0, 25.0, true},
+    };
+    auto rankings = rankDevices(reports, RankingConfig{});
+    ASSERT_EQ(rankings.size(), 1u);
+    EXPECT_EQ(rankings[0].ranked.size(), 1u);
+    EXPECT_EQ(rankings[0].ranked[0].unitId, "normal");
+    EXPECT_EQ(rankings[0].filteredOut, 2u);
+}
+
+TEST(Ranking, FiltersUntrustedAmbient)
+{
+    std::vector<CrowdReport> reports = {
+        {"good", "Pixel", 1000.0, 25.0, true},
+        {"sketchy", "Pixel", 1100.0, 25.0, false},
+    };
+    RankingConfig cfg;
+    auto rankings = rankDevices(reports, cfg);
+    EXPECT_EQ(rankings[0].ranked.size(), 1u);
+
+    cfg.requireValidAmbient = false;
+    rankings = rankDevices(reports, cfg);
+    EXPECT_EQ(rankings[0].ranked.size(), 2u);
+}
+
+TEST(Ranking, GroupsByModel)
+{
+    std::vector<CrowdReport> reports = {
+        {"n1", "Nexus 5", 900.0, 25.0, true},
+        {"p1", "Pixel", 1300.0, 25.0, true},
+        {"n2", "Nexus 5", 950.0, 25.0, true},
+    };
+    auto rankings = rankDevices(reports, RankingConfig{});
+    ASSERT_EQ(rankings.size(), 2u);
+    EXPECT_EQ(rankings[0].model, "Nexus 5");
+    EXPECT_EQ(rankings[0].ranked.size(), 2u);
+    EXPECT_EQ(rankings[1].model, "Pixel");
+    EXPECT_EQ(rankings[1].ranked.size(), 1u);
+}
+
+TEST(Ranking, SingleDeviceGetsTopPercentile)
+{
+    std::vector<CrowdReport> reports = {
+        {"only", "Pixel", 1000.0, 25.0, true}};
+    auto rankings = rankDevices(reports, RankingConfig{});
+    EXPECT_DOUBLE_EQ(rankings[0].ranked[0].percentile, 100.0);
+}
+
+} // namespace
+} // namespace pvar

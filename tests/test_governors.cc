@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the thermal governor, cpufreq policies, RBCPR and the
+ * input-voltage throttle.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "silicon/process_node.hh"
+#include "silicon/variation_model.hh"
+#include "soc/cpufreq.hh"
+#include "soc/input_voltage_throttle.hh"
+#include "soc/rbcpr.hh"
+#include "soc/thermal_governor.hh"
+
+namespace pvar
+{
+namespace
+{
+
+ThermalGovernorParams
+twoTrips()
+{
+    ThermalGovernorParams p;
+    p.trips = {
+        TripPoint{Celsius(76), Celsius(73), MegaHertz(1958)},
+        TripPoint{Celsius(80), Celsius(77), MegaHertz(1574)},
+    };
+    p.shutdowns = {CoreShutdownRule{Celsius(80), Celsius(75), 1}};
+    p.pollPeriod = Time::msec(250);
+    return p;
+}
+
+TEST(ThermalGovernor, NoMitigationWhenCool)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(60));
+    EXPECT_FALSE(g.mitigating());
+    EXPECT_EQ(g.freqCap(), ThermalGovernor::unlimited());
+    EXPECT_EQ(g.coresForcedOffline(), 0);
+}
+
+TEST(ThermalGovernor, TripEngagesAtThreshold)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(76));
+    EXPECT_TRUE(g.mitigating());
+    EXPECT_DOUBLE_EQ(g.freqCap().value(), 1958);
+}
+
+TEST(ThermalGovernor, DeeperTripWins)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(81));
+    EXPECT_DOUBLE_EQ(g.freqCap().value(), 1574);
+    EXPECT_EQ(g.coresForcedOffline(), 1);
+}
+
+TEST(ThermalGovernor, HysteresisHoldsUntilClear)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(77));
+    EXPECT_DOUBLE_EQ(g.freqCap().value(), 1958);
+    // Cooled below trip but above clear: still capped.
+    g.update(Time::msec(500), Celsius(74));
+    EXPECT_DOUBLE_EQ(g.freqCap().value(), 1958);
+    // Below clear: released.
+    g.update(Time::msec(750), Celsius(72));
+    EXPECT_FALSE(g.mitigating());
+}
+
+TEST(ThermalGovernor, PollPeriodIsRespected)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(60));
+    // A spike between polls is not seen.
+    g.update(Time::msec(300), Celsius(90));
+    EXPECT_FALSE(g.mitigating());
+    g.update(Time::msec(500), Celsius(90));
+    EXPECT_TRUE(g.mitigating());
+}
+
+TEST(ThermalGovernor, ResetClearsLatches)
+{
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(85));
+    EXPECT_TRUE(g.mitigating());
+    g.reset();
+    EXPECT_FALSE(g.mitigating());
+}
+
+TEST(ThermalGovernor, CoreShutdownMatchesPaperFig1)
+{
+    // "Once thermal limits of 80C are reached, one CPU core is shut
+    // down."
+    ThermalGovernor g(twoTrips());
+    g.update(Time::msec(250), Celsius(80));
+    EXPECT_EQ(g.coresForcedOffline(), 1);
+    g.update(Time::msec(500), Celsius(76)); // above clear (75)
+    EXPECT_EQ(g.coresForcedOffline(), 1);
+    g.update(Time::msec(750), Celsius(74)); // below clear
+    EXPECT_EQ(g.coresForcedOffline(), 0);
+}
+
+TEST(ThermalGovernor, InvalidConfigDies)
+{
+    ThermalGovernorParams p;
+    p.trips = {TripPoint{Celsius(70), Celsius(75), MegaHertz(1000)}};
+    EXPECT_DEATH(ThermalGovernor g(p), "");
+}
+
+VfTable
+ladder()
+{
+    return VfTable({
+        {MegaHertz(300), Volts(0.80)},
+        {MegaHertz(960), Volts(0.865)},
+        {MegaHertz(1574), Volts(0.965)},
+        {MegaHertz(2265), Volts(1.10)},
+    });
+}
+
+TEST(Cpufreq, PerformancePicksTop)
+{
+    PerformanceGovernor g;
+    EXPECT_EQ(g.desiredIndex(ladder(), 0.0, Time::zero()), 3u);
+    EXPECT_EQ(g.desiredIndex(ladder(), 1.0, Time::zero()), 3u);
+}
+
+TEST(Cpufreq, UserspacePins)
+{
+    UserspaceGovernor g(1);
+    EXPECT_EQ(g.desiredIndex(ladder(), 1.0, Time::zero()), 1u);
+    g.setIndex(17);
+    EXPECT_EQ(g.desiredIndex(ladder(), 1.0, Time::zero()), 3u);
+}
+
+TEST(Cpufreq, InteractiveJumpsToMaxUnderHighLoad)
+{
+    InteractiveGovernor g;
+    EXPECT_EQ(g.desiredIndex(ladder(), 0.95, Time::msec(10)), 3u);
+}
+
+TEST(Cpufreq, InteractiveScalesDownWhenIdle)
+{
+    InteractiveGovernor g;
+    std::size_t idx = g.desiredIndex(ladder(), 0.05, Time::msec(10));
+    EXPECT_EQ(idx, 0u);
+}
+
+TEST(Cpufreq, InteractiveHonoursMinSampleTime)
+{
+    InteractiveGovernor g;
+    EXPECT_EQ(g.desiredIndex(ladder(), 0.95, Time::msec(10)), 3u);
+    // 5 ms later the load collapses, but the dwell holds the choice.
+    EXPECT_EQ(g.desiredIndex(ladder(), 0.0, Time::msec(15)), 3u);
+    // After the dwell it may drop.
+    EXPECT_EQ(g.desiredIndex(ladder(), 0.0, Time::msec(60)), 0u);
+}
+
+TEST(Rbcpr, RecoupGrowsWithLeakAndSpeed)
+{
+    VariationModel m(node20nmSoC());
+    Die slow = m.dieAtCorner(-1.5, 0, 0, "slow");
+    Die fast = m.dieAtCorner(+1.5, 0, 0, "fast");
+
+    RbcprParams params;
+    RbcprController a(params), b(params);
+    // Run long enough for the slewed loops to converge.
+    Volts va, vb;
+    for (int i = 0; i < 100; ++i) {
+        va = a.update(Time::msec(200 * (i + 1)), slow, Celsius(50));
+        vb = b.update(Time::msec(200 * (i + 1)), fast, Celsius(50));
+    }
+    EXPECT_GT(vb.value(), va.value());
+    EXPECT_LE(vb.value(), params.maxRecoup);
+    EXPECT_GE(va.value(), 0.0);
+}
+
+TEST(Rbcpr, SlewLimited)
+{
+    VariationModel m(node20nmSoC());
+    Die fast = m.dieAtCorner(+2.0, 0, 0, "fast");
+    RbcprController c((RbcprParams()));
+    Volts v1 = c.update(Time::msec(200), fast, Celsius(60));
+    EXPECT_LE(v1.value(), 0.005 + 1e-12); // one 5 mV step max
+    Volts v2 = c.update(Time::msec(400), fast, Celsius(60));
+    EXPECT_LE(v2.value() - v1.value(), 0.005 + 1e-12);
+}
+
+TEST(Rbcpr, ResetZeroes)
+{
+    VariationModel m(node20nmSoC());
+    Die fast = m.dieAtCorner(+2.0, 0, 0, "fast");
+    RbcprController c((RbcprParams()));
+    c.update(Time::msec(200), fast, Celsius(60));
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.recoup().value(), 0.0);
+}
+
+InputVoltageThrottleParams
+ivtParams()
+{
+    InputVoltageThrottleParams p;
+    p.engageBelow = Volts(4.00);
+    p.releaseAbove = Volts(4.10);
+    p.cap = MegaHertz(1593);
+    p.pollPeriod = Time::msec(500);
+    return p;
+}
+
+TEST(InputVoltageThrottle, EngagesBelowThreshold)
+{
+    InputVoltageThrottle t(ivtParams());
+    t.update(Time::msec(500), Volts(3.85));
+    EXPECT_TRUE(t.engaged());
+    EXPECT_DOUBLE_EQ(t.freqCap().value(), 1593);
+}
+
+TEST(InputVoltageThrottle, StaysDisengagedAtHealthyRail)
+{
+    InputVoltageThrottle t(ivtParams());
+    t.update(Time::msec(500), Volts(4.35));
+    EXPECT_FALSE(t.engaged());
+    EXPECT_TRUE(std::isinf(t.freqCap().value()));
+}
+
+TEST(InputVoltageThrottle, HysteresisBand)
+{
+    InputVoltageThrottle t(ivtParams());
+    t.update(Time::msec(500), Volts(3.95));
+    EXPECT_TRUE(t.engaged());
+    // Inside the band: stays engaged.
+    t.update(Time::msec(1000), Volts(4.05));
+    EXPECT_TRUE(t.engaged());
+    // Above release: lets go.
+    t.update(Time::msec(1500), Volts(4.15));
+    EXPECT_FALSE(t.engaged());
+}
+
+TEST(InputVoltageThrottle, InvalidThresholdsDie)
+{
+    InputVoltageThrottleParams p = ivtParams();
+    p.releaseAbove = Volts(3.90);
+    EXPECT_DEATH(InputVoltageThrottle t(p), "");
+}
+
+} // namespace
+} // namespace pvar

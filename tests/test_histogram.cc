@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for fixed-width histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Histogram, BasicBinning)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(3.0);  // bin 1
+    h.add(9.9);  // bin 4
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(+100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinGeometry)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 2.5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 11.25);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 18.75);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.addAll({0.5, 0.5, 1.5, 3.5});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+
+    auto fr = h.fractions();
+    double sum = 0.0;
+    for (double f : fr)
+        sum += f;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Histogram, EmptyFractionsAreZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_EQ(h.modeBin(), 0u);
+}
+
+TEST(Histogram, ModeBin)
+{
+    Histogram h(0.0, 3.0, 3);
+    h.addAll({0.5, 1.5, 1.5, 1.5, 2.5});
+    EXPECT_EQ(h.modeBin(), 1u);
+}
+
+TEST(Histogram, BoundaryGoesToUpperBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(2.0); // exactly on the 0/1 edge -> bin 1
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.addAll({0.5, 1.5, 1.5});
+    std::string art = h.toAscii(10);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace pvar

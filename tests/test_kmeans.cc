@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for 1-D k-means clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/kmeans.hh"
+
+namespace pvar
+{
+namespace
+{
+
+std::vector<double>
+threeClusters()
+{
+    // Tight groups near 10, 50, 90.
+    return {9.8, 10.1, 10.0, 9.9, 49.7, 50.2, 50.0, 50.1,
+            89.9, 90.2, 90.0, 90.1};
+}
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    Rng rng(1);
+    auto data = threeClusters();
+    KMeansResult r = kmeans1d(data, 3, rng);
+
+    ASSERT_EQ(r.centers.size(), 3u);
+    EXPECT_NEAR(r.centers[0], 10.0, 0.5);
+    EXPECT_NEAR(r.centers[1], 50.0, 0.5);
+    EXPECT_NEAR(r.centers[2], 90.0, 0.5);
+    EXPECT_LT(r.inertia, 1.0);
+
+    // Membership matches the generating groups.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], 0u);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], 1u);
+    for (int i = 8; i < 12; ++i)
+        EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], 2u);
+}
+
+TEST(KMeans, CentersSortedAscending)
+{
+    Rng rng(7);
+    auto data = threeClusters();
+    KMeansResult r = kmeans1d(data, 3, rng);
+    EXPECT_LT(r.centers[0], r.centers[1]);
+    EXPECT_LT(r.centers[1], r.centers[2]);
+}
+
+TEST(KMeans, SingleCluster)
+{
+    Rng rng(3);
+    std::vector<double> data = {1.0, 2.0, 3.0};
+    KMeansResult r = kmeans1d(data, 1, rng);
+    ASSERT_EQ(r.centers.size(), 1u);
+    EXPECT_NEAR(r.centers[0], 2.0, 1e-9);
+}
+
+TEST(KMeans, KEqualsNIsPerfect)
+{
+    Rng rng(5);
+    std::vector<double> data = {1.0, 5.0, 9.0};
+    KMeansResult r = kmeans1d(data, 3, rng);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, IdenticalPointsDoNotCrash)
+{
+    Rng rng(11);
+    std::vector<double> data(10, 4.2);
+    KMeansResult r = kmeans1d(data, 3, rng);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicGivenSeed)
+{
+    auto data = threeClusters();
+    Rng r1(99), r2(99);
+    KMeansResult a = kmeans1d(data, 3, r1);
+    KMeansResult b = kmeans1d(data, 3, r2);
+    EXPECT_EQ(a.centers, b.centers);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansAuto, PicksThreeForThreeClusters)
+{
+    Rng rng(13);
+    auto data = threeClusters();
+    KMeansResult r = kmeansAuto(data, 6, rng);
+    EXPECT_EQ(r.centers.size(), 3u);
+}
+
+TEST(KMeansAuto, PicksOneForUniformBlob)
+{
+    Rng rng(17);
+    std::vector<double> data;
+    Rng gen(21);
+    for (int i = 0; i < 60; ++i)
+        data.push_back(gen.gaussian(100.0, 1.0));
+    KMeansResult r = kmeansAuto(data, 6, rng, 0.6);
+    EXPECT_LE(r.centers.size(), 2u);
+}
+
+/** Parameterized: recovery works across cluster separations. */
+class KMeansSeparation : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(KMeansSeparation, TwoClustersRecovered)
+{
+    double sep = GetParam();
+    Rng gen(31);
+    std::vector<double> data;
+    for (int i = 0; i < 30; ++i)
+        data.push_back(gen.gaussian(0.0, 1.0));
+    for (int i = 0; i < 30; ++i)
+        data.push_back(gen.gaussian(sep, 1.0));
+
+    Rng rng(37);
+    KMeansResult r = kmeans1d(data, 2, rng);
+    EXPECT_NEAR(r.centers[0], 0.0, 0.8);
+    EXPECT_NEAR(r.centers[1], sep, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, KMeansSeparation,
+                         ::testing::Values(8.0, 15.0, 40.0, 100.0));
+
+} // namespace
+} // namespace pvar

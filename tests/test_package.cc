@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the smartphone thermal package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/package.hh"
+
+namespace pvar
+{
+namespace
+{
+
+PhonePackage
+makePackage()
+{
+    return PhonePackage(PackageParams{}, Celsius(26.0));
+}
+
+TEST(PhonePackage, StartsAtAmbient)
+{
+    PhonePackage p = makePackage();
+    EXPECT_DOUBLE_EQ(p.dieTemp().value(), 26.0);
+    EXPECT_DOUBLE_EQ(p.caseTemp().value(), 26.0);
+    EXPECT_DOUBLE_EQ(p.batteryTemp().value(), 26.0);
+    EXPECT_DOUBLE_EQ(p.ambientTemp().value(), 26.0);
+}
+
+TEST(PhonePackage, CpuPowerHeatsDieFirst)
+{
+    PhonePackage p = makePackage();
+    p.setCpuPower(Watts(4.0));
+    p.step(Time::sec(5));
+    EXPECT_GT(p.dieTemp(), p.socTemp());
+    EXPECT_GT(p.socTemp(), p.caseTemp());
+    EXPECT_GE(p.caseTemp().value(), 26.0);
+}
+
+TEST(PhonePackage, TemperatureGradientAtSteadyState)
+{
+    PhonePackage p = makePackage();
+    p.setCpuPower(Watts(3.0));
+    p.network().solveSteadyState();
+    // Heat flows die -> soc -> case -> ambient: strictly decreasing.
+    EXPECT_GT(p.dieTemp(), p.socTemp());
+    EXPECT_GT(p.socTemp(), p.caseTemp());
+    EXPECT_GT(p.caseTemp(), p.ambientTemp());
+    // The battery sits between board and case temperatures.
+    EXPECT_GT(p.batteryTemp(), p.ambientTemp());
+    EXPECT_LT(p.batteryTemp(), p.socTemp());
+}
+
+TEST(PhonePackage, SteadyCaseRiseMatchesConductance)
+{
+    // All dissipated power exits through case->ambient:
+    // T_case - T_amb = P / G_case_amb.
+    PackageParams params;
+    PhonePackage p(params, Celsius(26.0));
+    p.setCpuPower(Watts(2.0));
+    p.setBoardPower(Watts(0.5));
+    p.network().solveSteadyState();
+    double expected = 26.0 + 2.5 / params.caseToAmbient;
+    EXPECT_NEAR(p.caseTemp().value(), expected, 1e-3);
+    EXPECT_NEAR(p.heatToAmbient().value(), 2.5, 1e-3);
+}
+
+TEST(PhonePackage, SoakResetsMassesOnly)
+{
+    PhonePackage p = makePackage();
+    p.setCpuPower(Watts(5.0));
+    p.step(Time::sec(30));
+    p.soakTo(Celsius(30.0));
+    EXPECT_DOUBLE_EQ(p.dieTemp().value(), 30.0);
+    EXPECT_DOUBLE_EQ(p.caseTemp().value(), 30.0);
+    EXPECT_DOUBLE_EQ(p.ambientTemp().value(), 26.0);
+}
+
+TEST(PhonePackage, AmbientStepPropagates)
+{
+    PhonePackage p = makePackage();
+    p.setAmbient(Celsius(40.0));
+    for (int i = 0; i < 40000; ++i)
+        p.step(Time::msec(100));
+    EXPECT_NEAR(p.dieTemp().value(), 40.0, 0.1);
+    EXPECT_NEAR(p.caseTemp().value(), 40.0, 0.1);
+}
+
+TEST(PhonePackage, HigherAmbientMeansHotterDieUnderLoad)
+{
+    PhonePackage cool(PackageParams{}, Celsius(10.0));
+    PhonePackage hot(PackageParams{}, Celsius(40.0));
+    cool.setCpuPower(Watts(4.0));
+    hot.setCpuPower(Watts(4.0));
+    cool.network().solveSteadyState();
+    hot.network().solveSteadyState();
+    EXPECT_NEAR(hot.dieTemp().value() - cool.dieTemp().value(), 30.0,
+                0.1);
+}
+
+TEST(PhonePackage, DieRespondsInSecondsCaseInMinutes)
+{
+    // The paper: top-frequency heat reaches limits "within seconds".
+    // The die must move quickly while the case barely changes.
+    PhonePackage p = makePackage();
+    p.setCpuPower(Watts(6.0));
+    p.step(Time::sec(10));
+    EXPECT_GT(p.dieTemp().value(), 32.0);
+    EXPECT_LT(p.caseTemp().value(), 27.5);
+}
+
+} // namespace
+} // namespace pvar

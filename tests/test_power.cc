@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the battery, Monsoon, and energy meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/battery.hh"
+#include "power/energy_meter.hh"
+#include "power/monsoon.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Battery, OcvDecreasesWithDischarge)
+{
+    Battery b((BatteryParams()));
+    double prev = 1e9;
+    for (double soc = 1.0; soc >= 0.0; soc -= 0.05) {
+        b.setStateOfCharge(soc);
+        double v = b.openCircuitVoltage().value();
+        EXPECT_LE(v, prev);
+        prev = v;
+    }
+    b.setStateOfCharge(1.0);
+    EXPECT_NEAR(b.openCircuitVoltage().value(), 4.35, 1e-9);
+    b.setStateOfCharge(0.0);
+    EXPECT_NEAR(b.openCircuitVoltage().value(), 3.30, 1e-9);
+}
+
+TEST(Battery, TerminalSagsUnderLoad)
+{
+    Battery b((BatteryParams()));
+    Volts open = b.terminalVoltage(Amps(0.0));
+    Volts loaded = b.terminalVoltage(Amps(2.0));
+    EXPECT_NEAR(open.value() - loaded.value(),
+                2.0 * b.internalResistance().value(), 1e-12);
+}
+
+TEST(Battery, DrainReducesSoc)
+{
+    BatteryParams p;
+    p.capacityWh = 10.0;
+    Battery b(p);
+    // Draw ~1 A for one hour: about 4 Wh out of 10.
+    for (int i = 0; i < 3600; ++i)
+        b.drain(Amps(1.0), Time::sec(1));
+    EXPECT_LT(b.stateOfCharge(), 0.65);
+    EXPECT_GT(b.stateOfCharge(), 0.50);
+}
+
+TEST(Battery, SocNeverGoesNegative)
+{
+    BatteryParams p;
+    p.capacityWh = 0.001;
+    Battery b(p);
+    b.drain(Amps(5.0), Time::sec(100));
+    EXPECT_GE(b.stateOfCharge(), 0.0);
+}
+
+TEST(Battery, AgingRaisesResistanceAndCutsCapacity)
+{
+    BatteryParams fresh_p;
+    BatteryParams old_p;
+    old_p.age = 1.0;
+    Battery fresh(fresh_p), old(old_p);
+    EXPECT_NEAR(old.internalResistance().value(),
+                2.0 * fresh.internalResistance().value(), 1e-12);
+    EXPECT_NEAR(old.effectiveCapacityWh(),
+                0.8 * fresh.effectiveCapacityWh(), 1e-12);
+    // An aged cell sags more: the LG G5 / iPhone throttling vector.
+    EXPECT_LT(old.terminalVoltage(Amps(2.0)).value(),
+              fresh.terminalVoltage(Amps(2.0)).value());
+}
+
+TEST(Battery, SelfHeatingIsI2R)
+{
+    Battery b((BatteryParams()));
+    double r = b.internalResistance().value();
+    EXPECT_NEAR(b.selfHeating(Amps(2.0)).value(), 4.0 * r, 1e-12);
+}
+
+TEST(Battery, InvalidConfigDies)
+{
+    BatteryParams p;
+    p.age = 2.0;
+    EXPECT_DEATH(Battery b(p), "");
+    BatteryParams q;
+    q.capacityWh = 0.0;
+    EXPECT_DEATH(Battery b(q), "");
+    Battery ok((BatteryParams()));
+    EXPECT_DEATH(ok.setStateOfCharge(1.5), "");
+}
+
+TEST(Monsoon, HoldsProgrammedVoltage)
+{
+    Monsoon m(Volts(3.85));
+    EXPECT_NEAR(m.terminalVoltage(Amps(0.0)).value(), 3.85, 1e-12);
+    // Tiny source resistance: small sag at 2 A.
+    EXPECT_NEAR(m.terminalVoltage(Amps(2.0)).value(), 3.85 - 0.024,
+                1e-9);
+    m.setVout(Volts(4.40));
+    EXPECT_NEAR(m.terminalVoltage(Amps(0.0)).value(), 4.40, 1e-12);
+}
+
+TEST(Monsoon, CaptureIntegratesEnergy)
+{
+    Monsoon m(Volts(4.0), Ohms(0.0));
+    m.startCapture(Time::zero());
+    // 1 A at 4 V for 10 s = 40 J.
+    for (int i = 0; i < 100; ++i)
+        m.drain(Amps(1.0), Time::msec(100));
+    CaptureResult r = m.stopCapture(Time::sec(10));
+    EXPECT_NEAR(r.energy.value(), 40.0, 1e-9);
+    EXPECT_NEAR(r.averagePower.value(), 4.0, 1e-9);
+    EXPECT_NEAR(r.peakCurrent.value(), 1.0, 1e-12);
+    EXPECT_EQ(r.samples.size(), 100u);
+    EXPECT_EQ(r.duration, Time::sec(10));
+}
+
+TEST(Monsoon, DrainOutsideCaptureCountsLifetimeOnly)
+{
+    Monsoon m(Volts(4.0), Ohms(0.0));
+    m.drain(Amps(1.0), Time::sec(1));
+    m.startCapture(Time::sec(1));
+    m.drain(Amps(1.0), Time::sec(1));
+    CaptureResult r = m.stopCapture(Time::sec(2));
+    EXPECT_NEAR(r.energy.value(), 4.0, 1e-9);
+    EXPECT_NEAR(m.lifetimeEnergy().value(), 8.0, 1e-9);
+}
+
+TEST(Monsoon, StopWithoutStartDies)
+{
+    Monsoon m(Volts(4.0));
+    EXPECT_DEATH((void)m.stopCapture(Time::sec(1)), "");
+}
+
+TEST(PowerSupply, OperatingCurrentSolvesFixedPoint)
+{
+    // I * V(I) must equal the demand.
+    Battery b((BatteryParams()));
+    Watts demand(5.0);
+    Amps i = b.operatingCurrent(demand);
+    EXPECT_NEAR((b.terminalVoltage(i) * i).value(), 5.0, 1e-6);
+
+    Monsoon m(Volts(3.85));
+    Amps im = m.operatingCurrent(demand);
+    EXPECT_NEAR((m.terminalVoltage(im) * im).value(), 5.0, 1e-6);
+}
+
+TEST(PowerSupply, ZeroDemandZeroCurrent)
+{
+    Monsoon m(Volts(3.85));
+    EXPECT_DOUBLE_EQ(m.operatingCurrent(Watts(0.0)).value(), 0.0);
+}
+
+TEST(EnergyMeter, AccumulatesAndSlices)
+{
+    EnergyMeter meter;
+    meter.beginSpan("warmup", Time::zero());
+    for (int i = 0; i < 10; ++i)
+        meter.accumulate(Watts(2.0), Time::sec(i + 1), Time::sec(1));
+    meter.beginSpan("workload", Time::sec(10)); // closes "warmup"
+    for (int i = 0; i < 5; ++i)
+        meter.accumulate(Watts(4.0), Time::sec(11 + i), Time::sec(1));
+    meter.endSpan(Time::sec(15));
+
+    EXPECT_NEAR(meter.total().value(), 40.0, 1e-9);
+    EXPECT_NEAR(meter.energyOf("warmup").value(), 20.0, 1e-9);
+    EXPECT_NEAR(meter.energyOf("workload").value(), 20.0, 1e-9);
+    EXPECT_EQ(meter.spans().size(), 2u);
+}
+
+TEST(EnergyMeter, RepeatedLabelsSum)
+{
+    EnergyMeter meter;
+    for (int rep = 0; rep < 3; ++rep) {
+        meter.beginSpan("w", Time::sec(rep * 2));
+        meter.accumulate(Watts(1.0), Time::sec(rep * 2 + 1), Time::sec(1));
+        meter.endSpan(Time::sec(rep * 2 + 1));
+    }
+    EXPECT_NEAR(meter.energyOf("w").value(), 3.0, 1e-9);
+}
+
+TEST(EnergyMeter, ResetForgets)
+{
+    EnergyMeter meter;
+    meter.accumulate(Watts(5.0), Time::sec(1), Time::sec(1));
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.total().value(), 0.0);
+    EXPECT_TRUE(meter.spans().empty());
+}
+
+} // namespace
+} // namespace pvar

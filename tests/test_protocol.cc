@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the study protocol reduction logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accubench/protocol.hh"
+
+namespace pvar
+{
+namespace
+{
+
+ExperimentResult
+synthetic(const std::string &unit, std::vector<double> scores,
+          std::vector<double> energies)
+{
+    ExperimentResult r;
+    r.unitId = unit;
+    r.model = "Test Phone";
+    r.socName = "SD-TEST";
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        IterationResult it;
+        it.score = scores[i];
+        it.workloadEnergy = Joules(energies[i]);
+        r.iterations.push_back(it);
+    }
+    return r;
+}
+
+TEST(Protocol, ReduceComputesPaperMetrics)
+{
+    // Two units: A scores 1000 (uses 500 J unconstrained, 300 J
+    // fixed); B scores 860 and uses 360 J fixed.
+    std::vector<ExperimentResult> unc = {
+        synthetic("A", {1000, 1000}, {500, 500}),
+        synthetic("B", {860, 860}, {520, 520}),
+    };
+    std::vector<ExperimentResult> fix = {
+        synthetic("A", {600, 600}, {300, 300}),
+        synthetic("B", {600, 600}, {360, 360}),
+    };
+    SocStudy s = reduceSocStudy("SD-TEST", "Test Phone", unc, fix);
+
+    EXPECT_EQ(s.units.size(), 2u);
+    // Perf variation: (1000 - 860) / 1000 = 14%.
+    EXPECT_NEAR(s.perfVariationPercent, 14.0, 1e-9);
+    // Energy variation: (360 - 300) / 300 = 20%.
+    EXPECT_NEAR(s.energyVariationPercent, 20.0, 1e-9);
+    // Fixed scores identical -> 0% spread.
+    EXPECT_NEAR(s.fixedPerfSpreadPercent, 0.0, 1e-12);
+    // Efficiency: mean of score / (E/3600).
+    double eff_a = 1000.0 / (500.0 / 3600.0);
+    double eff_b = 860.0 / (520.0 / 3600.0);
+    EXPECT_NEAR(s.efficiencyIterPerWh, 0.5 * (eff_a + eff_b), 1e-6);
+}
+
+TEST(Protocol, ReduceTracksPerUnitOutcomes)
+{
+    std::vector<ExperimentResult> unc = {
+        synthetic("A", {100, 102}, {50, 52})};
+    std::vector<ExperimentResult> fix = {
+        synthetic("A", {60, 60}, {30, 31})};
+    SocStudy s = reduceSocStudy("SD-TEST", "Test Phone", unc, fix);
+
+    ASSERT_EQ(s.units.size(), 1u);
+    const UnitOutcome &u = s.units[0];
+    EXPECT_EQ(u.unitId, "A");
+    EXPECT_NEAR(u.meanScore, 101.0, 1e-9);
+    EXPECT_NEAR(u.meanFixedEnergyJ, 30.5, 1e-9);
+    EXPECT_GT(u.scoreRsdPercent, 0.0);
+    EXPECT_GT(u.fixedEnergyRsdPercent, 0.0);
+}
+
+TEST(Protocol, ReduceMismatchedListsDie)
+{
+    std::vector<ExperimentResult> unc = {
+        synthetic("A", {100}, {50})};
+    std::vector<ExperimentResult> fix;
+    EXPECT_DEATH(reduceSocStudy("SD-TEST", "m", unc, fix), "");
+}
+
+TEST(Protocol, StudyConfigDefaultsMatchPaper)
+{
+    StudyConfig cfg;
+    EXPECT_EQ(cfg.iterations, 5);
+    EXPECT_DOUBLE_EQ(cfg.thermabox.target.value(), 26.0);
+    EXPECT_DOUBLE_EQ(cfg.thermabox.deadband, 0.5);
+    EXPECT_EQ(cfg.accubench.warmupDuration, Time::minutes(3));
+    EXPECT_EQ(cfg.accubench.workloadDuration, Time::minutes(5));
+    EXPECT_EQ(cfg.accubench.cooldownPoll, Time::sec(5));
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the lumped RC thermal network.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "thermal/rc_network.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(ThermalNetwork, NoPowerRelaxesToBoundary)
+{
+    ThermalNetwork net;
+    auto node = net.addNode("mass", JoulesPerKelvin(10.0), Celsius(80.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(node, amb, WattsPerKelvin(1.0));
+
+    for (int i = 0; i < 2000; ++i)
+        net.step(Time::msec(100));
+    EXPECT_NEAR(net.temperature(node).value(), 25.0, 0.01);
+}
+
+TEST(ThermalNetwork, SingleNodeSteadyState)
+{
+    // P = G * (T - T_amb)  ->  T = T_amb + P / G.
+    ThermalNetwork net;
+    auto node = net.addNode("mass", JoulesPerKelvin(5.0), Celsius(25.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(node, amb, WattsPerKelvin(0.5));
+    net.setPower(node, Watts(2.0));
+
+    EXPECT_TRUE(net.solveSteadyState());
+    EXPECT_NEAR(net.temperature(node).value(), 29.0, 1e-4);
+}
+
+TEST(ThermalNetwork, TransientMatchesAnalyticExponential)
+{
+    // Single RC: T(t) = T_inf + (T_0 - T_inf) e^{-t/RC}.
+    ThermalNetwork net;
+    auto node = net.addNode("mass", JoulesPerKelvin(10.0), Celsius(60.0));
+    auto amb = net.addBoundary("ambient", Celsius(20.0));
+    net.connect(node, amb, WattsPerKelvin(2.0)); // tau = 5 s
+
+    for (int i = 0; i < 50; ++i) // 5 s = one tau
+        net.step(Time::msec(100));
+
+    double expected = 20.0 + 40.0 * std::exp(-1.0);
+    EXPECT_NEAR(net.temperature(node).value(), expected, 0.2);
+}
+
+TEST(ThermalNetwork, ChainSteadyState)
+{
+    // die -(1 W/K)- case -(0.5 W/K)- ambient, 3 W into die:
+    // case = 25 + 3/0.5 = 31; die = 31 + 3/1 = 34.
+    ThermalNetwork net;
+    auto die = net.addNode("die", JoulesPerKelvin(1.0), Celsius(25.0));
+    auto cas = net.addNode("case", JoulesPerKelvin(10.0), Celsius(25.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(die, cas, WattsPerKelvin(1.0));
+    net.connect(cas, amb, WattsPerKelvin(0.5));
+    net.setPower(die, Watts(3.0));
+
+    EXPECT_TRUE(net.solveSteadyState());
+    EXPECT_NEAR(net.temperature(cas).value(), 31.0, 1e-3);
+    EXPECT_NEAR(net.temperature(die).value(), 34.0, 1e-3);
+}
+
+TEST(ThermalNetwork, TransientConvergesToSteadyState)
+{
+    ThermalNetwork stepped, solved;
+    for (auto *net : {&stepped, &solved}) {
+        auto die = net->addNode("die", JoulesPerKelvin(2.0), Celsius(25));
+        auto pcb = net->addNode("pcb", JoulesPerKelvin(20.0), Celsius(25));
+        auto amb = net->addBoundary("amb", Celsius(25));
+        net->connect(die, pcb, WattsPerKelvin(0.4));
+        net->connect(pcb, amb, WattsPerKelvin(0.25));
+        net->setPower(die, Watts(4.0));
+    }
+    solved.solveSteadyState();
+    for (int i = 0; i < 60000; ++i)
+        stepped.step(Time::msec(100));
+
+    EXPECT_NEAR(stepped.temperature(0).value(),
+                solved.temperature(0).value(), 0.05);
+    EXPECT_NEAR(stepped.temperature(1).value(),
+                solved.temperature(1).value(), 0.05);
+}
+
+TEST(ThermalNetwork, BoundaryHoldsTemperature)
+{
+    ThermalNetwork net;
+    auto node = net.addNode("mass", JoulesPerKelvin(1.0), Celsius(80.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(node, amb, WattsPerKelvin(1.0));
+    net.step(Time::sec(10));
+    EXPECT_DOUBLE_EQ(net.temperature(amb).value(), 25.0);
+    EXPECT_TRUE(net.isBoundary(amb));
+    EXPECT_FALSE(net.isBoundary(node));
+}
+
+TEST(ThermalNetwork, StabilityWithStiffNode)
+{
+    // Tiny capacitance + large conductance: tau = 1 ms while dt = 1 s.
+    // Sub-stepping must keep the explicit method stable.
+    ThermalNetwork net;
+    auto hot = net.addNode("hot", JoulesPerKelvin(0.01),
+                           Celsius(100.0));
+    auto amb = net.addBoundary("ambient", Celsius(20.0));
+    net.connect(hot, amb, WattsPerKelvin(10.0));
+
+    net.step(Time::sec(1));
+    double t = net.temperature(hot).value();
+    EXPECT_GE(t, 19.9);
+    EXPECT_LE(t, 100.0);
+    EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(ThermalNetwork, HeatOutflowSigns)
+{
+    ThermalNetwork net;
+    auto hot = net.addNode("hot", JoulesPerKelvin(5.0), Celsius(50.0));
+    auto cold = net.addNode("cold", JoulesPerKelvin(5.0), Celsius(20.0));
+    net.connect(hot, cold, WattsPerKelvin(0.5));
+    EXPECT_NEAR(net.heatOutflow(hot).value(), 15.0, 1e-12);
+    EXPECT_NEAR(net.heatOutflow(cold).value(), -15.0, 1e-12);
+}
+
+TEST(ThermalNetwork, EnergyConservationInClosedPair)
+{
+    // Two masses, no boundary: total heat content is conserved.
+    ThermalNetwork net;
+    auto a = net.addNode("a", JoulesPerKelvin(4.0), Celsius(70.0));
+    auto b = net.addNode("b", JoulesPerKelvin(6.0), Celsius(20.0));
+    net.connect(a, b, WattsPerKelvin(0.8));
+
+    double heat0 = 4.0 * 70.0 + 6.0 * 20.0;
+    for (int i = 0; i < 1000; ++i)
+        net.step(Time::msec(50));
+    double heat1 = 4.0 * net.temperature(a).value() +
+                   6.0 * net.temperature(b).value();
+    EXPECT_NEAR(heat1, heat0, 0.01);
+
+    // And both approach the common equilibrium (weighted mean).
+    double equil = heat0 / 10.0;
+    EXPECT_NEAR(net.temperature(a).value(), equil, 0.05);
+    EXPECT_NEAR(net.temperature(b).value(), equil, 0.05);
+}
+
+TEST(ThermalNetwork, InvalidConstructionDies)
+{
+    ThermalNetwork net;
+    auto a = net.addNode("a", JoulesPerKelvin(1.0), Celsius(25));
+    EXPECT_DEATH(net.connect(a, a, WattsPerKelvin(1.0)), "");
+    auto b = net.addNode("b", JoulesPerKelvin(1.0), Celsius(25));
+    EXPECT_DEATH(net.connect(a, b, WattsPerKelvin(0.0)), "");
+    EXPECT_DEATH(net.addNode("bad", JoulesPerKelvin(0.0), Celsius(25)),
+                 "");
+}
+
+/** Parameterized: random star topologies relax to ambient. */
+class RcRelaxation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RcRelaxation, StarRelaxesToAmbientWithoutPower)
+{
+    int n = GetParam();
+    ThermalNetwork net;
+    auto hub = net.addNode("hub", JoulesPerKelvin(3.0), Celsius(90.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(hub, amb, WattsPerKelvin(0.3));
+    for (int i = 0; i < n; ++i) {
+        auto leaf = net.addNode("leaf", JoulesPerKelvin(1.0 + i),
+                                Celsius(40.0 + i));
+        net.connect(hub, leaf, WattsPerKelvin(0.2 + 0.1 * i));
+    }
+    for (int i = 0; i < 40000; ++i)
+        net.step(Time::msec(100));
+    for (ThermalNodeId id = 0; id < net.nodeCount(); ++id)
+        EXPECT_NEAR(net.temperature(id).value(), 25.0, 0.1)
+            << net.nodeName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RcRelaxation, ::testing::Values(1, 3, 8));
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for table/figure rendering.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "report/figure.hh"
+#include "report/json.hh"
+#include "report/table.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"Chipset", "Perf", "Energy"});
+    t.addRow({"SD-800", "14%", "19%"});
+    t.addRow({"SD-810", "10%", "12%"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Chipset"), std::string::npos);
+    EXPECT_NE(out.find("SD-800"), std::string::npos);
+    EXPECT_NE(out.find("19%"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t({"A", "B"});
+    t.addRow({"xxxxxxxx", "y"});
+    std::string out = t.render();
+    // Every rendered line has the same width.
+    std::size_t width = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, MismatchedRowDies)
+{
+    Table t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(fmtPercent(12.345, 1), "12.3%");
+}
+
+TEST(BarFigure, NormalizesToMax)
+{
+    BarFigure fig("Fig X: perf", "iterations");
+    fig.addBar("bin-0", 1000.0);
+    fig.addBar("bin-3", 860.0);
+    std::string out = fig.render(true);
+    EXPECT_NE(out.find("bin-0"), std::string::npos);
+    EXPECT_NE(out.find("1.000"), std::string::npos);
+    EXPECT_NE(out.find("0.860"), std::string::npos);
+    EXPECT_EQ(fig.values(), (std::vector<double>{1000.0, 860.0}));
+}
+
+TEST(BarFigure, NormalizesToMinForEnergy)
+{
+    BarFigure fig("Fig X: energy", "J");
+    fig.addBar("bin-0", 800.0);
+    fig.addBar("bin-3", 952.0);
+    std::string out = fig.render(false);
+    EXPECT_NE(out.find("1.190"), std::string::npos);
+}
+
+TEST(BarFigure, EmptyDies)
+{
+    BarFigure fig("empty", "u");
+    EXPECT_DEATH((void)fig.render(), "");
+}
+
+TEST(FigureHeader, MentionsIdAndClaim)
+{
+    std::string h = figureHeader("Fig 6a", "bin-0 fastest; 14% spread");
+    EXPECT_NE(h.find("Fig 6a"), std::string::npos);
+    EXPECT_NE(h.find("14% spread"), std::string::npos);
+}
+
+TEST(TraceSeriesCsv, DownsamplesAndLabels)
+{
+    Trace trace;
+    for (int i = 0; i < 1000; ++i)
+        trace.record("die_temp", Time::sec(i), 30.0 + i * 0.01);
+    std::string csv = traceSeriesCsv(trace, {"die_temp"}, 100);
+    // Header plus at most ~101 rows.
+    auto lines = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_LE(lines, 110);
+    EXPECT_GE(lines, 90);
+    EXPECT_NE(csv.find("die_temp,0.000"), std::string::npos);
+}
+
+TEST(TraceSeriesCsv, MissingChannelIsSkipped)
+{
+    Trace trace;
+    trace.record("a", Time::zero(), 1.0);
+    std::string csv = traceSeriesCsv(trace, {"a", "missing"}, 10);
+    EXPECT_NE(csv.find("a,"), std::string::npos);
+    EXPECT_EQ(csv.find("missing"), std::string::npos);
+}
+
+TEST(JsonWriter, ObjectsArraysAndScalars)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("SD-800");
+    w.key("count").value(4);
+    w.key("ratio").value(0.5);
+    w.key("ok").value(true);
+    w.key("missing").null();
+    w.key("xs").beginArray().value(1).value(2).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"SD-800\",\"count\":4,\"ratio\":0.5,"
+              "\"ok\":true,\"missing\":null,\"xs\":[1,2]}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter w;
+    w.value(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(1.0 / 0.0);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.beginObject().key("a").value(1).endObject();
+    w.beginObject().key("b").value(2).endObject();
+    w.endArray();
+    EXPECT_EQ(w.str(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(JsonExport, ExperimentResultRoundTrips)
+{
+    ExperimentResult r;
+    r.unitId = "bin-0";
+    r.model = "Nexus 5";
+    r.socName = "SD-800";
+    IterationResult it;
+    it.score = 990.5;
+    it.workloadEnergy = Joules(1956.0);
+    it.totalEnergy = Joules(3000.0);
+    it.warmupTime = Time::minutes(3);
+    it.cooldownTime = Time::sec(120);
+    it.workloadTime = Time::minutes(5);
+    it.tempAtWorkloadStart = Celsius(32.0);
+    it.peakWorkloadTemp = Celsius(74.0);
+    r.iterations.push_back(it);
+
+    std::string json = toJson(r);
+    EXPECT_NE(json.find("\"unit\":\"bin-0\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean_score\":990.5"), std::string::npos);
+    EXPECT_NE(json.find("\"warmup_s\":180"), std::string::npos);
+    EXPECT_NE(json.find("\"cooldown_reached_target\":true"),
+              std::string::npos);
+}
+
+TEST(JsonExport, StudyListIsArray)
+{
+    SocStudy s;
+    s.socName = "SD-800";
+    s.model = "Nexus 5";
+    s.perfVariationPercent = 12.0;
+    UnitOutcome u;
+    u.unitId = "bin-0";
+    s.units.push_back(u);
+
+    std::string json = toJson(std::vector<SocStudy>{s, s});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    // Two studies -> the soc key appears twice.
+    auto first = json.find("\"soc\":\"SD-800\"");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(json.find("\"soc\":\"SD-800\"", first + 1),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        sum += u;
+        sq += u * u;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(23);
+    // Median of exp(N(mu, sigma)) is exp(mu).
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(rng.lognormal(1.0, 0.5));
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[10000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, LognormalPositive)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ForkReproducible)
+{
+    // Forking at the same parent state yields the same child stream.
+    Rng parent1(99);
+    Rng child1 = parent1.fork(5);
+
+    Rng parent2(99);
+    Rng child2 = parent2.fork(5);
+
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, ForkDecoupledFromParent)
+{
+    // The child stream differs from the parent's continued output.
+    Rng parent(99);
+    Rng child = parent.fork(5);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += child.next() == parent.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkStreamsDiffer)
+{
+    Rng parent(123);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace pvar

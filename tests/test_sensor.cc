@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the temperature sensor model.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "thermal/sensor.hh"
+
+namespace pvar
+{
+namespace
+{
+
+SensorParams
+quietParams()
+{
+    SensorParams p;
+    p.period = Time::msec(100);
+    p.quantum = 1.0;
+    p.noiseSigma = 0.0;
+    p.offset = 0.0;
+    return p;
+}
+
+TEST(Sensor, QuantizesToWholeDegrees)
+{
+    double truth = 41.4;
+    TemperatureSensor s("t", quietParams(),
+                        [&truth] { return Celsius(truth); }, Rng(1));
+    EXPECT_DOUBLE_EQ(s.read().value(), 41.0);
+    truth = 41.6;
+    s.refresh();
+    EXPECT_DOUBLE_EQ(s.read().value(), 42.0);
+}
+
+TEST(Sensor, LatchesBetweenPeriods)
+{
+    double truth = 40.0;
+    TemperatureSensor s("t", quietParams(),
+                        [&truth] { return Celsius(truth); }, Rng(1));
+    s.tick(Time::msec(10));
+    truth = 90.0;
+    // Still inside the first period: the latch must hold.
+    s.tick(Time::msec(50));
+    EXPECT_DOUBLE_EQ(s.read().value(), 40.0);
+    // Past the period boundary: refreshed.
+    s.tick(Time::msec(200));
+    EXPECT_DOUBLE_EQ(s.read().value(), 90.0);
+}
+
+TEST(Sensor, OffsetApplies)
+{
+    SensorParams p = quietParams();
+    p.offset = 2.0;
+    TemperatureSensor s("t", p, [] { return Celsius(50.0); }, Rng(1));
+    EXPECT_DOUBLE_EQ(s.read().value(), 52.0);
+}
+
+TEST(Sensor, NoiseIsBoundedAndCentered)
+{
+    SensorParams p = quietParams();
+    p.quantum = 0.0;
+    p.noiseSigma = 0.5;
+    TemperatureSensor s("t", p, [] { return Celsius(60.0); }, Rng(7));
+
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        s.refresh();
+        double v = s.read().value();
+        sum += v;
+        EXPECT_NEAR(v, 60.0, 4.0); // 8 sigma
+    }
+    EXPECT_NEAR(sum / n, 60.0, 0.1);
+}
+
+TEST(Sensor, ClockRestartRefreshes)
+{
+    double truth = 40.0;
+    TemperatureSensor s("t", quietParams(),
+                        [&truth] { return Celsius(truth); }, Rng(1));
+    s.tick(Time::sec(1000));
+    truth = 70.0;
+    // A new experiment's simulator restarts at ~0; the sensor must not
+    // stay latched for the next 1000 s.
+    s.tick(Time::msec(10));
+    EXPECT_DOUBLE_EQ(s.read().value(), 70.0);
+}
+
+TEST(Sensor, ContinuousModeTracksExactly)
+{
+    SensorParams p = quietParams();
+    p.quantum = 0.0;
+    double truth = 33.25;
+    TemperatureSensor s("t", p, [&truth] { return Celsius(truth); },
+                        Rng(1));
+    EXPECT_DOUBLE_EQ(s.read().value(), 33.25);
+}
+
+} // namespace
+} // namespace pvar

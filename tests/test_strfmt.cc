@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for string formatting and the logging front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Strfmt, BasicSubstitution)
+{
+    EXPECT_EQ(strfmt("hello %s", "world"), "hello world");
+    EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strfmt("%.3f", 3.14159), "3.142");
+    EXPECT_EQ(strfmt("%05d", 42), "00042");
+}
+
+TEST(Strfmt, EmptyAndNoArgs)
+{
+    EXPECT_EQ(strfmt("plain"), "plain");
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strfmt, LongOutput)
+{
+    std::string big(5000, 'x');
+    std::string out = strfmt("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(Strfmt, PercentEscape)
+{
+    EXPECT_EQ(strfmt("100%%"), "100%");
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel old = setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    LogLevel prev = setLogLevel(old);
+    EXPECT_EQ(prev, LogLevel::Debug);
+    EXPECT_EQ(logLevel(), old);
+}
+
+TEST(Logging, InformAndWarnDoNotCrash)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    inform("suppressed %d", 1);
+    debug("suppressed %d", 2);
+    warn("warnings always print (%s)", "expected in test output");
+    setLogLevel(old);
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic"), "");
+}
+
+TEST(Logging, FatalExitsWithError)
+{
+    EXPECT_EXIT(fatal("intentional test fatal"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for summary statistics (Welford, RSD, spreads).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(OnlineSummary, MatchesClosedForm)
+{
+    OnlineSummary s;
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineSummary, RsdIsCoefficientOfVariation)
+{
+    OnlineSummary s;
+    s.add(90.0);
+    s.add(100.0);
+    s.add(110.0);
+    EXPECT_NEAR(s.rsd(), 10.0 / 100.0, 1e-12);
+    EXPECT_NEAR(s.rsdPercent(), 10.0, 1e-9);
+}
+
+TEST(OnlineSummary, DegenerateCases)
+{
+    OnlineSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.rsd(), 0.0);
+}
+
+TEST(OnlineSummary, MergeEqualsBulk)
+{
+    OnlineSummary a, b, bulk;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i) * 10.0 + i;
+        (i < 20 ? a : b).add(x);
+        bulk.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), bulk.count());
+    EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+    EXPECT_DOUBLE_EQ(a.max(), bulk.max());
+}
+
+TEST(OnlineSummary, MergeWithEmpty)
+{
+    OnlineSummary a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    OnlineSummary copy = a;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+
+    OnlineSummary target;
+    target.merge(copy);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Spreads, RelativeSpread)
+{
+    // (max - min) / max: the paper's "bin-0 is 14% faster" convention.
+    EXPECT_NEAR(relativeSpread({100.0, 86.0}), 0.14, 1e-12);
+    EXPECT_DOUBLE_EQ(relativeSpread({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(relativeSpread({}), 0.0);
+    EXPECT_DOUBLE_EQ(relativeSpread({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Spreads, RelativeExcess)
+{
+    // (max - min) / min: "consumes 19% more energy".
+    EXPECT_NEAR(relativeExcess({100.0, 119.0}), 0.19, 1e-12);
+    EXPECT_DOUBLE_EQ(relativeExcess({7.0}), 0.0);
+}
+
+TEST(Normalize, ToMax)
+{
+    auto out = normalizeToMax({50.0, 100.0, 75.0});
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+    EXPECT_DOUBLE_EQ(out[2], 0.75);
+}
+
+TEST(Normalize, ToMin)
+{
+    auto out = normalizeToMin({50.0, 100.0, 75.0});
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+    EXPECT_DOUBLE_EQ(out[2], 1.5);
+}
+
+TEST(Median, OddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Percentile, Interpolation)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+/** Property sweep: RSD is scale-invariant. */
+class RsdScaleInvariance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RsdScaleInvariance, ScalingDoesNotChangeRsd)
+{
+    double k = GetParam();
+    std::vector<double> xs = {95.0, 100.0, 105.0, 98.0, 102.0};
+    OnlineSummary base = summarize(xs);
+    std::vector<double> scaled;
+    for (double x : xs)
+        scaled.push_back(x * k);
+    OnlineSummary s = summarize(scaled);
+    EXPECT_NEAR(s.rsd(), base.rsd(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RsdScaleInvariance,
+                         ::testing::Values(0.001, 0.1, 1.0, 7.5, 1000.0));
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the simulation Time type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Time, DefaultIsZero)
+{
+    EXPECT_EQ(Time().toUsec(), 0);
+    EXPECT_EQ(Time(), Time::zero());
+}
+
+TEST(Time, NamedConstructorsAgree)
+{
+    EXPECT_EQ(Time::usec(1'000'000), Time::sec(1.0));
+    EXPECT_EQ(Time::msec(1000), Time::sec(1.0));
+    EXPECT_EQ(Time::sec(60), Time::minutes(1));
+    EXPECT_EQ(Time::minutes(60), Time::hours(1));
+}
+
+TEST(Time, Conversions)
+{
+    Time t = Time::msec(1500);
+    EXPECT_EQ(t.toUsec(), 1'500'000);
+    EXPECT_DOUBLE_EQ(t.toMsec(), 1500.0);
+    EXPECT_DOUBLE_EQ(t.toSec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::minutes(3).toMinutes(), 3.0);
+}
+
+TEST(Time, Arithmetic)
+{
+    Time a = Time::sec(2);
+    Time b = Time::sec(0.5);
+    EXPECT_EQ(a + b, Time::sec(2.5));
+    EXPECT_EQ(a - b, Time::sec(1.5));
+    EXPECT_EQ(a * 2.0, Time::sec(4));
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+
+    Time acc;
+    acc += Time::sec(1);
+    acc += Time::msec(500);
+    EXPECT_EQ(acc, Time::msec(1500));
+    acc -= Time::msec(500);
+    EXPECT_EQ(acc, Time::sec(1));
+}
+
+TEST(Time, Comparisons)
+{
+    EXPECT_LT(Time::sec(1), Time::sec(2));
+    EXPECT_GT(Time::minutes(1), Time::sec(59));
+    EXPECT_LE(Time::sec(1), Time::sec(1));
+    EXPECT_NE(Time::sec(1), Time::msec(999));
+    EXPECT_LT(Time::sec(1), Time::max());
+}
+
+TEST(Time, ToStringPicksSensibleUnits)
+{
+    EXPECT_EQ(Time::usec(12).toString(), "12us");
+    EXPECT_EQ(Time::msec(250).toString(), "250.0ms");
+    EXPECT_EQ(Time::sec(12.5).toString(), "12.5s");
+    EXPECT_EQ(Time::minutes(3).toString(), "3m0.0s");
+    EXPECT_EQ((Time::minutes(2) + Time::sec(30)).toString(), "2m30.0s");
+}
+
+TEST(Time, ToStringNegative)
+{
+    EXPECT_EQ((Time::zero() - Time::sec(5)).toString(), "-5.0s");
+}
+
+} // namespace
+} // namespace pvar

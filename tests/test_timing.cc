@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit and property tests for the alpha-power timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "silicon/timing.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(AlphaPower, ZeroBelowThreshold)
+{
+    EXPECT_DOUBLE_EQ(
+        alphaPowerFmax(Volts(0.30), Volts(0.35), 1.4, 3900).value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        alphaPowerFmax(Volts(0.35), Volts(0.35), 1.4, 3900).value(), 0.0);
+}
+
+TEST(AlphaPower, MonotonicInVoltage)
+{
+    double prev = 0.0;
+    for (double v = 0.40; v <= 1.30; v += 0.01) {
+        double f = alphaPowerFmax(Volts(v), Volts(0.35), 1.4, 3900).value();
+        EXPECT_GT(f, prev) << "at V=" << v;
+        prev = f;
+    }
+}
+
+TEST(AlphaPower, ScalesWithSpeedConstant)
+{
+    MegaHertz f1 = alphaPowerFmax(Volts(1.0), Volts(0.35), 1.4, 3900);
+    MegaHertz f2 = alphaPowerFmax(Volts(1.0), Volts(0.35), 1.4, 7800);
+    EXPECT_NEAR(f2.value() / f1.value(), 2.0, 1e-9);
+}
+
+TEST(AlphaPower, HigherThresholdIsSlower)
+{
+    MegaHertz lo = alphaPowerFmax(Volts(1.0), Volts(0.30), 1.4, 3900);
+    MegaHertz hi = alphaPowerFmax(Volts(1.0), Volts(0.40), 1.4, 3900);
+    EXPECT_GT(lo, hi);
+}
+
+TEST(MinVoltage, InvertsTheModel)
+{
+    for (double target = 300; target <= 2265; target += 300) {
+        Volts v = minVoltageForFreq(MegaHertz(target), Volts(0.35), 1.4,
+                                    3900, Volts(1.3));
+        MegaHertz achieved = alphaPowerFmax(v, Volts(0.35), 1.4, 3900);
+        EXPECT_GE(achieved.value(), target - 1e-6);
+        // ... and it is minimal: a hair less voltage fails.
+        MegaHertz below = alphaPowerFmax(v - Volts(0.002), Volts(0.35),
+                                         1.4, 3900);
+        EXPECT_LT(below.value(), target);
+    }
+}
+
+TEST(MinVoltage, UnattainableReturnsCeiling)
+{
+    Volts v = minVoltageForFreq(MegaHertz(100000), Volts(0.35), 1.4, 3900,
+                                Volts(1.3));
+    EXPECT_DOUBLE_EQ(v.value(), 1.3);
+}
+
+/** Property sweep over the three process-node parameter shapes. */
+struct AlphaCase
+{
+    double vth;
+    double alpha;
+    double k;
+};
+
+class AlphaPowerSweep : public ::testing::TestWithParam<AlphaCase>
+{
+};
+
+TEST_P(AlphaPowerSweep, RoundTripAcrossLadder)
+{
+    const auto &c = GetParam();
+    for (double f = 300; f <= 2600; f += 230) {
+        Volts v = minVoltageForFreq(MegaHertz(f), Volts(c.vth), c.alpha,
+                                    c.k, Volts(1.3));
+        if (v.value() >= 1.3)
+            continue; // out of reach for this node, fine
+        EXPECT_GE(alphaPowerFmax(v, Volts(c.vth), c.alpha, c.k).value(),
+                  f - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, AlphaPowerSweep,
+                         ::testing::Values(AlphaCase{0.35, 1.40, 3900},
+                                           AlphaCase{0.32, 1.35, 3700},
+                                           AlphaCase{0.30, 1.30, 4300}));
+
+} // namespace
+} // namespace pvar

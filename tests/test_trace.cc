@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for time-series recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(TraceChannel, RecordAndQuery)
+{
+    TraceChannel ch("temp");
+    EXPECT_TRUE(ch.empty());
+    ch.record(Time::sec(0), 30.0);
+    ch.record(Time::sec(1), 40.0);
+    ch.record(Time::sec(2), 50.0);
+    EXPECT_EQ(ch.size(), 3u);
+    EXPECT_DOUBLE_EQ(ch.last(), 50.0);
+    EXPECT_DOUBLE_EQ(ch.mean(), 40.0);
+    EXPECT_DOUBLE_EQ(ch.min(), 30.0);
+    EXPECT_DOUBLE_EQ(ch.max(), 50.0);
+}
+
+TEST(TraceChannel, TimeWeightedMeanUnevenSpacing)
+{
+    TraceChannel ch("x");
+    // Value 10 for 1 s, then 20 for 9 s: weighted mean 19.
+    ch.record(Time::sec(0), 10.0);
+    ch.record(Time::sec(1), 20.0);
+    ch.record(Time::sec(10), 20.0);
+    EXPECT_NEAR(ch.timeWeightedMean(), 19.0, 1e-9);
+    // Plain mean treats samples equally.
+    EXPECT_NEAR(ch.mean(), 50.0 / 3.0, 1e-9);
+}
+
+TEST(TraceChannel, TimeAtOrAbove)
+{
+    TraceChannel ch("t");
+    ch.record(Time::sec(0), 70.0);
+    ch.record(Time::sec(5), 80.0);
+    ch.record(Time::sec(8), 75.0);
+    ch.record(Time::sec(10), 60.0);
+    // >= 75: the sample at 5 s holds 3 s, the one at 8 s holds 2 s,
+    // and the first sample (70) does not count.
+    EXPECT_EQ(ch.timeAtOrAbove(75.0), Time::sec(5));
+    EXPECT_EQ(ch.timeAtOrAbove(60.0), Time::sec(10));
+    EXPECT_EQ(ch.timeAtOrAbove(90.0), Time::zero());
+}
+
+TEST(TraceChannel, Since)
+{
+    TraceChannel ch("x");
+    for (int i = 0; i < 10; ++i)
+        ch.record(Time::sec(i), i);
+    TraceChannel tail = ch.since(Time::sec(7));
+    EXPECT_EQ(tail.size(), 3u);
+    EXPECT_DOUBLE_EQ(tail.samples().front().value, 7.0);
+}
+
+TEST(TraceChannel, Values)
+{
+    TraceChannel ch("x");
+    ch.record(Time::sec(0), 1.5);
+    ch.record(Time::sec(1), 2.5);
+    EXPECT_EQ(ch.values(), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(Trace, ChannelAutoCreation)
+{
+    Trace t;
+    EXPECT_FALSE(t.hasChannel("a"));
+    t.record("a", Time::sec(1), 5.0);
+    EXPECT_TRUE(t.hasChannel("a"));
+    EXPECT_DOUBLE_EQ(t.channel("a").last(), 5.0);
+}
+
+TEST(Trace, ChannelNamesSorted)
+{
+    Trace t;
+    t.record("z", Time::zero(), 1);
+    t.record("a", Time::zero(), 1);
+    t.record("m", Time::zero(), 1);
+    EXPECT_EQ(t.channelNames(),
+              (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(Trace, CsvFormat)
+{
+    Trace t;
+    t.record("temp", Time::sec(1.5), 42.25);
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("channel,time_s,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("temp,1.500000,42.25"), std::string::npos);
+}
+
+TEST(Trace, Clear)
+{
+    Trace t;
+    t.record("a", Time::zero(), 1);
+    t.clear();
+    EXPECT_FALSE(t.hasChannel("a"));
+}
+
+} // namespace
+} // namespace pvar

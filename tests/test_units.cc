@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the strong physical-unit types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Units, BasicArithmetic)
+{
+    Volts a(1.0), b(0.25);
+    EXPECT_DOUBLE_EQ((a + b).value(), 1.25);
+    EXPECT_DOUBLE_EQ((a - b).value(), 0.75);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 2.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 2.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.25);
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+    EXPECT_DOUBLE_EQ((-b).value(), -0.25);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Watts p(1.0);
+    p += Watts(0.5);
+    EXPECT_DOUBLE_EQ(p.value(), 1.5);
+    p -= Watts(1.0);
+    EXPECT_DOUBLE_EQ(p.value(), 0.5);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Celsius(25.0), Celsius(26.0));
+    EXPECT_GE(MegaHertz(2265), MegaHertz(2265));
+}
+
+TEST(Units, ElectricalIdentities)
+{
+    Volts v(4.0);
+    Amps i(0.5);
+    Watts p = v * i;
+    EXPECT_DOUBLE_EQ(p.value(), 2.0);
+    EXPECT_DOUBLE_EQ((i * v).value(), 2.0);
+    EXPECT_DOUBLE_EQ((p / v).value(), 0.5);
+
+    Ohms r(0.1);
+    EXPECT_DOUBLE_EQ((i * r).value(), 0.05);
+}
+
+TEST(Units, EnergyIdentities)
+{
+    Watts p(2.0);
+    Joules e = p * Time::sec(30);
+    EXPECT_DOUBLE_EQ(e.value(), 60.0);
+    EXPECT_DOUBLE_EQ((Time::sec(30) * p).value(), 60.0);
+    EXPECT_DOUBLE_EQ((e / Time::sec(30)).value(), 2.0);
+}
+
+TEST(Units, HeatFlowSign)
+{
+    WattsPerKelvin g(0.5);
+    EXPECT_DOUBLE_EQ(heatFlow(g, Celsius(50), Celsius(30)).value(), 10.0);
+    EXPECT_DOUBLE_EQ(heatFlow(g, Celsius(30), Celsius(50)).value(), -10.0);
+    EXPECT_DOUBLE_EQ(heatFlow(g, Celsius(30), Celsius(30)).value(), 0.0);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(Celsius(26.85).toKelvin(), 300.0);
+    EXPECT_DOUBLE_EQ(Volts(1.1).toMillivolts(), 1100.0);
+    EXPECT_DOUBLE_EQ(Volts::fromMillivolts(950).value(), 0.95);
+    EXPECT_DOUBLE_EQ(Amps(1.5).toMilliamps(), 1500.0);
+    EXPECT_DOUBLE_EQ(Amps::fromMilliamps(200).value(), 0.2);
+    EXPECT_DOUBLE_EQ(Watts(0.5).toMilliwatts(), 500.0);
+    EXPECT_DOUBLE_EQ(MegaHertz(2265).toHertz(), 2.265e9);
+    EXPECT_DOUBLE_EQ(MegaHertz(2265).toGigahertz(), 2.265);
+}
+
+TEST(Units, MilliampHours)
+{
+    // 1 Wh at 3.6 V is exactly 277.77 mAh.
+    Joules e(3600.0);
+    EXPECT_NEAR(e.toMilliampHours(Volts(3.6)), 277.78, 0.01);
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for V-F operating-point tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "silicon/vf_table.hh"
+
+namespace pvar
+{
+namespace
+{
+
+VfTable
+sampleTable()
+{
+    return VfTable({
+        {MegaHertz(960), Volts(0.865)},
+        {MegaHertz(300), Volts(0.800)},
+        {MegaHertz(2265), Volts(1.100)},
+        {MegaHertz(1574), Volts(0.965)},
+    });
+}
+
+TEST(VfTable, SortsAscendingByFrequency)
+{
+    VfTable t = sampleTable();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_DOUBLE_EQ(t.point(0).freq.value(), 300);
+    EXPECT_DOUBLE_EQ(t.point(3).freq.value(), 2265);
+    EXPECT_DOUBLE_EQ(t.lowest().freq.value(), 300);
+    EXPECT_DOUBLE_EQ(t.highest().freq.value(), 2265);
+}
+
+TEST(VfTable, VoltageForExactAndBetween)
+{
+    VfTable t = sampleTable();
+    EXPECT_DOUBLE_EQ(t.voltageFor(MegaHertz(960)).value(), 0.865);
+    // Between OPPs: the next higher OPP's voltage applies.
+    EXPECT_DOUBLE_EQ(t.voltageFor(MegaHertz(1000)).value(), 0.965);
+    EXPECT_DOUBLE_EQ(t.voltageFor(MegaHertz(100)).value(), 0.800);
+}
+
+TEST(VfTable, IndexAtOrBelow)
+{
+    VfTable t = sampleTable();
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(2265)), 3u);
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(2000)), 2u);
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(960)), 1u);
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(959)), 0u);
+    // Cap below the lowest OPP clamps to index 0.
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(100)), 0u);
+    EXPECT_EQ(t.indexAtOrBelow(MegaHertz(1e12)), 3u);
+}
+
+TEST(VfTable, IndexOf)
+{
+    VfTable t = sampleTable();
+    EXPECT_EQ(t.indexOf(MegaHertz(1574)), 2u);
+    EXPECT_DEATH((void)t.indexOf(MegaHertz(1234)), "");
+}
+
+TEST(VfTable, FatalOnOutOfRangeQueries)
+{
+    VfTable t = sampleTable();
+    EXPECT_DEATH((void)t.voltageFor(MegaHertz(3000)), "");
+    EXPECT_DEATH((void)t.point(9), "");
+}
+
+TEST(VfTable, EmptyTableBehaviour)
+{
+    VfTable t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_DEATH((void)t.lowest(), "");
+    EXPECT_DEATH((void)t.highest(), "");
+    EXPECT_DEATH((void)t.indexAtOrBelow(MegaHertz(1)), "");
+}
+
+TEST(VfTable, DuplicateFrequencyIsFatal)
+{
+    EXPECT_DEATH(VfTable({{MegaHertz(300), Volts(0.8)},
+                          {MegaHertz(300), Volts(0.9)}}),
+                 "");
+}
+
+TEST(VfTable, ToStringMentionsEveryOpp)
+{
+    VfTable t = sampleTable();
+    std::string s = t.toString();
+    EXPECT_NE(s.find("300:800mV"), std::string::npos);
+    EXPECT_NE(s.find("2265:1100mV"), std::string::npos);
+}
+
+} // namespace
+} // namespace pvar

@@ -1,0 +1,24 @@
+// Scratch calibration harness (not part of the shipped targets).
+#include <cstdio>
+#include "accubench/protocol.hh"
+#include "sim/logging.hh"
+
+using namespace pvar;
+
+int main(int argc, char **argv) {
+    setLogLevel(LogLevel::Quiet);
+    StudyConfig cfg;
+    cfg.iterations = argc > 2 ? atoi(argv[2]) : 2;
+    std::string soc = argc > 1 ? argv[1] : "SD-800";
+    SocStudy s = runSocStudy(soc, cfg);
+    printf("%s (%s): perf var %.1f%%  energy var %.1f%%  fixed perf spread %.2f%%  mean RSD %.2f%%  eff %.0f iter/Wh\n",
+           s.socName.c_str(), s.model.c_str(), s.perfVariationPercent,
+           s.energyVariationPercent, s.fixedPerfSpreadPercent,
+           s.meanScoreRsdPercent, s.efficiencyIterPerWh);
+    for (auto &u : s.units) {
+        printf("  %-8s score %8.1f (rsd %.2f%%)  uncE %7.1fJ  fixE %7.1fJ  fixScore %8.1f\n",
+               u.unitId.c_str(), u.meanScore, u.scoreRsdPercent,
+               u.meanUnconstrainedEnergyJ, u.meanFixedEnergyJ, u.meanFixedScore);
+    }
+    return 0;
+}

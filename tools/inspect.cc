@@ -1,0 +1,33 @@
+// Scratch: inspect one unconstrained run on one unit.
+#include <cstdio>
+#include "accubench/experiment.hh"
+#include "device/fleet.hh"
+#include "sim/logging.hh"
+using namespace pvar;
+int main(int argc, char **argv) {
+    setLogLevel(LogLevel::Quiet);
+    std::string soc = argc > 1 ? argv[1] : "SD-800";
+    int unit = argc > 2 ? atoi(argv[2]) : 3;
+    Fleet fleet = fleetForSoc(soc);
+    Device &d = *fleet[unit];
+    ExperimentConfig cfg;
+    cfg.iterations = 1;
+    ExperimentResult r = runExperiment(d, cfg);
+    const auto &temp = r.trace.channel("die_temp");
+    printf("die_temp: min %.1f max %.1f last %.1f\n", temp.min(), temp.max(), temp.last());
+    const auto &pw = r.trace.channel("power_w");
+    printf("power: max %.2f mean %.2f\n", pw.max(), pw.mean());
+    for (auto name : r.trace.channelNames()) printf("chan %s\n", name.c_str());
+    // print every 30s of die temp and freq
+    const auto &f = r.trace.channel(r.trace.hasChannel("freq_cpu") ? "freq_cpu" : "freq_perf");
+    for (size_t i = 0; i < temp.size(); i += 60) {
+        printf("t=%7.1fs T=%5.1fC f=%6.0f P=%5.2f\n",
+               temp.samples()[i].when.toSec(), temp.samples()[i].value,
+               f.samples()[i < f.size() ? i : f.size()-1].value,
+               pw.samples()[i < pw.size() ? i : pw.size()-1].value);
+    }
+    printf("score %.1f energy %.1f cooldown %.0fs tempAtStart %.1f\n",
+           r.iterations[0].score, r.iterations[0].workloadEnergy.value(),
+           r.iterations[0].cooldownTime.toSec(), r.iterations[0].tempAtWorkloadStart.value());
+    return 0;
+}

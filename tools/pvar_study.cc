@@ -1,0 +1,143 @@
+/**
+ * @file
+ * pvar_study: run the paper's study protocol from the command line.
+ *
+ *   pvar_study [options]
+ *     --soc NAME        run one SoC (SD-800..SD-821); default: all
+ *     --iterations N    ACCUBENCH iterations per experiment (default 5)
+ *     --ambient C       THERMABOX target temperature (default 26)
+ *     --json PATH       also write results as JSON
+ *     --csv PATH        also write the summary as CSV
+ *     --quiet           suppress progress logging
+ *     --help            this text
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accubench/protocol.hh"
+#include "report/json.hh"
+#include "report/table.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "pvar_study: reproduce the ISPASS'19 process-variation study\n"
+        "\n"
+        "  --soc NAME        run one SoC (SD-800..SD-821); default: all\n"
+        "  --iterations N    iterations per experiment (default 5)\n"
+        "  --ambient C       chamber target temperature (default 26)\n"
+        "  --json PATH       also write results as JSON\n"
+        "  --csv PATH        also write the summary as CSV\n"
+        "  --quiet           suppress progress logging\n"
+        "  --help            this text\n");
+}
+
+std::string
+summaryCsv(const std::vector<SocStudy> &studies)
+{
+    std::string out =
+        "soc,model,units,perf_variation_percent,"
+        "energy_variation_percent,fixed_perf_spread_percent,"
+        "mean_score_rsd_percent,efficiency_iter_per_wh\n";
+    for (const auto &s : studies) {
+        out += strfmt("%s,%s,%zu,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+                      s.socName.c_str(), s.model.c_str(),
+                      s.units.size(), s.perfVariationPercent,
+                      s.energyVariationPercent,
+                      s.fixedPerfSpreadPercent, s.meanScoreRsdPercent,
+                      s.efficiencyIterPerWh);
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("pvar_study: cannot write '%s'", path.c_str());
+    f << content;
+    inform("wrote %s", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string soc;
+    std::string json_path;
+    std::string csv_path;
+    StudyConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("pvar_study: %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--soc") {
+            soc = next();
+        } else if (arg == "--iterations") {
+            cfg.iterations = std::atoi(next());
+            if (cfg.iterations < 1)
+                fatal("pvar_study: iterations must be >= 1");
+        } else if (arg == "--ambient") {
+            double t = std::atof(next());
+            cfg.thermabox.target = Celsius(t);
+            cfg.accubench.cooldownTarget = Celsius(t + 6.0);
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--quiet") {
+            setLogLevel(LogLevel::Quiet);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    std::vector<SocStudy> studies;
+    if (soc.empty()) {
+        studies = runFullStudy(cfg);
+    } else {
+        studies.push_back(runSocStudy(soc, cfg));
+    }
+
+    Table t({"Chipset", "Model", "# Devices", "Perf var", "Energy var",
+             "Fixed spread", "Mean RSD", "Efficiency (it/Wh)"});
+    for (const auto &s : studies) {
+        t.addRow({s.socName, s.model, std::to_string(s.units.size()),
+                  fmtPercent(s.perfVariationPercent),
+                  fmtPercent(s.energyVariationPercent),
+                  fmtPercent(s.fixedPerfSpreadPercent, 2),
+                  fmtPercent(s.meanScoreRsdPercent, 2),
+                  fmtDouble(s.efficiencyIterPerWh, 0)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    if (!json_path.empty())
+        writeFile(json_path, toJson(studies));
+    if (!csv_path.empty())
+        writeFile(csv_path, summaryCsv(studies));
+    return 0;
+}
