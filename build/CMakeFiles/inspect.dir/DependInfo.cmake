@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/inspect.cc" "CMakeFiles/inspect.dir/tools/inspect.cc.o" "gcc" "CMakeFiles/inspect.dir/tools/inspect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_accubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_thermabox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_study.dir/tools/pvar_study.cc.o"
+  "CMakeFiles/pvar_study.dir/tools/pvar_study.cc.o.d"
+  "pvar_study"
+  "pvar_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

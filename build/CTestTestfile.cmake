@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pvar_study_help "/root/repo/build/pvar_study" "--help")
+set_tests_properties(pvar_study_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(pvar_study_smoke "/root/repo/build/pvar_study" "--soc" "SD-805" "--iterations" "1" "--quiet")
+set_tests_properties(pvar_study_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;41;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cooldown.dir/bench_ablation_cooldown.cc.o"
+  "CMakeFiles/bench_ablation_cooldown.dir/bench_ablation_cooldown.cc.o.d"
+  "bench_ablation_cooldown"
+  "bench_ablation_cooldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cooldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sd835.dir/bench_ext_sd835.cc.o"
+  "CMakeFiles/bench_ext_sd835.dir/bench_ext_sd835.cc.o.d"
+  "bench_ext_sd835"
+  "bench_ext_sd835.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sd835.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

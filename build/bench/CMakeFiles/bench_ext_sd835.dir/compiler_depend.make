@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_sd835.
+# This may be replaced when dependencies are built.

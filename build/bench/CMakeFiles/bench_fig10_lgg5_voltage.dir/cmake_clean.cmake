@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lgg5_voltage.dir/bench_fig10_lgg5_voltage.cc.o"
+  "CMakeFiles/bench_fig10_lgg5_voltage.dir/bench_fig10_lgg5_voltage.cc.o.d"
+  "bench_fig10_lgg5_voltage"
+  "bench_fig10_lgg5_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lgg5_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pixel_dist.dir/bench_fig11_pixel_dist.cc.o"
+  "CMakeFiles/bench_fig11_pixel_dist.dir/bench_fig11_pixel_dist.cc.o.d"
+  "bench_fig11_pixel_dist"
+  "bench_fig11_pixel_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pixel_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

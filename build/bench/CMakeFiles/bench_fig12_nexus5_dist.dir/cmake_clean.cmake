@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_nexus5_dist.dir/bench_fig12_nexus5_dist.cc.o"
+  "CMakeFiles/bench_fig12_nexus5_dist.dir/bench_fig12_nexus5_dist.cc.o.d"
+  "bench_fig12_nexus5_dist"
+  "bench_fig12_nexus5_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nexus5_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_nexus5_dist.
+# This may be replaced when dependencies are built.

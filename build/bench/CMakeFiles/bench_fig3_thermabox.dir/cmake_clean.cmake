@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_thermabox.dir/bench_fig3_thermabox.cc.o"
+  "CMakeFiles/bench_fig3_thermabox.dir/bench_fig3_thermabox.cc.o.d"
+  "bench_fig3_thermabox"
+  "bench_fig3_thermabox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_thermabox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sd820.dir/bench_fig8_sd820.cc.o"
+  "CMakeFiles/bench_fig8_sd820.dir/bench_fig8_sd820.cc.o.d"
+  "bench_fig8_sd820"
+  "bench_fig8_sd820.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sd820.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

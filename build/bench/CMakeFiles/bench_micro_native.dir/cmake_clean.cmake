@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_native.dir/bench_micro_native.cc.o"
+  "CMakeFiles/bench_micro_native.dir/bench_micro_native.cc.o.d"
+  "bench_micro_native"
+  "bench_micro_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repeatability.dir/bench_repeatability.cc.o"
+  "CMakeFiles/bench_repeatability.dir/bench_repeatability.cc.o.d"
+  "bench_repeatability"
+  "bench_repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svi_crowdsourcing.dir/bench_svi_crowdsourcing.cc.o"
+  "CMakeFiles/bench_svi_crowdsourcing.dir/bench_svi_crowdsourcing.cc.o.d"
+  "bench_svi_crowdsourcing"
+  "bench_svi_crowdsourcing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svi_crowdsourcing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

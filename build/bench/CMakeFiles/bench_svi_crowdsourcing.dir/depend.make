@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_svi_crowdsourcing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_voltage_bins.dir/bench_table1_voltage_bins.cc.o"
+  "CMakeFiles/bench_table1_voltage_bins.dir/bench_table1_voltage_bins.cc.o.d"
+  "bench_table1_voltage_bins"
+  "bench_table1_voltage_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_voltage_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

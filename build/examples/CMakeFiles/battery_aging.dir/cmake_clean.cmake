@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_aging.dir/battery_aging.cc.o"
+  "CMakeFiles/battery_aging.dir/battery_aging.cc.o.d"
+  "battery_aging"
+  "battery_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

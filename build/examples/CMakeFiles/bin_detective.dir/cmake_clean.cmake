@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bin_detective.dir/bin_detective.cc.o"
+  "CMakeFiles/bin_detective.dir/bin_detective.cc.o.d"
+  "bin_detective"
+  "bin_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bin_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsourced_ranking.dir/crowdsourced_ranking.cc.o"
+  "CMakeFiles/crowdsourced_ranking.dir/crowdsourced_ranking.cc.o.d"
+  "crowdsourced_ranking"
+  "crowdsourced_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsourced_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crowdsourced_ranking.
+# This may be replaced when dependencies are built.

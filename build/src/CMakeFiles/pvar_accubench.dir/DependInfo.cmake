@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accubench/accubench.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/accubench.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/accubench.cc.o.d"
+  "/root/repo/src/accubench/ambient_estimator.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/ambient_estimator.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/ambient_estimator.cc.o.d"
+  "/root/repo/src/accubench/bin_clustering.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/bin_clustering.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/bin_clustering.cc.o.d"
+  "/root/repo/src/accubench/crowd.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/crowd.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/crowd.cc.o.d"
+  "/root/repo/src/accubench/experiment.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/experiment.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/experiment.cc.o.d"
+  "/root/repo/src/accubench/lower_bound.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/lower_bound.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/lower_bound.cc.o.d"
+  "/root/repo/src/accubench/phase_windows.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/phase_windows.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/phase_windows.cc.o.d"
+  "/root/repo/src/accubench/protocol.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/protocol.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/protocol.cc.o.d"
+  "/root/repo/src/accubench/ranking.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/ranking.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/ranking.cc.o.d"
+  "/root/repo/src/accubench/result.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/result.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/result.cc.o.d"
+  "/root/repo/src/accubench/throttle_analysis.cc" "src/CMakeFiles/pvar_accubench.dir/accubench/throttle_analysis.cc.o" "gcc" "src/CMakeFiles/pvar_accubench.dir/accubench/throttle_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_thermabox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_accubench.dir/accubench/accubench.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/accubench.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/ambient_estimator.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/ambient_estimator.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/bin_clustering.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/bin_clustering.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/crowd.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/crowd.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/experiment.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/experiment.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/lower_bound.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/lower_bound.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/phase_windows.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/phase_windows.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/protocol.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/protocol.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/ranking.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/ranking.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/result.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/result.cc.o.d"
+  "CMakeFiles/pvar_accubench.dir/accubench/throttle_analysis.cc.o"
+  "CMakeFiles/pvar_accubench.dir/accubench/throttle_analysis.cc.o.d"
+  "libpvar_accubench.a"
+  "libpvar_accubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_accubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

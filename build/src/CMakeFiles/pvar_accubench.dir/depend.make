@@ -1,0 +1,2 @@
+# Empty dependencies file for pvar_accubench.
+# This may be replaced when dependencies are built.

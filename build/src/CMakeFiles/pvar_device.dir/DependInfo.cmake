@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/pvar_device.dir/device/device.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/device.cc.o.d"
+  "/root/repo/src/device/fleet.cc" "src/CMakeFiles/pvar_device.dir/device/fleet.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/fleet.cc.o.d"
+  "/root/repo/src/device/lgg5.cc" "src/CMakeFiles/pvar_device.dir/device/lgg5.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/lgg5.cc.o.d"
+  "/root/repo/src/device/nexus5.cc" "src/CMakeFiles/pvar_device.dir/device/nexus5.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/nexus5.cc.o.d"
+  "/root/repo/src/device/nexus6.cc" "src/CMakeFiles/pvar_device.dir/device/nexus6.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/nexus6.cc.o.d"
+  "/root/repo/src/device/nexus6p.cc" "src/CMakeFiles/pvar_device.dir/device/nexus6p.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/nexus6p.cc.o.d"
+  "/root/repo/src/device/pixel.cc" "src/CMakeFiles/pvar_device.dir/device/pixel.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/pixel.cc.o.d"
+  "/root/repo/src/device/pixel2.cc" "src/CMakeFiles/pvar_device.dir/device/pixel2.cc.o" "gcc" "src/CMakeFiles/pvar_device.dir/device/pixel2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

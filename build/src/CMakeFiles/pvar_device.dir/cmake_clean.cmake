@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_device.dir/device/device.cc.o"
+  "CMakeFiles/pvar_device.dir/device/device.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/fleet.cc.o"
+  "CMakeFiles/pvar_device.dir/device/fleet.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/lgg5.cc.o"
+  "CMakeFiles/pvar_device.dir/device/lgg5.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/nexus5.cc.o"
+  "CMakeFiles/pvar_device.dir/device/nexus5.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/nexus6.cc.o"
+  "CMakeFiles/pvar_device.dir/device/nexus6.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/nexus6p.cc.o"
+  "CMakeFiles/pvar_device.dir/device/nexus6p.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/pixel.cc.o"
+  "CMakeFiles/pvar_device.dir/device/pixel.cc.o.d"
+  "CMakeFiles/pvar_device.dir/device/pixel2.cc.o"
+  "CMakeFiles/pvar_device.dir/device/pixel2.cc.o.d"
+  "libpvar_device.a"
+  "libpvar_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cc" "src/CMakeFiles/pvar_power.dir/power/battery.cc.o" "gcc" "src/CMakeFiles/pvar_power.dir/power/battery.cc.o.d"
+  "/root/repo/src/power/energy_meter.cc" "src/CMakeFiles/pvar_power.dir/power/energy_meter.cc.o" "gcc" "src/CMakeFiles/pvar_power.dir/power/energy_meter.cc.o.d"
+  "/root/repo/src/power/monsoon.cc" "src/CMakeFiles/pvar_power.dir/power/monsoon.cc.o" "gcc" "src/CMakeFiles/pvar_power.dir/power/monsoon.cc.o.d"
+  "/root/repo/src/power/power_supply.cc" "src/CMakeFiles/pvar_power.dir/power/power_supply.cc.o" "gcc" "src/CMakeFiles/pvar_power.dir/power/power_supply.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_power.dir/power/battery.cc.o"
+  "CMakeFiles/pvar_power.dir/power/battery.cc.o.d"
+  "CMakeFiles/pvar_power.dir/power/energy_meter.cc.o"
+  "CMakeFiles/pvar_power.dir/power/energy_meter.cc.o.d"
+  "CMakeFiles/pvar_power.dir/power/monsoon.cc.o"
+  "CMakeFiles/pvar_power.dir/power/monsoon.cc.o.d"
+  "CMakeFiles/pvar_power.dir/power/power_supply.cc.o"
+  "CMakeFiles/pvar_power.dir/power/power_supply.cc.o.d"
+  "libpvar_power.a"
+  "libpvar_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_report.dir/report/figure.cc.o"
+  "CMakeFiles/pvar_report.dir/report/figure.cc.o.d"
+  "CMakeFiles/pvar_report.dir/report/json.cc.o"
+  "CMakeFiles/pvar_report.dir/report/json.cc.o.d"
+  "CMakeFiles/pvar_report.dir/report/table.cc.o"
+  "CMakeFiles/pvar_report.dir/report/table.cc.o.d"
+  "libpvar_report.a"
+  "libpvar_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silicon/binning.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/binning.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/binning.cc.o.d"
+  "/root/repo/src/silicon/die.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/die.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/die.cc.o.d"
+  "/root/repo/src/silicon/process_node.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/process_node.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/process_node.cc.o.d"
+  "/root/repo/src/silicon/timing.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/timing.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/timing.cc.o.d"
+  "/root/repo/src/silicon/variation_model.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/variation_model.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/variation_model.cc.o.d"
+  "/root/repo/src/silicon/vf_table.cc" "src/CMakeFiles/pvar_silicon.dir/silicon/vf_table.cc.o" "gcc" "src/CMakeFiles/pvar_silicon.dir/silicon/vf_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_silicon.dir/silicon/binning.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/binning.cc.o.d"
+  "CMakeFiles/pvar_silicon.dir/silicon/die.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/die.cc.o.d"
+  "CMakeFiles/pvar_silicon.dir/silicon/process_node.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/process_node.cc.o.d"
+  "CMakeFiles/pvar_silicon.dir/silicon/timing.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/timing.cc.o.d"
+  "CMakeFiles/pvar_silicon.dir/silicon/variation_model.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/variation_model.cc.o.d"
+  "CMakeFiles/pvar_silicon.dir/silicon/vf_table.cc.o"
+  "CMakeFiles/pvar_silicon.dir/silicon/vf_table.cc.o.d"
+  "libpvar_silicon.a"
+  "libpvar_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

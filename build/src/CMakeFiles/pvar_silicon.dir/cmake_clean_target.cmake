@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvar_silicon.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/strfmt.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/strfmt.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/time.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/time.cc.o.d"
+  "CMakeFiles/pvar_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/pvar_sim.dir/sim/trace.cc.o.d"
+  "libpvar_sim.a"
+  "libpvar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/cluster.cc" "src/CMakeFiles/pvar_soc.dir/soc/cluster.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/cluster.cc.o.d"
+  "/root/repo/src/soc/cpufreq.cc" "src/CMakeFiles/pvar_soc.dir/soc/cpufreq.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/cpufreq.cc.o.d"
+  "/root/repo/src/soc/input_voltage_throttle.cc" "src/CMakeFiles/pvar_soc.dir/soc/input_voltage_throttle.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/input_voltage_throttle.cc.o.d"
+  "/root/repo/src/soc/rbcpr.cc" "src/CMakeFiles/pvar_soc.dir/soc/rbcpr.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/rbcpr.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/CMakeFiles/pvar_soc.dir/soc/soc.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/soc.cc.o.d"
+  "/root/repo/src/soc/thermal_governor.cc" "src/CMakeFiles/pvar_soc.dir/soc/thermal_governor.cc.o" "gcc" "src/CMakeFiles/pvar_soc.dir/soc/thermal_governor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pvar_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

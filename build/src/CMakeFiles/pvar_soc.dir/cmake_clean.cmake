@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_soc.dir/soc/cluster.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/cluster.cc.o.d"
+  "CMakeFiles/pvar_soc.dir/soc/cpufreq.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/cpufreq.cc.o.d"
+  "CMakeFiles/pvar_soc.dir/soc/input_voltage_throttle.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/input_voltage_throttle.cc.o.d"
+  "CMakeFiles/pvar_soc.dir/soc/rbcpr.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/rbcpr.cc.o.d"
+  "CMakeFiles/pvar_soc.dir/soc/soc.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/soc.cc.o.d"
+  "CMakeFiles/pvar_soc.dir/soc/thermal_governor.cc.o"
+  "CMakeFiles/pvar_soc.dir/soc/thermal_governor.cc.o.d"
+  "libpvar_soc.a"
+  "libpvar_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

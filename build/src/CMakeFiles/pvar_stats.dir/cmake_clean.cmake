@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_stats.dir/stats/fit.cc.o"
+  "CMakeFiles/pvar_stats.dir/stats/fit.cc.o.d"
+  "CMakeFiles/pvar_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/pvar_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/pvar_stats.dir/stats/kmeans.cc.o"
+  "CMakeFiles/pvar_stats.dir/stats/kmeans.cc.o.d"
+  "CMakeFiles/pvar_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/pvar_stats.dir/stats/summary.cc.o.d"
+  "libpvar_stats.a"
+  "libpvar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

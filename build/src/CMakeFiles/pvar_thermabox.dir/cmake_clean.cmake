@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_thermabox.dir/thermabox/thermabox.cc.o"
+  "CMakeFiles/pvar_thermabox.dir/thermabox/thermabox.cc.o.d"
+  "libpvar_thermabox.a"
+  "libpvar_thermabox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_thermabox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

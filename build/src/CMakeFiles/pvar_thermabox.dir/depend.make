@@ -1,0 +1,2 @@
+# Empty dependencies file for pvar_thermabox.
+# This may be replaced when dependencies are built.

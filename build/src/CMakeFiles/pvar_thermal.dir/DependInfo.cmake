@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/package.cc" "src/CMakeFiles/pvar_thermal.dir/thermal/package.cc.o" "gcc" "src/CMakeFiles/pvar_thermal.dir/thermal/package.cc.o.d"
+  "/root/repo/src/thermal/rc_network.cc" "src/CMakeFiles/pvar_thermal.dir/thermal/rc_network.cc.o" "gcc" "src/CMakeFiles/pvar_thermal.dir/thermal/rc_network.cc.o.d"
+  "/root/repo/src/thermal/sensor.cc" "src/CMakeFiles/pvar_thermal.dir/thermal/sensor.cc.o" "gcc" "src/CMakeFiles/pvar_thermal.dir/thermal/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_thermal.dir/thermal/package.cc.o"
+  "CMakeFiles/pvar_thermal.dir/thermal/package.cc.o.d"
+  "CMakeFiles/pvar_thermal.dir/thermal/rc_network.cc.o"
+  "CMakeFiles/pvar_thermal.dir/thermal/rc_network.cc.o.d"
+  "CMakeFiles/pvar_thermal.dir/thermal/sensor.cc.o"
+  "CMakeFiles/pvar_thermal.dir/thermal/sensor.cc.o.d"
+  "libpvar_thermal.a"
+  "libpvar_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/engine.cc" "src/CMakeFiles/pvar_workload.dir/workload/engine.cc.o" "gcc" "src/CMakeFiles/pvar_workload.dir/workload/engine.cc.o.d"
+  "/root/repo/src/workload/pi_spigot.cc" "src/CMakeFiles/pvar_workload.dir/workload/pi_spigot.cc.o" "gcc" "src/CMakeFiles/pvar_workload.dir/workload/pi_spigot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvar_workload.dir/workload/engine.cc.o"
+  "CMakeFiles/pvar_workload.dir/workload/engine.cc.o.d"
+  "CMakeFiles/pvar_workload.dir/workload/pi_spigot.cc.o"
+  "CMakeFiles/pvar_workload.dir/workload/pi_spigot.cc.o.d"
+  "libpvar_workload.a"
+  "libpvar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accubench.dir/test_accubench.cc.o"
+  "CMakeFiles/test_accubench.dir/test_accubench.cc.o.d"
+  "test_accubench"
+  "test_accubench.pdb"
+  "test_accubench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

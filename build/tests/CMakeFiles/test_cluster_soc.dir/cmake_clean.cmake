@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_soc.dir/test_cluster_soc.cc.o"
+  "CMakeFiles/test_cluster_soc.dir/test_cluster_soc.cc.o.d"
+  "test_cluster_soc"
+  "test_cluster_soc.pdb"
+  "test_cluster_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_die.dir/test_die.cc.o"
+  "CMakeFiles/test_die.dir/test_die.cc.o.d"
+  "test_die"
+  "test_die.pdb"
+  "test_die[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_die.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future_work.dir/test_future_work.cc.o"
+  "CMakeFiles/test_future_work.dir/test_future_work.cc.o.d"
+  "test_future_work"
+  "test_future_work.pdb"
+  "test_future_work[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

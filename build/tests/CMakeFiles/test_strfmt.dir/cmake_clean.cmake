@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strfmt.dir/test_strfmt.cc.o"
+  "CMakeFiles/test_strfmt.dir/test_strfmt.cc.o.d"
+  "test_strfmt"
+  "test_strfmt.pdb"
+  "test_strfmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermabox.dir/test_thermabox.cc.o"
+  "CMakeFiles/test_thermabox.dir/test_thermabox.cc.o.d"
+  "test_thermabox"
+  "test_thermabox.pdb"
+  "test_thermabox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermabox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

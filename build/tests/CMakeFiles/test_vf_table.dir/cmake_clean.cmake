@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vf_table.dir/test_vf_table.cc.o"
+  "CMakeFiles/test_vf_table.dir/test_vf_table.cc.o.d"
+  "test_vf_table"
+  "test_vf_table.pdb"
+  "test_vf_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vf_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
