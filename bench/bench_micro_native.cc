@@ -7,11 +7,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accubench/protocol.hh"
 #include "device/catalog.hh"
 #include "silicon/process_node.hh"
 #include "silicon/variation_model.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/simulator.hh"
+#include "sim/strfmt.hh"
 #include "thermal/rc_network.hh"
 #include "workload/pi_spigot.hh"
 
@@ -116,7 +126,134 @@ BM_SimulatedMinute(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatedMinute)->Unit(benchmark::kMillisecond);
 
+/** The parallel-for fan-out machinery itself (empty-ish bodies). */
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    int jobs = static_cast<int>(state.range(0));
+    std::vector<double> out(256);
+    for (auto _ : state) {
+        parallelFor(out.size(), jobs, [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5;
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+// -- Study-scaling benchmark ---------------------------------------------
+//
+// Times a reduced Table II study (every SoC, 1 iteration) serial vs
+// parallel and writes machine-readable BENCH_study.json next to the
+// binary's working directory, so the perf trajectory of the study
+// pipeline is tracked from PR to PR.
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+studiesIdentical(const std::vector<SocStudy> &a,
+                 const std::vector<SocStudy> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s].units.size() != b[s].units.size() ||
+            a[s].perfVariationPercent != b[s].perfVariationPercent ||
+            a[s].energyVariationPercent != b[s].energyVariationPercent ||
+            a[s].fixedPerfSpreadPercent != b[s].fixedPerfSpreadPercent ||
+            a[s].meanScoreRsdPercent != b[s].meanScoreRsdPercent ||
+            a[s].efficiencyIterPerWh != b[s].efficiencyIterPerWh)
+            return false;
+        for (std::size_t u = 0; u < a[s].units.size(); ++u) {
+            if (a[s].units[u].meanScore != b[s].units[u].meanScore ||
+                a[s].units[u].meanFixedEnergyJ !=
+                    b[s].units[u].meanFixedEnergyJ)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+writeStudyScalingJson()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    StudyConfig cfg;
+    cfg.iterations = 1;
+
+    std::size_t experiments = 0;
+    for (const auto &soc : studySocNames())
+        experiments += fleetForSoc(soc).size() * 2;
+
+    cfg.jobs = 1;
+    std::vector<SocStudy> serial_out;
+    double serial_sec =
+        wallSeconds([&] { serial_out = runFullStudy(cfg); });
+
+    cfg.jobs = 0; // all hardware threads
+    std::vector<SocStudy> parallel_out;
+    double parallel_sec =
+        wallSeconds([&] { parallel_out = runFullStudy(cfg); });
+
+    // Whole-stack throughput: simulated seconds per wall second.
+    auto device = makeNexus5(2, UnitCorner{"bench", 0.3, 0.1, 0.0});
+    Simulator sim(Time::msec(10));
+    sim.add(device.get());
+    device->acquireWakelock();
+    device->startWorkload(CpuIntensiveWorkload{});
+    double minute_sec =
+        wallSeconds([&] { sim.runFor(Time::minutes(1)); });
+
+    std::string json = strfmt(
+        "{\n"
+        "  \"benchmark\": \"study_scaling\",\n"
+        "  \"study\": \"table2\",\n"
+        "  \"iterations\": %d,\n"
+        "  \"experiments\": %zu,\n"
+        "  \"hardware_jobs\": %d,\n"
+        "  \"serial_sec\": %.3f,\n"
+        "  \"parallel_sec\": %.3f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"outputs_identical\": %s,\n"
+        "  \"sim_seconds_per_wall_second\": %.1f\n"
+        "}\n",
+        cfg.iterations, experiments, hardwareJobs(), serial_sec,
+        parallel_sec, serial_sec / parallel_sec,
+        studiesIdentical(serial_out, parallel_out) ? "true" : "false",
+        60.0 / minute_sec);
+
+    std::ofstream f("BENCH_study.json");
+    f << json;
+    std::printf("%s", json.c_str());
+    std::printf("study scaling: %zu experiments, %.2fs serial, "
+                "%.2fs at %d jobs (%.2fx)%s\n",
+                experiments, serial_sec, parallel_sec, hardwareJobs(),
+                serial_sec / parallel_sec,
+                studiesIdentical(serial_out, parallel_out)
+                    ? ""
+                    : "  MISS: outputs differ");
+}
+
 } // namespace
 } // namespace pvar
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    pvar::writeStudyScalingJson();
+    return 0;
+}

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # Full verification sweep: configure, build (warnings as errors), run
-# the test suite, and execute every bench binary's shape checks.
+# the test suite, run the thread-pool/protocol tests under
+# ThreadSanitizer, and execute every bench binary's shape checks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja -DPVAR_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# ThreadSanitizer pass over the parallel runner: the pool unit tests,
+# the protocol determinism tests, and a real multi-worker study run.
+cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
+cmake --build build-tsan --target test_parallel test_protocol pvar_study
+./build-tsan/tests/test_parallel
+./build-tsan/tests/test_protocol
+./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet
 
 fail=0
 for b in build/bench/bench_*; do

@@ -5,6 +5,7 @@
 #include "accubench/phase_windows.hh"
 #include "device/fleet.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/strfmt.hh"
 
 namespace pvar
@@ -29,25 +30,37 @@ simulateCrowd(const CrowdConfig &cfg)
         fatal("simulateCrowd: need >= 2 iterations (the ambient fit "
               "uses the second cooldown)");
 
-    Rng rng(cfg.seed);
-    CrowdResult result;
-
-    for (int i = 0; i < cfg.units; ++i) {
+    // Draw every unit's silicon corner and climate serially, in unit
+    // order, so the population is a pure function of the seed no
+    // matter how the experiments are scheduled afterwards.
+    struct UnitSpec
+    {
         UnitCorner corner;
-        corner.id = strfmt("%s-crowd-%03d", cfg.socName.c_str(), i);
-        corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
-        corner.leakResidual = rng.gaussian(0.0, 0.3);
-        double ambient = rng.uniform(cfg.ambientLoC, cfg.ambientHiC);
+        double ambient;
+    };
+    Rng rng(cfg.seed);
+    std::vector<UnitSpec> specs(cfg.units);
+    for (int i = 0; i < cfg.units; ++i) {
+        UnitSpec &spec = specs[i];
+        spec.corner.id = strfmt("%s-crowd-%03d", cfg.socName.c_str(), i);
+        spec.corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
+        spec.corner.leakResidual = rng.gaussian(0.0, 0.3);
+        spec.ambient = rng.uniform(cfg.ambientLoC, cfg.ambientHiC);
+    }
 
-        auto device = makeUnitForSoc(cfg.socName, corner);
+    CrowdResult result;
+    result.outcomes.resize(cfg.units);
+    parallelFor(specs.size(), cfg.jobs, [&](std::size_t i) {
+        const UnitSpec &spec = specs[i];
+        auto device = makeUnitForSoc(cfg.socName, spec.corner);
 
         ExperimentConfig exp;
         exp.mode = WorkloadMode::Unconstrained;
         exp.iterations = cfg.iterations;
         exp.accubench = cfg.accubench;
         exp.supply = SupplyChoice::Battery; // no lab gear in the wild
-        exp.thermabox.target = Celsius(ambient);
-        exp.accubench.cooldownTarget = Celsius(ambient + 8.0);
+        exp.thermabox.target = Celsius(spec.ambient);
+        exp.accubench.cooldownTarget = Celsius(spec.ambient + 8.0);
         ExperimentResult r = runExperiment(*device, exp);
 
         // The app-side ambient estimate: fit the second cooldown.
@@ -57,18 +70,17 @@ simulateCrowd(const CrowdConfig &cfg)
                                            w->begin, w->end);
         }
 
-        CrowdUnitOutcome out;
-        out.report.unitId = corner.id;
+        CrowdUnitOutcome &out = result.outcomes[i];
+        out.report.unitId = spec.corner.id;
         out.report.model = device->model();
         out.report.score = r.meanScore();
         out.report.estimatedAmbientC =
             est.valid ? est.ambient.value() : -273.0;
         out.report.ambientValid = est.valid;
-        out.trueAmbientC = ambient;
+        out.trueAmbientC = spec.ambient;
         out.leakFactor = device->soc().die().params().leakFactor;
         out.speedFactor = device->soc().die().params().speedFactor;
-        result.outcomes.push_back(out);
-    }
+    });
     return result;
 }
 

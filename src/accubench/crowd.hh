@@ -48,6 +48,14 @@ struct CrowdConfig
 
     /** Technique parameters (paper defaults). */
     AccubenchConfig accubench;
+
+    /**
+     * Worker threads for the per-unit fan-out. Corners and climates
+     * are drawn serially in unit order before any experiment starts,
+     * so results are bit-identical for any jobs value. 1 = serial
+     * (default); <= 0 = all hardware threads.
+     */
+    int jobs = 1;
 };
 
 /** One simulated participant. */

@@ -5,6 +5,7 @@
 #include "accubench/experiment.hh"
 #include "device/fleet.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/strfmt.hh"
 #include "stats/summary.hh"
 
@@ -28,29 +29,61 @@ sampleSizeStudy(const LowerBoundConfig &cfg)
     exp.supply = SupplyChoice::MonsoonExplicit;
     exp.monsoonVoltage = studyMonsoonVoltageForSoc(cfg.socName);
 
+    // Sample every corner serially in (size, replicate, unit) order —
+    // the exact draw order of the serial loop — then fan the
+    // experiments out flat across all sizes and replicates, which is
+    // the largest Monte-Carlo fan-out in the repo.
+    struct UnitDraw
+    {
+        UnitCorner corner;
+        std::size_t replicateIndex; // flat (size, rep) slot
+    };
     Rng rng(cfg.seed);
-    std::vector<LowerBoundPoint> out;
-
-    for (int n : cfg.sampleSizes) {
-        OnlineSummary spreads;
+    std::vector<UnitDraw> draws;
+    std::vector<std::size_t> replicate_of_size; // slot -> sampleSize idx
+    for (std::size_t s = 0; s < cfg.sampleSizes.size(); ++s) {
+        int n = cfg.sampleSizes[s];
         for (int rep = 0; rep < cfg.replicates; ++rep) {
-            std::vector<double> scores;
+            std::size_t slot = replicate_of_size.size();
+            replicate_of_size.push_back(s);
             for (int u = 0; u < n; ++u) {
-                UnitCorner corner;
-                corner.id = strfmt("lb-n%d-r%d-u%d", n, rep, u);
-                corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
-                corner.leakResidual = rng.gaussian(0.0, 0.3);
-                auto device = makeUnitForSoc(cfg.socName, corner);
-                scores.push_back(
-                    runExperiment(*device, exp).meanScore());
+                UnitDraw d;
+                d.corner.id = strfmt("lb-n%d-r%d-u%d", n, rep, u);
+                d.corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
+                d.corner.leakResidual = rng.gaussian(0.0, 0.3);
+                d.replicateIndex = slot;
+                draws.push_back(d);
             }
-            spreads.add(relativeSpread(scores) * 100.0);
         }
+    }
+
+    std::vector<double> scores(draws.size());
+    parallelFor(draws.size(), cfg.jobs, [&](std::size_t i) {
+        auto device = makeUnitForSoc(cfg.socName, draws[i].corner);
+        scores[i] = runExperiment(*device, exp).meanScore();
+    });
+
+    // Reduce each replicate's slice; draws are already grouped by
+    // replicate in order, so a single sweep recovers the slices.
+    std::vector<std::vector<double>> by_replicate(
+        replicate_of_size.size());
+    for (std::size_t i = 0; i < draws.size(); ++i)
+        by_replicate[draws[i].replicateIndex].push_back(scores[i]);
+
+    std::vector<OnlineSummary> spreads(cfg.sampleSizes.size());
+    for (std::size_t slot = 0; slot < by_replicate.size(); ++slot) {
+        spreads[replicate_of_size[slot]].add(
+            relativeSpread(by_replicate[slot]) * 100.0);
+    }
+
+    std::vector<LowerBoundPoint> out;
+    out.reserve(cfg.sampleSizes.size());
+    for (std::size_t s = 0; s < cfg.sampleSizes.size(); ++s) {
         LowerBoundPoint p;
-        p.sampleSize = n;
-        p.meanSpreadPercent = spreads.mean();
-        p.minSpreadPercent = spreads.min();
-        p.maxSpreadPercent = spreads.max();
+        p.sampleSize = cfg.sampleSizes[s];
+        p.meanSpreadPercent = spreads[s].mean();
+        p.minSpreadPercent = spreads[s].min();
+        p.maxSpreadPercent = spreads[s].max();
         out.push_back(p);
     }
     return out;

@@ -48,6 +48,14 @@ struct LowerBoundConfig
 
     /** Technique parameters (shorten for quick studies). */
     AccubenchConfig accubench;
+
+    /**
+     * Worker threads for the unit-experiment fan-out. Corners are
+     * drawn serially in (size, replicate, unit) order before any
+     * experiment starts, so results are bit-identical for any jobs
+     * value. 1 = serial (default); <= 0 = all hardware threads.
+     */
+    int jobs = 1;
 };
 
 /** Result for one fleet size. */

@@ -1,10 +1,111 @@
 #include "accubench/protocol.hh"
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "stats/summary.hh"
 
 namespace pvar
 {
+
+namespace
+{
+
+/**
+ * One schedulable experiment: a (device, mode) pair. The device is
+ * identified by fleet position and constructed inside the task, so
+ * concurrent tasks never share object state.
+ */
+struct ExperimentTask
+{
+    std::string socName;
+    std::size_t unitIndex;
+    ExperimentConfig cfg;
+};
+
+const char *
+modeName(WorkloadMode mode)
+{
+    return mode == WorkloadMode::Unconstrained ? "unconstrained"
+                                               : "fixed-frequency";
+}
+
+/**
+ * Run every task, possibly across a thread pool. results[i] always
+ * corresponds to tasks[i], so the output is independent of scheduling.
+ */
+std::vector<ExperimentResult>
+runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs)
+{
+    std::vector<ExperimentResult> results(tasks.size());
+    parallelFor(tasks.size(), jobs, [&](std::size_t i) {
+        const ExperimentTask &task = tasks[i];
+        Fleet fleet = fleetForSoc(task.socName);
+        Device &device = *fleet.at(task.unitIndex);
+        inform("study:   unit %s %s", device.unitId().c_str(),
+               modeName(task.cfg.mode));
+        results[i] = runExperiment(device, task.cfg);
+    });
+    return results;
+}
+
+/** The two per-unit experiment configs of one SoC's study. */
+std::pair<ExperimentConfig, ExperimentConfig>
+studyExperimentConfigs(const std::string &soc_name, const StudyConfig &cfg)
+{
+    ExperimentConfig unc_cfg;
+    unc_cfg.mode = WorkloadMode::Unconstrained;
+    unc_cfg.iterations = cfg.iterations;
+    unc_cfg.accubench = cfg.accubench;
+    unc_cfg.thermabox = cfg.thermabox;
+    unc_cfg.dt = cfg.dt;
+    unc_cfg.supply = SupplyChoice::MonsoonExplicit;
+    unc_cfg.monsoonVoltage = studyMonsoonVoltageForSoc(soc_name);
+
+    ExperimentConfig fix_cfg = unc_cfg;
+    fix_cfg.mode = WorkloadMode::FixedFrequency;
+    fix_cfg.fixedFrequency = fixedFrequencyForSoc(soc_name);
+    return {unc_cfg, fix_cfg};
+}
+
+/** Tasks for one SoC, in fleet order: unit 0 unc, unit 0 fix, ... */
+std::vector<ExperimentTask>
+socStudyTasks(const std::string &soc_name, const StudyConfig &cfg)
+{
+    auto [unc_cfg, fix_cfg] = studyExperimentConfigs(soc_name, cfg);
+    std::size_t units = fleetForSoc(soc_name).size();
+    std::vector<ExperimentTask> tasks;
+    tasks.reserve(units * 2);
+    for (std::size_t u = 0; u < units; ++u) {
+        tasks.push_back(ExperimentTask{soc_name, u, unc_cfg});
+        tasks.push_back(ExperimentTask{soc_name, u, fix_cfg});
+    }
+    return tasks;
+}
+
+/** Split interleaved per-unit results back into the two mode lists. */
+SocStudy
+reduceInterleaved(const std::string &soc_name, const std::string &model,
+                  const std::vector<ExperimentResult> &results)
+{
+    std::vector<ExperimentResult> unconstrained;
+    std::vector<ExperimentResult> fixed_freq;
+    unconstrained.reserve(results.size() / 2);
+    fixed_freq.reserve(results.size() / 2);
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        unconstrained.push_back(results[i]);
+        fixed_freq.push_back(results[i + 1]);
+    }
+    return reduceSocStudy(soc_name, model, unconstrained, fixed_freq);
+}
+
+std::string
+modelForSoc(const std::string &soc_name)
+{
+    Fleet fleet = fleetForSoc(soc_name);
+    return fleet.empty() ? std::string() : fleet.front()->model();
+}
+
+} // namespace
 
 SocStudy
 reduceSocStudy(const std::string &soc_name, const std::string &model,
@@ -64,43 +165,45 @@ reduceSocStudy(const std::string &soc_name, const std::string &model,
 SocStudy
 runSocStudy(const std::string &soc_name, const StudyConfig &cfg)
 {
-    Fleet fleet = fleetForSoc(soc_name);
-    inform("study: %s (%zu units)", soc_name.c_str(), fleet.size());
-
-    ExperimentConfig unc_cfg;
-    unc_cfg.mode = WorkloadMode::Unconstrained;
-    unc_cfg.iterations = cfg.iterations;
-    unc_cfg.accubench = cfg.accubench;
-    unc_cfg.thermabox = cfg.thermabox;
-    unc_cfg.dt = cfg.dt;
-    unc_cfg.supply = SupplyChoice::MonsoonExplicit;
-    unc_cfg.monsoonVoltage = studyMonsoonVoltageForSoc(soc_name);
-
-    ExperimentConfig fix_cfg = unc_cfg;
-    fix_cfg.mode = WorkloadMode::FixedFrequency;
-    fix_cfg.fixedFrequency = fixedFrequencyForSoc(soc_name);
-
-    std::vector<ExperimentResult> unconstrained;
-    std::vector<ExperimentResult> fixed_freq;
-    std::string model;
-    for (auto &device : fleet) {
-        model = device->model();
-        inform("study:   unit %s unconstrained",
-               device->unitId().c_str());
-        unconstrained.push_back(runExperiment(*device, unc_cfg));
-        inform("study:   unit %s fixed-frequency",
-               device->unitId().c_str());
-        fixed_freq.push_back(runExperiment(*device, fix_cfg));
-    }
-    return reduceSocStudy(soc_name, model, unconstrained, fixed_freq);
+    std::vector<ExperimentTask> tasks = socStudyTasks(soc_name, cfg);
+    inform("study: %s (%zu units, %d jobs)", soc_name.c_str(),
+           tasks.size() / 2, resolveJobs(cfg.jobs));
+    std::vector<ExperimentResult> results =
+        runExperimentTasks(tasks, cfg.jobs);
+    return reduceInterleaved(soc_name, modelForSoc(soc_name), results);
 }
 
 std::vector<SocStudy>
 runFullStudy(const StudyConfig &cfg)
 {
+    // Flatten all SoCs into one task list so the fan-out spans the
+    // whole fleet (~180 experiments at paper scale), not one SoC at a
+    // time; per-SoC slices are reduced in paper order afterwards.
+    const std::vector<std::string> &socs = studySocNames();
+    std::vector<ExperimentTask> tasks;
+    std::vector<std::size_t> first_task(socs.size() + 1, 0);
+    for (std::size_t s = 0; s < socs.size(); ++s) {
+        std::vector<ExperimentTask> soc_tasks =
+            socStudyTasks(socs[s], cfg);
+        first_task[s + 1] = first_task[s] + soc_tasks.size();
+        for (auto &t : soc_tasks)
+            tasks.push_back(std::move(t));
+    }
+    inform("study: full fleet, %zu experiments, %d jobs", tasks.size(),
+           resolveJobs(cfg.jobs));
+
+    std::vector<ExperimentResult> results =
+        runExperimentTasks(tasks, cfg.jobs);
+
     std::vector<SocStudy> studies;
-    for (const auto &soc : studySocNames())
-        studies.push_back(runSocStudy(soc, cfg));
+    studies.reserve(socs.size());
+    for (std::size_t s = 0; s < socs.size(); ++s) {
+        std::vector<ExperimentResult> slice(
+            results.begin() + first_task[s],
+            results.begin() + first_task[s + 1]);
+        studies.push_back(
+            reduceInterleaved(socs[s], modelForSoc(socs[s]), slice));
+    }
     return studies;
 }
 

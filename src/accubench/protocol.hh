@@ -35,6 +35,15 @@ struct StudyConfig
 
     /** ACCUBENCH parameters. */
     AccubenchConfig accubench;
+
+    /**
+     * Worker threads for the experiment fan-out. Each (device, mode)
+     * experiment is an independent task on its own device instance, so
+     * the study scales with cores; results are gathered in fleet order
+     * and are bit-identical for any jobs value. 1 = serial (default);
+     * <= 0 = all hardware threads.
+     */
+    int jobs = 1;
 };
 
 /** Per-unit outcome of both experiments. */

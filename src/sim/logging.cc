@@ -1,8 +1,10 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "sim/strfmt.hh"
 
@@ -12,13 +14,23 @@ namespace pvar
 namespace
 {
 
-LogLevel current_level = LogLevel::Normal;
+std::atomic<LogLevel> current_level{LogLevel::Normal};
+
+// Serializes writes so lines from pool workers never interleave.
+std::mutex emit_mutex;
+
+thread_local std::string thread_tag;
 
 void
 emit(const char *tag, const char *fmt, va_list ap)
 {
     std::string msg = vstrfmt(fmt, ap);
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    if (thread_tag.empty())
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    else
+        std::fprintf(stderr, "%s(%s): %s\n", tag, thread_tag.c_str(),
+                     msg.c_str());
 }
 
 } // namespace
@@ -26,15 +38,25 @@ emit(const char *tag, const char *fmt, va_list ap)
 LogLevel
 setLogLevel(LogLevel level)
 {
-    LogLevel old = current_level;
-    current_level = level;
-    return old;
+    return current_level.exchange(level);
 }
 
 LogLevel
 logLevel()
 {
-    return current_level;
+    return current_level.load();
+}
+
+void
+setLogThreadTag(const std::string &tag)
+{
+    thread_tag = tag;
+}
+
+const std::string &
+logThreadTag()
+{
+    return thread_tag;
 }
 
 void

@@ -31,6 +31,16 @@ LogLevel setLogLevel(LogLevel level);
 /** Current global verbosity. */
 LogLevel logLevel();
 
+/**
+ * Tag this thread's log output (e.g. "w3" for pool worker 3), so
+ * interleaved messages from parallel experiments stay attributable.
+ * An empty tag (the default) omits the marker.
+ */
+void setLogThreadTag(const std::string &tag);
+
+/** This thread's current log tag. */
+const std::string &logThreadTag();
+
 /** Report an unrecoverable internal error and abort. */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,141 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <exception>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+int
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int
+resolveJobs(int jobs)
+{
+    return jobs > 0 ? jobs : hardwareJobs();
+}
+
+ThreadPool::ThreadPool(int workers)
+{
+    int n = workers > 0 ? workers : hardwareJobs();
+    _threads.reserve(n);
+    for (int i = 0; i < n; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    setLogThreadTag(strfmt("w%d", worker_id));
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _cv.wait(lock, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty()) {
+                if (_stop)
+                    return;
+                continue;
+            }
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task(); // packaged_task captures any exception in the future
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_stop)
+            panic("ThreadPool: submit after shutdown");
+        _queue.push_back(std::move(task));
+    }
+    _cv.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Dynamic index claiming: one shared counter, one queued task per
+    // worker. On failure the first exception is kept and the counter
+    // is pushed past n so the remaining indices are skipped.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto first_error = std::make_shared<std::exception_ptr>();
+    auto error_mutex = std::make_shared<std::mutex>();
+
+    auto drain = [next, first_error, error_mutex, n, &fn] {
+        for (;;) {
+            std::size_t i = next->fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(*error_mutex);
+                if (!*first_error)
+                    *first_error = std::current_exception();
+                next->store(n);
+                return;
+            }
+        }
+    };
+
+    std::size_t lanes =
+        std::min<std::size_t>(n, static_cast<std::size_t>(workerCount()));
+    std::vector<std::future<void>> futs;
+    futs.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+        futs.push_back(submit(drain));
+    for (auto &f : futs)
+        f.get();
+
+    if (*first_error)
+        std::rethrow_exception(*first_error);
+}
+
+void
+parallelFor(std::size_t n, int jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    int resolved = resolveJobs(jobs);
+    if (n <= 1 || resolved <= 1) {
+        // Inline serial reference path: no threads, same results.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(
+        static_cast<int>(std::min<std::size_t>(n,
+                             static_cast<std::size_t>(resolved))));
+    pool.parallelFor(n, fn);
+}
+
+} // namespace pvar

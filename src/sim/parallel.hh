@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A small fixed-size thread pool and a deterministic parallel-for.
+ *
+ * The study protocol is embarrassingly parallel: every experiment owns
+ * its own Simulator, device, chamber and RNG, so experiments can run on
+ * worker threads with no shared mutable state beyond logging. The
+ * helpers here keep that parallelism *deterministic*: work items are
+ * identified by index and results are written into caller-preallocated
+ * slots, so the output of `parallelFor` is bit-identical regardless of
+ * worker count or scheduling order.
+ *
+ * `jobs <= 1` (after resolution) executes inline on the calling thread
+ * with no pool at all, which makes the serial path the exact reference
+ * the parallel path is checked against.
+ */
+
+#ifndef PVAR_SIM_PARALLEL_HH
+#define PVAR_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pvar
+{
+
+/** Usable hardware concurrency (never less than 1). */
+int hardwareJobs();
+
+/**
+ * Resolve a user-facing jobs knob: values <= 0 mean "use all hardware
+ * threads"; anything else is taken literally.
+ */
+int resolveJobs(int jobs);
+
+/**
+ * A fixed-size pool of worker threads with a FIFO task queue.
+ *
+ * Workers tag their log output (see setLogThreadTag) so interleaved
+ * progress lines from parallel experiments stay attributable.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the pool.
+     *
+     * @param workers worker-thread count; <= 0 uses hardwareJobs().
+     */
+    explicit ThreadPool(int workers = 0);
+
+    /** Drains queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int workerCount() const { return static_cast<int>(_threads.size()); }
+
+    /**
+     * Enqueue a task; the future resolves when it finishes (or
+     * rethrows the task's exception).
+     */
+    std::future<void> submit(std::function<void()> fn);
+
+    /**
+     * Run `fn(i)` for every i in [0, n) across the pool and wait.
+     *
+     * Indices are claimed dynamically but the caller sees no ordering
+     * effect as long as `fn` writes only to its own slot. The first
+     * exception thrown by any task is rethrown here after all workers
+     * settle; remaining unclaimed indices are skipped.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    std::vector<std::thread> _threads;
+    std::deque<std::packaged_task<void()>> _queue;
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    bool _stop = false;
+
+    void workerLoop(int worker_id);
+};
+
+/**
+ * One-shot parallel-for without managing a pool.
+ *
+ * `jobs` is resolved via resolveJobs(); a resolved value of 1 (or
+ * n <= 1) runs inline on the calling thread. Exceptions propagate as
+ * in ThreadPool::parallelFor.
+ */
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace pvar
+
+#endif // PVAR_SIM_PARALLEL_HH

@@ -19,6 +19,7 @@ ThermalNetwork::addNode(const std::string &node_name,
     _nodes.push_back(
         Node{node_name, capacitance.value(), initial.value(), 0.0});
     _adj.emplace_back();
+    _topologyDirty = true;
     return _nodes.size() - 1;
 }
 
@@ -27,6 +28,7 @@ ThermalNetwork::addBoundary(const std::string &node_name, Celsius temp)
 {
     _nodes.push_back(Node{node_name, 0.0, temp.value(), 0.0});
     _adj.emplace_back();
+    _topologyDirty = true;
     return _nodes.size() - 1;
 }
 
@@ -44,6 +46,7 @@ ThermalNetwork::connect(ThermalNodeId a, ThermalNodeId b, WattsPerKelvin g)
     _edges.push_back(Edge{a, b, g.value()});
     _adj[a].emplace_back(b, g.value());
     _adj[b].emplace_back(a, g.value());
+    _topologyDirty = true;
 }
 
 void
@@ -113,44 +116,69 @@ ThermalNetwork::minTimeConstant() const
 }
 
 void
+ThermalNetwork::refreshTopologyCache()
+{
+    _minTau = minTimeConstant();
+    _invCap.resize(_nodes.size());
+    for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+        _invCap[i] = _nodes[i].capacitance > 0.0
+                         ? 1.0 / _nodes[i].capacitance
+                         : 0.0; // boundary: dT is forced to zero
+    }
+    _flux.assign(_nodes.size(), 0.0);
+    _cachedDtSec = -1.0; // substep count depends on tau, re-derive
+    _topologyDirty = false;
+}
+
+void
 ThermalNetwork::step(Time dt)
 {
     if (_nodes.empty() || dt <= Time::zero())
         return;
 
+    if (_topologyDirty)
+        refreshTopologyCache();
+
     // Explicit Euler is stable for h < tau_min; halve further for
-    // accuracy headroom.
+    // accuracy headroom. The substep count only changes with the
+    // topology or the step size, both cached.
     double h_total = dt.toSec();
-    double tau = minTimeConstant();
-    int substeps = 1;
-    if (std::isfinite(tau) && tau > 0.0)
-        substeps = std::max(1, static_cast<int>(
-                                   std::ceil(h_total / (0.5 * tau))));
+    if (h_total != _cachedDtSec) {
+        _cachedSubsteps = 1;
+        if (std::isfinite(_minTau) && _minTau > 0.0)
+            _cachedSubsteps = std::max(
+                1, static_cast<int>(
+                       std::ceil(h_total / (0.5 * _minTau))));
+        _cachedDtSec = h_total;
+    }
+    int substeps = _cachedSubsteps;
     double h = h_total / substeps;
 
-    std::vector<double> flux(_nodes.size());
+    const std::size_t n_nodes = _nodes.size();
+    double *flux = _flux.data();
     for (int s = 0; s < substeps; ++s) {
-        std::fill(flux.begin(), flux.end(), 0.0);
+        std::fill(_flux.begin(), _flux.end(), 0.0);
         for (const auto &e : _edges) {
             double q = e.conductance * (_nodes[e.a].temp - _nodes[e.b].temp);
             flux[e.a] -= q;
             flux[e.b] += q;
         }
-        for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
-            if (_nodes[i].capacitance <= 0.0)
-                continue; // boundary holds its temperature
-            double dT = (flux[i] + _nodes[i].power) * h /
-                        _nodes[i].capacitance;
-            _nodes[i].temp += dT;
+        for (ThermalNodeId i = 0; i < n_nodes; ++i) {
+            // _invCap is 0 for boundaries, which holds their
+            // temperature without a branch.
+            _nodes[i].temp +=
+                (flux[i] + _nodes[i].power) * h * _invCap[i];
         }
     }
 }
 
 bool
-ThermalNetwork::solveSteadyState(double tolerance, int max_iters)
+ThermalNetwork::solveSteadyState(double tolerance, int max_iters,
+                                 double *final_residual)
 {
+    double worst = 0.0;
     for (int iter = 0; iter < max_iters; ++iter) {
-        double worst = 0.0;
+        worst = 0.0;
         for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
             if (_nodes[i].capacitance <= 0.0)
                 continue;
@@ -166,10 +194,17 @@ ThermalNetwork::solveSteadyState(double tolerance, int max_iters)
             worst = std::max(worst, std::fabs(updated - _nodes[i].temp));
             _nodes[i].temp = updated;
         }
-        if (worst < tolerance)
+        if (worst < tolerance) {
+            if (final_residual)
+                *final_residual = worst;
             return true;
+        }
     }
-    warn("ThermalNetwork: steady-state solve did not converge");
+    if (final_residual)
+        *final_residual = worst;
+    warn("ThermalNetwork: steady-state solve did not converge "
+         "(residual %.3g K after %d iterations, tolerance %.3g K)",
+         worst, max_iters, tolerance);
     return false;
 }
 

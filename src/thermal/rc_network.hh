@@ -85,9 +85,13 @@ class ThermalNetwork
      *
      * @param tolerance convergence threshold in kelvin.
      * @param max_iters iteration cap.
+     * @param final_residual if non-null, receives the largest
+     *        per-node temperature update of the last sweep (kelvin) —
+     *        the convergence diagnostic, valid on both outcomes.
      * @return true on convergence.
      */
-    bool solveSteadyState(double tolerance = 1e-6, int max_iters = 20000);
+    bool solveSteadyState(double tolerance = 1e-6, int max_iters = 20000,
+                          double *final_residual = nullptr);
 
     /** Net heat flow out of a node through its edges right now (W). */
     Watts heatOutflow(ThermalNodeId node) const;
@@ -113,7 +117,19 @@ class ThermalNetwork
     // Adjacency: per node, list of (other node, conductance).
     std::vector<std::vector<std::pair<ThermalNodeId, double>>> _adj;
 
+    // step() is the hottest function in every simulation; the values
+    // below depend only on topology (and the step size), so they are
+    // cached and invalidated by addNode/addBoundary/connect instead of
+    // being recomputed every call.
+    bool _topologyDirty = true;     // tau/invCap need a recompute
+    double _minTau = 0.0;           // cached minTimeConstant()
+    double _cachedDtSec = -1.0;     // dt the substep count was sized for
+    int _cachedSubsteps = 1;        // substeps for _cachedDtSec
+    std::vector<double> _invCap;    // 1/C per node; 0 for boundaries
+    std::vector<double> _flux;      // scratch, sized to _nodes
+
     void checkNode(ThermalNodeId node) const;
+    void refreshTopologyCache();
     double minTimeConstant() const;
 };
 

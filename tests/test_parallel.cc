@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the thread pool and the deterministic parallel-for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace pvar
+{
+namespace
+{
+
+TEST(Parallel, HardwareJobsIsPositive)
+{
+    EXPECT_GE(hardwareJobs(), 1);
+}
+
+TEST(Parallel, ResolveJobsTreatsNonPositiveAsHardware)
+{
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+    EXPECT_EQ(resolveJobs(-3), hardwareJobs());
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_EQ(resolveJobs(7), 7);
+}
+
+TEST(ThreadPool, DefaultsToHardwareWorkers)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.workerCount(), hardwareJobs());
+    ThreadPool pool0(0);
+    EXPECT_EQ(pool0.workerCount(), hardwareJobs());
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+/** Results land in order regardless of worker count. */
+void
+expectOrderedSquares(int jobs)
+{
+    const std::size_t n = 257;
+    std::vector<int> out(n, -1);
+    parallelFor(n, jobs, [&](std::size_t i) {
+        out[i] = static_cast<int>(i * i);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i)) << "jobs=" << jobs;
+}
+
+TEST(ParallelFor, DeterministicOrderingAcrossWorkerCounts)
+{
+    expectOrderedSquares(0); // all hardware threads
+    expectOrderedSquares(1); // inline serial path
+    expectOrderedSquares(2);
+    expectOrderedSquares(8);
+    expectOrderedSquares(64); // more workers than a sane machine
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    bool ran = false;
+    parallelFor(0, 8, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleItemRunsInline)
+{
+    std::size_t seen = 99;
+    parallelFor(1, 8, [&](std::size_t i) { seen = i; });
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesSerial)
+{
+    EXPECT_THROW(parallelFor(10, 1,
+                             [](std::size_t i) {
+                                 if (i == 3)
+                                     throw std::runtime_error("bad");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionPropagatesParallel)
+{
+    EXPECT_THROW(parallelFor(100, 4,
+                             [](std::size_t i) {
+                                 if (i == 42)
+                                     throw std::runtime_error("bad");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionSkipsRemainingIndices)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(10000, 2, [&](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("early");
+            ++ran;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Other lanes may finish in-flight work, but nowhere near all of it.
+    EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial)
+{
+    const std::size_t n = 1000;
+    std::vector<double> serial(n), parallel(n);
+    auto f = [](std::size_t i) {
+        return static_cast<double>(i) * 0.75 + 1.0 / (1.0 + i);
+    };
+    parallelFor(n, 1, [&](std::size_t i) { serial[i] = f(i); });
+    parallelFor(n, 8, [&](std::size_t i) { parallel[i] = f(i); });
+    EXPECT_EQ(serial, parallel); // bit-identical, not just close
+}
+
+} // namespace
+} // namespace pvar

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "accubench/protocol.hh"
+#include "sim/logging.hh"
 
 namespace pvar
 {
@@ -90,6 +91,57 @@ TEST(Protocol, StudyConfigDefaultsMatchPaper)
     EXPECT_EQ(cfg.accubench.warmupDuration, Time::minutes(3));
     EXPECT_EQ(cfg.accubench.workloadDuration, Time::minutes(5));
     EXPECT_EQ(cfg.accubench.cooldownPoll, Time::sec(5));
+    EXPECT_EQ(cfg.jobs, 1); // library default stays serial
+}
+
+/** A shortened study config so the determinism check stays fast. */
+StudyConfig
+quickStudyConfig(int jobs)
+{
+    StudyConfig cfg;
+    cfg.iterations = 1;
+    cfg.jobs = jobs;
+    cfg.accubench.warmupDuration = Time::sec(20);
+    cfg.accubench.workloadDuration = Time::sec(30);
+    cfg.accubench.cooldownTimeout = Time::minutes(5);
+    return cfg;
+}
+
+void
+expectStudiesBitIdentical(const SocStudy &a, const SocStudy &b)
+{
+    EXPECT_EQ(a.socName, b.socName);
+    EXPECT_EQ(a.model, b.model);
+    // EXPECT_EQ on doubles is exact equality: the parallel run must be
+    // bit-identical to the serial one, not merely close.
+    EXPECT_EQ(a.perfVariationPercent, b.perfVariationPercent);
+    EXPECT_EQ(a.energyVariationPercent, b.energyVariationPercent);
+    EXPECT_EQ(a.fixedPerfSpreadPercent, b.fixedPerfSpreadPercent);
+    EXPECT_EQ(a.meanScoreRsdPercent, b.meanScoreRsdPercent);
+    EXPECT_EQ(a.efficiencyIterPerWh, b.efficiencyIterPerWh);
+    ASSERT_EQ(a.units.size(), b.units.size());
+    for (std::size_t i = 0; i < a.units.size(); ++i) {
+        const UnitOutcome &ua = a.units[i];
+        const UnitOutcome &ub = b.units[i];
+        EXPECT_EQ(ua.unitId, ub.unitId);
+        EXPECT_EQ(ua.meanScore, ub.meanScore);
+        EXPECT_EQ(ua.scoreRsdPercent, ub.scoreRsdPercent);
+        EXPECT_EQ(ua.meanUnconstrainedEnergyJ,
+                  ub.meanUnconstrainedEnergyJ);
+        EXPECT_EQ(ua.meanFixedEnergyJ, ub.meanFixedEnergyJ);
+        EXPECT_EQ(ua.fixedEnergyRsdPercent, ub.fixedEnergyRsdPercent);
+        EXPECT_EQ(ua.meanFixedScore, ub.meanFixedScore);
+        EXPECT_EQ(ua.fixedScoreRsdPercent, ub.fixedScoreRsdPercent);
+    }
+}
+
+TEST(Protocol, ParallelStudyIsBitIdenticalToSerial)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    SocStudy serial = runSocStudy("SD-805", quickStudyConfig(1));
+    SocStudy parallel = runSocStudy("SD-805", quickStudyConfig(8));
+    setLogLevel(old);
+    expectStudiesBitIdentical(serial, parallel);
 }
 
 } // namespace

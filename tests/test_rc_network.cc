@@ -3,8 +3,12 @@
  * Tests for the lumped RC thermal network.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <limits>
+#include <vector>
 
 #include "thermal/rc_network.hh"
 
@@ -149,6 +153,173 @@ TEST(ThermalNetwork, EnergyConservationInClosedPair)
     double equil = heat0 / 10.0;
     EXPECT_NEAR(net.temperature(a).value(), equil, 0.05);
     EXPECT_NEAR(net.temperature(b).value(), equil, 0.05);
+}
+
+/**
+ * The pre-optimization step(): recompute the time constant and the
+ * substep count every call, use a fresh flux vector, and branch on
+ * boundaries. The cached fast path must reproduce it to 1e-12.
+ */
+class ReferenceEulerNetwork
+{
+  public:
+    struct Node
+    {
+        double capacitance;
+        double temp;
+        double power = 0.0;
+    };
+    struct Edge
+    {
+        std::size_t a;
+        std::size_t b;
+        double g;
+    };
+
+    std::size_t
+    addNode(double cap, double temp)
+    {
+        nodes.push_back(Node{cap, temp});
+        return nodes.size() - 1;
+    }
+
+    void
+    connect(std::size_t a, std::size_t b, double g)
+    {
+        edges.push_back(Edge{a, b, g});
+    }
+
+    void
+    step(double h_total)
+    {
+        double tau = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].capacitance <= 0.0)
+                continue;
+            double g_total = 0.0;
+            for (const auto &e : edges) {
+                if (e.a == i || e.b == i)
+                    g_total += e.g;
+            }
+            if (g_total > 0.0)
+                tau = std::min(tau, nodes[i].capacitance / g_total);
+        }
+        int substeps = 1;
+        if (std::isfinite(tau) && tau > 0.0)
+            substeps = std::max(
+                1,
+                static_cast<int>(std::ceil(h_total / (0.5 * tau))));
+        double h = h_total / substeps;
+
+        std::vector<double> flux(nodes.size());
+        for (int s = 0; s < substeps; ++s) {
+            std::fill(flux.begin(), flux.end(), 0.0);
+            for (const auto &e : edges) {
+                double q = e.g * (nodes[e.a].temp - nodes[e.b].temp);
+                flux[e.a] -= q;
+                flux[e.b] += q;
+            }
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                if (nodes[i].capacitance <= 0.0)
+                    continue;
+                nodes[i].temp += (flux[i] + nodes[i].power) * h /
+                                 nodes[i].capacitance;
+            }
+        }
+    }
+
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+};
+
+TEST(ThermalNetwork, CachedStepMatchesPerStepRecompute)
+{
+    // The 5-node phone-package shape used across the device models,
+    // stepped through power changes AND a mid-run topology edit (which
+    // must invalidate the caches).
+    ThermalNetwork net;
+    ReferenceEulerNetwork ref;
+
+    auto die = net.addNode("die", JoulesPerKelvin(2.0), Celsius(40));
+    auto soc = net.addNode("soc", JoulesPerKelvin(22.0), Celsius(35));
+    auto batt = net.addNode("batt", JoulesPerKelvin(40.0), Celsius(30));
+    auto amb = net.addBoundary("amb", Celsius(26));
+    net.connect(die, soc, WattsPerKelvin(0.32));
+    net.connect(soc, batt, WattsPerKelvin(0.10));
+    net.connect(soc, amb, WattsPerKelvin(0.23));
+
+    ref.addNode(2.0, 40);
+    ref.addNode(22.0, 35);
+    ref.addNode(40.0, 30);
+    ref.addNode(0.0, 26);
+    ref.connect(0, 1, 0.32);
+    ref.connect(1, 2, 0.10);
+    ref.connect(1, 3, 0.23);
+
+    for (int i = 0; i < 500; ++i) {
+        double p = 2.0 + 3.0 * ((i / 50) % 2); // power square wave
+        net.setPower(die, Watts(p));
+        ref.nodes[0].power = p;
+        net.step(Time::msec(10));
+        ref.step(0.010);
+    }
+    for (std::size_t i = 0; i < ref.nodes.size(); ++i)
+        EXPECT_NEAR(net.temperature(i).value(), ref.nodes[i].temp,
+                    1e-12);
+
+    // Grow the network mid-run: the cached tau/substeps/invCap must be
+    // rebuilt, including for a stiffer node that changes the substep
+    // count.
+    auto shell = net.addNode("shell", JoulesPerKelvin(0.05), Celsius(28));
+    net.connect(batt, shell, WattsPerKelvin(2.0));
+    ref.addNode(0.05, 28);
+    ref.connect(2, 4, 2.0);
+
+    for (int i = 0; i < 500; ++i) {
+        net.step(Time::msec(10));
+        ref.step(0.010);
+    }
+    for (std::size_t i = 0; i < ref.nodes.size(); ++i)
+        EXPECT_NEAR(net.temperature(i).value(), ref.nodes[i].temp,
+                    1e-12);
+
+    // And a different dt re-derives the substep count.
+    net.step(Time::msec(250));
+    ref.step(0.250);
+    for (std::size_t i = 0; i < ref.nodes.size(); ++i)
+        EXPECT_NEAR(net.temperature(i).value(), ref.nodes[i].temp,
+                    1e-12);
+}
+
+TEST(ThermalNetwork, SteadyStateReportsResidualOnConvergence)
+{
+    ThermalNetwork net;
+    auto node = net.addNode("mass", JoulesPerKelvin(5.0), Celsius(25.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(node, amb, WattsPerKelvin(0.5));
+    net.setPower(node, Watts(2.0));
+
+    double residual = -1.0;
+    EXPECT_TRUE(net.solveSteadyState(1e-6, 20000, &residual));
+    EXPECT_GE(residual, 0.0);
+    EXPECT_LT(residual, 1e-6);
+}
+
+TEST(ThermalNetwork, SteadyStateReportsResidualOnNonConvergence)
+{
+    // A slow chain given a single iteration cannot converge; the
+    // residual must say how far off the solve stopped.
+    ThermalNetwork net;
+    auto die = net.addNode("die", JoulesPerKelvin(1.0), Celsius(25.0));
+    auto cas = net.addNode("case", JoulesPerKelvin(10.0), Celsius(25.0));
+    auto amb = net.addBoundary("ambient", Celsius(25.0));
+    net.connect(die, cas, WattsPerKelvin(1.0));
+    net.connect(cas, amb, WattsPerKelvin(0.5));
+    net.setPower(die, Watts(3.0));
+
+    double residual = -1.0;
+    EXPECT_FALSE(net.solveSteadyState(1e-9, 1, &residual));
+    EXPECT_GT(residual, 1e-9);
 }
 
 TEST(ThermalNetwork, InvalidConstructionDies)

@@ -6,6 +6,9 @@
  *     --soc NAME        run one SoC (SD-800..SD-821); default: all
  *     --iterations N    ACCUBENCH iterations per experiment (default 5)
  *     --ambient C       THERMABOX target temperature (default 26)
+ *     --jobs N          parallel experiment workers (default: all
+ *                       hardware threads; results are identical for
+ *                       any N)
  *     --json PATH       also write results as JSON
  *     --csv PATH        also write the summary as CSV
  *     --quiet           suppress progress logging
@@ -39,6 +42,9 @@ usage()
         "  --soc NAME        run one SoC (SD-800..SD-821); default: all\n"
         "  --iterations N    iterations per experiment (default 5)\n"
         "  --ambient C       chamber target temperature (default 26)\n"
+        "  --jobs N          parallel experiment workers (default: all\n"
+        "                    hardware threads; results identical for "
+        "any N)\n"
         "  --json PATH       also write results as JSON\n"
         "  --csv PATH        also write the summary as CSV\n"
         "  --quiet           suppress progress logging\n"
@@ -82,6 +88,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string csv_path;
     StudyConfig cfg;
+    cfg.jobs = 0; // tool default: all hardware threads
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -100,6 +107,10 @@ main(int argc, char **argv)
             double t = std::atof(next());
             cfg.thermabox.target = Celsius(t);
             cfg.accubench.cooldownTarget = Celsius(t + 6.0);
+        } else if (arg == "--jobs") {
+            cfg.jobs = std::atoi(next());
+            if (cfg.jobs < 1)
+                fatal("pvar_study: jobs must be >= 1");
         } else if (arg == "--json") {
             json_path = next();
         } else if (arg == "--csv") {
