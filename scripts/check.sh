@@ -9,13 +9,26 @@ cmake -B build -G Ninja -DPVAR_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Spec-layer round trip: the registry serialized to a fleet file must
+# run the study protocol end-to-end, as must the shipped example.
+./build/pvar_study --list-devices >/dev/null
+./build/pvar_study --fleet examples/custom_fleet.json \
+    --iterations 1 --quiet >/dev/null
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
-# the protocol determinism tests, and a real multi-worker study run.
+# the protocol determinism tests, the spec/JSON layer feeding the
+# parallel scheduler, and real multi-worker study runs (builtin SoC
+# and JSON-defined fleet).
 cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
-cmake --build build-tsan --target test_parallel test_protocol pvar_study
+cmake --build build-tsan \
+    --target test_parallel test_protocol test_json test_spec pvar_study
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_protocol
+./build-tsan/tests/test_json
+./build-tsan/tests/test_spec
 ./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet
+./build-tsan/pvar_study --fleet examples/custom_fleet.json \
+    --iterations 1 --jobs 4 --quiet
 
 fail=0
 for b in build/bench/bench_*; do

@@ -11,13 +11,13 @@ namespace
 {
 
 /**
- * One schedulable experiment: a (device, mode) pair. The device is
- * identified by fleet position and constructed inside the task, so
- * concurrent tasks never share object state.
+ * One schedulable experiment: a (unit, mode) pair. The device is
+ * identified by registry entry and unit index and constructed inside
+ * the task, so concurrent tasks never share object state.
  */
 struct ExperimentTask
 {
-    std::string socName;
+    const RegistryEntry *entry;
     std::size_t unitIndex;
     ExperimentConfig cfg;
 };
@@ -39,18 +39,18 @@ runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs)
     std::vector<ExperimentResult> results(tasks.size());
     parallelFor(tasks.size(), jobs, [&](std::size_t i) {
         const ExperimentTask &task = tasks[i];
-        Fleet fleet = fleetForSoc(task.socName);
-        Device &device = *fleet.at(task.unitIndex);
-        inform("study:   unit %s %s", device.unitId().c_str(),
+        std::unique_ptr<Device> device = buildDevice(
+            task.entry->spec, task.entry->units.at(task.unitIndex));
+        inform("study:   unit %s %s", device->unitId().c_str(),
                modeName(task.cfg.mode));
-        results[i] = runExperiment(device, task.cfg);
+        results[i] = runExperiment(*device, task.cfg);
     });
     return results;
 }
 
-/** The two per-unit experiment configs of one SoC's study. */
+/** The two per-unit experiment configs of one model's study. */
 std::pair<ExperimentConfig, ExperimentConfig>
-studyExperimentConfigs(const std::string &soc_name, const StudyConfig &cfg)
+studyExperimentConfigs(const RegistryEntry &entry, const StudyConfig &cfg)
 {
     ExperimentConfig unc_cfg;
     unc_cfg.mode = WorkloadMode::Unconstrained;
@@ -59,25 +59,24 @@ studyExperimentConfigs(const std::string &soc_name, const StudyConfig &cfg)
     unc_cfg.thermabox = cfg.thermabox;
     unc_cfg.dt = cfg.dt;
     unc_cfg.supply = SupplyChoice::MonsoonExplicit;
-    unc_cfg.monsoonVoltage = studyMonsoonVoltageForSoc(soc_name);
+    unc_cfg.monsoonVoltage = entry.monsoonVoltage;
 
     ExperimentConfig fix_cfg = unc_cfg;
     fix_cfg.mode = WorkloadMode::FixedFrequency;
-    fix_cfg.fixedFrequency = fixedFrequencyForSoc(soc_name);
+    fix_cfg.fixedFrequency = entry.fixedFrequency;
     return {unc_cfg, fix_cfg};
 }
 
-/** Tasks for one SoC, in fleet order: unit 0 unc, unit 0 fix, ... */
+/** Tasks for one model, in fleet order: unit 0 unc, unit 0 fix, ... */
 std::vector<ExperimentTask>
-socStudyTasks(const std::string &soc_name, const StudyConfig &cfg)
+socStudyTasks(const RegistryEntry &entry, const StudyConfig &cfg)
 {
-    auto [unc_cfg, fix_cfg] = studyExperimentConfigs(soc_name, cfg);
-    std::size_t units = fleetForSoc(soc_name).size();
+    auto [unc_cfg, fix_cfg] = studyExperimentConfigs(entry, cfg);
     std::vector<ExperimentTask> tasks;
-    tasks.reserve(units * 2);
-    for (std::size_t u = 0; u < units; ++u) {
-        tasks.push_back(ExperimentTask{soc_name, u, unc_cfg});
-        tasks.push_back(ExperimentTask{soc_name, u, fix_cfg});
+    tasks.reserve(entry.units.size() * 2);
+    for (std::size_t u = 0; u < entry.units.size(); ++u) {
+        tasks.push_back(ExperimentTask{&entry, u, unc_cfg});
+        tasks.push_back(ExperimentTask{&entry, u, fix_cfg});
     }
     return tasks;
 }
@@ -96,13 +95,6 @@ reduceInterleaved(const std::string &soc_name, const std::string &model,
         fixed_freq.push_back(results[i + 1]);
     }
     return reduceSocStudy(soc_name, model, unconstrained, fixed_freq);
-}
-
-std::string
-modelForSoc(const std::string &soc_name)
-{
-    Fleet fleet = fleetForSoc(soc_name);
-    return fleet.empty() ? std::string() : fleet.front()->model();
 }
 
 } // namespace
@@ -163,30 +155,59 @@ reduceSocStudy(const std::string &soc_name, const std::string &model,
 }
 
 SocStudy
-runSocStudy(const std::string &soc_name, const StudyConfig &cfg)
+runEntryStudy(const RegistryEntry &entry, const StudyConfig &cfg)
 {
-    std::vector<ExperimentTask> tasks = socStudyTasks(soc_name, cfg);
-    inform("study: %s (%zu units, %d jobs)", soc_name.c_str(),
-           tasks.size() / 2, resolveJobs(cfg.jobs));
+    std::vector<ExperimentTask> tasks = socStudyTasks(entry, cfg);
+    inform("study: %s (%zu units, %d jobs)",
+           entry.spec.socName.c_str(), tasks.size() / 2,
+           resolveJobs(cfg.jobs));
     std::vector<ExperimentResult> results =
         runExperimentTasks(tasks, cfg.jobs);
-    return reduceInterleaved(soc_name, modelForSoc(soc_name), results);
+    return reduceInterleaved(entry.spec.socName, entry.spec.model,
+                             results);
+}
+
+SocStudy
+runUnitStudy(const RegistryEntry &entry, std::size_t unit_index,
+             const StudyConfig &cfg)
+{
+    if (unit_index >= entry.units.size())
+        fatal("runUnitStudy: unit %zu out of range (%s has %zu)",
+              unit_index, entry.spec.model.c_str(),
+              entry.units.size());
+    auto [unc_cfg, fix_cfg] = studyExperimentConfigs(entry, cfg);
+    std::vector<ExperimentTask> tasks = {
+        ExperimentTask{&entry, unit_index, unc_cfg},
+        ExperimentTask{&entry, unit_index, fix_cfg},
+    };
+    inform("study: %s unit %s (%d jobs)", entry.spec.socName.c_str(),
+           entry.units[unit_index].id.c_str(), resolveJobs(cfg.jobs));
+    std::vector<ExperimentResult> results =
+        runExperimentTasks(tasks, cfg.jobs);
+    return reduceInterleaved(entry.spec.socName, entry.spec.model,
+                             results);
+}
+
+SocStudy
+runSocStudy(const std::string &soc_name, const StudyConfig &cfg)
+{
+    return runEntryStudy(DeviceRegistry::builtin().at(soc_name), cfg);
 }
 
 std::vector<SocStudy>
-runFullStudy(const StudyConfig &cfg)
+runStudy(const std::vector<const RegistryEntry *> &entries,
+         const StudyConfig &cfg)
 {
-    // Flatten all SoCs into one task list so the fan-out spans the
-    // whole fleet (~180 experiments at paper scale), not one SoC at a
-    // time; per-SoC slices are reduced in paper order afterwards.
-    const std::vector<std::string> &socs = studySocNames();
+    // Flatten all models into one task list so the fan-out spans the
+    // whole fleet (~180 experiments at paper scale), not one model at
+    // a time; per-model slices are reduced in input order afterwards.
     std::vector<ExperimentTask> tasks;
-    std::vector<std::size_t> first_task(socs.size() + 1, 0);
-    for (std::size_t s = 0; s < socs.size(); ++s) {
-        std::vector<ExperimentTask> soc_tasks =
-            socStudyTasks(socs[s], cfg);
-        first_task[s + 1] = first_task[s] + soc_tasks.size();
-        for (auto &t : soc_tasks)
+    std::vector<std::size_t> first_task(entries.size() + 1, 0);
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+        std::vector<ExperimentTask> entry_tasks =
+            socStudyTasks(*entries[s], cfg);
+        first_task[s + 1] = first_task[s] + entry_tasks.size();
+        for (auto &t : entry_tasks)
             tasks.push_back(std::move(t));
     }
     inform("study: full fleet, %zu experiments, %d jobs", tasks.size(),
@@ -196,15 +217,27 @@ runFullStudy(const StudyConfig &cfg)
         runExperimentTasks(tasks, cfg.jobs);
 
     std::vector<SocStudy> studies;
-    studies.reserve(socs.size());
-    for (std::size_t s = 0; s < socs.size(); ++s) {
+    studies.reserve(entries.size());
+    for (std::size_t s = 0; s < entries.size(); ++s) {
         std::vector<ExperimentResult> slice(
             results.begin() + first_task[s],
             results.begin() + first_task[s + 1]);
-        studies.push_back(
-            reduceInterleaved(socs[s], modelForSoc(socs[s]), slice));
+        studies.push_back(reduceInterleaved(entries[s]->spec.socName,
+                                            entries[s]->spec.model,
+                                            slice));
     }
     return studies;
+}
+
+std::vector<SocStudy>
+runFullStudy(const StudyConfig &cfg)
+{
+    std::vector<const RegistryEntry *> entries;
+    for (const RegistryEntry &e : DeviceRegistry::builtin().entries()) {
+        if (e.inStudy)
+            entries.push_back(&e);
+    }
+    return runStudy(entries, cfg);
 }
 
 } // namespace pvar

@@ -101,6 +101,24 @@ SocStudy reduceSocStudy(
 /** Run the whole study (all five SoCs, paper order). */
 std::vector<SocStudy> runFullStudy(const StudyConfig &cfg);
 
+/**
+ * Run the protocol on an arbitrary fleet — built-in models, entries
+ * loaded from a fleet file, or any mix. All (unit, mode) experiments
+ * across all entries are flattened into one task list so the fan-out
+ * spans the whole fleet; one SocStudy per entry, input order.
+ */
+std::vector<SocStudy> runStudy(
+    const std::vector<const RegistryEntry *> &entries,
+    const StudyConfig &cfg);
+
+/** Run the protocol on one model's calibrated fleet. */
+SocStudy runEntryStudy(const RegistryEntry &entry,
+                       const StudyConfig &cfg);
+
+/** Run the protocol on a single unit of a model's fleet. */
+SocStudy runUnitStudy(const RegistryEntry &entry,
+                      std::size_t unit_index, const StudyConfig &cfg);
+
 } // namespace pvar
 
 #endif // PVAR_ACCUBENCH_PROTOCOL_HH

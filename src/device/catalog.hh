@@ -1,13 +1,16 @@
 /**
  * @file
- * Device catalog: the five phone models of the paper's study.
+ * Device catalog: the five phone models of the paper's study (plus the
+ * SD-835 extension), each defined as a declarative DeviceSpec.
  *
- * Each maker function assembles a fully configured Device for one
- * physical unit. Units are identified the way the paper identifies
- * them: Nexus 5 / Nexus 6 units by CPU bin (their kernels expose it),
- * later units by a device id (binning hidden; "dev-363", "dev-488"...).
+ * Every model is pure data — a DeviceSpec consumed by the generic
+ * buildDevice() — and the per-model make functions below are thin
+ * wrappers over the name-keyed DeviceRegistry. Units are identified
+ * the way the paper identifies them: Nexus 5 / Nexus 6 units by CPU
+ * bin (their kernels expose it), later units by a device id (binning
+ * hidden; "dev-363", "dev-488"...).
  *
- * The corner parameters of every unit live in fleet.cc and are
+ * The corner parameters of every unit live in registry.cc and are
  * calibrated so the simulated study reproduces Table II.
  */
 
@@ -18,29 +21,17 @@
 #include <string>
 
 #include "device/device.hh"
+#include "device/spec.hh"
 #include "silicon/process_node.hh"
 #include "silicon/vf_table.hh"
 
 namespace pvar
 {
 
-/** A unit's silicon corner, as pinned by the fleet calibration. */
-struct UnitCorner
-{
-    /** Unit id, e.g. "bin-0" or "dev-363". */
-    std::string id;
-
-    /** Latent process deviate (negative = slow & low-leakage). */
-    double corner = 0.0;
-
-    /** Residual log-leakage deviate. */
-    double leakResidual = 0.0;
-
-    /** Threshold-voltage offset (volts). */
-    double vthOffset = 0.0;
-};
-
 /** @name Nexus 5 (Snapdragon 800, 28 nm, 4x Krait-400). @{ */
+
+/** The model spec, including the Table I per-bin anchor voltages. */
+DeviceSpec nexus5Spec();
 
 /**
  * The kernel voltage table of paper Table I for one bin (0..6),
@@ -61,21 +52,25 @@ std::unique_ptr<Device> makeNexus5(int bin, const UnitCorner &corner);
 /** @} */
 
 /** @name Nexus 6 (Snapdragon 805, 28 nm, 4x Krait-450). @{ */
+DeviceSpec nexus6Spec();
 DeviceConfig nexus6Config();
 std::unique_ptr<Device> makeNexus6(const UnitCorner &corner);
 /** @} */
 
 /** @name Nexus 6P (Snapdragon 810, 20 nm, 4x A57 + 4x A53, RBCPR). @{ */
+DeviceSpec nexus6pSpec();
 DeviceConfig nexus6pConfig();
 std::unique_ptr<Device> makeNexus6p(const UnitCorner &corner);
 /** @} */
 
 /** @name LG G5 (Snapdragon 820, 14 nm, 2+2 Kryo, V-in throttle). @{ */
+DeviceSpec lgG5Spec();
 DeviceConfig lgG5Config();
 std::unique_ptr<Device> makeLgG5(const UnitCorner &corner);
 /** @} */
 
 /** @name Google Pixel (Snapdragon 821, 14 nm, 2+2 Kryo). @{ */
+DeviceSpec pixelSpec();
 DeviceConfig pixelConfig();
 std::unique_ptr<Device> makePixel(const UnitCorner &corner);
 /** @} */
@@ -85,6 +80,7 @@ std::unique_ptr<Device> makePixel(const UnitCorner &corner);
 /** The 10 nm LPE node the extension predicts with (not paper data). */
 ProcessNode node10nmLPE();
 
+DeviceSpec pixel2Spec();
 DeviceConfig pixel2Config();
 std::unique_ptr<Device> makePixel2(const UnitCorner &corner);
 /** @} */

@@ -1,141 +1,69 @@
 #include "device/fleet.hh"
 
-#include "sim/logging.hh"
-
 namespace pvar
 {
-
-// Calibrated silicon corners. Negative corner = slow, low-leakage die
-// (ends up in a low bin number / needs high fused voltage); positive =
-// fast, leaky. Residuals capture leakage spread beyond the speed
-// correlation. Values chosen so the full protocol lands inside the
-// Table II bands; see tests/test_calibration.cc.
 
 Fleet
 nexus5Fleet()
 {
-    Fleet fleet;
-    fleet.push_back(makeNexus5(0, UnitCorner{"bin-0", -1.75, +0.15, 0.0}));
-    fleet.push_back(makeNexus5(1, UnitCorner{"bin-1", -0.70, -0.10, 0.0}));
-    fleet.push_back(makeNexus5(2, UnitCorner{"bin-2", +0.30, +0.10, 0.0}));
-    fleet.push_back(makeNexus5(3, UnitCorner{"bin-3", +1.25, +0.10, 0.0}));
-    return fleet;
+    return buildFleet(DeviceRegistry::builtin().at("SD-800"));
 }
 
 Fleet
 nexus6Fleet()
 {
-    Fleet fleet;
-    fleet.push_back(makeNexus6(UnitCorner{"unit-a", -0.18, +0.05, 0.0}));
-    fleet.push_back(makeNexus6(UnitCorner{"unit-b", 0.00, 0.00, 0.0}));
-    fleet.push_back(makeNexus6(UnitCorner{"unit-c", +0.18, -0.05, 0.0}));
-    return fleet;
+    return buildFleet(DeviceRegistry::builtin().at("SD-805"));
 }
 
 Fleet
 nexus6pFleet()
 {
-    Fleet fleet;
-    fleet.push_back(
-        makeNexus6p(UnitCorner{"dev-363", +1.10, +0.05, 0.0}));
-    fleet.push_back(
-        makeNexus6p(UnitCorner{"dev-520", 0.00, 0.00, 0.0}));
-    fleet.push_back(
-        makeNexus6p(UnitCorner{"dev-793", -1.10, -0.20, 0.0}));
-    return fleet;
+    return buildFleet(DeviceRegistry::builtin().at("SD-810"));
 }
 
 Fleet
 lgG5Fleet()
 {
-    Fleet fleet;
-    fleet.push_back(makeLgG5(UnitCorner{"unit-1", -1.00, -0.25, 0.0}));
-    fleet.push_back(makeLgG5(UnitCorner{"unit-2", -0.40, +0.05, 0.0}));
-    fleet.push_back(makeLgG5(UnitCorner{"unit-3", 0.00, 0.00, 0.0}));
-    fleet.push_back(makeLgG5(UnitCorner{"unit-4", +0.50, +0.10, 0.0}));
-    fleet.push_back(makeLgG5(UnitCorner{"unit-5", +1.00, +0.35, 0.0}));
-    return fleet;
+    return buildFleet(DeviceRegistry::builtin().at("SD-820"));
 }
 
 Fleet
 pixelFleet()
 {
-    Fleet fleet;
-    fleet.push_back(makePixel(UnitCorner{"dev-488", -0.90, -0.30, 0.0}));
-    fleet.push_back(makePixel(UnitCorner{"dev-561", 0.00, 0.00, 0.0}));
-    fleet.push_back(makePixel(UnitCorner{"dev-653", +0.90, +0.45, 0.0}));
-    return fleet;
+    return buildFleet(DeviceRegistry::builtin().at("SD-821"));
 }
 
 Fleet
 fleetForSoc(const std::string &soc_name)
 {
-    if (soc_name == "SD-800")
-        return nexus5Fleet();
-    if (soc_name == "SD-805")
-        return nexus6Fleet();
-    if (soc_name == "SD-810")
-        return nexus6pFleet();
-    if (soc_name == "SD-820")
-        return lgG5Fleet();
-    if (soc_name == "SD-821")
-        return pixelFleet();
-    fatal("fleetForSoc: unknown SoC '%s'", soc_name.c_str());
+    return buildFleet(DeviceRegistry::builtin().at(soc_name));
 }
 
 const std::vector<std::string> &
 studySocNames()
 {
-    static const std::vector<std::string> names = {
-        "SD-800", "SD-805", "SD-810", "SD-820", "SD-821",
-    };
+    static const std::vector<std::string> names =
+        DeviceRegistry::builtin().studySocNames();
     return names;
 }
 
 MegaHertz
 fixedFrequencyForSoc(const std::string &soc_name)
 {
-    if (soc_name == "SD-800")
-        return MegaHertz(1574);
-    if (soc_name == "SD-805")
-        return MegaHertz(1190);
-    if (soc_name == "SD-810")
-        return MegaHertz(864);
-    if (soc_name == "SD-820")
-        return MegaHertz(1401);
-    if (soc_name == "SD-821")
-        return MegaHertz(1401);
-    fatal("fixedFrequencyForSoc: unknown SoC '%s'", soc_name.c_str());
-}
-
-std::unique_ptr<Device>
-makeUnitForSoc(const std::string &soc_name, const UnitCorner &corner)
-{
-    if (soc_name == "SD-800")
-        return makeNexus5(2, corner);
-    if (soc_name == "SD-805")
-        return makeNexus6(corner);
-    if (soc_name == "SD-810")
-        return makeNexus6p(corner);
-    if (soc_name == "SD-820")
-        return makeLgG5(corner);
-    if (soc_name == "SD-821")
-        return makePixel(corner);
-    fatal("makeUnitForSoc: unknown SoC '%s'", soc_name.c_str());
+    return DeviceRegistry::builtin().at(soc_name).fixedFrequency;
 }
 
 Volts
 studyMonsoonVoltageForSoc(const std::string &soc_name)
 {
-    if (soc_name == "SD-820")
-        return Volts(4.40); // LG G5: avoid the Fig 10 brownout throttle
-    if (soc_name == "SD-800" || soc_name == "SD-805" ||
-        soc_name == "SD-810")
-        return Volts(3.80);
-    if (soc_name == "SD-821")
-        return Volts(3.85);
-    fatal("studyMonsoonVoltageForSoc: unknown SoC '%s'",
-          soc_name.c_str());
+    return DeviceRegistry::builtin().at(soc_name).monsoonVoltage;
+}
+
+std::unique_ptr<Device>
+makeUnitForSoc(const std::string &soc_name, const UnitCorner &corner)
+{
+    return buildDevice(DeviceRegistry::builtin().at(soc_name).spec,
+                       corner);
 }
 
 } // namespace pvar

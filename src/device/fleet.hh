@@ -1,6 +1,6 @@
 /**
  * @file
- * The paper's experimental fleet.
+ * The paper's experimental fleet — registry-backed accessors.
  *
  * §IV studied 18 units across five SoC generations:
  *
@@ -11,9 +11,12 @@
  *   SD-820 / LG G5 ......... 5 units
  *   SD-821 / Google Pixel .. 3 units (dev-488, dev-561, dev-653)
  *
- * The corners pinned here are this library's calibration: they are
- * chosen so the simulated protocol reproduces the variation bands of
- * paper Table II (see DESIGN.md §4 and the calibration tests).
+ * The fleet is pure *data*: every unit's calibrated corner and every
+ * model's study constants live in the built-in DeviceRegistry
+ * (registry.cc), chosen so the simulated protocol reproduces the
+ * variation bands of paper Table II (see DESIGN.md §4 and the
+ * calibration tests). The functions here are thin lookups kept for
+ * callers that address the fleet by SoC name.
  */
 
 #ifndef PVAR_DEVICE_FLEET_HH
@@ -25,12 +28,10 @@
 
 #include "device/catalog.hh"
 #include "device/device.hh"
+#include "device/registry.hh"
 
 namespace pvar
 {
-
-/** Owned list of devices. */
-using Fleet = std::vector<std::unique_ptr<Device>>;
 
 /** The four Nexus 5 units (bins 0, 1, 2, 3). */
 Fleet nexus5Fleet();

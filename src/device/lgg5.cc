@@ -1,12 +1,12 @@
 /**
  * @file
- * LG G5 (Snapdragon 820) model.
+ * LG G5 (Snapdragon 820) model — declarative spec.
  *
  * 14 nm FinFET, 2 performance + 2 efficiency Kryo cores. Two
  * behaviours the paper documents are specific to this phone:
  *
  *  - neither binning information nor voltage tables are exposed
- *    (per-die fused tables here), and
+ *    (per-die fused tables here, VfSource::FusedPerDie), and
  *  - the OS throttles the CPU on *input voltage*: powered from a
  *    Monsoon at the battery's nominal 3.85 V it benchmarks ~20%
  *    slower than on its own battery; 4.4 V restores parity (Fig 10).
@@ -14,9 +14,8 @@
 
 #include "device/catalog.hh"
 
-#include "silicon/binning.hh"
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 
 namespace pvar
 {
@@ -24,16 +23,12 @@ namespace pvar
 namespace
 {
 
-const double perfLadderMhz[] = {307, 556, 825, 1113, 1401, 1593, 1824,
-                                2150};
-const double effLadderMhz[] = {307, 556, 825, 1113, 1363, 1593};
-
 VoltageBinningConfig
-ladderConfig(const double *mhz, std::size_t n)
+sd820Fusing(std::initializer_list<double> ladder_mhz)
 {
     VoltageBinningConfig cfg;
-    for (std::size_t i = 0; i < n; ++i)
-        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    for (double f : ladder_mhz)
+        cfg.frequencyLadder.push_back(MegaHertz(f));
     cfg.guardBand = 0.025;
     cfg.vCeiling = Volts(1.10);
     cfg.vFloor = Volts(0.55);
@@ -42,102 +37,98 @@ ladderConfig(const double *mhz, std::size_t n)
 
 } // namespace
 
-DeviceConfig
-lgG5Config()
+DeviceSpec
+lgG5Spec()
 {
-    DeviceConfig cfg;
-    cfg.model = "LG G5";
-    cfg.socName = "SD-820";
+    DeviceSpec spec;
+    spec.model = "LG G5";
+    spec.socName = "SD-820";
+    spec.silicon = node14nmFinFET();
 
-    cfg.package.dieCapacitance = 2.2;
-    cfg.package.socCapacitance = 24.0;
-    cfg.package.batteryCapacitance = 48.0;
-    cfg.package.caseCapacitance = 75.0;
-    cfg.package.dieToSoc = 0.24;
-    cfg.package.socToCase = 0.36;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.27;
+    spec.package.dieCapacitance = 2.2;
+    spec.package.socCapacitance = 24.0;
+    spec.package.batteryCapacitance = 48.0;
+    spec.package.caseCapacitance = 75.0;
+    spec.package.dieToSoc = 0.24;
+    spec.package.socToCase = 0.36;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.27;
 
-    CoreType kryoPerf;
-    kryoPerf.name = "Kryo-perf";
-    kryoPerf.sizeFactor = 2.40;
-    kryoPerf.cyclesPerIteration = 1.9e9;
-
-    CoreType kryoEff;
-    kryoEff.name = "Kryo-eff";
-    kryoEff.sizeFactor = 1.50;
-    kryoEff.cyclesPerIteration = 2.1e9;
-
-    ClusterParams perf;
+    ClusterSpec perf;
     perf.name = "perf";
-    perf.coreType = kryoPerf;
+    perf.coreType.name = "Kryo-perf";
+    perf.coreType.sizeFactor = 2.40;
+    perf.coreType.cyclesPerIteration = 1.9e9;
     perf.coreCount = 2;
-    // Table filled per die in makeLgG5().
+    perf.source = VfSource::FusedPerDie;
+    perf.binning =
+        sd820Fusing({307, 556, 825, 1113, 1401, 1593, 1824, 2150});
 
-    ClusterParams eff;
+    ClusterSpec eff;
     eff.name = "eff";
-    eff.coreType = kryoEff;
+    eff.coreType.name = "Kryo-eff";
+    eff.coreType.sizeFactor = 1.50;
+    eff.coreType.cyclesPerIteration = 2.1e9;
     eff.coreCount = 2;
+    eff.source = VfSource::FusedPerDie;
+    eff.binning = sd820Fusing({307, 556, 825, 1113, 1363, 1593});
 
-    cfg.soc.name = "SD-820";
-    cfg.soc.clusters = {perf, eff};
-    cfg.soc.uncoreActive = Watts(0.26);
-    cfg.soc.uncoreSuspended = Watts(0.012);
+    spec.clusters = {perf, eff};
 
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
+    spec.uncoreActive = Watts(0.26);
+    spec.uncoreSuspended = Watts(0.012);
 
-    cfg.thermalGov.trips = {
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
+
+    spec.thermalGov.trips = {
         TripPoint{Celsius(66), Celsius(63), MegaHertz(1824)},
         TripPoint{Celsius(69), Celsius(66), MegaHertz(1593)},
         TripPoint{Celsius(74), Celsius(71), MegaHertz(1401)},
         TripPoint{Celsius(77), Celsius(74), MegaHertz(1113)},
     };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
+    spec.thermalGov.pollPeriod = Time::msec(250);
 
-    cfg.hasRbcpr = true;
-    cfg.rbcpr.baseRecoup = 0.012;
-    cfg.rbcpr.leakGain = 0.004;
-    cfg.rbcpr.speedGain = 0.18;
-    cfg.rbcpr.tempGain = 0.00012;
-    cfg.rbcpr.maxRecoup = 0.030;
+    spec.hasRbcpr = true;
+    spec.rbcpr.baseRecoup = 0.012;
+    spec.rbcpr.leakGain = 0.004;
+    spec.rbcpr.speedGain = 0.18;
+    spec.rbcpr.tempGain = 0.00012;
+    spec.rbcpr.maxRecoup = 0.030;
 
     // The Fig 10 anomaly: cap engages below 4.0 V on the rail.
-    cfg.hasInputVoltageThrottle = true;
-    cfg.inputThrottle.engageBelow = Volts(3.88);
-    cfg.inputThrottle.releaseAbove = Volts(3.98);
-    cfg.inputThrottle.cap = MegaHertz(1593);
-    cfg.inputThrottle.pollPeriod = Time::msec(500);
+    spec.hasInputVoltageThrottle = true;
+    spec.inputThrottle.engageBelow = Volts(3.88);
+    spec.inputThrottle.releaseAbove = Volts(3.98);
+    spec.inputThrottle.cap = MegaHertz(1593);
+    spec.inputThrottle.pollPeriod = Time::msec(500);
 
-    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.11);
-    cfg.pmicEfficiency = 0.89;
+    spec.backgroundNoiseMean = 0.008; // residual kernel activity
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.11);
+    spec.pmicEfficiency = 0.89;
 
-    cfg.battery.capacityWh = 10.8; // 2800 mAh
-    cfg.battery.internalResistance = 0.07;
-    cfg.battery.nominal = Volts(3.85);
-    cfg.battery.vFull = Volts(4.40); // the G5 ships a 4.4 V cell
+    spec.battery.capacityWh = 10.8; // 2800 mAh
+    spec.battery.internalResistance = 0.07;
+    spec.battery.nominal = Volts(3.85);
+    spec.battery.vFull = Volts(4.40); // the G5 ships a 4.4 V cell
 
-    return cfg;
+    return spec;
+}
+
+DeviceConfig
+lgG5Config()
+{
+    return resolveDeviceConfig(lgG5Spec(), 0);
 }
 
 std::unique_ptr<Device>
 makeLgG5(const UnitCorner &corner)
 {
-    DeviceConfig cfg = lgG5Config();
-    VariationModel model(node14nmFinFET());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-
-    cfg.soc.clusters[0].table = fuseTableForDie(
-        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
-    cfg.soc.clusters[1].table = fuseTableForDie(
-        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
-
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    return buildDevice(DeviceRegistry::builtin().at("SD-820").spec,
+                       corner);
 }
 
 } // namespace pvar

@@ -1,71 +1,110 @@
 /**
  * @file
- * Nexus 5 (Snapdragon 800) model.
+ * Nexus 5 (Snapdragon 800) model — declarative spec.
  *
  * The SD-800 is the one SoC whose binning the paper could fully read
  * out of the kernel: seven voltage bins sharing one frequency ladder
  * (paper Table I). Bin-0 carries the slowest transistors at the
- * highest voltages; bin-6 the fastest/leakiest at the lowest.
+ * highest voltages; bin-6 the fastest/leakiest at the lowest. The
+ * table data lives in the spec as BinAnchors: the five published
+ * frequencies with per-bin millivolts, expanded onto the 8-step DVFS
+ * ladder by the shared interpolation helper.
  */
 
 #include "device/catalog.hh"
 
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 #include "sim/logging.hh"
-#include "sim/strfmt.hh"
 
 namespace pvar
 {
 
-namespace
+DeviceSpec
+nexus5Spec()
 {
+    DeviceSpec spec;
+    spec.model = "Nexus 5";
+    spec.socName = "SD-800";
+    spec.silicon = node28nmHPm();
 
-/** The five frequencies Table I publishes (MHz). */
-const double tableIFreqs[] = {300, 729, 960, 1574, 2265};
+    // -- Package: a compact 2013 5-inch phone. ---------------------------
+    spec.package.dieCapacitance = 2.0;
+    spec.package.socCapacitance = 22.0;
+    spec.package.batteryCapacitance = 40.0;
+    spec.package.caseCapacitance = 60.0;
+    spec.package.dieToSoc = 0.32;
+    spec.package.socToCase = 0.33;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.23;
 
-/** Paper Table I: fused millivolts per bin (rows) and frequency
- *  (columns), verbatim. */
-const double tableIMv[7][5] = {
-    {800, 835, 865, 965, 1100}, // bin-0
-    {800, 820, 850, 945, 1075}, // bin-1
-    {775, 805, 835, 925, 1050}, // bin-2
-    {775, 790, 820, 910, 1025}, // bin-3
-    {775, 780, 810, 895, 1000}, // bin-4
-    {750, 770, 800, 880, 975},  // bin-5
-    {750, 760, 790, 870, 950},  // bin-6
-};
+    // -- SoC: one quad-Krait cluster with the Table I bin tables. --------
+    ClusterSpec cluster;
+    cluster.name = "cpu";
+    cluster.coreType.name = "Krait-400";
+    cluster.coreType.sizeFactor = 1.0;
+    cluster.coreType.cyclesPerIteration = 2.6e9;
+    cluster.coreCount = 4;
+    cluster.source = VfSource::BinAnchors;
+    // The DVFS ladder the model exposes (superset of Table I's five).
+    cluster.ladderMhz = {300, 729, 960, 1190, 1574, 1728, 1958, 2265};
+    // Paper Table I, verbatim: the five published frequencies and the
+    // fused millivolts per bin (rows) and frequency (columns).
+    cluster.anchorMhz = {300, 729, 960, 1574, 2265};
+    cluster.anchorMv = {
+        {800, 835, 865, 965, 1100}, // bin-0
+        {800, 820, 850, 945, 1075}, // bin-1
+        {775, 805, 835, 925, 1050}, // bin-2
+        {775, 790, 820, 910, 1025}, // bin-3
+        {775, 780, 810, 895, 1000}, // bin-4
+        {750, 770, 800, 880, 975},  // bin-5
+        {750, 760, 790, 870, 950},  // bin-6
+    };
+    spec.clusters = {cluster};
+    spec.defaultBin = 2; // crowd units beyond the fleet use the mid bin
 
-/** The DVFS ladder the model exposes (superset of Table I's five). */
-const double ladderMhz[] = {300, 729, 960, 1190, 1574, 1728, 1958, 2265};
+    spec.uncoreActive = Watts(0.25);
+    spec.uncoreSuspended = Watts(0.010);
 
-/** Interpolate a bin's Table I voltage onto an arbitrary frequency. */
-double
-interpolateMv(int bin, double freq)
-{
-    const double *mv = tableIMv[bin];
-    if (freq <= tableIFreqs[0])
-        return mv[0];
-    for (int i = 1; i < 5; ++i) {
-        if (freq <= tableIFreqs[i]) {
-            double f = (freq - tableIFreqs[i - 1]) /
-                       (tableIFreqs[i] - tableIFreqs[i - 1]);
-            return mv[i - 1] + f * (mv[i] - mv[i - 1]);
-        }
-    }
-    return mv[4];
+    // -- Sensor: msm tsens, whole-degree resolution. ----------------------
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
+
+    // -- msm_thermal-style mitigation; one core shut at 80C (Fig 1). ------
+    spec.thermalGov.trips = {
+        TripPoint{Celsius(70), Celsius(67), MegaHertz(1958)},
+        TripPoint{Celsius(73), Celsius(70), MegaHertz(1728)},
+        TripPoint{Celsius(76), Celsius(73), MegaHertz(1574)},
+        TripPoint{Celsius(79), Celsius(76), MegaHertz(1190)},
+    };
+    spec.thermalGov.shutdowns = {
+        CoreShutdownRule{Celsius(78), Celsius(72), 1},
+    };
+    spec.thermalGov.pollPeriod = Time::msec(250);
+
+    spec.backgroundNoiseMean = 0.008; // residual kernel activity
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.10);
+    spec.pmicEfficiency = 0.88;
+
+    spec.battery.capacityWh = 8.7; // 2300 mAh
+    spec.battery.nominal = Volts(3.8);
+
+    return spec;
 }
-
-} // namespace
 
 double
 nexus5TableIMillivolts(int bin, double freq_mhz)
 {
-    if (bin < 0 || bin > 6)
+    static const DeviceSpec spec = nexus5Spec();
+    const ClusterSpec &cluster = spec.clusters.front();
+    if (bin < 0 || static_cast<std::size_t>(bin) >= cluster.anchorMv.size())
         fatal("nexus5TableIMillivolts: bin %d out of range [0,6]", bin);
-    for (int i = 0; i < 5; ++i) {
-        if (tableIFreqs[i] == freq_mhz)
-            return tableIMv[bin][i];
+    for (std::size_t i = 0; i < cluster.anchorMhz.size(); ++i) {
+        if (cluster.anchorMhz[i] == freq_mhz)
+            return cluster.anchorMv[bin][i];
     }
     fatal("nexus5TableIMillivolts: %g MHz is not a Table I frequency",
           freq_mhz);
@@ -74,88 +113,26 @@ nexus5TableIMillivolts(int bin, double freq_mhz)
 VfTable
 nexus5BinTable(int bin)
 {
-    if (bin < 0 || bin > 6)
+    static const DeviceSpec spec = nexus5Spec();
+    if (bin < 0 || static_cast<std::size_t>(bin) >=
+                       spec.clusters.front().anchorMv.size())
         fatal("nexus5BinTable: bin %d out of range [0,6]", bin);
-    std::vector<OperatingPoint> pts;
-    for (double f : ladderMhz) {
-        pts.push_back(OperatingPoint{
-            MegaHertz(f),
-            Volts::fromMillivolts(interpolateMv(bin, f))});
-    }
-    return VfTable(std::move(pts));
+    return resolveClusterTable(spec, spec.clusters.front(), bin, nullptr);
 }
 
 DeviceConfig
 nexus5Config(int bin)
 {
-    DeviceConfig cfg;
-    cfg.model = "Nexus 5";
-    cfg.socName = "SD-800";
-
-    // -- Package: a compact 2013 5-inch phone. ---------------------------
-    cfg.package.dieCapacitance = 2.0;
-    cfg.package.socCapacitance = 22.0;
-    cfg.package.batteryCapacitance = 40.0;
-    cfg.package.caseCapacitance = 60.0;
-    cfg.package.dieToSoc = 0.32;
-    cfg.package.socToCase = 0.33;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.23;
-
-    // -- SoC: one quad-Krait cluster. -------------------------------------
-    CoreType krait;
-    krait.name = "Krait-400";
-    krait.sizeFactor = 1.0;
-    krait.cyclesPerIteration = 2.6e9;
-
-    ClusterParams cluster;
-    cluster.name = "cpu";
-    cluster.coreType = krait;
-    cluster.coreCount = 4;
-    cluster.table = nexus5BinTable(bin);
-
-    cfg.soc.name = "SD-800";
-    cfg.soc.clusters = {cluster};
-    cfg.soc.uncoreActive = Watts(0.25);
-    cfg.soc.uncoreSuspended = Watts(0.010);
-
-    // -- Sensor: msm tsens, whole-degree resolution. ----------------------
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
-
-    // -- msm_thermal-style mitigation; one core shut at 80C (Fig 1). ------
-    cfg.thermalGov.trips = {
-        TripPoint{Celsius(70), Celsius(67), MegaHertz(1958)},
-        TripPoint{Celsius(73), Celsius(70), MegaHertz(1728)},
-        TripPoint{Celsius(76), Celsius(73), MegaHertz(1574)},
-        TripPoint{Celsius(79), Celsius(76), MegaHertz(1190)},
-    };
-    cfg.thermalGov.shutdowns = {
-        CoreShutdownRule{Celsius(78), Celsius(72), 1},
-    };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
-
-    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.10);
-    cfg.pmicEfficiency = 0.88;
-
-    cfg.battery.capacityWh = 8.7; // 2300 mAh
-    cfg.battery.nominal = Volts(3.8);
-
-    return cfg;
+    return resolveDeviceConfig(nexus5Spec(), bin);
 }
 
 std::unique_ptr<Device>
 makeNexus5(int bin, const UnitCorner &corner)
 {
-    DeviceConfig cfg = nexus5Config(bin);
-    VariationModel model(node28nmHPm());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    UnitCorner pinned = corner;
+    pinned.bin = bin;
+    return buildDevice(DeviceRegistry::builtin().at("SD-800").spec,
+                       pinned);
 }
 
 } // namespace pvar

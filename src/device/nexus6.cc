@@ -1,6 +1,6 @@
 /**
  * @file
- * Nexus 6 (Snapdragon 805) model.
+ * Nexus 6 (Snapdragon 805) model — declarative spec.
  *
  * A faster-clocked Krait part in a much larger (6-inch) chassis. The
  * paper found *negligible* variation across its three units (2% both
@@ -10,112 +10,95 @@
  *
  * No per-bin kernel table was found for this model, so a single
  * representative fused table (built from a typical die) is shared by
- * all units, matching what the paper could observe.
+ * all units, matching what the paper could observe — VfSource::
+ * FusedTypical in spec terms.
  */
 
 #include "device/catalog.hh"
 
-#include "silicon/binning.hh"
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 
 namespace pvar
 {
 
-namespace
+DeviceSpec
+nexus6Spec()
 {
-
-/** Frequency ladder of the Nexus 6 kernel (MHz, abbreviated). */
-const double ladderMhz[] = {300, 729, 1032, 1190, 1574, 1958, 2265, 2649};
-
-/** One shared fused V-F table, built from the typical SD-805 die. */
-VfTable
-nexus6Table()
-{
-    VariationModel model(node28nmHPm());
-    Die typical = model.dieAtCorner(0.0, 0.0, 0.0, "sd805-typ");
-
-    VoltageBinningConfig bin_cfg;
-    for (double f : ladderMhz)
-        bin_cfg.frequencyLadder.push_back(MegaHertz(f));
-    // 2.65 GHz on 28 nm needs generous guard band; the top OPP lands
-    // around 1.16 V, which is exactly why this part ran hot.
-    bin_cfg.guardBand = 0.035;
-    bin_cfg.vCeiling = Volts(1.20);
-    bin_cfg.vFloor = Volts(0.70);
-    return fuseTableForDie(typical, bin_cfg);
-}
-
-} // namespace
-
-DeviceConfig
-nexus6Config()
-{
-    DeviceConfig cfg;
-    cfg.model = "Nexus 6";
-    cfg.socName = "SD-805";
+    DeviceSpec spec;
+    spec.model = "Nexus 6";
+    spec.socName = "SD-805";
+    spec.silicon = node28nmHPm();
 
     // -- Package: big 6-inch chassis spreads heat much better. -----------
-    cfg.package.dieCapacitance = 2.2;
-    cfg.package.socCapacitance = 28.0;
-    cfg.package.batteryCapacitance = 55.0;
-    cfg.package.caseCapacitance = 90.0;
-    cfg.package.dieToSoc = 0.55;
-    cfg.package.socToCase = 0.40;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.32;
+    spec.package.dieCapacitance = 2.2;
+    spec.package.socCapacitance = 28.0;
+    spec.package.batteryCapacitance = 55.0;
+    spec.package.caseCapacitance = 90.0;
+    spec.package.dieToSoc = 0.55;
+    spec.package.socToCase = 0.40;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.32;
 
-    CoreType krait;
-    krait.name = "Krait-450";
-    krait.sizeFactor = 1.05;
-    krait.cyclesPerIteration = 2.6e9; // ~1 s/iteration at 2.65 GHz
-
-    ClusterParams cluster;
+    ClusterSpec cluster;
     cluster.name = "cpu";
-    cluster.coreType = krait;
+    cluster.coreType.name = "Krait-450";
+    cluster.coreType.sizeFactor = 1.05;
+    cluster.coreType.cyclesPerIteration = 2.6e9; // ~1 s/iter at 2.65 GHz
     cluster.coreCount = 4;
-    cluster.table = nexus6Table();
+    cluster.source = VfSource::FusedTypical;
+    cluster.typicalDieId = "sd805-typ";
+    // Frequency ladder of the Nexus 6 kernel (MHz, abbreviated).
+    // 2.65 GHz on 28 nm needs generous guard band; the top OPP lands
+    // around 1.16 V, which is exactly why this part ran hot.
+    for (double f : {300, 729, 1032, 1190, 1574, 1958, 2265, 2649})
+        cluster.binning.frequencyLadder.push_back(MegaHertz(f));
+    cluster.binning.guardBand = 0.035;
+    cluster.binning.vCeiling = Volts(1.20);
+    cluster.binning.vFloor = Volts(0.70);
+    spec.clusters = {cluster};
 
-    cfg.soc.name = "SD-805";
-    cfg.soc.clusters = {cluster};
-    cfg.soc.uncoreActive = Watts(0.28);
-    cfg.soc.uncoreSuspended = Watts(0.012);
+    spec.uncoreActive = Watts(0.28);
+    spec.uncoreSuspended = Watts(0.012);
 
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
 
-    cfg.thermalGov.trips = {
+    spec.thermalGov.trips = {
         TripPoint{Celsius(77), Celsius(74), MegaHertz(2265)},
         TripPoint{Celsius(80), Celsius(77), MegaHertz(1958)},
         TripPoint{Celsius(83), Celsius(80), MegaHertz(1574)},
         TripPoint{Celsius(86), Celsius(83), MegaHertz(1190)},
     };
-    cfg.thermalGov.shutdowns = {
+    spec.thermalGov.shutdowns = {
         CoreShutdownRule{Celsius(82), Celsius(77), 1},
     };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
+    spec.thermalGov.pollPeriod = Time::msec(250);
 
-    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.12);
-    cfg.pmicEfficiency = 0.88;
+    spec.backgroundNoiseMean = 0.008; // residual kernel activity
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.12);
+    spec.pmicEfficiency = 0.88;
 
-    cfg.battery.capacityWh = 12.4; // 3220 mAh
-    cfg.battery.nominal = Volts(3.8);
+    spec.battery.capacityWh = 12.4; // 3220 mAh
+    spec.battery.nominal = Volts(3.8);
 
-    return cfg;
+    return spec;
+}
+
+DeviceConfig
+nexus6Config()
+{
+    return resolveDeviceConfig(nexus6Spec(), 0);
 }
 
 std::unique_ptr<Device>
 makeNexus6(const UnitCorner &corner)
 {
-    DeviceConfig cfg = nexus6Config();
-    VariationModel model(node28nmHPm());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    return buildDevice(DeviceRegistry::builtin().at("SD-805").spec,
+                       corner);
 }
 
 } // namespace pvar

@@ -1,20 +1,19 @@
 /**
  * @file
- * Nexus 6P (Snapdragon 810) model.
+ * Nexus 6P (Snapdragon 810) model — declarative spec.
  *
  * The notorious 20 nm big.LITTLE part: 4x Cortex-A57 + 4x Cortex-A53,
  * heavy leakage at temperature, and aggressive mitigation (the ladder
  * of caps engages in the low 70s). Binning is closed-loop: every unit
  * reports "speed-bin 0" and runs RBCPR, so V-F tables are fused per
- * die rather than per published bin — which is why the paper found no
- * static table to extract.
+ * die rather than per published bin (VfSource::FusedPerDie) — which is
+ * why the paper found no static table to extract.
  */
 
 #include "device/catalog.hh"
 
-#include "silicon/binning.hh"
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 
 namespace pvar
 {
@@ -22,15 +21,12 @@ namespace pvar
 namespace
 {
 
-const double bigLadderMhz[] = {384, 633, 864, 1248, 1555, 1958};
-const double littleLadderMhz[] = {384, 691, 1036, 1555};
-
 VoltageBinningConfig
-ladderConfig(const double *mhz, std::size_t n)
+sd810Fusing(std::initializer_list<double> ladder_mhz)
 {
     VoltageBinningConfig cfg;
-    for (std::size_t i = 0; i < n; ++i)
-        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    for (double f : ladder_mhz)
+        cfg.frequencyLadder.push_back(MegaHertz(f));
     cfg.guardBand = 0.030;
     cfg.vCeiling = Volts(1.15);
     cfg.vFloor = Volts(0.60);
@@ -39,101 +35,95 @@ ladderConfig(const double *mhz, std::size_t n)
 
 } // namespace
 
-DeviceConfig
-nexus6pConfig()
+DeviceSpec
+nexus6pSpec()
 {
-    DeviceConfig cfg;
-    cfg.model = "Nexus 6P";
-    cfg.socName = "SD-810";
+    DeviceSpec spec;
+    spec.model = "Nexus 6P";
+    spec.socName = "SD-810";
+    spec.silicon = node20nmSoC();
 
     // -- Package: 5.7-inch aluminium chassis; decent spreading, but the
     // die runs very hot regardless.
-    cfg.package.dieCapacitance = 2.4;
-    cfg.package.socCapacitance = 26.0;
-    cfg.package.batteryCapacitance = 52.0;
-    cfg.package.caseCapacitance = 85.0;
-    cfg.package.dieToSoc = 0.35;
-    cfg.package.socToCase = 0.38;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.30;
+    spec.package.dieCapacitance = 2.4;
+    spec.package.socCapacitance = 26.0;
+    spec.package.batteryCapacitance = 52.0;
+    spec.package.caseCapacitance = 85.0;
+    spec.package.dieToSoc = 0.35;
+    spec.package.socToCase = 0.38;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.30;
 
-    CoreType a57;
-    a57.name = "Cortex-A57";
-    a57.sizeFactor = 1.60;
-    a57.cyclesPerIteration = 2.3e9;
-
-    CoreType a53;
-    a53.name = "Cortex-A53";
-    a53.sizeFactor = 0.50;
-    a53.cyclesPerIteration = 4.2e9;
-
-    ClusterParams big;
+    ClusterSpec big;
     big.name = "big";
-    big.coreType = a57;
+    big.coreType.name = "Cortex-A57";
+    big.coreType.sizeFactor = 1.60;
+    big.coreType.cyclesPerIteration = 2.3e9;
     big.coreCount = 4;
-    // Table filled per die in makeNexus6p().
+    big.source = VfSource::FusedPerDie;
+    big.binning = sd810Fusing({384, 633, 864, 1248, 1555, 1958});
 
-    ClusterParams little;
+    ClusterSpec little;
     little.name = "little";
-    little.coreType = a53;
+    little.coreType.name = "Cortex-A53";
+    little.coreType.sizeFactor = 0.50;
+    little.coreType.cyclesPerIteration = 4.2e9;
     little.coreCount = 4;
+    little.source = VfSource::FusedPerDie;
+    little.binning = sd810Fusing({384, 691, 1036, 1555});
 
-    cfg.soc.name = "SD-810";
-    cfg.soc.clusters = {big, little};
-    cfg.soc.uncoreActive = Watts(0.30);
-    cfg.soc.uncoreSuspended = Watts(0.014);
+    spec.clusters = {big, little};
 
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
+    spec.uncoreActive = Watts(0.30);
+    spec.uncoreSuspended = Watts(0.014);
+
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
 
     // Mitigation engages early and deep — the ArsTechnica-documented
     // behaviour the paper cites for this SoC.
-    cfg.thermalGov.trips = {
+    spec.thermalGov.trips = {
         TripPoint{Celsius(70), Celsius(67), MegaHertz(1555)},
         TripPoint{Celsius(74), Celsius(71), MegaHertz(1248)},
         TripPoint{Celsius(78), Celsius(75), MegaHertz(864)},
         TripPoint{Celsius(82), Celsius(79), MegaHertz(633)},
     };
-    cfg.thermalGov.shutdowns = {
+    spec.thermalGov.shutdowns = {
         CoreShutdownRule{Celsius(76), Celsius(71), 2},
     };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
+    spec.thermalGov.pollPeriod = Time::msec(250);
 
-    cfg.hasRbcpr = true;
-    cfg.rbcpr.baseRecoup = 0.015;
-    cfg.rbcpr.leakGain = 0.010;
-    cfg.rbcpr.speedGain = 0.20;
-    cfg.rbcpr.tempGain = 0.00015;
-    cfg.rbcpr.maxRecoup = 0.030;
+    spec.hasRbcpr = true;
+    spec.rbcpr.baseRecoup = 0.015;
+    spec.rbcpr.leakGain = 0.010;
+    spec.rbcpr.speedGain = 0.20;
+    spec.rbcpr.tempGain = 0.00015;
+    spec.rbcpr.maxRecoup = 0.030;
 
-    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.12);
-    cfg.pmicEfficiency = 0.88;
+    spec.backgroundNoiseMean = 0.008; // residual kernel activity
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.12);
+    spec.pmicEfficiency = 0.88;
 
-    cfg.battery.capacityWh = 13.0; // 3450 mAh
-    cfg.battery.nominal = Volts(3.8);
+    spec.battery.capacityWh = 13.0; // 3450 mAh
+    spec.battery.nominal = Volts(3.8);
 
-    return cfg;
+    return spec;
+}
+
+DeviceConfig
+nexus6pConfig()
+{
+    return resolveDeviceConfig(nexus6pSpec(), 0);
 }
 
 std::unique_ptr<Device>
 makeNexus6p(const UnitCorner &corner)
 {
-    DeviceConfig cfg = nexus6pConfig();
-    VariationModel model(node20nmSoC());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-
-    // Per-die fused tables (closed-loop binning era).
-    cfg.soc.clusters[0].table = fuseTableForDie(
-        die, ladderConfig(bigLadderMhz, std::size(bigLadderMhz)));
-    cfg.soc.clusters[1].table = fuseTableForDie(
-        die, ladderConfig(littleLadderMhz, std::size(littleLadderMhz)));
-
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    return buildDevice(DeviceRegistry::builtin().at("SD-810").spec,
+                       corner);
 }
 
 } // namespace pvar

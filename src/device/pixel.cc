@@ -1,6 +1,6 @@
 /**
  * @file
- * Google Pixel (Snapdragon 821) model.
+ * Google Pixel (Snapdragon 821) model — declarative spec.
  *
  * The SD-821 is a speed-tuned SD-820 on the same 14 nm process. The
  * paper's §IV-B uses two Pixel units to show that "time spent at
@@ -14,9 +14,8 @@
 
 #include "device/catalog.hh"
 
-#include "silicon/binning.hh"
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 
 namespace pvar
 {
@@ -24,17 +23,12 @@ namespace pvar
 namespace
 {
 
-const double perfLadderMhz[] = {307, 556, 825, 1113, 1401, 1593, 1824,
-                                2150, 2342};
-const double effLadderMhz[] = {307, 556, 825, 1113, 1363, 1593, 1824,
-                               2150};
-
 VoltageBinningConfig
-ladderConfig(const double *mhz, std::size_t n)
+sd821Fusing(std::initializer_list<double> ladder_mhz)
 {
     VoltageBinningConfig cfg;
-    for (std::size_t i = 0; i < n; ++i)
-        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    for (double f : ladder_mhz)
+        cfg.frequencyLadder.push_back(MegaHertz(f));
     cfg.guardBand = 0.025;
     cfg.vCeiling = Volts(1.12);
     cfg.vFloor = Volts(0.55);
@@ -43,94 +37,91 @@ ladderConfig(const double *mhz, std::size_t n)
 
 } // namespace
 
-DeviceConfig
-pixelConfig()
+DeviceSpec
+pixelSpec()
 {
-    DeviceConfig cfg;
-    cfg.model = "Google Pixel";
-    cfg.socName = "SD-821";
+    DeviceSpec spec;
+    spec.model = "Google Pixel";
+    spec.socName = "SD-821";
+    spec.silicon = node14nmFinFET();
 
-    cfg.package.dieCapacitance = 2.2;
-    cfg.package.socCapacitance = 24.0;
-    cfg.package.batteryCapacitance = 46.0;
-    cfg.package.caseCapacitance = 72.0;
-    cfg.package.dieToSoc = 0.32;
-    cfg.package.socToCase = 0.36;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.26;
+    spec.package.dieCapacitance = 2.2;
+    spec.package.socCapacitance = 24.0;
+    spec.package.batteryCapacitance = 46.0;
+    spec.package.caseCapacitance = 72.0;
+    spec.package.dieToSoc = 0.32;
+    spec.package.socToCase = 0.36;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.26;
 
-    CoreType kryoPerf;
-    kryoPerf.name = "Kryo-perf";
-    kryoPerf.sizeFactor = 2.40;
-    kryoPerf.cyclesPerIteration = 1.85e9;
-
-    CoreType kryoEff;
-    kryoEff.name = "Kryo-eff";
-    kryoEff.sizeFactor = 1.50;
-    kryoEff.cyclesPerIteration = 2.05e9;
-
-    ClusterParams perf;
+    ClusterSpec perf;
     perf.name = "perf";
-    perf.coreType = kryoPerf;
+    perf.coreType.name = "Kryo-perf";
+    perf.coreType.sizeFactor = 2.40;
+    perf.coreType.cyclesPerIteration = 1.85e9;
     perf.coreCount = 2;
-    // Table filled per die in makePixel().
+    perf.source = VfSource::FusedPerDie;
+    perf.binning =
+        sd821Fusing({307, 556, 825, 1113, 1401, 1593, 1824, 2150, 2342});
 
-    ClusterParams eff;
+    ClusterSpec eff;
     eff.name = "eff";
-    eff.coreType = kryoEff;
+    eff.coreType.name = "Kryo-eff";
+    eff.coreType.sizeFactor = 1.50;
+    eff.coreType.cyclesPerIteration = 2.05e9;
     eff.coreCount = 2;
+    eff.source = VfSource::FusedPerDie;
+    eff.binning =
+        sd821Fusing({307, 556, 825, 1113, 1363, 1593, 1824, 2150});
 
-    cfg.soc.name = "SD-821";
-    cfg.soc.clusters = {perf, eff};
-    cfg.soc.uncoreActive = Watts(0.26);
-    cfg.soc.uncoreSuspended = Watts(0.012);
+    spec.clusters = {perf, eff};
 
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
+    spec.uncoreActive = Watts(0.26);
+    spec.uncoreSuspended = Watts(0.012);
+
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
 
     // Narrow hysteresis: 1.5 C bands (see file comment).
-    cfg.thermalGov.trips = {
+    spec.thermalGov.trips = {
         TripPoint{Celsius(70.0), Celsius(68.5), MegaHertz(2150)},
         TripPoint{Celsius(73.0), Celsius(71.5), MegaHertz(1824)},
         TripPoint{Celsius(76.0), Celsius(74.5), MegaHertz(1593)},
         TripPoint{Celsius(79.0), Celsius(77.5), MegaHertz(1401)},
     };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
+    spec.thermalGov.pollPeriod = Time::msec(250);
 
-    cfg.hasRbcpr = true;
-    cfg.rbcpr.baseRecoup = 0.012;
-    cfg.rbcpr.leakGain = 0.004;
-    cfg.rbcpr.speedGain = 0.18;
-    cfg.rbcpr.tempGain = 0.00012;
-    cfg.rbcpr.maxRecoup = 0.030;
+    spec.hasRbcpr = true;
+    spec.rbcpr.baseRecoup = 0.012;
+    spec.rbcpr.leakGain = 0.004;
+    spec.rbcpr.speedGain = 0.18;
+    spec.rbcpr.tempGain = 0.00012;
+    spec.rbcpr.maxRecoup = 0.030;
 
-    cfg.backgroundNoiseMean = 0.008; // residual kernel activity
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.11);
-    cfg.pmicEfficiency = 0.89;
+    spec.backgroundNoiseMean = 0.008; // residual kernel activity
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.11);
+    spec.pmicEfficiency = 0.89;
 
-    cfg.battery.capacityWh = 10.7; // 2770 mAh
-    cfg.battery.nominal = Volts(3.85);
+    spec.battery.capacityWh = 10.7; // 2770 mAh
+    spec.battery.nominal = Volts(3.85);
 
-    return cfg;
+    return spec;
+}
+
+DeviceConfig
+pixelConfig()
+{
+    return resolveDeviceConfig(pixelSpec(), 0);
 }
 
 std::unique_ptr<Device>
 makePixel(const UnitCorner &corner)
 {
-    DeviceConfig cfg = pixelConfig();
-    VariationModel model(node14nmFinFET());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-
-    cfg.soc.clusters[0].table = fuseTableForDie(
-        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
-    cfg.soc.clusters[1].table = fuseTableForDie(
-        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
-
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    return buildDevice(DeviceRegistry::builtin().at("SD-821").spec,
+                       corner);
 }
 
 } // namespace pvar

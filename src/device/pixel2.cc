@@ -17,9 +17,8 @@
 
 #include "device/catalog.hh"
 
-#include "silicon/binning.hh"
+#include "device/registry.hh"
 #include "silicon/process_node.hh"
-#include "silicon/variation_model.hh"
 
 namespace pvar
 {
@@ -53,16 +52,12 @@ node10nmLPE()
 namespace
 {
 
-const double perfLadderMhz[] = {300, 576, 825, 1113, 1401, 1574, 1824,
-                                2112, 2457};
-const double effLadderMhz[] = {300, 576, 825, 1113, 1401, 1670, 1900};
-
 VoltageBinningConfig
-ladderConfig(const double *mhz, std::size_t n)
+sd835Fusing(std::initializer_list<double> ladder_mhz)
 {
     VoltageBinningConfig cfg;
-    for (std::size_t i = 0; i < n; ++i)
-        cfg.frequencyLadder.push_back(MegaHertz(mhz[i]));
+    for (double f : ladder_mhz)
+        cfg.frequencyLadder.push_back(MegaHertz(f));
     cfg.guardBand = 0.022;
     cfg.vCeiling = Volts(1.00);
     cfg.vFloor = Volts(0.50);
@@ -71,93 +66,90 @@ ladderConfig(const double *mhz, std::size_t n)
 
 } // namespace
 
-DeviceConfig
-pixel2Config()
+DeviceSpec
+pixel2Spec()
 {
-    DeviceConfig cfg;
-    cfg.model = "Google Pixel 2";
-    cfg.socName = "SD-835";
+    DeviceSpec spec;
+    spec.model = "Google Pixel 2";
+    spec.socName = "SD-835";
+    spec.silicon = node10nmLPE();
 
-    cfg.package.dieCapacitance = 2.2;
-    cfg.package.socCapacitance = 24.0;
-    cfg.package.batteryCapacitance = 44.0;
-    cfg.package.caseCapacitance = 70.0;
-    cfg.package.dieToSoc = 0.34;
-    cfg.package.socToCase = 0.36;
-    cfg.package.socToBattery = 0.10;
-    cfg.package.batteryToCase = 0.15;
-    cfg.package.caseToAmbient = 0.26;
+    spec.package.dieCapacitance = 2.2;
+    spec.package.socCapacitance = 24.0;
+    spec.package.batteryCapacitance = 44.0;
+    spec.package.caseCapacitance = 70.0;
+    spec.package.dieToSoc = 0.34;
+    spec.package.socToCase = 0.36;
+    spec.package.socToBattery = 0.10;
+    spec.package.batteryToCase = 0.15;
+    spec.package.caseToAmbient = 0.26;
 
-    CoreType kryoGold;
-    kryoGold.name = "Kryo-280-gold";
-    kryoGold.sizeFactor = 2.00;
-    kryoGold.cyclesPerIteration = 1.75e9;
-
-    CoreType kryoSilver;
-    kryoSilver.name = "Kryo-280-silver";
-    kryoSilver.sizeFactor = 0.90;
-    kryoSilver.cyclesPerIteration = 2.60e9;
-
-    ClusterParams gold;
+    ClusterSpec gold;
     gold.name = "gold";
-    gold.coreType = kryoGold;
+    gold.coreType.name = "Kryo-280-gold";
+    gold.coreType.sizeFactor = 2.00;
+    gold.coreType.cyclesPerIteration = 1.75e9;
     gold.coreCount = 4;
-    // Table filled per die in makePixel2().
+    gold.source = VfSource::FusedPerDie;
+    gold.binning =
+        sd835Fusing({300, 576, 825, 1113, 1401, 1574, 1824, 2112, 2457});
 
-    ClusterParams silver;
+    ClusterSpec silver;
     silver.name = "silver";
-    silver.coreType = kryoSilver;
+    silver.coreType.name = "Kryo-280-silver";
+    silver.coreType.sizeFactor = 0.90;
+    silver.coreType.cyclesPerIteration = 2.60e9;
     silver.coreCount = 4;
+    silver.source = VfSource::FusedPerDie;
+    silver.binning =
+        sd835Fusing({300, 576, 825, 1113, 1401, 1670, 1900});
 
-    cfg.soc.name = "SD-835";
-    cfg.soc.clusters = {gold, silver};
-    cfg.soc.uncoreActive = Watts(0.24);
-    cfg.soc.uncoreSuspended = Watts(0.010);
+    spec.clusters = {gold, silver};
 
-    cfg.sensor.period = Time::msec(100);
-    cfg.sensor.quantum = 1.0;
-    cfg.sensor.noiseSigma = 0.2;
+    spec.uncoreActive = Watts(0.24);
+    spec.uncoreSuspended = Watts(0.010);
 
-    cfg.thermalGov.trips = {
+    spec.sensor.period = Time::msec(100);
+    spec.sensor.quantum = 1.0;
+    spec.sensor.noiseSigma = 0.2;
+
+    spec.thermalGov.trips = {
         TripPoint{Celsius(72.0), Celsius(70.0), MegaHertz(2112)},
         TripPoint{Celsius(75.0), Celsius(73.0), MegaHertz(1824)},
         TripPoint{Celsius(78.0), Celsius(76.0), MegaHertz(1574)},
         TripPoint{Celsius(81.0), Celsius(79.0), MegaHertz(1401)},
     };
-    cfg.thermalGov.pollPeriod = Time::msec(250);
+    spec.thermalGov.pollPeriod = Time::msec(250);
 
-    cfg.hasRbcpr = true;
-    cfg.rbcpr.baseRecoup = 0.012;
-    cfg.rbcpr.leakGain = 0.004;
-    cfg.rbcpr.speedGain = 0.18;
-    cfg.rbcpr.tempGain = 0.00012;
-    cfg.rbcpr.maxRecoup = 0.030;
+    spec.hasRbcpr = true;
+    spec.rbcpr.baseRecoup = 0.012;
+    spec.rbcpr.leakGain = 0.004;
+    spec.rbcpr.speedGain = 0.18;
+    spec.rbcpr.tempGain = 0.00012;
+    spec.rbcpr.maxRecoup = 0.030;
 
-    cfg.backgroundNoiseMean = 0.008;
-    cfg.backgroundNoisePeriod = Time::sec(15);
-    cfg.boardActive = Watts(0.10);
-    cfg.pmicEfficiency = 0.90;
+    spec.backgroundNoiseMean = 0.008;
+    spec.backgroundNoisePeriod = Time::sec(15);
+    spec.boardActive = Watts(0.10);
+    spec.pmicEfficiency = 0.90;
 
-    cfg.battery.capacityWh = 10.7; // 2700 mAh
-    cfg.battery.nominal = Volts(3.85);
+    spec.battery.capacityWh = 10.7; // 2700 mAh
+    spec.battery.nominal = Volts(3.85);
 
-    return cfg;
+    return spec;
+}
+
+DeviceConfig
+pixel2Config()
+{
+    return resolveDeviceConfig(pixel2Spec(), 0);
 }
 
 std::unique_ptr<Device>
 makePixel2(const UnitCorner &corner)
 {
-    DeviceConfig cfg = pixel2Config();
-    VariationModel model(node10nmLPE());
-    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
-                                corner.vthOffset, corner.id);
-
-    cfg.soc.clusters[0].table = fuseTableForDie(
-        die, ladderConfig(perfLadderMhz, std::size(perfLadderMhz)));
-    cfg.soc.clusters[1].table = fuseTableForDie(
-        die, ladderConfig(effLadderMhz, std::size(effLadderMhz)));
-
-    return std::make_unique<Device>(std::move(cfg), std::move(die));
+    return buildDevice(DeviceRegistry::builtin().at("SD-835").spec,
+                       corner);
 }
 
 } // namespace pvar

@@ -1,0 +1,94 @@
+#include "device/spec.hh"
+
+#include "silicon/variation_model.hh"
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+VfTable
+resolveClusterTable(const DeviceSpec &spec, const ClusterSpec &cluster,
+                    int bin, const Die *die)
+{
+    switch (cluster.source) {
+      case VfSource::Explicit:
+        return VfTable(cluster.points);
+
+      case VfSource::BinAnchors:
+        if (bin < 0 ||
+            static_cast<std::size_t>(bin) >= cluster.anchorMv.size()) {
+            fatal("resolveClusterTable: %s/%s bin %d out of range [0,%zu]",
+                  spec.model.c_str(), cluster.name.c_str(), bin,
+                  cluster.anchorMv.size() - 1);
+        }
+        return vfTableFromAnchors(cluster.ladderMhz, cluster.anchorMhz,
+                                  cluster.anchorMv[bin]);
+
+      case VfSource::FusedTypical: {
+        VariationModel model(spec.silicon);
+        Die typical =
+            model.dieAtCorner(0.0, 0.0, 0.0, cluster.typicalDieId);
+        return fuseTableForDie(typical, cluster.binning);
+      }
+
+      case VfSource::FusedPerDie:
+        if (!die)
+            return VfTable(); // filled per die by the caller
+        return fuseTableForDie(*die, cluster.binning);
+    }
+    fatal("resolveClusterTable: bad VfSource %d",
+          static_cast<int>(cluster.source));
+}
+
+DeviceConfig
+resolveDeviceConfig(const DeviceSpec &spec, int bin, const Die *die)
+{
+    DeviceConfig cfg;
+    cfg.model = spec.model;
+    cfg.socName = spec.socName;
+    cfg.package = spec.package;
+
+    cfg.soc.name = spec.socName;
+    for (const ClusterSpec &c : spec.clusters) {
+        ClusterParams p;
+        p.name = c.name;
+        p.coreType = c.coreType;
+        p.coreCount = c.coreCount;
+        p.idleDynamicFraction = c.idleDynamicFraction;
+        p.offlineLeakFraction = c.offlineLeakFraction;
+        p.table = resolveClusterTable(spec, c, bin, die);
+        cfg.soc.clusters.push_back(std::move(p));
+    }
+    cfg.soc.uncoreActive = spec.uncoreActive;
+    cfg.soc.uncoreSuspended = spec.uncoreSuspended;
+
+    cfg.sensor = spec.sensor;
+    cfg.thermalGov = spec.thermalGov;
+    cfg.hasRbcpr = spec.hasRbcpr;
+    cfg.rbcpr = spec.rbcpr;
+    cfg.hasInputVoltageThrottle = spec.hasInputVoltageThrottle;
+    cfg.inputThrottle = spec.inputThrottle;
+    cfg.boardActive = spec.boardActive;
+    cfg.boardSuspended = spec.boardSuspended;
+    cfg.pmicEfficiency = spec.pmicEfficiency;
+    cfg.battery = spec.battery;
+    cfg.initialAmbient = spec.initialAmbient;
+    cfg.sensorSeed = spec.sensorSeed;
+    cfg.backgroundNoiseMean = spec.backgroundNoiseMean;
+    cfg.backgroundNoisePeriod = spec.backgroundNoisePeriod;
+    cfg.tracePeriod = spec.tracePeriod;
+    return cfg;
+}
+
+std::unique_ptr<Device>
+buildDevice(const DeviceSpec &spec, const UnitCorner &corner)
+{
+    VariationModel model(spec.silicon);
+    Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
+                                corner.vthOffset, corner.id);
+    int bin = corner.bin >= 0 ? corner.bin : spec.defaultBin;
+    DeviceConfig cfg = resolveDeviceConfig(spec, bin, &die);
+    return std::make_unique<Device>(std::move(cfg), std::move(die));
+}
+
+} // namespace pvar

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Declarative device specifications.
+ *
+ * A DeviceSpec is pure data: the silicon node, the cluster topology
+ * with its V-F table *sources*, the thermal package RC parameters, and
+ * every policy block (thermal governor, RBCPR, input-voltage throttle)
+ * plus supply/battery configuration. One generic buildDevice() turns a
+ * spec and a unit's silicon corner into a running Device — the single
+ * construction path behind every catalog model, registry lookup, and
+ * JSON-loaded fleet.
+ *
+ * The design splits a phone model into two layers:
+ *
+ *  - DeviceSpec (this file): per-*model* data, serializable, with V-F
+ *    tables described by their source (published bin anchors, fused
+ *    per die, fused from the typical die, or an explicit OPP list);
+ *  - UnitCorner: per-*unit* data — the silicon corner the unit's die
+ *    sits at, and (for bin-anchor models) which voltage bin it fused.
+ *
+ * resolveDeviceConfig() materializes the spec for one concrete unit
+ * into the legacy DeviceConfig the Device constructor consumes.
+ */
+
+#ifndef PVAR_DEVICE_SPEC_HH
+#define PVAR_DEVICE_SPEC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.hh"
+#include "silicon/binning.hh"
+#include "silicon/process_node.hh"
+#include "silicon/vf_table.hh"
+
+namespace pvar
+{
+
+/** A unit's silicon corner, as pinned by the fleet calibration. */
+struct UnitCorner
+{
+    /** Unit id, e.g. "bin-0" or "dev-363". */
+    std::string id;
+
+    /** Latent process deviate (negative = slow & low-leakage). */
+    double corner = 0.0;
+
+    /** Residual log-leakage deviate. */
+    double leakResidual = 0.0;
+
+    /** Threshold-voltage offset (volts). */
+    double vthOffset = 0.0;
+
+    /**
+     * Voltage-bin index for models with published per-bin tables
+     * (VfSource::BinAnchors); -1 selects the spec's defaultBin.
+     * Ignored by models whose tables are fused per die.
+     */
+    int bin = -1;
+};
+
+/** How a cluster's V-F table is produced for a concrete unit. */
+enum class VfSource
+{
+    /** Literal OPP list carried in the spec. */
+    Explicit,
+
+    /**
+     * Published per-bin anchor voltages (paper Table I style):
+     * the unit's bin selects a row of anchor millivolts, which is
+     * expanded onto the DVFS ladder by interpolation.
+     */
+    BinAnchors,
+
+    /**
+     * One shared table, fused from the node-typical die (open-loop
+     * parts whose kernels expose no per-bin data, e.g. the Nexus 6).
+     */
+    FusedTypical,
+
+    /**
+     * Fused from each unit's own die (closed-loop RBCPR-era binning:
+     * SD-810 and later).
+     */
+    FusedPerDie,
+};
+
+/** Cluster topology plus its V-F table source. */
+struct ClusterSpec
+{
+    std::string name = "cpu";
+    CoreType coreType;
+    int coreCount = 4;
+
+    /** Dynamic power of an online-but-idle core vs busy (clock gate). */
+    double idleDynamicFraction = 0.04;
+
+    /** Leakage of a hotplugged (power-collapsed) core vs online. */
+    double offlineLeakFraction = 0.05;
+
+    VfSource source = VfSource::FusedPerDie;
+
+    /** Explicit: the literal operating points. */
+    std::vector<OperatingPoint> points;
+
+    /** BinAnchors: the DVFS ladder the model exposes (MHz). */
+    std::vector<double> ladderMhz;
+
+    /** BinAnchors: anchor frequencies the voltages are published at. */
+    std::vector<double> anchorMhz;
+
+    /** BinAnchors: millivolts per bin (rows) and anchor (columns). */
+    std::vector<std::vector<double>> anchorMv;
+
+    /**
+     * FusedTypical / FusedPerDie: the fusing flow (ladder, guard band,
+     * rail ceiling/floor, quantum).
+     */
+    VoltageBinningConfig binning;
+
+    /** FusedTypical: id given to the typical die the table fuses from. */
+    std::string typicalDieId = "typ";
+};
+
+/** Everything that defines one phone model, as data. */
+struct DeviceSpec
+{
+    /** Model name, e.g. "Nexus 5". */
+    std::string model = "phone";
+
+    /** SoC marketing name, e.g. "SD-800"; also the SocParams name. */
+    std::string socName = "soc";
+
+    /** The technology node the die is manufactured on. */
+    ProcessNode silicon;
+
+    /** Thermal package RC parameters. */
+    PackageParams package;
+
+    /** Clusters, ordered big-to-LITTLE where applicable. */
+    std::vector<ClusterSpec> clusters;
+
+    /** Uncore power while awake / suspended. */
+    Watts uncoreActive{0.25};
+    Watts uncoreSuspended{0.012};
+
+    SensorParams sensor;
+    ThermalGovernorParams thermalGov;
+
+    /** RBCPR adaptive-voltage block (SD-810 and later). */
+    bool hasRbcpr = false;
+    RbcprParams rbcpr;
+
+    /** Brownout frequency capping (LG G5). */
+    bool hasInputVoltageThrottle = false;
+    InputVoltageThrottleParams inputThrottle;
+
+    /** Rest-of-board power with the display off, awake / suspended. */
+    Watts boardActive{0.10};
+    Watts boardSuspended{0.004};
+
+    /** PMIC conversion efficiency (supply side / load side). */
+    double pmicEfficiency = 0.88;
+
+    BatteryParams battery;
+
+    /** Environment temperature at construction. */
+    Celsius initialAmbient{26.0};
+
+    /** Seed for the sensor noise stream. */
+    std::uint64_t sensorSeed = 0x5eed;
+
+    /** Residual background CPU activity (see DeviceConfig). */
+    double backgroundNoiseMean = 0.0;
+    Time backgroundNoisePeriod = Time::sec(2);
+
+    /** Spacing of trace samples (0 disables tracing). */
+    Time tracePeriod = Time::msec(500);
+
+    /**
+     * Bin used for BinAnchors tables when a UnitCorner does not pin
+     * one (crowd units beyond the calibrated fleet use the mid bin).
+     */
+    int defaultBin = 0;
+};
+
+/**
+ * Materialize a cluster's V-F table for one unit.
+ *
+ * @param spec the model (for the silicon node of typical-die fusing).
+ * @param cluster the cluster whose table to build.
+ * @param bin voltage bin for BinAnchors sources.
+ * @param die the unit's die for FusedPerDie sources; when nullptr a
+ *        FusedPerDie cluster gets an *empty* table (legacy XConfig()
+ *        behaviour: "table filled per die" later).
+ */
+VfTable resolveClusterTable(const DeviceSpec &spec,
+                            const ClusterSpec &cluster, int bin,
+                            const Die *die);
+
+/**
+ * Materialize a spec into the DeviceConfig the Device constructor
+ * consumes, for a unit at voltage bin `bin` with silicon `die`.
+ */
+DeviceConfig resolveDeviceConfig(const DeviceSpec &spec, int bin,
+                                 const Die *die = nullptr);
+
+/**
+ * The generic builder: one unit of `spec` at `corner`. Subsumes every
+ * per-model make function — constructs the die at the corner, resolves
+ * the config (including per-die fused tables) and assembles the
+ * Device.
+ */
+std::unique_ptr<Device> buildDevice(const DeviceSpec &spec,
+                                    const UnitCorner &corner);
+
+} // namespace pvar
+
+#endif // PVAR_DEVICE_SPEC_HH

@@ -1,6 +1,7 @@
 #include "report/json.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
@@ -135,6 +136,14 @@ JsonWriter::value(int v)
 }
 
 JsonWriter &
+JsonWriter::value(long long v)
+{
+    preValue();
+    _out += strfmt("%lld", v);
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(bool v)
 {
     preValue();
@@ -148,6 +157,455 @@ JsonWriter::null()
     preValue();
     _out += "null";
     return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    preValue();
+    _out += json;
+    return *this;
+}
+
+std::string
+jsonExactDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::string s = strfmt("%.*g", prec, v);
+        if (std::strtod(s.c_str(), nullptr) == v)
+            return s;
+    }
+    // Unreachable: 17 significant digits always round-trip a double.
+    return strfmt("%.17g", v);
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (_type != Type::Bool)
+        fatal("JsonValue: expected bool");
+    return _bool;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (_type != Type::Number)
+        fatal("JsonValue: expected number");
+    return _number;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (_type != Type::String)
+        fatal("JsonValue: expected string");
+    return _string;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (_type != Type::Array)
+        fatal("JsonValue: expected array");
+    return _array;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::asObject() const
+{
+    if (_type != Type::Object)
+        fatal("JsonValue: expected object");
+    return _object;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    for (const Member &m : _object) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("JsonValue: missing key '%s'", key.c_str());
+    return *v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v._type = Type::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v._type = Type::Object;
+    return v;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    if (_type != Type::Array)
+        fatal("JsonValue: append on non-array");
+    _array.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (_type != Type::Object)
+        fatal("JsonValue: set on non-object");
+    for (Member &m : _object) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    _object.emplace_back(key, std::move(v));
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent JSON parser. Strict: no comments, no trailing
+ * commas, numbers per the JSON grammar only. Depth-limited so a
+ * hostile file can't blow the stack.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text) : _text(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        _pos = 0;
+        _error.clear();
+        if (!parseValue(out, 0)) {
+            error = strfmt("JSON parse error at offset %zu: %s", _pos,
+                           _error.c_str());
+            return false;
+        }
+        skipWhitespace();
+        if (_pos != _text.size()) {
+            error = strfmt(
+                "JSON parse error at offset %zu: trailing garbage",
+                _pos);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    std::string _error;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (_error.empty())
+            _error = why;
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++_pos;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (_pos < _text.size() && _text[_pos] == expected) {
+            ++_pos;
+            return true;
+        }
+        return fail(strfmt("expected '%c'", expected));
+    }
+
+    bool
+    consumeKeyword(const char *kw)
+    {
+        std::size_t len = std::char_traits<char>::length(kw);
+        if (_text.compare(_pos, len, kw) != 0)
+            return fail(strfmt("expected '%s'", kw));
+        _pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        switch (_text[_pos]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+              std::string s;
+              if (!parseString(s))
+                  return false;
+              out = JsonValue(std::move(s));
+              return true;
+          }
+          case 't':
+            if (!consumeKeyword("true"))
+                return false;
+            out = JsonValue(true);
+            return true;
+          case 'f':
+            if (!consumeKeyword("false"))
+                return false;
+            out = JsonValue(false);
+            return true;
+          case 'n':
+            if (!consumeKeyword("null"))
+                return false;
+            out = JsonValue();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        consume('{');
+        out = JsonValue::makeObject();
+        skipWhitespace();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (!consume(':'))
+                return false;
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.set(key, std::move(member));
+            skipWhitespace();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        consume('[');
+        out = JsonValue::makeArray();
+        skipWhitespace();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.append(std::move(element));
+            skipWhitespace();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (_pos + 4 > _text.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = _text[_pos + i];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= c - '0';
+            else if (c >= 'a' && c <= 'f')
+                out |= c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                out |= c - 'A' + 10;
+            else
+                return fail("bad \\u escape");
+        }
+        _pos += 4;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += char(cp);
+        } else if (cp < 0x800) {
+            s += char(0xc0 | (cp >> 6));
+            s += char(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += char(0xe0 | (cp >> 12));
+            s += char(0x80 | ((cp >> 6) & 0x3f));
+            s += char(0x80 | (cp & 0x3f));
+        } else {
+            s += char(0xf0 | (cp >> 18));
+            s += char(0x80 | ((cp >> 12) & 0x3f));
+            s += char(0x80 | ((cp >> 6) & 0x3f));
+            s += char(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp;
+                  if (!parseHex4(cp))
+                      return false;
+                  // Surrogate pair?
+                  if (cp >= 0xd800 && cp <= 0xdbff &&
+                      _text.compare(_pos, 2, "\\u") == 0) {
+                      std::size_t save = _pos;
+                      _pos += 2;
+                      unsigned lo;
+                      if (!parseHex4(lo))
+                          return false;
+                      if (lo >= 0xdc00 && lo <= 0xdfff) {
+                          cp = 0x10000 + ((cp - 0xd800) << 10) +
+                               (lo - 0xdc00);
+                      } else {
+                          _pos = save; // lone high surrogate; keep as-is
+                      }
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        std::size_t digits = _pos;
+        while (_pos < _text.size() && _text[_pos] >= '0' &&
+               _text[_pos] <= '9')
+            ++_pos;
+        if (_pos == digits)
+            return fail("invalid number");
+        // JSON forbids leading zeros ("01"), but accepting them is
+        // harmless for our own round-trip files.
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            std::size_t frac = _pos;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+            if (_pos == frac)
+                return fail("invalid number");
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            std::size_t exp = _pos;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+            if (_pos == exp)
+                return fail("invalid number");
+        }
+        std::string token = _text.substr(start, _pos - start);
+        out = JsonValue(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    return JsonParser(text).parse(out, error);
 }
 
 namespace

@@ -1,17 +1,22 @@
 /**
  * @file
- * Minimal JSON emission for experiment and study results.
+ * Minimal JSON emission and parsing.
  *
  * The library deliberately avoids external dependencies, so this is a
- * small hand-rolled writer: a JsonWriter value builder plus canned
- * serializers for the result types downstream tooling wants to
- * ingest (plotting scripts, dashboards, the crowdsourcing backend).
+ * small hand-rolled implementation: a streaming JsonWriter value
+ * builder plus canned serializers for the result types downstream
+ * tooling wants to ingest (plotting scripts, dashboards, the
+ * crowdsourcing backend), and a JsonValue document tree with a
+ * recursive-descent parser so device specs and fleet files round-trip
+ * from disk (see report/spec_json.hh).
  */
 
 #ifndef PVAR_REPORT_JSON_HH
 #define PVAR_REPORT_JSON_HH
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accubench/protocol.hh"
@@ -51,9 +56,17 @@ class JsonWriter
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
     JsonWriter &value(int v);
+    JsonWriter &value(long long v);
     JsonWriter &value(bool v);
     JsonWriter &null();
     /** @} */
+
+    /**
+     * Emit pre-rendered JSON as the next value (comma management
+     * still applies). Used with jsonExactDouble() where value(double)
+     * 's fixed %.10g would lose precision.
+     */
+    JsonWriter &rawValue(const std::string &json);
 
     /** The document so far. */
     const std::string &str() const { return _out; }
@@ -66,6 +79,83 @@ class JsonWriter
     void preValue();
     void appendEscaped(const std::string &s);
 };
+
+/**
+ * Render a double with the fewest significant digits that parse back
+ * to the exact same value (tries %.15g, %.16g, %.17g). Guarantees
+ * serialize -> parse round-trips bit-exactly; used by the spec
+ * serializer.
+ */
+std::string jsonExactDouble(double v);
+
+/**
+ * A parsed JSON document node.
+ *
+ * A tagged union over the six JSON types. Objects keep their members
+ * in document order (a sorted map would re-order round-tripped
+ * specs). Accessors are fatal on type mismatch — parsing user files
+ * should fail loudly, not propagate defaults.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() : _type(Type::Null) {}
+    explicit JsonValue(bool b) : _type(Type::Bool), _bool(b) {}
+    explicit JsonValue(double n) : _type(Type::Number), _number(n) {}
+    explicit JsonValue(std::string s)
+        : _type(Type::String), _string(std::move(s)) {}
+
+    /** @name Type tests. @{ */
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+    /** @} */
+
+    /** @name Checked accessors (fatal on type mismatch). @{ */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<Member> &asObject() const;
+    /** @} */
+
+    /** Object member by key, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member by key; fatal when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** @name Builders (switch the node to the target type). @{ */
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+    void append(JsonValue v);
+    void set(const std::string &key, JsonValue v);
+    /** @} */
+
+  private:
+    Type _type;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _array;
+    std::vector<Member> _object;
+};
+
+/**
+ * Parse a complete JSON document. Returns false and sets @p error
+ * (with a byte offset) on malformed input; trailing non-whitespace
+ * after the document is an error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
 
 /** Serialize one experiment result (scores, energies, durations). */
 std::string toJson(const ExperimentResult &result);

@@ -1,0 +1,660 @@
+#include "report/spec_json.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+// -- Writer helpers -------------------------------------------------
+
+// Doubles go through jsonExactDouble so files parse back bit-exactly;
+// times are integer microseconds for the same reason.
+
+void
+putNum(JsonWriter &w, const char *key, double v)
+{
+    w.key(key).rawValue(jsonExactDouble(v));
+}
+
+void
+putTime(JsonWriter &w, const char *key, Time t)
+{
+    w.key(key).value(static_cast<long long>(t.toUsec()));
+}
+
+const char *
+vfSourceName(VfSource source)
+{
+    switch (source) {
+      case VfSource::Explicit:
+        return "explicit";
+      case VfSource::BinAnchors:
+        return "bin_anchors";
+      case VfSource::FusedTypical:
+        return "fused_typical";
+      case VfSource::FusedPerDie:
+        return "fused_per_die";
+    }
+    fatal("vfSourceName: bad VfSource");
+}
+
+VfSource
+vfSourceFromName(const std::string &name)
+{
+    if (name == "explicit")
+        return VfSource::Explicit;
+    if (name == "bin_anchors")
+        return VfSource::BinAnchors;
+    if (name == "fused_typical")
+        return VfSource::FusedTypical;
+    if (name == "fused_per_die")
+        return VfSource::FusedPerDie;
+    fatal("specFromJson: unknown V-F source '%s'", name.c_str());
+}
+
+void
+writeDoubleArray(JsonWriter &w, const std::vector<double> &values)
+{
+    w.beginArray();
+    for (double v : values)
+        w.rawValue(jsonExactDouble(v));
+    w.endArray();
+}
+
+void
+writeBinning(JsonWriter &w, const VoltageBinningConfig &cfg)
+{
+    w.beginObject();
+    w.key("ladder_mhz").beginArray();
+    for (MegaHertz f : cfg.frequencyLadder)
+        w.rawValue(jsonExactDouble(f.value()));
+    w.endArray();
+    w.key("bin_count").value(static_cast<int>(cfg.binCount));
+    putNum(w, "guard_band", cfg.guardBand);
+    putNum(w, "quantum_v", cfg.quantum);
+    putNum(w, "v_ceiling", cfg.vCeiling.value());
+    putNum(w, "v_floor", cfg.vFloor.value());
+    w.endObject();
+}
+
+void
+writeCluster(JsonWriter &w, const ClusterSpec &c)
+{
+    w.beginObject();
+    w.key("name").value(c.name);
+    w.key("core_type").beginObject();
+    w.key("name").value(c.coreType.name);
+    putNum(w, "size_factor", c.coreType.sizeFactor);
+    putNum(w, "cycles_per_iteration", c.coreType.cyclesPerIteration);
+    w.endObject();
+    w.key("core_count").value(c.coreCount);
+    putNum(w, "idle_dynamic_fraction", c.idleDynamicFraction);
+    putNum(w, "offline_leak_fraction", c.offlineLeakFraction);
+    w.key("source").value(vfSourceName(c.source));
+    switch (c.source) {
+      case VfSource::Explicit:
+        w.key("points").beginArray();
+        for (const OperatingPoint &p : c.points) {
+            w.beginObject();
+            putNum(w, "mhz", p.freq.value());
+            putNum(w, "v", p.voltage.value());
+            w.endObject();
+        }
+        w.endArray();
+        break;
+      case VfSource::BinAnchors:
+        w.key("ladder_mhz");
+        writeDoubleArray(w, c.ladderMhz);
+        w.key("anchor_mhz");
+        writeDoubleArray(w, c.anchorMhz);
+        w.key("anchor_mv").beginArray();
+        for (const std::vector<double> &row : c.anchorMv)
+            writeDoubleArray(w, row);
+        w.endArray();
+        break;
+      case VfSource::FusedTypical:
+        w.key("binning");
+        writeBinning(w, c.binning);
+        w.key("typical_die_id").value(c.typicalDieId);
+        break;
+      case VfSource::FusedPerDie:
+        w.key("binning");
+        writeBinning(w, c.binning);
+        break;
+    }
+    w.endObject();
+}
+
+void
+writeSpec(JsonWriter &w, const DeviceSpec &spec)
+{
+    w.beginObject();
+    w.key("model").value(spec.model);
+    w.key("soc").value(spec.socName);
+
+    w.key("silicon").beginObject();
+    w.key("name").value(spec.silicon.name);
+    putNum(w, "feature_nm", spec.silicon.feature_nm);
+    putNum(w, "v_nominal", spec.silicon.vNominal.value());
+    putNum(w, "v_min", spec.silicon.vMin.value());
+    putNum(w, "v_max", spec.silicon.vMax.value());
+    putNum(w, "v_threshold", spec.silicon.vThreshold.value());
+    putNum(w, "alpha", spec.silicon.alpha);
+    putNum(w, "speed_constant", spec.silicon.speedConstant);
+    putNum(w, "ceff_per_core", spec.silicon.ceffPerCore);
+    putNum(w, "leak_ref_a", spec.silicon.leakRef.value());
+    putNum(w, "leak_volt_slope", spec.silicon.leakVoltSlope);
+    putNum(w, "leak_temp_slope", spec.silicon.leakTempSlope);
+    putNum(w, "t_ref_c", spec.silicon.tRef.value());
+    putNum(w, "sigma_speed", spec.silicon.sigmaSpeed);
+    putNum(w, "corr_leak", spec.silicon.corrLeak);
+    putNum(w, "sigma_leak_residual", spec.silicon.sigmaLeakResidual);
+    putNum(w, "sigma_vth", spec.silicon.sigmaVth);
+    w.endObject();
+
+    w.key("package").beginObject();
+    putNum(w, "die_capacitance", spec.package.dieCapacitance);
+    putNum(w, "soc_capacitance", spec.package.socCapacitance);
+    putNum(w, "battery_capacitance", spec.package.batteryCapacitance);
+    putNum(w, "case_capacitance", spec.package.caseCapacitance);
+    putNum(w, "die_to_soc", spec.package.dieToSoc);
+    putNum(w, "soc_to_case", spec.package.socToCase);
+    putNum(w, "soc_to_battery", spec.package.socToBattery);
+    putNum(w, "battery_to_case", spec.package.batteryToCase);
+    putNum(w, "case_to_ambient", spec.package.caseToAmbient);
+    w.endObject();
+
+    w.key("clusters").beginArray();
+    for (const ClusterSpec &c : spec.clusters)
+        writeCluster(w, c);
+    w.endArray();
+
+    putNum(w, "uncore_active_w", spec.uncoreActive.value());
+    putNum(w, "uncore_suspended_w", spec.uncoreSuspended.value());
+
+    w.key("sensor").beginObject();
+    putTime(w, "period_us", spec.sensor.period);
+    putNum(w, "quantum_c", spec.sensor.quantum);
+    putNum(w, "noise_sigma", spec.sensor.noiseSigma);
+    putNum(w, "offset_c", spec.sensor.offset);
+    w.endObject();
+
+    w.key("thermal_governor").beginObject();
+    w.key("trips").beginArray();
+    for (const TripPoint &t : spec.thermalGov.trips) {
+        w.beginObject();
+        putNum(w, "trip_c", t.trip.value());
+        putNum(w, "clear_c", t.clear.value());
+        putNum(w, "cap_mhz", t.cap.value());
+        w.endObject();
+    }
+    w.endArray();
+    w.key("shutdowns").beginArray();
+    for (const CoreShutdownRule &s : spec.thermalGov.shutdowns) {
+        w.beginObject();
+        putNum(w, "trip_c", s.trip.value());
+        putNum(w, "clear_c", s.clear.value());
+        w.key("cores_offline").value(s.coresOffline);
+        w.endObject();
+    }
+    w.endArray();
+    putTime(w, "poll_period_us", spec.thermalGov.pollPeriod);
+    w.endObject();
+
+    if (spec.hasRbcpr) {
+        w.key("rbcpr").beginObject();
+        putNum(w, "base_recoup", spec.rbcpr.baseRecoup);
+        putNum(w, "leak_gain", spec.rbcpr.leakGain);
+        putNum(w, "speed_gain", spec.rbcpr.speedGain);
+        putNum(w, "temp_gain", spec.rbcpr.tempGain);
+        putNum(w, "t_ref_c", spec.rbcpr.tRef.value());
+        putNum(w, "max_recoup", spec.rbcpr.maxRecoup);
+        putTime(w, "period_us", spec.rbcpr.period);
+        w.endObject();
+    }
+
+    if (spec.hasInputVoltageThrottle) {
+        w.key("input_voltage_throttle").beginObject();
+        putNum(w, "engage_below_v", spec.inputThrottle.engageBelow.value());
+        putNum(w, "release_above_v",
+               spec.inputThrottle.releaseAbove.value());
+        putNum(w, "cap_mhz", spec.inputThrottle.cap.value());
+        putTime(w, "poll_period_us", spec.inputThrottle.pollPeriod);
+        w.endObject();
+    }
+
+    putNum(w, "board_active_w", spec.boardActive.value());
+    putNum(w, "board_suspended_w", spec.boardSuspended.value());
+    putNum(w, "pmic_efficiency", spec.pmicEfficiency);
+
+    w.key("battery").beginObject();
+    putNum(w, "capacity_wh", spec.battery.capacityWh);
+    putNum(w, "internal_resistance", spec.battery.internalResistance);
+    putNum(w, "age", spec.battery.age);
+    putNum(w, "nominal_v", spec.battery.nominal.value());
+    putNum(w, "v_full", spec.battery.vFull.value());
+    putNum(w, "v_empty", spec.battery.vEmpty.value());
+    w.endObject();
+
+    putNum(w, "initial_ambient_c", spec.initialAmbient.value());
+    w.key("sensor_seed")
+        .value(static_cast<long long>(spec.sensorSeed));
+    putNum(w, "background_noise_mean", spec.backgroundNoiseMean);
+    putTime(w, "background_noise_period_us",
+            spec.backgroundNoisePeriod);
+    putTime(w, "trace_period_us", spec.tracePeriod);
+    w.key("default_bin").value(spec.defaultBin);
+    w.endObject();
+}
+
+void
+writeUnit(JsonWriter &w, const UnitCorner &u)
+{
+    w.beginObject();
+    w.key("id").value(u.id);
+    putNum(w, "corner", u.corner);
+    putNum(w, "leak_residual", u.leakResidual);
+    putNum(w, "vth_offset", u.vthOffset);
+    if (u.bin >= 0)
+        w.key("bin").value(u.bin);
+    w.endObject();
+}
+
+void
+writeEntry(JsonWriter &w, const RegistryEntry &entry)
+{
+    w.beginObject();
+    w.key("spec");
+    writeSpec(w, entry.spec);
+    putNum(w, "fixed_frequency_mhz", entry.fixedFrequency.value());
+    putNum(w, "monsoon_v", entry.monsoonVoltage.value());
+    w.key("in_study").value(entry.inStudy);
+    w.key("units").beginArray();
+    for (const UnitCorner &u : entry.units)
+        writeUnit(w, u);
+    w.endArray();
+    w.endObject();
+}
+
+// -- Parser helpers -------------------------------------------------
+
+double
+num(const JsonValue &obj, const char *key, double dflt)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asNumber() : dflt;
+}
+
+int
+intNum(const JsonValue &obj, const char *key, int dflt)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? static_cast<int>(std::llround(v->asNumber())) : dflt;
+}
+
+std::string
+str(const JsonValue &obj, const char *key, const std::string &dflt)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asString() : dflt;
+}
+
+Time
+timeUs(const JsonValue &obj, const char *key, Time dflt)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? Time::usec(std::llround(v->asNumber())) : dflt;
+}
+
+std::vector<double>
+doubleArray(const JsonValue &v)
+{
+    std::vector<double> out;
+    for (const JsonValue &e : v.asArray())
+        out.push_back(e.asNumber());
+    return out;
+}
+
+VoltageBinningConfig
+binningFromJson(const JsonValue &v, VoltageBinningConfig base)
+{
+    if (const JsonValue *ladder = v.find("ladder_mhz")) {
+        base.frequencyLadder.clear();
+        for (double f : doubleArray(*ladder))
+            base.frequencyLadder.push_back(MegaHertz(f));
+    }
+    base.binCount = intNum(v, "bin_count", base.binCount);
+    base.guardBand = num(v, "guard_band", base.guardBand);
+    base.quantum = num(v, "quantum_v", base.quantum);
+    base.vCeiling = Volts(num(v, "v_ceiling", base.vCeiling.value()));
+    base.vFloor = Volts(num(v, "v_floor", base.vFloor.value()));
+    return base;
+}
+
+ClusterSpec
+clusterFromJson(const JsonValue &v)
+{
+    ClusterSpec c;
+    c.name = str(v, "name", c.name);
+    if (const JsonValue *ct = v.find("core_type")) {
+        c.coreType.name = str(*ct, "name", c.coreType.name);
+        c.coreType.sizeFactor =
+            num(*ct, "size_factor", c.coreType.sizeFactor);
+        c.coreType.cyclesPerIteration =
+            num(*ct, "cycles_per_iteration",
+                c.coreType.cyclesPerIteration);
+    }
+    c.coreCount = intNum(v, "core_count", c.coreCount);
+    c.idleDynamicFraction =
+        num(v, "idle_dynamic_fraction", c.idleDynamicFraction);
+    c.offlineLeakFraction =
+        num(v, "offline_leak_fraction", c.offlineLeakFraction);
+    c.source = vfSourceFromName(str(v, "source", "fused_per_die"));
+    if (const JsonValue *points = v.find("points")) {
+        for (const JsonValue &p : points->asArray()) {
+            c.points.push_back(OperatingPoint{
+                MegaHertz(p.at("mhz").asNumber()),
+                Volts(p.at("v").asNumber()),
+            });
+        }
+    }
+    if (const JsonValue *ladder = v.find("ladder_mhz"))
+        c.ladderMhz = doubleArray(*ladder);
+    if (const JsonValue *anchors = v.find("anchor_mhz"))
+        c.anchorMhz = doubleArray(*anchors);
+    if (const JsonValue *mv = v.find("anchor_mv")) {
+        for (const JsonValue &row : mv->asArray())
+            c.anchorMv.push_back(doubleArray(row));
+    }
+    if (const JsonValue *binning = v.find("binning"))
+        c.binning = binningFromJson(*binning, c.binning);
+    c.typicalDieId = str(v, "typical_die_id", c.typicalDieId);
+    return c;
+}
+
+} // namespace
+
+std::string
+toJson(const DeviceSpec &spec)
+{
+    JsonWriter w;
+    writeSpec(w, spec);
+    return w.str();
+}
+
+std::string
+toJson(const RegistryEntry &entry)
+{
+    JsonWriter w;
+    writeEntry(w, entry);
+    return w.str();
+}
+
+std::string
+fleetToJson(const std::vector<RegistryEntry> &entries)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("fleet").beginArray();
+    for (const RegistryEntry &e : entries)
+        writeEntry(w, e);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+DeviceSpec
+specFromJson(const JsonValue &v, DeviceSpec base)
+{
+    DeviceSpec spec = std::move(base);
+    spec.model = str(v, "model", spec.model);
+    spec.socName = str(v, "soc", spec.socName);
+
+    if (const JsonValue *si = v.find("silicon")) {
+        ProcessNode &n = spec.silicon;
+        n.name = str(*si, "name", n.name);
+        n.feature_nm = num(*si, "feature_nm", n.feature_nm);
+        n.vNominal = Volts(num(*si, "v_nominal", n.vNominal.value()));
+        n.vMin = Volts(num(*si, "v_min", n.vMin.value()));
+        n.vMax = Volts(num(*si, "v_max", n.vMax.value()));
+        n.vThreshold =
+            Volts(num(*si, "v_threshold", n.vThreshold.value()));
+        n.alpha = num(*si, "alpha", n.alpha);
+        n.speedConstant =
+            num(*si, "speed_constant", n.speedConstant);
+        n.ceffPerCore = num(*si, "ceff_per_core", n.ceffPerCore);
+        n.leakRef = Amps(num(*si, "leak_ref_a", n.leakRef.value()));
+        n.leakVoltSlope =
+            num(*si, "leak_volt_slope", n.leakVoltSlope);
+        n.leakTempSlope =
+            num(*si, "leak_temp_slope", n.leakTempSlope);
+        n.tRef = Celsius(num(*si, "t_ref_c", n.tRef.value()));
+        n.sigmaSpeed = num(*si, "sigma_speed", n.sigmaSpeed);
+        n.corrLeak = num(*si, "corr_leak", n.corrLeak);
+        n.sigmaLeakResidual =
+            num(*si, "sigma_leak_residual", n.sigmaLeakResidual);
+        n.sigmaVth = num(*si, "sigma_vth", n.sigmaVth);
+    }
+
+    if (const JsonValue *pk = v.find("package")) {
+        PackageParams &p = spec.package;
+        p.dieCapacitance =
+            num(*pk, "die_capacitance", p.dieCapacitance);
+        p.socCapacitance =
+            num(*pk, "soc_capacitance", p.socCapacitance);
+        p.batteryCapacitance =
+            num(*pk, "battery_capacitance", p.batteryCapacitance);
+        p.caseCapacitance =
+            num(*pk, "case_capacitance", p.caseCapacitance);
+        p.dieToSoc = num(*pk, "die_to_soc", p.dieToSoc);
+        p.socToCase = num(*pk, "soc_to_case", p.socToCase);
+        p.socToBattery = num(*pk, "soc_to_battery", p.socToBattery);
+        p.batteryToCase =
+            num(*pk, "battery_to_case", p.batteryToCase);
+        p.caseToAmbient =
+            num(*pk, "case_to_ambient", p.caseToAmbient);
+    }
+
+    if (const JsonValue *clusters = v.find("clusters")) {
+        spec.clusters.clear();
+        for (const JsonValue &c : clusters->asArray())
+            spec.clusters.push_back(clusterFromJson(c));
+    }
+
+    spec.uncoreActive =
+        Watts(num(v, "uncore_active_w", spec.uncoreActive.value()));
+    spec.uncoreSuspended = Watts(
+        num(v, "uncore_suspended_w", spec.uncoreSuspended.value()));
+
+    if (const JsonValue *se = v.find("sensor")) {
+        spec.sensor.period =
+            timeUs(*se, "period_us", spec.sensor.period);
+        spec.sensor.quantum =
+            num(*se, "quantum_c", spec.sensor.quantum);
+        spec.sensor.noiseSigma =
+            num(*se, "noise_sigma", spec.sensor.noiseSigma);
+        spec.sensor.offset = num(*se, "offset_c", spec.sensor.offset);
+    }
+
+    if (const JsonValue *tg = v.find("thermal_governor")) {
+        if (const JsonValue *trips = tg->find("trips")) {
+            spec.thermalGov.trips.clear();
+            for (const JsonValue &t : trips->asArray()) {
+                spec.thermalGov.trips.push_back(TripPoint{
+                    Celsius(t.at("trip_c").asNumber()),
+                    Celsius(t.at("clear_c").asNumber()),
+                    MegaHertz(t.at("cap_mhz").asNumber()),
+                });
+            }
+        }
+        if (const JsonValue *shutdowns = tg->find("shutdowns")) {
+            spec.thermalGov.shutdowns.clear();
+            for (const JsonValue &s : shutdowns->asArray()) {
+                spec.thermalGov.shutdowns.push_back(CoreShutdownRule{
+                    Celsius(s.at("trip_c").asNumber()),
+                    Celsius(s.at("clear_c").asNumber()),
+                    intNum(s, "cores_offline", 0),
+                });
+            }
+        }
+        spec.thermalGov.pollPeriod =
+            timeUs(*tg, "poll_period_us", spec.thermalGov.pollPeriod);
+    }
+
+    if (const JsonValue *rb = v.find("rbcpr")) {
+        spec.hasRbcpr = true;
+        spec.rbcpr.baseRecoup =
+            num(*rb, "base_recoup", spec.rbcpr.baseRecoup);
+        spec.rbcpr.leakGain =
+            num(*rb, "leak_gain", spec.rbcpr.leakGain);
+        spec.rbcpr.speedGain =
+            num(*rb, "speed_gain", spec.rbcpr.speedGain);
+        spec.rbcpr.tempGain =
+            num(*rb, "temp_gain", spec.rbcpr.tempGain);
+        spec.rbcpr.tRef =
+            Celsius(num(*rb, "t_ref_c", spec.rbcpr.tRef.value()));
+        spec.rbcpr.maxRecoup =
+            num(*rb, "max_recoup", spec.rbcpr.maxRecoup);
+        spec.rbcpr.period =
+            timeUs(*rb, "period_us", spec.rbcpr.period);
+    }
+
+    if (const JsonValue *iv = v.find("input_voltage_throttle")) {
+        spec.hasInputVoltageThrottle = true;
+        spec.inputThrottle.engageBelow = Volts(num(
+            *iv, "engage_below_v",
+            spec.inputThrottle.engageBelow.value()));
+        spec.inputThrottle.releaseAbove = Volts(num(
+            *iv, "release_above_v",
+            spec.inputThrottle.releaseAbove.value()));
+        spec.inputThrottle.cap = MegaHertz(
+            num(*iv, "cap_mhz", spec.inputThrottle.cap.value()));
+        spec.inputThrottle.pollPeriod = timeUs(
+            *iv, "poll_period_us", spec.inputThrottle.pollPeriod);
+    }
+
+    spec.boardActive =
+        Watts(num(v, "board_active_w", spec.boardActive.value()));
+    spec.boardSuspended = Watts(
+        num(v, "board_suspended_w", spec.boardSuspended.value()));
+    spec.pmicEfficiency =
+        num(v, "pmic_efficiency", spec.pmicEfficiency);
+
+    if (const JsonValue *bt = v.find("battery")) {
+        BatteryParams &b = spec.battery;
+        b.capacityWh = num(*bt, "capacity_wh", b.capacityWh);
+        b.internalResistance =
+            num(*bt, "internal_resistance", b.internalResistance);
+        b.age = num(*bt, "age", b.age);
+        b.nominal = Volts(num(*bt, "nominal_v", b.nominal.value()));
+        b.vFull = Volts(num(*bt, "v_full", b.vFull.value()));
+        b.vEmpty = Volts(num(*bt, "v_empty", b.vEmpty.value()));
+    }
+
+    spec.initialAmbient = Celsius(
+        num(v, "initial_ambient_c", spec.initialAmbient.value()));
+    if (const JsonValue *seed = v.find("sensor_seed")) {
+        spec.sensorSeed =
+            static_cast<std::uint64_t>(std::llround(seed->asNumber()));
+    }
+    spec.backgroundNoiseMean =
+        num(v, "background_noise_mean", spec.backgroundNoiseMean);
+    spec.backgroundNoisePeriod = timeUs(
+        v, "background_noise_period_us", spec.backgroundNoisePeriod);
+    spec.tracePeriod = timeUs(v, "trace_period_us", spec.tracePeriod);
+    spec.defaultBin = intNum(v, "default_bin", spec.defaultBin);
+    return spec;
+}
+
+UnitCorner
+unitCornerFromJson(const JsonValue &v)
+{
+    UnitCorner u;
+    u.id = str(v, "id", u.id);
+    u.corner = num(v, "corner", u.corner);
+    u.leakResidual = num(v, "leak_residual", u.leakResidual);
+    u.vthOffset = num(v, "vth_offset", u.vthOffset);
+    u.bin = intNum(v, "bin", u.bin);
+    return u;
+}
+
+RegistryEntry
+registryEntryFromJson(const JsonValue &v)
+{
+    RegistryEntry entry;
+    bool haveModel = false;
+    if (const JsonValue *base = v.find("base")) {
+        entry = DeviceRegistry::builtin().at(base->asString());
+        haveModel = true;
+    }
+    if (const JsonValue *spec = v.find("spec")) {
+        entry.spec = specFromJson(*spec, std::move(entry.spec));
+        haveModel = true;
+    }
+    if (!haveModel)
+        fatal("fleet file: entry needs a 'base' or a 'spec'");
+    entry.fixedFrequency = MegaHertz(
+        num(v, "fixed_frequency_mhz", entry.fixedFrequency.value()));
+    entry.monsoonVoltage =
+        Volts(num(v, "monsoon_v", entry.monsoonVoltage.value()));
+    if (const JsonValue *inStudy = v.find("in_study"))
+        entry.inStudy = inStudy->asBool();
+    if (const JsonValue *units = v.find("units")) {
+        entry.units.clear();
+        for (const JsonValue &u : units->asArray())
+            entry.units.push_back(unitCornerFromJson(u));
+    }
+    if (entry.units.empty())
+        fatal("fleet file: model '%s' has no units",
+              entry.spec.model.c_str());
+    return entry;
+}
+
+std::vector<RegistryEntry>
+fleetFromJson(const JsonValue &v)
+{
+    const JsonValue *list = v.isObject() ? v.find("fleet") : &v;
+    if (!list || !list->isArray())
+        fatal("fleet file: expected {\"fleet\": [...]} or an array");
+    std::vector<RegistryEntry> entries;
+    for (const JsonValue &e : list->asArray())
+        entries.push_back(registryEntryFromJson(e));
+    return entries;
+}
+
+std::vector<RegistryEntry>
+loadFleetFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fleet file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text.str(), doc, error))
+        fatal("fleet file '%s': %s", path.c_str(), error.c_str());
+    return fleetFromJson(doc);
+}
+
+void
+saveFleetFile(const std::string &path,
+              const std::vector<RegistryEntry> &entries)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write fleet file '%s'", path.c_str());
+    out << fleetToJson(entries) << "\n";
+    if (!out)
+        fatal("write to fleet file '%s' failed", path.c_str());
+}
+
+} // namespace pvar

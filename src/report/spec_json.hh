@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DeviceSpec and fleet-file (de)serialization.
+ *
+ * Specs round-trip to disk as JSON so a fleet can be defined without
+ * writing code: `pvar_study --fleet my_fleet.json` runs the full
+ * ACCUBENCH protocol on whatever models and calibrated units the file
+ * describes. Doubles are rendered with jsonExactDouble() and times as
+ * integer microseconds, so serialize -> parse -> rebuild is bit-exact
+ * (the round-trip property test pins this).
+ *
+ * Fleet-file schema (all spec fields optional, defaulting to the
+ * DeviceSpec defaults; see examples/custom_fleet.json):
+ *
+ *   { "fleet": [ {
+ *       "base": "SD-800",          // optional: start from a built-in
+ *                                  // registry entry's spec
+ *       "spec": { ... },           // optional: full/partial DeviceSpec
+ *                                  // (required when there is no base)
+ *       "fixed_frequency_mhz": 1574,
+ *       "monsoon_v": 3.8,
+ *       "units": [ { "id": "u0", "corner": -1.0,
+ *                    "leak_residual": 0.1, "vth_offset": 0.0,
+ *                    "bin": 2 } ]
+ *   } ] }
+ */
+
+#ifndef PVAR_REPORT_SPEC_JSON_HH
+#define PVAR_REPORT_SPEC_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "device/registry.hh"
+#include "device/spec.hh"
+#include "report/json.hh"
+
+namespace pvar
+{
+
+/** Serialize one spec as a JSON object. */
+std::string toJson(const DeviceSpec &spec);
+
+/** Serialize a registry entry (spec + units + study constants). */
+std::string toJson(const RegistryEntry &entry);
+
+/** Serialize entries as a complete fleet document. */
+std::string fleetToJson(const std::vector<RegistryEntry> &entries);
+
+/**
+ * Rebuild a spec from a parsed JSON object. Fields not present keep
+ * their value from @p base (pass a default DeviceSpec for absolute
+ * parsing). Fatal on type mismatches.
+ */
+DeviceSpec specFromJson(const JsonValue &v, DeviceSpec base = {});
+
+/** Rebuild a unit corner from a parsed JSON object. */
+UnitCorner unitCornerFromJson(const JsonValue &v);
+
+/**
+ * Rebuild one registry entry from a fleet-document element, resolving
+ * "base" references against the built-in registry.
+ */
+RegistryEntry registryEntryFromJson(const JsonValue &v);
+
+/** Parse a whole fleet document ({"fleet": [...]} or a bare array). */
+std::vector<RegistryEntry> fleetFromJson(const JsonValue &v);
+
+/** Load and parse a fleet file; fatal on I/O or parse errors. */
+std::vector<RegistryEntry> loadFleetFile(const std::string &path);
+
+/** Write a fleet document to a file; fatal on I/O errors. */
+void saveFleetFile(const std::string &path,
+                   const std::vector<RegistryEntry> &entries);
+
+} // namespace pvar
+
+#endif // PVAR_REPORT_SPEC_JSON_HH

@@ -97,4 +97,41 @@ VfTable::toString() const
     return out;
 }
 
+double
+interpolateAnchorMv(const std::vector<double> &anchor_mhz,
+                    const std::vector<double> &anchor_mv,
+                    double freq_mhz)
+{
+    if (anchor_mhz.empty() || anchor_mhz.size() != anchor_mv.size())
+        fatal("interpolateAnchorMv: %zu anchor frequencies vs %zu "
+              "voltages", anchor_mhz.size(), anchor_mv.size());
+    if (freq_mhz <= anchor_mhz.front())
+        return anchor_mv.front();
+    for (std::size_t i = 1; i < anchor_mhz.size(); ++i) {
+        if (freq_mhz <= anchor_mhz[i]) {
+            double f = (freq_mhz - anchor_mhz[i - 1]) /
+                       (anchor_mhz[i] - anchor_mhz[i - 1]);
+            return anchor_mv[i - 1] +
+                   f * (anchor_mv[i] - anchor_mv[i - 1]);
+        }
+    }
+    return anchor_mv.back();
+}
+
+VfTable
+vfTableFromAnchors(const std::vector<double> &ladder_mhz,
+                   const std::vector<double> &anchor_mhz,
+                   const std::vector<double> &anchor_mv)
+{
+    std::vector<OperatingPoint> pts;
+    pts.reserve(ladder_mhz.size());
+    for (double f : ladder_mhz) {
+        pts.push_back(OperatingPoint{
+            MegaHertz(f),
+            Volts::fromMillivolts(
+                interpolateAnchorMv(anchor_mhz, anchor_mv, f))});
+    }
+    return VfTable(std::move(pts));
+}
+
 } // namespace pvar

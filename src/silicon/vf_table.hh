@@ -71,6 +71,36 @@ class VfTable
     std::vector<OperatingPoint> _points;
 };
 
+/** @name Anchor-table expansion.
+ *
+ * Kernel voltage tables (paper Table I) publish voltages at a handful
+ * of anchor frequencies; DVFS ladders carry more steps. These helpers
+ * expand anchors onto a full ladder by piecewise-linear interpolation,
+ * clamping below the first anchor and above the last — the expansion
+ * every model with a published table uses.
+ * @{ */
+
+/**
+ * Interpolate anchor millivolts onto one frequency.
+ *
+ * @param anchor_mhz ascending anchor frequencies (MHz).
+ * @param anchor_mv millivolts at each anchor (same length).
+ * @param freq_mhz query frequency.
+ */
+double interpolateAnchorMv(const std::vector<double> &anchor_mhz,
+                           const std::vector<double> &anchor_mv,
+                           double freq_mhz);
+
+/**
+ * Expand an anchor table onto a full DVFS ladder: one OPP per ladder
+ * frequency, voltages interpolated from the anchors.
+ */
+VfTable vfTableFromAnchors(const std::vector<double> &ladder_mhz,
+                           const std::vector<double> &anchor_mhz,
+                           const std::vector<double> &anchor_mv);
+
+/** @} */
+
 } // namespace pvar
 
 #endif // PVAR_SILICON_VF_TABLE_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the JSON layer in src/report/json: the JsonValue tree,
+ * parseJson(), and the exact-double formatter used by the spec
+ * serializer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "report/json.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error)) << text << ": " << error;
+    return v;
+}
+
+std::string
+parseFail(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson(text, v, error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    return error;
+}
+
+} // namespace
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_EQ(parseOk("true").asBool(), true);
+    EXPECT_EQ(parseOk("false").asBool(), false);
+    EXPECT_EQ(parseOk("0").asNumber(), 0.0);
+    EXPECT_EQ(parseOk("-17").asNumber(), -17.0);
+    EXPECT_EQ(parseOk("3.25").asNumber(), 3.25);
+    EXPECT_EQ(parseOk("2.6e9").asNumber(), 2.6e9);
+    EXPECT_EQ(parseOk("4.5e-10").asNumber(), 4.5e-10);
+    EXPECT_EQ(parseOk("  42  ").asNumber(), 42.0);
+}
+
+TEST(JsonParse, Strings)
+{
+    EXPECT_EQ(parseOk("\"\"").asString(), "");
+    EXPECT_EQ(parseOk("\"SD-820\"").asString(), "SD-820");
+    EXPECT_EQ(parseOk(R"("a\"b\\c\/d")").asString(), "a\"b\\c/d");
+    EXPECT_EQ(parseOk(R"("line\nbreak\ttab")").asString(),
+              "line\nbreak\ttab");
+    // BMP escape and a surrogate pair (U+1F600).
+    EXPECT_EQ(parseOk(R"("µs")").asString(), "\xc2\xb5s");
+    EXPECT_EQ(parseOk(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, Arrays)
+{
+    JsonValue v = parseOk("[1, [2, 3], \"x\", true, null]");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.asArray().size(), 5u);
+    EXPECT_EQ(v.asArray()[0].asNumber(), 1.0);
+    EXPECT_EQ(v.asArray()[1].asArray()[1].asNumber(), 3.0);
+    EXPECT_EQ(v.asArray()[2].asString(), "x");
+    EXPECT_TRUE(v.asArray()[4].isNull());
+
+    EXPECT_TRUE(parseOk("[]").asArray().empty());
+}
+
+TEST(JsonParse, ObjectsPreserveOrder)
+{
+    JsonValue v = parseOk(R"({"z": 1, "a": {"nested": [2]}, "m": 3})");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.asObject().size(), 3u);
+    EXPECT_EQ(v.asObject()[0].first, "z");
+    EXPECT_EQ(v.asObject()[1].first, "a");
+    EXPECT_EQ(v.asObject()[2].first, "m");
+
+    EXPECT_EQ(v.at("m").asNumber(), 3.0);
+    EXPECT_EQ(v.at("a").at("nested").asArray()[0].asNumber(), 2.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    ASSERT_NE(v.find("z"), nullptr);
+
+    EXPECT_TRUE(parseOk("{}").asObject().empty());
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    parseFail("");
+    parseFail("   ");
+    parseFail("tru");
+    parseFail("nul");
+    parseFail("{");
+    parseFail("[1, 2");
+    parseFail("[1 2]");
+    parseFail(R"({"a" 1})");
+    parseFail(R"({"a": 1,})");
+    parseFail("[1,]");
+    parseFail("'single'");
+    parseFail("\"unterminated");
+    parseFail(R"("bad \x escape")");
+    parseFail(R"("\u12")");
+    parseFail("\"raw\ncontrol\"");
+    // Numbers must follow the JSON grammar (leading zeros are the one
+    // documented laxity).
+    EXPECT_EQ(parseOk("01").asNumber(), 1.0);
+    parseFail("+1");
+    parseFail(".5");
+    parseFail("1.");
+    parseFail("1e");
+    parseFail("NaN");
+    parseFail("Infinity");
+    // Trailing garbage after a complete value.
+    parseFail("1 2");
+    parseFail("{} {}");
+    parseFail("null x");
+}
+
+TEST(JsonParse, DepthLimit)
+{
+    // 64 nested arrays parse; 70 overflow the recursion guard.
+    std::string ok(64, '[');
+    ok += std::string(64, ']');
+    parseOk(ok);
+
+    std::string deep(70, '[');
+    deep += std::string(70, ']');
+    std::string error = parseFail(deep);
+    EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(JsonParse, ErrorsCarryPosition)
+{
+    std::string error = parseFail("[1, oops]");
+    EXPECT_NE(error.find("4"), std::string::npos) << error;
+}
+
+TEST(JsonWriterTest, RawValueEmbedsVerbatim)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("x").rawValue("0.1");
+    w.key("n").value(static_cast<long long>(1234567890123LL));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"x\":0.1,\"n\":1234567890123}");
+}
+
+TEST(JsonExactDouble, RoundTripsAwkwardValues)
+{
+    const double values[] = {
+        0.0,      1.0,        0.1,       2.2,          1.0 / 3.0,
+        1e-9,     4.5e-10,    2.6e9,     0.008,        1574.0,
+        0.000123, 1.05,       -0.70,     8.7,          3.85,
+        0.022,    1e300,      5e-324,    123456.789012345,
+    };
+    for (double v : values) {
+        std::string s = jsonExactDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(JsonExactDouble, PrefersShortForms)
+{
+    // Values exactly representable at %.15g stay short.
+    EXPECT_EQ(jsonExactDouble(0.1), "0.1");
+    EXPECT_EQ(jsonExactDouble(1574.0), "1574");
+    EXPECT_EQ(jsonExactDouble(-0.25), "-0.25");
+}
+
+TEST(JsonExactDouble, ParsesBackThroughParser)
+{
+    // The formatter and parser must agree bit-for-bit.
+    const double values[] = {1.0 / 3.0, 0.1 + 0.2, 2.6e9, 5e-324};
+    for (double v : values) {
+        JsonValue parsed = parseOk(jsonExactDouble(v));
+        EXPECT_EQ(parsed.asNumber(), v);
+    }
+}

@@ -4,6 +4,9 @@
  *
  *   pvar_study [options]
  *     --soc NAME        run one SoC (SD-800..SD-821); default: all
+ *     --device ID       run one unit ("dev-363" or "SD-820:unit-3")
+ *     --fleet PATH      run a fleet defined in a JSON spec file
+ *     --list-devices    print the device registry and exit
  *     --iterations N    ACCUBENCH iterations per experiment (default 5)
  *     --ambient C       THERMABOX target temperature (default 26)
  *     --jobs N          parallel experiment workers (default: all
@@ -24,6 +27,7 @@
 
 #include "accubench/protocol.hh"
 #include "report/json.hh"
+#include "report/spec_json.hh"
 #include "report/table.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
@@ -40,6 +44,10 @@ usage()
         "pvar_study: reproduce the ISPASS'19 process-variation study\n"
         "\n"
         "  --soc NAME        run one SoC (SD-800..SD-821); default: all\n"
+        "  --device ID       run one unit (\"dev-363\" or "
+        "\"SD-820:unit-3\")\n"
+        "  --fleet PATH      run a fleet defined in a JSON spec file\n"
+        "  --list-devices    print the device registry and exit\n"
         "  --iterations N    iterations per experiment (default 5)\n"
         "  --ambient C       chamber target temperature (default 26)\n"
         "  --jobs N          parallel experiment workers (default: all\n"
@@ -79,12 +87,48 @@ writeFile(const std::string &path, const std::string &content)
     inform("wrote %s", path.c_str());
 }
 
+std::string
+policySummary(const DeviceSpec &spec)
+{
+    std::string out =
+        strfmt("%zu trips", spec.thermalGov.trips.size());
+    if (!spec.thermalGov.shutdowns.empty())
+        out += "+shutdown";
+    if (spec.hasRbcpr)
+        out += ", rbcpr";
+    if (spec.hasInputVoltageThrottle)
+        out += ", vin-throttle";
+    return out;
+}
+
+void
+listDevices()
+{
+    Table t({"Chipset", "Model", "Node", "Units", "Fixed MHz",
+             "Monsoon V", "Policy"});
+    for (const RegistryEntry &e : DeviceRegistry::builtin().entries()) {
+        std::string units;
+        for (const UnitCorner &u : e.units) {
+            if (!units.empty())
+                units += " ";
+            units += u.id;
+        }
+        t.addRow({e.spec.socName, e.spec.model, e.spec.silicon.name,
+                  units, fmtDouble(e.fixedFrequency.value(), 0),
+                  fmtDouble(e.monsoonVoltage.value(), 2),
+                  policySummary(e.spec)});
+    }
+    std::printf("%s", t.render().c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string soc;
+    std::string device_id;
+    std::string fleet_path;
     std::string json_path;
     std::string csv_path;
     StudyConfig cfg;
@@ -99,6 +143,13 @@ main(int argc, char **argv)
         };
         if (arg == "--soc") {
             soc = next();
+        } else if (arg == "--device") {
+            device_id = next();
+        } else if (arg == "--fleet") {
+            fleet_path = next();
+        } else if (arg == "--list-devices") {
+            listDevices();
+            return 0;
         } else if (arg == "--iterations") {
             cfg.iterations = std::atoi(next());
             if (cfg.iterations < 1)
@@ -127,11 +178,31 @@ main(int argc, char **argv)
         }
     }
 
+    if ((soc.empty() ? 0 : 1) + (device_id.empty() ? 0 : 1) +
+            (fleet_path.empty() ? 0 : 1) >
+        1)
+        fatal("pvar_study: --soc, --device and --fleet are exclusive");
+
     std::vector<SocStudy> studies;
-    if (soc.empty()) {
-        studies = runFullStudy(cfg);
-    } else {
+    if (!fleet_path.empty()) {
+        // The loaded entries must outlive the flattened task list.
+        std::vector<RegistryEntry> fleet = loadFleetFile(fleet_path);
+        inform("fleet: %s (%zu models)", fleet_path.c_str(),
+               fleet.size());
+        std::vector<const RegistryEntry *> entries;
+        for (const RegistryEntry &e : fleet)
+            entries.push_back(&e);
+        studies = runStudy(entries, cfg);
+    } else if (!device_id.empty()) {
+        UnitRef ref = DeviceRegistry::builtin().findUnit(device_id);
+        if (!ref.entry)
+            fatal("pvar_study: unknown unit '%s' (try --list-devices)",
+                  device_id.c_str());
+        studies.push_back(runUnitStudy(*ref.entry, ref.unitIndex, cfg));
+    } else if (!soc.empty()) {
         studies.push_back(runSocStudy(soc, cfg));
+    } else {
+        studies = runFullStudy(cfg);
     }
 
     Table t({"Chipset", "Model", "# Devices", "Perf var", "Energy var",
