@@ -15,20 +15,58 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/pvar_study --fleet examples/custom_fleet.json \
     --iterations 1 --quiet >/dev/null
 
+# Service smoke: start pvar_served on an ephemeral loopback port, hit
+# every endpoint, prove POST /study answers byte-for-byte what the CLI
+# prints, prove the second identical request was served from the
+# cache, and shut down cleanly on SIGTERM.
+service_smoke() {
+    local served=$1 study=$2 tmp
+    tmp=$(mktemp -d)
+    "$served" --port 0 --port-file "$tmp/port" --iterations 1 \
+        --quiet & local pid=$!
+    for _ in $(seq 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    local port; port=$(cat "$tmp/port")
+    curl -sf "http://127.0.0.1:$port/healthz" >/dev/null
+    curl -sf "http://127.0.0.1:$port/devices" >/dev/null
+    curl -sf -X POST --data-binary @examples/custom_fleet.json \
+        "http://127.0.0.1:$port/study" -o "$tmp/study1.json"
+    curl -sf -X POST --data-binary @examples/custom_fleet.json \
+        "http://127.0.0.1:$port/study" -o "$tmp/study2.json"
+    "$study" --fleet examples/custom_fleet.json --iterations 1 \
+        --json --quiet --output "$tmp/cli.json"
+    cmp "$tmp/study1.json" "$tmp/cli.json"
+    cmp "$tmp/study1.json" "$tmp/study2.json"
+    curl -sf "http://127.0.0.1:$port/healthz" -o "$tmp/health.json"
+    python3 - "$tmp/health.json" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1]))
+cache = h["cache"]
+assert cache["hits"] >= cache["misses"] > 0, cache
+EOF
+    kill -TERM "$pid"
+    wait "$pid"
+    rm -rf "$tmp"
+}
+service_smoke ./build/pvar_served ./build/pvar_study
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
-# parallel scheduler, and real multi-worker study runs (builtin SoC
+# parallel scheduler, the service (acceptor + workers + cache under
+# concurrent requests), and real multi-worker study runs (builtin SoC
 # and JSON-defined fleet).
 cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
 cmake --build build-tsan \
-    --target test_parallel test_protocol test_json test_spec pvar_study
+    --target test_parallel test_protocol test_json test_spec \
+        test_service pvar_study pvar_served
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_protocol
 ./build-tsan/tests/test_json
 ./build-tsan/tests/test_spec
+./build-tsan/tests/test_service
 ./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet
 ./build-tsan/pvar_study --fleet examples/custom_fleet.json \
     --iterations 1 --jobs 4 --quiet
+service_smoke ./build-tsan/pvar_served ./build-tsan/pvar_study
 
 fail=0
 for b in build/bench/bench_*; do

@@ -32,18 +32,31 @@ modeName(WorkloadMode mode)
 /**
  * Run every task, possibly across a thread pool. results[i] always
  * corresponds to tasks[i], so the output is independent of scheduling.
+ * With a cache, each task is routed through it; a hit skips the
+ * simulation entirely and (by determinism) yields the same bytes.
  */
 std::vector<ExperimentResult>
-runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs)
+runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs,
+                   ExperimentCache *cache)
 {
     std::vector<ExperimentResult> results(tasks.size());
     parallelFor(tasks.size(), jobs, [&](std::size_t i) {
         const ExperimentTask &task = tasks[i];
-        std::unique_ptr<Device> device = buildDevice(
-            task.entry->spec, task.entry->units.at(task.unitIndex));
-        inform("study:   unit %s %s", device->unitId().c_str(),
-               modeName(task.cfg.mode));
-        results[i] = runExperiment(*device, task.cfg);
+        auto compute = [&task]() {
+            std::unique_ptr<Device> device = buildDevice(
+                task.entry->spec,
+                task.entry->units.at(task.unitIndex));
+            inform("study:   unit %s %s", device->unitId().c_str(),
+                   modeName(task.cfg.mode));
+            return runExperiment(*device, task.cfg);
+        };
+        if (cache) {
+            results[i] = cache->getOrCompute(*task.entry,
+                                             task.unitIndex, task.cfg,
+                                             compute);
+        } else {
+            results[i] = compute();
+        }
     });
     return results;
 }
@@ -162,7 +175,7 @@ runEntryStudy(const RegistryEntry &entry, const StudyConfig &cfg)
            entry.spec.socName.c_str(), tasks.size() / 2,
            resolveJobs(cfg.jobs));
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs);
+        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
     return reduceInterleaved(entry.spec.socName, entry.spec.model,
                              results);
 }
@@ -183,7 +196,7 @@ runUnitStudy(const RegistryEntry &entry, std::size_t unit_index,
     inform("study: %s unit %s (%d jobs)", entry.spec.socName.c_str(),
            entry.units[unit_index].id.c_str(), resolveJobs(cfg.jobs));
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs);
+        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
     return reduceInterleaved(entry.spec.socName, entry.spec.model,
                              results);
 }
@@ -214,7 +227,7 @@ runStudy(const std::vector<const RegistryEntry *> &entries,
            resolveJobs(cfg.jobs));
 
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs);
+        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
 
     std::vector<SocStudy> studies;
     studies.reserve(entries.size());

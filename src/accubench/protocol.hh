@@ -12,6 +12,7 @@
 #ifndef PVAR_ACCUBENCH_PROTOCOL_HH
 #define PVAR_ACCUBENCH_PROTOCOL_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,34 @@
 
 namespace pvar
 {
+
+struct RegistryEntry;
+
+/**
+ * Memoization point for individual (unit, mode) experiments.
+ *
+ * The scheduler calls getOrCompute() for every experiment task; an
+ * implementation may return a previously computed result for an
+ * identical (spec, unit, config) triple instead of invoking
+ * @p compute. Because experiments are deterministic, a cached result
+ * is bit-identical to a fresh run — implementations must preserve
+ * that contract (key on *content*, never on names alone).
+ *
+ * The canonical implementation is service/result_cache.hh; the
+ * interface lives here so the protocol layer needs no service
+ * dependency. Implementations must be thread-safe: the scheduler
+ * calls in from every worker.
+ */
+class ExperimentCache
+{
+  public:
+    virtual ~ExperimentCache() = default;
+
+    virtual ExperimentResult getOrCompute(
+        const RegistryEntry &entry, std::size_t unit_index,
+        const ExperimentConfig &cfg,
+        const std::function<ExperimentResult()> &compute) = 0;
+};
 
 /** Study-wide knobs. */
 struct StudyConfig
@@ -44,6 +73,14 @@ struct StudyConfig
      * <= 0 = all hardware threads.
      */
     int jobs = 1;
+
+    /**
+     * Optional experiment memoizer (not owned). When set, every
+     * (unit, mode) task is routed through it, so identical experiments
+     * — duplicated units within one fleet, or repeated runs against a
+     * long-lived cache — are simulated once. nullptr = always compute.
+     */
+    ExperimentCache *cache = nullptr;
 };
 
 /** Per-unit outcome of both experiments. */

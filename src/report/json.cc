@@ -181,11 +181,43 @@ jsonExactDouble(double v)
     return strfmt("%.17g", v);
 }
 
+namespace
+{
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::Null:
+        return "null";
+      case JsonValue::Type::Bool:
+        return "bool";
+      case JsonValue::Type::Number:
+        return "number";
+      case JsonValue::Type::String:
+        return "string";
+      case JsonValue::Type::Array:
+        return "array";
+      case JsonValue::Type::Object:
+        return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeError(const char *wanted, JsonValue::Type got)
+{
+    throw JsonError(
+        strfmt("expected %s, got %s", wanted, typeName(got)));
+}
+
+} // namespace
+
 bool
 JsonValue::asBool() const
 {
     if (_type != Type::Bool)
-        fatal("JsonValue: expected bool");
+        typeError("bool", _type);
     return _bool;
 }
 
@@ -193,7 +225,7 @@ double
 JsonValue::asNumber() const
 {
     if (_type != Type::Number)
-        fatal("JsonValue: expected number");
+        typeError("number", _type);
     return _number;
 }
 
@@ -201,7 +233,7 @@ const std::string &
 JsonValue::asString() const
 {
     if (_type != Type::String)
-        fatal("JsonValue: expected string");
+        typeError("string", _type);
     return _string;
 }
 
@@ -209,7 +241,7 @@ const std::vector<JsonValue> &
 JsonValue::asArray() const
 {
     if (_type != Type::Array)
-        fatal("JsonValue: expected array");
+        typeError("array", _type);
     return _array;
 }
 
@@ -217,7 +249,7 @@ const std::vector<JsonValue::Member> &
 JsonValue::asObject() const
 {
     if (_type != Type::Object)
-        fatal("JsonValue: expected object");
+        typeError("object", _type);
     return _object;
 }
 
@@ -238,7 +270,7 @@ JsonValue::at(const std::string &key) const
 {
     const JsonValue *v = find(key);
     if (!v)
-        fatal("JsonValue: missing key '%s'", key.c_str());
+        throw JsonError(strfmt("missing key '%s'", key.c_str()));
     return *v;
 }
 
@@ -299,15 +331,12 @@ class JsonParser
         _pos = 0;
         _error.clear();
         if (!parseValue(out, 0)) {
-            error = strfmt("JSON parse error at offset %zu: %s", _pos,
-                           _error.c_str());
+            error = positioned(_errorPos, _error);
             return false;
         }
         skipWhitespace();
         if (_pos != _text.size()) {
-            error = strfmt(
-                "JSON parse error at offset %zu: trailing garbage",
-                _pos);
+            error = positioned(_pos, "trailing garbage");
             return false;
         }
         return true;
@@ -318,14 +347,38 @@ class JsonParser
 
     const std::string &_text;
     std::size_t _pos = 0;
+    std::size_t _errorPos = 0;
     std::string _error;
 
     bool
     fail(const std::string &why)
     {
-        if (_error.empty())
+        if (_error.empty()) {
             _error = why;
+            _errorPos = _pos;
+        }
         return false;
+    }
+
+    /**
+     * Prefix @p why with the human-facing position of @p pos: the
+     * 1-based line and column (what editors show) plus the raw byte
+     * offset.
+     */
+    std::string
+    positioned(std::size_t pos, const std::string &why) const
+    {
+        std::size_t line = 1;
+        std::size_t bol = 0; // offset of the erroring line's start
+        for (std::size_t i = 0; i < pos && i < _text.size(); ++i) {
+            if (_text[i] == '\n') {
+                ++line;
+                bol = i + 1;
+            }
+        }
+        return strfmt(
+            "JSON parse error at line %zu, column %zu (offset %zu): %s",
+            line, pos - bol + 1, pos, why.c_str());
     }
 
     void

@@ -15,6 +15,7 @@
 #define PVAR_REPORT_JSON_HH
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,20 @@
 
 namespace pvar
 {
+
+/**
+ * Thrown when a JSON document is malformed or does not match the
+ * schema being decoded (wrong type, missing key, unknown name).
+ *
+ * Long-running consumers (the pvar_served study service) catch it and
+ * answer HTTP 400; the CLI surface (loadFleetFile) converts it into a
+ * fatal() that names the offending file.
+ */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * A streaming JSON writer with automatic comma management.
@@ -93,8 +108,9 @@ std::string jsonExactDouble(double v);
  *
  * A tagged union over the six JSON types. Objects keep their members
  * in document order (a sorted map would re-order round-tripped
- * specs). Accessors are fatal on type mismatch — parsing user files
- * should fail loudly, not propagate defaults.
+ * specs). Accessors throw JsonError on type mismatch — parsing user
+ * input should fail loudly, not propagate defaults — and callers
+ * decide whether that is fatal (CLI) or a 400 response (service).
  */
 class JsonValue
 {
@@ -119,7 +135,7 @@ class JsonValue
     bool isObject() const { return _type == Type::Object; }
     /** @} */
 
-    /** @name Checked accessors (fatal on type mismatch). @{ */
+    /** @name Checked accessors (throw JsonError on mismatch). @{ */
     bool asBool() const;
     double asNumber() const;
     const std::string &asString() const;
@@ -130,7 +146,7 @@ class JsonValue
     /** Object member by key, or nullptr when absent / not an object. */
     const JsonValue *find(const std::string &key) const;
 
-    /** Object member by key; fatal when absent. */
+    /** Object member by key; throws JsonError when absent. */
     const JsonValue &at(const std::string &key) const;
 
     /** @name Builders (switch the node to the target type). @{ */
@@ -151,8 +167,9 @@ class JsonValue
 
 /**
  * Parse a complete JSON document. Returns false and sets @p error
- * (with a byte offset) on malformed input; trailing non-whitespace
- * after the document is an error.
+ * (with the 1-based line and column plus the byte offset of the first
+ * failure) on malformed input; trailing non-whitespace after the
+ * document is an error.
  */
 bool parseJson(const std::string &text, JsonValue &out,
                std::string &error);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/strfmt.hh"
 
 namespace pvar
 {
@@ -56,7 +57,7 @@ vfSourceFromName(const std::string &name)
         return VfSource::FusedTypical;
     if (name == "fused_per_die")
         return VfSource::FusedPerDie;
-    fatal("specFromJson: unknown V-F source '%s'", name.c_str());
+    throw JsonError(strfmt("unknown V-F source '%s'", name.c_str()));
 }
 
 void
@@ -591,7 +592,13 @@ registryEntryFromJson(const JsonValue &v)
     RegistryEntry entry;
     bool haveModel = false;
     if (const JsonValue *base = v.find("base")) {
-        entry = DeviceRegistry::builtin().at(base->asString());
+        const RegistryEntry *e =
+            DeviceRegistry::builtin().find(base->asString());
+        if (!e) {
+            throw JsonError(strfmt("unknown base model '%s'",
+                                   base->asString().c_str()));
+        }
+        entry = *e;
         haveModel = true;
     }
     if (const JsonValue *spec = v.find("spec")) {
@@ -599,7 +606,7 @@ registryEntryFromJson(const JsonValue &v)
         haveModel = true;
     }
     if (!haveModel)
-        fatal("fleet file: entry needs a 'base' or a 'spec'");
+        throw JsonError("fleet entry needs a 'base' or a 'spec'");
     entry.fixedFrequency = MegaHertz(
         num(v, "fixed_frequency_mhz", entry.fixedFrequency.value()));
     entry.monsoonVoltage =
@@ -611,9 +618,10 @@ registryEntryFromJson(const JsonValue &v)
         for (const JsonValue &u : units->asArray())
             entry.units.push_back(unitCornerFromJson(u));
     }
-    if (entry.units.empty())
-        fatal("fleet file: model '%s' has no units",
-              entry.spec.model.c_str());
+    if (entry.units.empty()) {
+        throw JsonError(strfmt("model '%s' has no units",
+                               entry.spec.model.c_str()));
+    }
     return entry;
 }
 
@@ -622,7 +630,7 @@ fleetFromJson(const JsonValue &v)
 {
     const JsonValue *list = v.isObject() ? v.find("fleet") : &v;
     if (!list || !list->isArray())
-        fatal("fleet file: expected {\"fleet\": [...]} or an array");
+        throw JsonError("expected {\"fleet\": [...]} or an array");
     std::vector<RegistryEntry> entries;
     for (const JsonValue &e : list->asArray())
         entries.push_back(registryEntryFromJson(e));
@@ -642,7 +650,11 @@ loadFleetFile(const std::string &path)
     std::string error;
     if (!parseJson(text.str(), doc, error))
         fatal("fleet file '%s': %s", path.c_str(), error.c_str());
-    return fleetFromJson(doc);
+    try {
+        return fleetFromJson(doc);
+    } catch (const JsonError &e) {
+        fatal("fleet file '%s': %s", path.c_str(), e.what());
+    }
 }
 
 void

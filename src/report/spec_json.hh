@@ -50,7 +50,7 @@ std::string fleetToJson(const std::vector<RegistryEntry> &entries);
 /**
  * Rebuild a spec from a parsed JSON object. Fields not present keep
  * their value from @p base (pass a default DeviceSpec for absolute
- * parsing). Fatal on type mismatches.
+ * parsing). Throws JsonError on type mismatches.
  */
 DeviceSpec specFromJson(const JsonValue &v, DeviceSpec base = {});
 
@@ -59,14 +59,21 @@ UnitCorner unitCornerFromJson(const JsonValue &v);
 
 /**
  * Rebuild one registry entry from a fleet-document element, resolving
- * "base" references against the built-in registry.
+ * "base" references against the built-in registry. Throws JsonError
+ * on schema violations (unknown base, missing units, wrong types).
  */
 RegistryEntry registryEntryFromJson(const JsonValue &v);
 
-/** Parse a whole fleet document ({"fleet": [...]} or a bare array). */
+/**
+ * Parse a whole fleet document ({"fleet": [...]} or a bare array).
+ * Throws JsonError on schema violations.
+ */
 std::vector<RegistryEntry> fleetFromJson(const JsonValue &v);
 
-/** Load and parse a fleet file; fatal on I/O or parse errors. */
+/**
+ * Load and parse a fleet file; fatal on I/O, parse, or schema errors,
+ * naming the file and (for parse errors) the line:column position.
+ */
 std::vector<RegistryEntry> loadFleetFile(const std::string &path);
 
 /** Write a fleet document to a file; fatal on I/O errors. */

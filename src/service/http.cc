@@ -1,0 +1,327 @@
+#include "service/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+void
+setIoTimeout(int fd, int timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** send() the whole buffer; MSG_NOSIGNAL so dead peers don't SIGPIPE. */
+bool
+sendAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Parse the request head (request line + headers) out of @p head.
+ * Body handling is the caller's job.
+ */
+bool
+parseHead(const std::string &head, HttpRequest &req, std::string &error)
+{
+    std::size_t line_end = head.find("\r\n");
+    if (line_end == std::string::npos) {
+        error = "malformed request line";
+        return false;
+    }
+    std::string request_line = head.substr(0, line_end);
+    std::size_t sp1 = request_line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        error = "malformed request line";
+        return false;
+    }
+    req.method = request_line.substr(0, sp1);
+    req.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = request_line.substr(sp2 + 1);
+    if (req.version.rfind("HTTP/1.", 0) != 0) {
+        error = strfmt("unsupported protocol '%s'",
+                       req.version.c_str());
+        return false;
+    }
+
+    std::size_t pos = line_end + 2;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (line.empty())
+            break;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            error = "malformed header line";
+            return false;
+        }
+        req.headers.emplace_back(toLower(trim(line.substr(0, colon))),
+                                 trim(line.substr(colon + 1)));
+    }
+    return true;
+}
+
+} // namespace
+
+const std::string &
+HttpRequest::header(const std::string &name) const
+{
+    static const std::string empty;
+    for (const auto &[k, v] : headers) {
+        if (k == name)
+            return v;
+    }
+    return empty;
+}
+
+const std::string &
+HttpResponse::header(const std::string &name) const
+{
+    static const std::string empty;
+    for (const auto &[k, v] : headers) {
+        if (k == name)
+            return v;
+    }
+    return empty;
+}
+
+const char *
+httpStatusReason(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 413:
+        return "Payload Too Large";
+      case 429:
+        return "Too Many Requests";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+bool
+readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &req,
+                std::string &error)
+{
+    setIoTimeout(fd, limits.ioTimeoutMs);
+
+    std::string buf;
+    std::size_t head_end = std::string::npos;
+    char chunk[4096];
+    while (true) {
+        head_end = buf.find("\r\n\r\n");
+        if (head_end != std::string::npos)
+            break;
+        if (buf.size() > limits.maxHeaderBytes) {
+            error = "request headers too large";
+            return false;
+        }
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            error = "connection closed mid-request";
+            return false;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    if (!parseHead(buf.substr(0, head_end + 2), req, error))
+        return false;
+
+    std::size_t body_len = 0;
+    const std::string &cl = req.header("content-length");
+    if (!cl.empty()) {
+        long long v = 0;
+        if (!parseIntStrict(cl, v) || v < 0) {
+            error = "bad Content-Length";
+            return false;
+        }
+        body_len = static_cast<std::size_t>(v);
+    }
+    if (body_len > limits.maxBodyBytes) {
+        error = "request body too large";
+        return false;
+    }
+    if (!req.header("transfer-encoding").empty()) {
+        error = "chunked transfer encoding not supported";
+        return false;
+    }
+
+    req.body = buf.substr(head_end + 4);
+    while (req.body.size() < body_len) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            error = "connection closed mid-body";
+            return false;
+        }
+        req.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (req.body.size() > body_len)
+        req.body.resize(body_len); // ignore pipelined bytes
+    return true;
+}
+
+bool
+writeHttpResponse(int fd, const HttpResponse &resp)
+{
+    std::string out = strfmt("HTTP/1.1 %d %s\r\n", resp.status,
+                             httpStatusReason(resp.status));
+    out += "Content-Type: " + resp.contentType + "\r\n";
+    out += strfmt("Content-Length: %zu\r\n", resp.body.size());
+    for (const auto &[k, v] : resp.headers)
+        out += k + ": " + v + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    return sendAll(fd, out.data(), out.size());
+}
+
+HttpResponse
+httpRequest(const std::string &host, int port,
+            const std::string &method, const std::string &path,
+            const std::string &body, const HttpLimits &limits)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("httpRequest: socket: %s", std::strerror(errno));
+    setIoTimeout(fd, limits.ioTimeoutMs);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("httpRequest: bad address '%s'", host.c_str());
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        fatal("httpRequest: connect %s:%d: %s", host.c_str(), port,
+              std::strerror(errno));
+    }
+
+    std::string out = method + " " + path + " HTTP/1.1\r\n";
+    out += "Host: " + host + strfmt(":%d", port) + "\r\n";
+    if (!body.empty() || method == "POST") {
+        out += "Content-Type: application/json\r\n";
+        out += strfmt("Content-Length: %zu\r\n", body.size());
+    }
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    if (!sendAll(fd, out.data(), out.size())) {
+        ::close(fd);
+        fatal("httpRequest: send %s:%d: %s", host.c_str(), port,
+              std::strerror(errno));
+    }
+
+    std::string in;
+    char chunk[4096];
+    while (true) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        in.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    HttpResponse resp;
+    resp.status = 0;
+    std::size_t head_end = in.find("\r\n\r\n");
+    std::size_t line_end = in.find("\r\n");
+    if (head_end == std::string::npos || line_end == std::string::npos)
+        return resp;
+    // Status line: HTTP/1.1 SP code SP reason.
+    std::string status_line = in.substr(0, line_end);
+    std::size_t sp = status_line.find(' ');
+    if (sp == std::string::npos)
+        return resp;
+    long long code = 0;
+    if (!parseIntStrict(status_line.substr(sp + 1, 3), code))
+        return resp;
+    resp.status = static_cast<int>(code);
+    std::size_t pos = line_end + 2;
+    while (pos < head_end) {
+        std::size_t eol = in.find("\r\n", pos);
+        std::string line = in.substr(pos, eol - pos);
+        pos = eol + 2;
+        std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+            resp.headers.emplace_back(toLower(trim(line.substr(0, colon))),
+                                      trim(line.substr(colon + 1)));
+        }
+    }
+    resp.body = in.substr(head_end + 4);
+    return resp;
+}
+
+} // namespace pvar

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.1 transport.
+ *
+ * pvar deliberately has no external dependencies, so the study
+ * service speaks a small, strict subset of HTTP/1.1 implemented
+ * directly over POSIX sockets: one request per connection
+ * (`Connection: close`), `Content-Length` bodies only (no chunked
+ * transfer), bounded header and body sizes, and receive timeouts so a
+ * stalled peer cannot wedge the acceptor. That subset is exactly what
+ * curl, load balancers, and the in-tree client below produce.
+ *
+ * The same header also provides the tiny blocking client used by the
+ * service tests and the check.sh smoke stage.
+ */
+
+#ifndef PVAR_SERVICE_HTTP_HH
+#define PVAR_SERVICE_HTTP_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pvar
+{
+
+/** Parse limits and socket timeouts for one connection. */
+struct HttpLimits
+{
+    /** Maximum size of the request line + headers. */
+    std::size_t maxHeaderBytes = 64 * 1024;
+
+    /** Maximum Content-Length accepted (fleet files are ~KBs). */
+    std::size_t maxBodyBytes = 16 * 1024 * 1024;
+
+    /** Socket receive/send timeout, in milliseconds. */
+    int ioTimeoutMs = 10000;
+};
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;
+    std::string path;
+    std::string version;
+    /** Header (name, value) pairs; names lower-cased. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value by lower-case name, or empty string. */
+    const std::string &header(const std::string &name) const;
+};
+
+/** One response to serialize (or, client-side, one parsed reply). */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    /**
+     * Extra headers (e.g. Retry-After); on responses parsed by
+     * httpRequest(), every header, names lower-cased.
+     */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value by lower-case name, or empty string. */
+    const std::string &header(const std::string &name) const;
+};
+
+/** Canonical reason phrase for the status codes the service emits. */
+const char *httpStatusReason(int status);
+
+/**
+ * Read and parse one request from a connected socket. Returns false
+ * on malformed input, oversized requests, or timeouts; @p error then
+ * holds a one-line description suitable for a 400 body.
+ */
+bool readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &req,
+                     std::string &error);
+
+/**
+ * Serialize and send a response (adds Content-Length and
+ * `Connection: close`). Returns false if the peer went away.
+ */
+bool writeHttpResponse(int fd, const HttpResponse &resp);
+
+/**
+ * Blocking one-shot client: connect to host:port, send the request,
+ * read the response until EOF. Fatal on connection failure (tests and
+ * smoke scripts want loud errors); parse failures set status 0.
+ */
+HttpResponse httpRequest(const std::string &host, int port,
+                         const std::string &method,
+                         const std::string &path,
+                         const std::string &body = "",
+                         const HttpLimits &limits = {});
+
+} // namespace pvar
+
+#endif // PVAR_SERVICE_HTTP_HH

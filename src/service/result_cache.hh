@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Content-addressed cache of experiment results.
+ *
+ * Every (unit, mode) experiment the study protocol schedules is fully
+ * described by pure data: the DeviceSpec, the UnitCorner, and the
+ * ExperimentConfig. The cache serializes that triple into a canonical
+ * JSON text (exact-double rendering, fixed key order — the same
+ * machinery that makes fleet files round-trip bit-exactly), hashes it
+ * into a content digest, and memoizes the simulation keyed by that
+ * digest. Identical experiments — duplicated units inside one fleet
+ * file, or repeated requests against a long-running pvar_served — are
+ * simulated once and served from memory thereafter.
+ *
+ * Because experiments are deterministic, a cache hit returns the same
+ * bytes a fresh simulation would produce; the determinism tests pin
+ * cold run ≡ warm run at any jobs count. Entries are LRU-bounded, the
+ * cache is thread-safe (the scheduler calls in from every worker),
+ * and the simulation itself runs outside the lock so concurrent
+ * misses don't serialize.
+ */
+
+#ifndef PVAR_SERVICE_RESULT_CACHE_HH
+#define PVAR_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "accubench/protocol.hh"
+
+namespace pvar
+{
+
+/**
+ * The canonical cache text of one experiment: a JSON document over
+ * (spec, unit, experiment config) with every double rendered by
+ * jsonExactDouble() and times as integer microseconds, so two
+ * experiments share a key iff they are the same computation.
+ */
+std::string experimentKeyText(const RegistryEntry &entry,
+                              std::size_t unit_index,
+                              const ExperimentConfig &cfg);
+
+/** 128-bit FNV-1a digest of @p text, as 32 hex characters. */
+std::string contentDigest(const std::string &text);
+
+/** Counters for /healthz and the cache tests. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+};
+
+/**
+ * Thread-safe LRU memoizer for experiment results.
+ *
+ * Plugs into StudyConfig::cache; the protocol scheduler routes every
+ * experiment task through getOrCompute(). Concurrent misses on the
+ * same key both simulate (the results are identical by determinism)
+ * and the second insert is a no-op overwrite — callers never block on
+ * another worker's simulation.
+ */
+class ResultCache : public ExperimentCache
+{
+  public:
+    /** @param max_entries LRU bound (clamped to >= 1). */
+    explicit ResultCache(std::size_t max_entries = 128);
+
+    ExperimentResult getOrCompute(
+        const RegistryEntry &entry, std::size_t unit_index,
+        const ExperimentConfig &cfg,
+        const std::function<ExperimentResult()> &compute) override;
+
+    ResultCacheStats stats() const;
+
+    /** Drop all entries (counters keep accumulating). */
+    void clear();
+
+  private:
+    struct Node
+    {
+        std::string digest;
+        std::string keyText;
+        ExperimentResult result;
+    };
+
+    mutable std::mutex _mutex;
+    std::size_t _capacity;
+    std::list<Node> _lru; // front = most recently used
+    std::unordered_map<std::string, std::list<Node>::iterator> _index;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+
+    void insertLocked(std::string digest, std::string key_text,
+                      const ExperimentResult &result);
+};
+
+} // namespace pvar
+
+#endif // PVAR_SERVICE_RESULT_CACHE_HH

@@ -1,0 +1,426 @@
+#include "service/service.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "device/registry.hh"
+#include "report/json.hh"
+#include "report/spec_json.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("error").value(message);
+    w.endObject();
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = w.str() + "\n";
+    return resp;
+}
+
+HttpResponse
+methodNotAllowed(const std::string &allowed)
+{
+    HttpResponse resp = errorResponse(405, "method not allowed");
+    resp.headers.emplace_back("Allow", allowed);
+    return resp;
+}
+
+/** Integer request field >= @p min, or the default; throws JsonError. */
+int
+intField(const JsonValue &doc, const char *key, int dflt, int min)
+{
+    const JsonValue *v = doc.find(key);
+    if (!v)
+        return dflt;
+    double d = v->asNumber();
+    int i = static_cast<int>(d);
+    if (static_cast<double>(i) != d || i < min) {
+        throw JsonError(strfmt("'%s' must be an integer >= %d", key,
+                               min));
+    }
+    return i;
+}
+
+} // namespace
+
+StudyService::StudyService(ServiceConfig cfg) : _cfg(std::move(cfg))
+{
+    if (_cfg.cacheEntries > 0)
+        _cache = std::make_unique<ResultCache>(_cfg.cacheEntries);
+    if (_cfg.workers < 1)
+        _cfg.workers = 1;
+}
+
+StudyService::~StudyService()
+{
+    stop();
+}
+
+void
+StudyService::start()
+{
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        fatal("pvar_served: socket: %s", std::strerror(errno));
+    int one = 1;
+    setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(_cfg.port));
+    if (inet_pton(AF_INET, _cfg.host.c_str(), &addr.sin_addr) != 1)
+        fatal("pvar_served: bad bind address '%s'", _cfg.host.c_str());
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        fatal("pvar_served: bind %s:%d: %s", _cfg.host.c_str(),
+              _cfg.port, std::strerror(errno));
+    }
+    if (::listen(_listenFd, 64) < 0)
+        fatal("pvar_served: listen: %s", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    getsockname(_listenFd, reinterpret_cast<sockaddr *>(&bound), &len);
+    _port = ntohs(bound.sin_port);
+
+    _acceptor = std::thread([this] { acceptLoop(); });
+    for (int i = 0; i < _cfg.workers; ++i)
+        _workers.emplace_back([this, i] { workerLoop(i); });
+
+    inform("pvar_served: listening on %s:%d (%d workers, queue %zu, "
+           "cache %zu)",
+           _cfg.host.c_str(), _port, _cfg.workers, _cfg.queueDepth,
+           _cfg.cacheEntries);
+}
+
+void
+StudyService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_stopping)
+            return;
+        _stopping = true;
+        _paused = false;
+    }
+    _wake.notify_all();
+    if (_acceptor.joinable())
+        _acceptor.join();
+    for (std::thread &w : _workers) {
+        if (w.joinable())
+            w.join();
+    }
+    _workers.clear();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    inform("pvar_served: drained (%llu served, %llu rejected)",
+           static_cast<unsigned long long>(_served.load()),
+           static_cast<unsigned long long>(_rejected.load()));
+}
+
+void
+StudyService::acceptLoop()
+{
+    setLogThreadTag("acc");
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (_stopping)
+                return;
+        }
+        pollfd pfd{};
+        pfd.fd = _listenFd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0 && errno != EINTR) {
+            warn("pvar_served: poll: %s", std::strerror(errno));
+            return;
+        }
+        if (rc <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno != EINTR && errno != EAGAIN)
+                warn("pvar_served: accept: %s", std::strerror(errno));
+            continue;
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+StudyService::handleConnection(int fd)
+{
+    HttpRequest req;
+    std::string error;
+    if (!readHttpRequest(fd, _cfg.limits, req, error)) {
+        ++_badRequests;
+        finishResponse(fd, errorResponse(400, error));
+        return;
+    }
+
+    if (req.method == "POST" && req.path == "/study") {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (!_stopping && _queue.size() < _cfg.queueDepth) {
+                _queue.push_back(Job{fd, std::move(req.body)});
+                _wake.notify_one();
+                return;
+            }
+            if (_stopping) {
+                // Drain mode: the listener is about to close.
+                error = "service shutting down";
+            }
+        }
+        if (!error.empty()) {
+            finishResponse(fd, errorResponse(503, error));
+        } else {
+            HttpResponse resp =
+                errorResponse(429, "study queue full; retry later");
+            resp.headers.emplace_back(
+                "Retry-After", strfmt("%d", _cfg.retryAfterSec));
+            finishResponse(fd, resp);
+        }
+        return;
+    }
+
+    finishResponse(fd, handle(req));
+}
+
+void
+StudyService::workerLoop(int worker_id)
+{
+    setLogThreadTag(strfmt("svc%d", worker_id));
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this] {
+                return _stopping || (!_paused && !_queue.empty());
+            });
+            // Drain: even when stopping, queued studies are finished
+            // before the worker exits.
+            if (_queue.empty()) {
+                if (_stopping)
+                    return;
+                continue;
+            }
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        finishResponse(job.fd, handleStudy(job.body));
+    }
+}
+
+void
+StudyService::finishResponse(int fd, const HttpResponse &resp)
+{
+    // Count before the bytes go out: a client that has read its
+    // response must observe the updated counters on /healthz.
+    ++_served;
+    if (resp.status == 429)
+        ++_rejected;
+    if (!writeHttpResponse(fd, resp))
+        debug("pvar_served: client went away mid-response");
+    ::close(fd);
+}
+
+HttpResponse
+StudyService::handle(const HttpRequest &req)
+{
+    if (req.path == "/healthz") {
+        if (req.method != "GET")
+            return methodNotAllowed("GET");
+        return handleHealthz();
+    }
+    if (req.path == "/devices") {
+        if (req.method != "GET")
+            return methodNotAllowed("GET");
+        return handleDevices();
+    }
+    if (req.path == "/study") {
+        if (req.method != "POST")
+            return methodNotAllowed("POST");
+        return handleStudy(req.body);
+    }
+    return errorResponse(404,
+                         strfmt("no such endpoint '%s'",
+                                req.path.c_str()));
+}
+
+HttpResponse
+StudyService::handleHealthz()
+{
+    ServiceStats s = stats();
+    JsonWriter w;
+    w.beginObject();
+    w.key("status").value("ok");
+    w.key("cache");
+    if (_cache) {
+        ResultCacheStats cs = _cache->stats();
+        w.beginObject();
+        w.key("hits").value(static_cast<long long>(cs.hits));
+        w.key("misses").value(static_cast<long long>(cs.misses));
+        w.key("entries").value(static_cast<long long>(cs.entries));
+        w.key("capacity").value(static_cast<long long>(cs.capacity));
+        w.key("evictions").value(static_cast<long long>(cs.evictions));
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.key("queue").beginObject();
+    w.key("depth").value(static_cast<long long>(s.queued));
+    w.key("capacity").value(static_cast<long long>(_cfg.queueDepth));
+    w.endObject();
+    w.key("requests").beginObject();
+    w.key("served").value(static_cast<long long>(s.served));
+    w.key("rejected").value(static_cast<long long>(s.rejected));
+    w.key("bad").value(static_cast<long long>(s.badRequests));
+    w.endObject();
+    w.endObject();
+    HttpResponse resp;
+    resp.body = w.str() + "\n";
+    return resp;
+}
+
+HttpResponse
+StudyService::handleDevices()
+{
+    HttpResponse resp;
+    resp.body = fleetToJson(DeviceRegistry::builtin().entries()) + "\n";
+    return resp;
+}
+
+HttpResponse
+StudyService::handleStudy(const std::string &body)
+{
+    try {
+        HttpResponse resp;
+        resp.body = runStudyRequest(body);
+        return resp;
+    } catch (const JsonError &e) {
+        ++_badRequests;
+        return errorResponse(400, e.what());
+    } catch (const std::exception &e) {
+        warn("pvar_served: study failed: %s", e.what());
+        return errorResponse(500, e.what());
+    }
+}
+
+std::string
+StudyService::runStudyRequest(const std::string &body)
+{
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(body, doc, error))
+        throw JsonError(error);
+
+    StudyConfig cfg = _cfg.study;
+    cfg.cache = _cache.get();
+    if (doc.isObject()) {
+        cfg.iterations =
+            intField(doc, "iterations", cfg.iterations, 1);
+        if (const JsonValue *ambient = doc.find("ambient")) {
+            // Mirror pvar_study --ambient: chamber target plus the
+            // cooldown margin.
+            double t = ambient->asNumber();
+            cfg.thermabox.target = Celsius(t);
+            cfg.accubench.cooldownTarget = Celsius(t + 6.0);
+        }
+    }
+
+    const JsonValue *soc =
+        doc.isObject() ? doc.find("soc") : nullptr;
+    const JsonValue *device =
+        doc.isObject() ? doc.find("device") : nullptr;
+    if (soc && device)
+        throw JsonError("'soc' and 'device' are exclusive");
+
+    std::vector<SocStudy> studies;
+    if (soc) {
+        const RegistryEntry *e =
+            DeviceRegistry::builtin().find(soc->asString());
+        if (!e) {
+            throw JsonError(strfmt("unknown SoC or model '%s'",
+                                   soc->asString().c_str()));
+        }
+        studies.push_back(runEntryStudy(*e, cfg));
+    } else if (device) {
+        UnitRef ref =
+            DeviceRegistry::builtin().findUnit(device->asString());
+        if (!ref.entry) {
+            throw JsonError(strfmt("unknown unit '%s'",
+                                   device->asString().c_str()));
+        }
+        studies.push_back(runUnitStudy(*ref.entry, ref.unitIndex, cfg));
+    } else {
+        // A fleet document: the same schema pvar_study --fleet reads.
+        // Entries must outlive the flattened task list.
+        std::vector<RegistryEntry> fleet = fleetFromJson(doc);
+        std::vector<const RegistryEntry *> entries;
+        entries.reserve(fleet.size());
+        for (const RegistryEntry &e : fleet)
+            entries.push_back(&e);
+        studies = runStudy(entries, cfg);
+    }
+    // Exactly the bytes pvar_study --json prints for the same input.
+    return toJson(studies) + "\n";
+}
+
+ServiceStats
+StudyService::stats() const
+{
+    ServiceStats s;
+    s.served = _served.load();
+    s.rejected = _rejected.load();
+    s.badRequests = _badRequests.load();
+    std::lock_guard<std::mutex> lock(_mutex);
+    s.queued = _queue.size();
+    return s;
+}
+
+ResultCacheStats
+StudyService::cacheStats() const
+{
+    if (!_cache)
+        return ResultCacheStats{};
+    return _cache->stats();
+}
+
+void
+StudyService::pauseWorkersForTest()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _paused = true;
+}
+
+void
+StudyService::resumeWorkersForTest()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _paused = false;
+    }
+    _wake.notify_all();
+}
+
+} // namespace pvar

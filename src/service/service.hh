@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The long-running study service behind pvar_served.
+ *
+ * Exposes the registry/fleet/ACCUBENCH machinery over HTTP:
+ *
+ *   GET  /healthz  liveness + cache/queue/request counters
+ *   GET  /devices  the built-in registry as a fleet document
+ *   POST /study    run the protocol; body is either a fleet document
+ *                  (the same schema pvar_study --fleet reads) or a
+ *                  single-target request:
+ *                    {"soc": "SD-805"} | {"device": "dev-363"}
+ *                  optionally with "iterations" and "ambient"
+ *                  overrides (fleet documents accept them as wrapper
+ *                  keys next to "fleet").
+ *
+ * Architecture: one acceptor thread parses requests and answers the
+ * cheap endpoints inline; /study jobs go through a *bounded* queue to
+ * a small pool of study workers (each of which fans its experiments
+ * out onto the PR 1 parallel scheduler). A full queue answers 429
+ * with a Retry-After header — backpressure instead of unbounded
+ * memory. stop() drains: no new connections, queued studies finish,
+ * workers join.
+ *
+ * Determinism contract: byte-identical request bodies produce
+ * byte-identical response bodies — cached or not, at any jobs count.
+ * POST /study responses are exactly the bytes `pvar_study --json`
+ * emits for the same input, so clients can diff CLI and service
+ * output directly. All experiment work is routed through the
+ * content-addressed ResultCache, so identical study units are
+ * simulated once per cache lifetime.
+ */
+
+#ifndef PVAR_SERVICE_SERVICE_HH
+#define PVAR_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accubench/protocol.hh"
+#include "service/http.hh"
+#include "service/result_cache.hh"
+
+namespace pvar
+{
+
+/** Service deployment knobs. */
+struct ServiceConfig
+{
+    /** Bind address (loopback by default; widen deliberately). */
+    std::string host = "127.0.0.1";
+
+    /** Listen port; 0 picks an ephemeral port (see port()). */
+    int port = 0;
+
+    /** Study worker threads (concurrent /study jobs). */
+    int workers = 2;
+
+    /** Bounded pending-study queue depth; beyond it, 429. */
+    std::size_t queueDepth = 8;
+
+    /** Seconds a 429 tells the client to wait before retrying. */
+    int retryAfterSec = 1;
+
+    /** Result-cache capacity, in experiments; 0 disables caching. */
+    std::size_t cacheEntries = 128;
+
+    /**
+     * Base study settings (iterations, ambient, experiment jobs).
+     * Per-request "iterations"/"ambient" override a copy.
+     */
+    StudyConfig study;
+
+    /** Transport limits for each connection. */
+    HttpLimits limits;
+};
+
+/** Point-in-time counters for /healthz and tests. */
+struct ServiceStats
+{
+    std::uint64_t served = 0;    ///< responses written (any status)
+    std::uint64_t rejected = 0;  ///< 429 backpressure responses
+    std::uint64_t badRequests = 0; ///< 400 responses
+    std::size_t queued = 0;      ///< studies waiting for a worker
+};
+
+class StudyService
+{
+  public:
+    explicit StudyService(ServiceConfig cfg);
+    ~StudyService();
+
+    StudyService(const StudyService &) = delete;
+    StudyService &operator=(const StudyService &) = delete;
+
+    /**
+     * Bind, listen, and spawn the acceptor + worker threads. Fatal on
+     * bind/listen failure (the deployment is unusable).
+     */
+    void start();
+
+    /**
+     * Graceful drain: stop accepting, let queued studies finish,
+     * join every thread. Idempotent.
+     */
+    void stop();
+
+    /** The bound port (useful with cfg.port = 0). */
+    int port() const { return _port; }
+
+    ServiceStats stats() const;
+    ResultCacheStats cacheStats() const;
+
+    /**
+     * Pause/resume the study workers. Test hook: with workers paused,
+     * queued studies accumulate deterministically so backpressure can
+     * be exercised without racing the workers.
+     */
+    void pauseWorkersForTest();
+    void resumeWorkersForTest();
+
+    /** Handle one parsed request (transport-free; tests use this). */
+    HttpResponse handle(const HttpRequest &req);
+
+  private:
+    struct Job
+    {
+        int fd;
+        std::string body;
+    };
+
+    ServiceConfig _cfg;
+    int _listenFd = -1;
+    int _port = 0;
+    std::unique_ptr<ResultCache> _cache;
+
+    std::thread _acceptor;
+    std::vector<std::thread> _workers;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;
+    std::deque<Job> _queue;
+    bool _stopping = false;
+    bool _paused = false;
+
+    std::atomic<std::uint64_t> _served{0};
+    std::atomic<std::uint64_t> _rejected{0};
+    std::atomic<std::uint64_t> _badRequests{0};
+
+    void acceptLoop();
+    void workerLoop(int worker_id);
+    void handleConnection(int fd);
+    void finishResponse(int fd, const HttpResponse &resp);
+
+    HttpResponse handleHealthz();
+    HttpResponse handleDevices();
+    HttpResponse handleStudy(const std::string &body);
+
+    /** Run the study a /study body describes (throws JsonError). */
+    std::string runStudyRequest(const std::string &body);
+};
+
+} // namespace pvar
+
+#endif // PVAR_SERVICE_SERVICE_HH

@@ -1,6 +1,8 @@
 #include "sim/strfmt.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace pvar
@@ -29,6 +31,34 @@ strfmt(const char *fmt, ...)
     std::string out = vstrfmt(fmt, ap);
     va_end(ap);
     return out;
+}
+
+bool
+parseIntStrict(const std::string &s, long long &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace pvar

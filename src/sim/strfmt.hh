@@ -27,6 +27,16 @@ std::string strfmt(const char *fmt, ...)
 /** va_list variant of strfmt(). */
 std::string vstrfmt(const char *fmt, va_list ap);
 
+/**
+ * Parse the whole of @p s as a decimal integer. Returns false (and
+ * leaves @p out untouched) on empty input, trailing junk, or
+ * out-of-range values — unlike atoi, which silently returns 0.
+ */
+bool parseIntStrict(const std::string &s, long long &out);
+
+/** Like parseIntStrict(), for floating-point values. */
+bool parseDoubleStrict(const std::string &s, double &out);
+
 } // namespace pvar
 
 #endif // PVAR_SIM_STRFMT_HH

@@ -141,8 +141,36 @@ TEST(JsonParse, DepthLimit)
 
 TEST(JsonParse, ErrorsCarryPosition)
 {
+    // The failing token sits at byte offset 4: line 1, column 5.
     std::string error = parseFail("[1, oops]");
-    EXPECT_NE(error.find("4"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("column 5"), std::string::npos) << error;
+    EXPECT_NE(error.find("offset 4"), std::string::npos) << error;
+
+    // Multi-line documents report the line of the failure, not 1.
+    error = parseFail("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+    EXPECT_NE(error.find("column 8"), std::string::npos) << error;
+}
+
+TEST(JsonValueAccessors, ThrowJsonErrorOnMismatch)
+{
+    JsonValue v = parseOk(R"({"a": 1})");
+    EXPECT_THROW(v.asArray(), JsonError);
+    EXPECT_THROW(v.asString(), JsonError);
+    EXPECT_THROW(v.at("missing"), JsonError);
+    EXPECT_THROW(v.at("a").asString(), JsonError);
+    EXPECT_EQ(v.at("a").asNumber(), 1.0);
+
+    // The message names both the wanted and the actual type.
+    try {
+        v.at("a").asString();
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("string"), std::string::npos) << what;
+        EXPECT_NE(what.find("number"), std::string::npos) << what;
+    }
 }
 
 TEST(JsonWriterTest, RawValueEmbedsVerbatim)

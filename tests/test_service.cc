@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Tests for the study service layer: the content-addressed
+ * ResultCache, the StudyService request handling (transport-free via
+ * handle(), and over real loopback sockets), backpressure, and the
+ * determinism contract (byte-identical responses, cached or not, at
+ * any jobs count). The socket tests also run under ThreadSanitizer
+ * (scripts/check.sh builds this binary in the TSan tree).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accubench/protocol.hh"
+#include "device/registry.hh"
+#include "report/json.hh"
+#include "report/spec_json.hh"
+#include "service/result_cache.hh"
+#include "service/service.hh"
+#include "sim/logging.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+/** A one-unit study body that runs in a few hundredths of a second. */
+const char *kUnitBody =
+    R"({"device": "SD-805:unit-b", "iterations": 1})";
+
+/** Quiet logging for the duration of one test. */
+class QuietLog
+{
+  public:
+    QuietLog() : _prev(setLogLevel(LogLevel::Quiet)) {}
+    ~QuietLog() { setLogLevel(_prev); }
+
+  private:
+    LogLevel _prev;
+};
+
+StudyConfig
+fastStudyConfig()
+{
+    StudyConfig cfg;
+    cfg.iterations = 1;
+    return cfg;
+}
+
+/** The smallest interesting fleet: one built-in base, two units. */
+std::vector<RegistryEntry>
+tinyFleet()
+{
+    const RegistryEntry &base = DeviceRegistry::builtin().at("SD-805");
+    RegistryEntry entry = base;
+    entry.units = {base.units.at(0), base.units.at(1)};
+    return {entry};
+}
+
+std::string
+runTinyFleet(const StudyConfig &cfg)
+{
+    std::vector<RegistryEntry> fleet = tinyFleet();
+    std::vector<const RegistryEntry *> entries;
+    for (const RegistryEntry &e : fleet)
+        entries.push_back(&e);
+    return toJson(runStudy(entries, cfg));
+}
+
+std::string
+writeTempFile(const std::string &name, const std::string &content)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    std::ofstream f(path);
+    f << content;
+    return path;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Content-addressed result cache.
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheKey, DistinguishesEveryInput)
+{
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    ExperimentConfig cfg;
+
+    std::string base = experimentKeyText(entry, 0, cfg);
+    EXPECT_NE(base, experimentKeyText(entry, 1, cfg));
+
+    ExperimentConfig other = cfg;
+    other.iterations = cfg.iterations + 1;
+    EXPECT_NE(base, experimentKeyText(entry, 0, other));
+
+    other = cfg;
+    other.mode = cfg.mode == WorkloadMode::Unconstrained
+                     ? WorkloadMode::FixedFrequency
+                     : WorkloadMode::Unconstrained;
+    EXPECT_NE(base, experimentKeyText(entry, 0, other));
+
+    const RegistryEntry &sibling =
+        DeviceRegistry::builtin().at("SD-810");
+    EXPECT_NE(base, experimentKeyText(sibling, 0, cfg));
+
+    // Same inputs, same bytes: the key is a pure function.
+    EXPECT_EQ(base, experimentKeyText(entry, 0, cfg));
+    EXPECT_EQ(contentDigest(base), contentDigest(base));
+    EXPECT_NE(contentDigest(base), contentDigest(base + " "));
+    EXPECT_EQ(contentDigest(base).size(), 32u);
+}
+
+TEST(ResultCacheTest, HitsReturnTheStoredResult)
+{
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    ExperimentConfig cfg;
+    ResultCache cache(8);
+
+    int computes = 0;
+    auto compute = [&]() {
+        ++computes;
+        ExperimentResult r;
+        r.unitId = "probe";
+        return r;
+    };
+
+    ExperimentResult cold = cache.getOrCompute(entry, 0, cfg, compute);
+    ExperimentResult warm = cache.getOrCompute(entry, 0, cfg, compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(cold.unitId, "probe");
+    EXPECT_EQ(warm.unitId, "probe");
+
+    ResultCacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 1u);
+
+    // A different unit is a different key.
+    cache.getOrCompute(entry, 1, cfg, compute);
+    EXPECT_EQ(computes, 2);
+}
+
+TEST(ResultCacheTest, LruBoundsTheFootprint)
+{
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-800");
+    ExperimentConfig cfg;
+    ResultCache cache(2);
+    auto compute = []() { return ExperimentResult{}; };
+
+    ASSERT_GE(entry.units.size(), 3u);
+    cache.getOrCompute(entry, 0, cfg, compute);
+    cache.getOrCompute(entry, 1, cfg, compute);
+    // Touch 0 so 1 is the LRU victim when 2 is inserted.
+    cache.getOrCompute(entry, 0, cfg, compute);
+    cache.getOrCompute(entry, 2, cfg, compute);
+
+    ResultCacheStats s = cache.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.capacity, 2u);
+
+    // 0 survived, 1 was evicted.
+    std::uint64_t misses = s.misses;
+    cache.getOrCompute(entry, 0, cfg, compute);
+    EXPECT_EQ(cache.stats().misses, misses);
+    cache.getOrCompute(entry, 1, cfg, compute);
+    EXPECT_EQ(cache.stats().misses, misses + 1);
+}
+
+TEST(ResultCacheTest, ColdAndWarmStudiesAreByteIdentical)
+{
+    QuietLog quiet;
+    ResultCache cache(64);
+
+    StudyConfig cfg = fastStudyConfig();
+    cfg.cache = &cache;
+    std::string cold = runTinyFleet(cfg);
+    ResultCacheStats after_cold = cache.stats();
+    EXPECT_EQ(after_cold.hits, 0u);
+    EXPECT_EQ(after_cold.misses, 4u); // 2 units x 2 modes
+
+    std::string warm = runTinyFleet(cfg);
+    ResultCacheStats after_warm = cache.stats();
+    EXPECT_EQ(after_warm.hits, 4u);
+    EXPECT_EQ(after_warm.misses, 4u);
+    EXPECT_EQ(cold, warm);
+
+    // An uncached run and any jobs count produce the same bytes.
+    StudyConfig plain = fastStudyConfig();
+    EXPECT_EQ(runTinyFleet(plain), cold);
+    plain.jobs = 4;
+    EXPECT_EQ(runTinyFleet(plain), cold);
+    cfg.jobs = 4;
+    EXPECT_EQ(runTinyFleet(cfg), cold);
+}
+
+// ---------------------------------------------------------------------
+// Transport-free request handling.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ServiceConfig
+testServiceConfig()
+{
+    ServiceConfig cfg;
+    cfg.port = 0;
+    cfg.study.iterations = 1;
+    return cfg;
+}
+
+HttpRequest
+makeRequest(const std::string &method, const std::string &path,
+            const std::string &body = "")
+{
+    HttpRequest req;
+    req.method = method;
+    req.path = path;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+} // namespace
+
+TEST(StudyServiceHandle, RoutesAndRejects)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+
+    EXPECT_EQ(svc.handle(makeRequest("GET", "/nope")).status, 404);
+    EXPECT_EQ(svc.handle(makeRequest("POST", "/devices")).status, 405);
+    EXPECT_EQ(svc.handle(makeRequest("GET", "/study")).status, 405);
+    EXPECT_EQ(svc.handle(makeRequest("GET", "/healthz")).status, 200);
+}
+
+TEST(StudyServiceHandle, DevicesListsTheBuiltinRegistry)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    HttpResponse resp = svc.handle(makeRequest("GET", "/devices"));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body,
+              fleetToJson(DeviceRegistry::builtin().entries()) + "\n");
+}
+
+TEST(StudyServiceHandle, MalformedStudyBodiesAre400s)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    auto post = [&](const std::string &body) {
+        return svc.handle(makeRequest("POST", "/study", body));
+    };
+
+    // Truncated JSON: the 400 carries the parse position.
+    HttpResponse resp = post(R"({"fleet": [)");
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("line 1"), std::string::npos) << resp.body;
+
+    // Wrong types.
+    EXPECT_EQ(post(R"({"fleet": 42})").status, 400);
+    EXPECT_EQ(post(R"([{"base": 17}])").status, 400);
+    EXPECT_EQ(post(R"({"device": 3})").status, 400);
+    EXPECT_EQ(post(R"({"soc": "SD-805", "iterations": 1.5})").status,
+              400);
+    EXPECT_EQ(post(R"({"soc": "SD-805", "iterations": 0})").status,
+              400);
+    EXPECT_EQ(post(R"({"soc": "SD-805", "ambient": "warm"})").status,
+              400);
+
+    // Missing keys and unknown names.
+    EXPECT_EQ(post(R"({"fleet": [ {} ]})").status, 400);
+    EXPECT_EQ(post(R"({"fleet": [ {"spec": {}} ]})").status, 400);
+    EXPECT_EQ(post(R"({"fleet": [ {"base": "SD-9999",
+        "units": [{"id": "u0"}]} ]})").status, 400);
+    EXPECT_EQ(post(R"({"soc": "SD-9999"})").status, 400);
+    EXPECT_EQ(post(R"({"device": "nope-0"})").status, 400);
+    EXPECT_EQ(post(R"({"soc": "SD-805", "device": "dev-363"})").status,
+              400);
+
+    // The error body is itself valid JSON with an "error" member.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(resp.body, doc, error)) << resp.body;
+    EXPECT_TRUE(doc.at("error").isString());
+
+    // Bad requests are counted, none of them were served studies.
+    EXPECT_GE(svc.stats().badRequests, 1u);
+}
+
+TEST(StudyServiceHandle, StudyMatchesTheCliBytes)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    HttpResponse resp =
+        svc.handle(makeRequest("POST", "/study", kUnitBody));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // The same study through the library: pvar_study --device
+    // SD-805:unit-b --iterations 1 --json emits these bytes.
+    StudyConfig cfg = fastStudyConfig();
+    UnitRef ref = DeviceRegistry::builtin().findUnit("SD-805:unit-b");
+    ASSERT_NE(ref.entry, nullptr);
+    std::vector<SocStudy> studies{
+        runUnitStudy(*ref.entry, ref.unitIndex, cfg)};
+    EXPECT_EQ(resp.body, toJson(studies) + "\n");
+
+    // Identical body again: served from the cache, identical bytes.
+    HttpResponse again =
+        svc.handle(makeRequest("POST", "/study", kUnitBody));
+    EXPECT_EQ(again.body, resp.body);
+    ResultCacheStats cs = svc.cacheStats();
+    EXPECT_EQ(cs.misses, 2u); // 1 unit x 2 modes
+    EXPECT_EQ(cs.hits, 2u);
+}
+
+// ---------------------------------------------------------------------
+// The real server, over loopback sockets.
+// ---------------------------------------------------------------------
+
+TEST(StudyServiceSocket, ServesAndDrains)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    svc.start();
+    ASSERT_GT(svc.port(), 0);
+
+    HttpResponse health =
+        httpRequest("127.0.0.1", svc.port(), "GET", "/healthz");
+    EXPECT_EQ(health.status, 200);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(health.body, doc, error)) << health.body;
+    EXPECT_EQ(doc.at("status").asString(), "ok");
+    EXPECT_EQ(doc.at("queue").at("capacity").asNumber(), 8.0);
+
+    HttpResponse devices =
+        httpRequest("127.0.0.1", svc.port(), "GET", "/devices");
+    EXPECT_EQ(devices.body,
+              fleetToJson(DeviceRegistry::builtin().entries()) + "\n");
+
+    HttpResponse bad = httpRequest("127.0.0.1", svc.port(), "POST",
+                                   "/study", "{not json");
+    EXPECT_EQ(bad.status, 400);
+
+    svc.stop();
+    svc.stop(); // idempotent
+}
+
+TEST(StudyServiceSocket, ConcurrentStudiesAreByteIdentical)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.workers = 4;
+    StudyService svc(cfg);
+    svc.start();
+
+    // Hammer the same study from several clients at once; every
+    // response must be 200 with exactly the same bytes.
+    constexpr int clients = 6;
+    std::vector<std::string> bodies(clients);
+    std::vector<int> statuses(clients, 0);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+            HttpResponse resp = httpRequest(
+                "127.0.0.1", svc.port(), "POST", "/study", kUnitBody);
+            statuses[c] = resp.status;
+            bodies[c] = resp.body;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int c = 0; c < clients; ++c) {
+        EXPECT_EQ(statuses[c], 200) << bodies[c];
+        EXPECT_EQ(bodies[c], bodies[0]);
+    }
+
+    // The cache deduplicated: 2 experiments computed at most once per
+    // concurrently-racing client, and the counters add up.
+    ResultCacheStats cs = svc.cacheStats();
+    EXPECT_EQ(cs.hits + cs.misses,
+              static_cast<std::uint64_t>(2 * clients));
+    EXPECT_GE(cs.misses, 2u);
+    EXPECT_EQ(svc.stats().served,
+              static_cast<std::uint64_t>(clients));
+    svc.stop();
+}
+
+TEST(StudyServiceSocket, BackpressureAnswers429)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 1;
+    cfg.retryAfterSec = 7;
+    StudyService svc(cfg);
+    svc.pauseWorkersForTest();
+    svc.start();
+
+    // With the single worker paused, one queued study fills the queue.
+    std::thread queued([&]() {
+        HttpResponse resp = httpRequest("127.0.0.1", svc.port(), "POST",
+                                        "/study", kUnitBody);
+        EXPECT_EQ(resp.status, 200);
+    });
+    while (svc.stats().queued < 1)
+        std::this_thread::yield();
+
+    HttpResponse overflow = httpRequest("127.0.0.1", svc.port(), "POST",
+                                        "/study", kUnitBody);
+    EXPECT_EQ(overflow.status, 429);
+    EXPECT_EQ(overflow.header("retry-after"), "7");
+    EXPECT_EQ(svc.stats().rejected, 1u);
+
+    // Cheap endpoints still answer while the queue is full.
+    EXPECT_EQ(
+        httpRequest("127.0.0.1", svc.port(), "GET", "/healthz").status,
+        200);
+
+    svc.resumeWorkersForTest();
+    queued.join();
+    svc.stop();
+}
+
+// ---------------------------------------------------------------------
+// Malformed fleet files through the CLI path (loadFleetFile fatals,
+// naming the file and position).
+// ---------------------------------------------------------------------
+
+TEST(FleetFileErrors, TruncatedJsonDiesWithPosition)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::string path = writeTempFile("pvar_truncated_fleet.json",
+                                     "{\"fleet\": [\n  {\"base\":");
+    EXPECT_EXIT(loadFleetFile(path), testing::ExitedWithCode(1),
+                "pvar_truncated_fleet.json.*line 2");
+}
+
+TEST(FleetFileErrors, MissingKeysDieCleanly)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::string path = writeTempFile("pvar_missing_keys_fleet.json",
+                                     R"({"fleet": [ {} ]})");
+    EXPECT_EXIT(loadFleetFile(path), testing::ExitedWithCode(1),
+                "pvar_missing_keys_fleet.json");
+}
+
+TEST(FleetFileErrors, WrongTypesDieCleanly)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::string path = writeTempFile("pvar_wrong_types_fleet.json",
+                                     R"({"fleet": "not an array"})");
+    EXPECT_EXIT(loadFleetFile(path), testing::ExitedWithCode(1),
+                "pvar_wrong_types_fleet.json");
+}

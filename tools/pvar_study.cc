@@ -12,14 +12,15 @@
  *     --jobs N          parallel experiment workers (default: all
  *                       hardware threads; results are identical for
  *                       any N)
- *     --json PATH       also write results as JSON
- *     --csv PATH        also write the summary as CSV
+ *     --json            print results as JSON instead of the table
+ *     --csv             print the summary as CSV instead of the table
+ *     --output PATH     write the report to PATH instead of stdout
+ *     --cache           memoize identical experiments within this run
  *     --quiet           suppress progress logging
  *     --help            this text
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -29,6 +30,7 @@
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "report/table.hh"
+#include "service/result_cache.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 
@@ -53,8 +55,12 @@ usage()
         "  --jobs N          parallel experiment workers (default: all\n"
         "                    hardware threads; results identical for "
         "any N)\n"
-        "  --json PATH       also write results as JSON\n"
-        "  --csv PATH        also write the summary as CSV\n"
+        "  --json            print results as JSON instead of the table\n"
+        "  --csv             print the summary as CSV instead of the "
+        "table\n"
+        "  --output PATH     write the report to PATH instead of stdout\n"
+        "  --cache           memoize identical experiments within this "
+        "run\n"
         "  --quiet           suppress progress logging\n"
         "  --help            this text\n");
 }
@@ -121,6 +127,45 @@ listDevices()
     std::printf("%s", t.render().c_str());
 }
 
+std::string
+summaryTable(const std::vector<SocStudy> &studies)
+{
+    Table t({"Chipset", "Model", "# Devices", "Perf var", "Energy var",
+             "Fixed spread", "Mean RSD", "Efficiency (it/Wh)"});
+    for (const auto &s : studies) {
+        t.addRow({s.socName, s.model, std::to_string(s.units.size()),
+                  fmtPercent(s.perfVariationPercent),
+                  fmtPercent(s.energyVariationPercent),
+                  fmtPercent(s.fixedPerfSpreadPercent, 2),
+                  fmtPercent(s.meanScoreRsdPercent, 2),
+                  fmtDouble(s.efficiencyIterPerWh, 0)});
+    }
+    return t.render();
+}
+
+/** Parse an integer option value or die with a one-line error. */
+long long
+intArg(const std::string &opt, const char *text, long long min)
+{
+    long long v = 0;
+    if (!parseIntStrict(text, v) || v < min) {
+        fatal("pvar_study: %s needs an integer >= %lld, got '%s'",
+              opt.c_str(), min, text);
+    }
+    return v;
+}
+
+/** Parse a floating-point option value or die with a one-line error. */
+double
+doubleArg(const std::string &opt, const char *text)
+{
+    double v = 0.0;
+    if (!parseDoubleStrict(text, v))
+        fatal("pvar_study: %s needs a number, got '%s'", opt.c_str(),
+              text);
+    return v;
+}
+
 } // namespace
 
 int
@@ -129,8 +174,10 @@ main(int argc, char **argv)
     std::string soc;
     std::string device_id;
     std::string fleet_path;
-    std::string json_path;
-    std::string csv_path;
+    std::string output_path;
+    bool as_json = false;
+    bool as_csv = false;
+    bool use_cache = false;
     StudyConfig cfg;
     cfg.jobs = 0; // tool default: all hardware threads
 
@@ -151,21 +198,21 @@ main(int argc, char **argv)
             listDevices();
             return 0;
         } else if (arg == "--iterations") {
-            cfg.iterations = std::atoi(next());
-            if (cfg.iterations < 1)
-                fatal("pvar_study: iterations must be >= 1");
+            cfg.iterations = static_cast<int>(intArg(arg, next(), 1));
         } else if (arg == "--ambient") {
-            double t = std::atof(next());
+            double t = doubleArg(arg, next());
             cfg.thermabox.target = Celsius(t);
             cfg.accubench.cooldownTarget = Celsius(t + 6.0);
         } else if (arg == "--jobs") {
-            cfg.jobs = std::atoi(next());
-            if (cfg.jobs < 1)
-                fatal("pvar_study: jobs must be >= 1");
+            cfg.jobs = static_cast<int>(intArg(arg, next(), 1));
         } else if (arg == "--json") {
-            json_path = next();
+            as_json = true;
         } else if (arg == "--csv") {
-            csv_path = next();
+            as_csv = true;
+        } else if (arg == "--output") {
+            output_path = next();
+        } else if (arg == "--cache") {
+            use_cache = true;
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {
@@ -182,6 +229,12 @@ main(int argc, char **argv)
             (fleet_path.empty() ? 0 : 1) >
         1)
         fatal("pvar_study: --soc, --device and --fleet are exclusive");
+    if (as_json && as_csv)
+        fatal("pvar_study: --json and --csv are exclusive");
+
+    ResultCache cache;
+    if (use_cache)
+        cfg.cache = &cache;
 
     std::vector<SocStudy> studies;
     if (!fleet_path.empty()) {
@@ -205,21 +258,26 @@ main(int argc, char **argv)
         studies = runFullStudy(cfg);
     }
 
-    Table t({"Chipset", "Model", "# Devices", "Perf var", "Energy var",
-             "Fixed spread", "Mean RSD", "Efficiency (it/Wh)"});
-    for (const auto &s : studies) {
-        t.addRow({s.socName, s.model, std::to_string(s.units.size()),
-                  fmtPercent(s.perfVariationPercent),
-                  fmtPercent(s.energyVariationPercent),
-                  fmtPercent(s.fixedPerfSpreadPercent, 2),
-                  fmtPercent(s.meanScoreRsdPercent, 2),
-                  fmtDouble(s.efficiencyIterPerWh, 0)});
+    if (use_cache) {
+        ResultCacheStats cs = cache.stats();
+        inform("cache: %llu hits, %llu misses",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses));
     }
-    std::printf("%s", t.render().c_str());
 
-    if (!json_path.empty())
-        writeFile(json_path, toJson(studies));
-    if (!csv_path.empty())
-        writeFile(csv_path, summaryCsv(studies));
+    // The JSON report carries a trailing newline so the bytes match
+    // the pvar_served POST /study response exactly.
+    std::string report;
+    if (as_json)
+        report = toJson(studies) + "\n";
+    else if (as_csv)
+        report = summaryCsv(studies);
+    else
+        report = summaryTable(studies);
+
+    if (!output_path.empty())
+        writeFile(output_path, report);
+    else
+        std::printf("%s", report.c_str());
     return 0;
 }
