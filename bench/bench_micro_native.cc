@@ -9,13 +9,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include <stdlib.h>
+
 #include "accubench/protocol.hh"
 #include "device/catalog.hh"
+#include "report/json.hh"
+#include "store/durable_cache.hh"
 #include "silicon/process_node.hh"
 #include "silicon/variation_model.hh"
 #include "sim/logging.hh"
@@ -243,6 +248,92 @@ writeStudyScalingJson()
                     : "  MISS: outputs differ");
 }
 
+// -- Durable-store benchmark ---------------------------------------------
+//
+// Times the same reduced study cold (every experiment computed and
+// appended to the store) vs warm (every experiment answered from the
+// store in a fresh process-equivalent cache), and writes
+// BENCH_store.json. The warm number is the cost of a resumed or
+// repeated study; outputs must stay byte-identical.
+
+void
+writeStoreColdWarmJson()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    char dir_template[] = "/tmp/pvar_bench_store.XXXXXX";
+    const char *dir = ::mkdtemp(dir_template);
+    if (!dir) {
+        std::printf("store cold/warm: MISS: mkdtemp failed\n");
+        return;
+    }
+
+    StudyConfig cfg;
+    cfg.iterations = 1;
+    cfg.jobs = 0; // all hardware threads, as a real run would use
+
+    std::string cold_json;
+    double cold_sec;
+    {
+        DurableCache cache(dir);
+        cfg.cache = &cache;
+        cold_sec = wallSeconds(
+            [&] { cold_json = toJson(runFullStudy(cfg)); });
+    }
+
+    // A fresh cache on the same directory: empty LRU, warm store.
+    std::string warm_json;
+    double warm_sec;
+    ExperimentStoreStats warm_stats;
+    {
+        DurableCache cache(dir);
+        cfg.cache = &cache;
+        warm_sec = wallSeconds(
+            [&] { warm_json = toJson(runFullStudy(cfg)); });
+        warm_stats = cache.storeStats();
+    }
+
+    bool identical = cold_json == warm_json;
+    std::string json = strfmt(
+        "{\n"
+        "  \"benchmark\": \"store_cold_warm\",\n"
+        "  \"study\": \"table2\",\n"
+        "  \"iterations\": %d,\n"
+        "  \"cold_sec\": %.3f,\n"
+        "  \"warm_sec\": %.3f,\n"
+        "  \"speedup\": %.1f,\n"
+        "  \"store_records\": %llu,\n"
+        "  \"store_bytes\": %llu,\n"
+        "  \"warm_store_hits\": %llu,\n"
+        "  \"warm_computed\": %llu,\n"
+        "  \"outputs_identical\": %s\n"
+        "}\n",
+        cfg.iterations, cold_sec, warm_sec, cold_sec / warm_sec,
+        static_cast<unsigned long long>(warm_stats.records),
+        static_cast<unsigned long long>(warm_stats.bytes),
+        static_cast<unsigned long long>(warm_stats.hits),
+        static_cast<unsigned long long>(warm_stats.misses),
+        identical ? "true" : "false");
+
+    std::ofstream f("BENCH_store.json");
+    f << json;
+    std::printf("%s", json.c_str());
+    std::printf("store cold/warm: %.2fs cold, %.2fs warm (%.0fx), "
+                "%llu records%s\n",
+                cold_sec, warm_sec, cold_sec / warm_sec,
+                static_cast<unsigned long long>(warm_stats.records),
+                identical ? "" : "  MISS: outputs differ");
+    if (warm_stats.misses != 0)
+        std::printf("store cold/warm: MISS: warm run computed %llu "
+                    "experiments\n",
+                    static_cast<unsigned long long>(warm_stats.misses));
+
+    std::string cleanup = std::string("rm -rf '") + dir + "'";
+    if (std::system(cleanup.c_str()) != 0)
+        std::printf("store cold/warm: leftover bench store at %s\n",
+                    dir);
+}
+
 } // namespace
 } // namespace pvar
 
@@ -255,5 +346,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     pvar::writeStudyScalingJson();
+    pvar::writeStoreColdWarmJson();
     return 0;
 }

@@ -49,6 +49,61 @@ EOF
 }
 service_smoke ./build/pvar_served ./build/pvar_study
 
+# Kill-recovery: SIGKILL pvar_served mid-study, restart it on the same
+# --cache-dir, and prove (a) the repeated POST /study is byte-identical
+# to the CLI, (b) it was served from the durable store (no
+# recomputation), and (c) the log survived the crash intact (storectl
+# verify re-reads every record through the checksummed path).
+kill_recovery() {
+    local served=$1 study=$2 storectl=$3 tmp
+    tmp=$(mktemp -d)
+    "$served" --port 0 --port-file "$tmp/port" --iterations 1 \
+        --cache-dir "$tmp/store" --quiet & local pid=$!
+    for _ in $(seq 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    local port; port=$(cat "$tmp/port")
+    # Warm the store with a completed study, then die mid-request: the
+    # kill lands while the second (uncached) study is computing, so the
+    # process goes down with the log open for appends.
+    curl -sf -X POST --data-binary \
+        '{"device": "SD-805:unit-b", "iterations": 1}' \
+        "http://127.0.0.1:$port/study" -o "$tmp/before.json"
+    curl -sf -X POST --data-binary @examples/custom_fleet.json \
+        "http://127.0.0.1:$port/study" -o /dev/null &
+    local curl_pid=$!
+    sleep 0.3
+    kill -KILL "$pid"
+    wait "$pid" 2>/dev/null || true
+    wait "$curl_pid" 2>/dev/null || true
+
+    "$storectl" verify --cache-dir "$tmp/store" --quiet
+
+    # Restart on the same directory: the repeated request must come
+    # back byte-identical, answered from the store.
+    "$served" --port 0 --port-file "$tmp/port2" --iterations 1 \
+        --cache-dir "$tmp/store" --quiet & pid=$!
+    for _ in $(seq 100); do [ -s "$tmp/port2" ] && break; sleep 0.1; done
+    port=$(cat "$tmp/port2")
+    curl -sf -X POST --data-binary \
+        '{"device": "SD-805:unit-b", "iterations": 1}' \
+        "http://127.0.0.1:$port/study" -o "$tmp/after.json"
+    cmp "$tmp/before.json" "$tmp/after.json"
+    "$study" --device SD-805:unit-b --iterations 1 --json --quiet \
+        --output "$tmp/cli.json"
+    cmp "$tmp/after.json" "$tmp/cli.json"
+    curl -sf "http://127.0.0.1:$port/healthz" -o "$tmp/health.json"
+    python3 - "$tmp/health.json" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1]))
+store = h["store"]
+assert store["hits"] > 0 and store["misses"] == 0, store
+assert store["records"] >= 2, store
+EOF
+    kill -TERM "$pid"
+    wait "$pid"
+    rm -rf "$tmp"
+}
+kill_recovery ./build/pvar_served ./build/pvar_study ./build/pvar_storectl
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -57,16 +112,27 @@ service_smoke ./build/pvar_served ./build/pvar_study
 cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
 cmake --build build-tsan \
     --target test_parallel test_protocol test_json test_spec \
-        test_service pvar_study pvar_served
+        test_service test_store pvar_study pvar_served pvar_storectl
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_protocol
 ./build-tsan/tests/test_json
 ./build-tsan/tests/test_spec
 ./build-tsan/tests/test_service
+./build-tsan/tests/test_store
 ./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet
 ./build-tsan/pvar_study --fleet examples/custom_fleet.json \
     --iterations 1 --jobs 4 --quiet
+# Durable store under the parallel scheduler: every worker appends
+# through the store mutex while the study fans out.
+tsan_store=$(mktemp -d)
+./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet \
+    --cache-dir "$tsan_store"
+./build-tsan/pvar_study --soc SD-805 --iterations 1 --jobs 4 --quiet \
+    --cache-dir "$tsan_store"
+rm -rf "$tsan_store"
 service_smoke ./build-tsan/pvar_served ./build-tsan/pvar_study
+kill_recovery ./build-tsan/pvar_served ./build-tsan/pvar_study \
+    ./build-tsan/pvar_storectl
 
 fail=0
 for b in build/bench/bench_*; do

@@ -58,6 +58,10 @@ runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs,
             results[i] = compute();
         }
     });
+    // A finished study is a durability point: results a client is
+    // about to see must survive a crash of the process.
+    if (cache)
+        cache->flushPending();
     return results;
 }
 

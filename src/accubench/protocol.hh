@@ -34,7 +34,7 @@ struct RegistryEntry;
  * is bit-identical to a fresh run — implementations must preserve
  * that contract (key on *content*, never on names alone).
  *
- * The canonical implementation is service/result_cache.hh; the
+ * The canonical implementation is store/result_cache.hh; the
  * interface lives here so the protocol layer needs no service
  * dependency. Implementations must be thread-safe: the scheduler
  * calls in from every worker.
@@ -48,6 +48,13 @@ class ExperimentCache
         const RegistryEntry &entry, std::size_t unit_index,
         const ExperimentConfig &cfg,
         const std::function<ExperimentResult()> &compute) = 0;
+
+    /**
+     * Called by the scheduler after a study's task fan-out completes.
+     * Durable implementations use it as a batch boundary (fsync
+     * buffered appends); the in-memory cache has nothing to flush.
+     */
+    virtual void flushPending() {}
 };
 
 /** Study-wide knobs. */

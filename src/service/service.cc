@@ -62,10 +62,26 @@ intField(const JsonValue &doc, const char *key, int dflt, int min)
 
 StudyService::StudyService(ServiceConfig cfg) : _cfg(std::move(cfg))
 {
-    if (_cfg.cacheEntries > 0)
+    if (!_cfg.cacheDir.empty()) {
+        // Durable mode: the LRU fronts an on-disk record log, so a
+        // restart rebuilds the cache instead of cold-starting it.
+        std::size_t lru =
+            _cfg.cacheEntries > 0 ? _cfg.cacheEntries : 1;
+        _durable = std::make_unique<DurableCache>(
+            _cfg.cacheDir, lru, _cfg.storeSyncEvery);
+    } else if (_cfg.cacheEntries > 0) {
         _cache = std::make_unique<ResultCache>(_cfg.cacheEntries);
+    }
     if (_cfg.workers < 1)
         _cfg.workers = 1;
+}
+
+ExperimentCache *
+StudyService::activeCache()
+{
+    if (_durable)
+        return _durable.get();
+    return _cache.get();
 }
 
 StudyService::~StudyService()
@@ -170,11 +186,13 @@ StudyService::acceptLoop()
 void
 StudyService::handleConnection(int fd)
 {
+    auto start = std::chrono::steady_clock::now();
     HttpRequest req;
     std::string error;
     if (!readHttpRequest(fd, _cfg.limits, req, error)) {
         ++_badRequests;
-        finishResponse(fd, errorResponse(400, error));
+        finishResponse(fd, errorResponse(400, error), req.method,
+                       req.path, start);
         return;
     }
 
@@ -182,7 +200,8 @@ StudyService::handleConnection(int fd)
         {
             std::lock_guard<std::mutex> lock(_mutex);
             if (!_stopping && _queue.size() < _cfg.queueDepth) {
-                _queue.push_back(Job{fd, std::move(req.body)});
+                _queue.push_back(Job{fd, std::move(req.body),
+                                     req.method, req.path, start});
                 _wake.notify_one();
                 return;
             }
@@ -192,18 +211,19 @@ StudyService::handleConnection(int fd)
             }
         }
         if (!error.empty()) {
-            finishResponse(fd, errorResponse(503, error));
+            finishResponse(fd, errorResponse(503, error), req.method,
+                           req.path, start);
         } else {
             HttpResponse resp =
                 errorResponse(429, "study queue full; retry later");
             resp.headers.emplace_back(
                 "Retry-After", strfmt("%d", _cfg.retryAfterSec));
-            finishResponse(fd, resp);
+            finishResponse(fd, resp, req.method, req.path, start);
         }
         return;
     }
 
-    finishResponse(fd, handle(req));
+    finishResponse(fd, handle(req), req.method, req.path, start);
 }
 
 void
@@ -227,12 +247,16 @@ StudyService::workerLoop(int worker_id)
             job = std::move(_queue.front());
             _queue.pop_front();
         }
-        finishResponse(job.fd, handleStudy(job.body));
+        finishResponse(job.fd, handleStudy(job.body), job.method,
+                       job.path, job.start);
     }
 }
 
 void
-StudyService::finishResponse(int fd, const HttpResponse &resp)
+StudyService::finishResponse(int fd, const HttpResponse &resp,
+                             const std::string &method,
+                             const std::string &path,
+                             std::chrono::steady_clock::time_point start)
 {
     // Count before the bytes go out: a client that has read its
     // response must observe the updated counters on /healthz.
@@ -242,6 +266,15 @@ StudyService::finishResponse(int fd, const HttpResponse &resp)
     if (!writeHttpResponse(fd, resp))
         debug("pvar_served: client went away mid-response");
     ::close(fd);
+
+    // One structured line per request, for ops debugging: what was
+    // asked, what came back, how long it took end to end.
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    inform("request method=%s path=%s status=%d ms=%.1f",
+           method.empty() ? "-" : method.c_str(),
+           path.empty() ? "-" : path.c_str(), resp.status, ms);
 }
 
 HttpResponse
@@ -275,14 +308,32 @@ StudyService::handleHealthz()
     w.beginObject();
     w.key("status").value("ok");
     w.key("cache");
-    if (_cache) {
-        ResultCacheStats cs = _cache->stats();
+    if (activeCache()) {
+        ResultCacheStats cs = cacheStats();
         w.beginObject();
         w.key("hits").value(static_cast<long long>(cs.hits));
         w.key("misses").value(static_cast<long long>(cs.misses));
         w.key("entries").value(static_cast<long long>(cs.entries));
         w.key("capacity").value(static_cast<long long>(cs.capacity));
         w.key("evictions").value(static_cast<long long>(cs.evictions));
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.key("store");
+    if (_durable) {
+        ExperimentStoreStats ss = _durable->storeStats();
+        w.beginObject();
+        w.key("records").value(static_cast<long long>(ss.records));
+        w.key("bytes").value(static_cast<long long>(ss.bytes));
+        w.key("hits").value(static_cast<long long>(ss.hits));
+        w.key("misses").value(static_cast<long long>(ss.misses));
+        w.key("appends").value(static_cast<long long>(ss.appends));
+        w.key("syncs").value(static_cast<long long>(ss.syncs));
+        w.key("recovered_records")
+            .value(static_cast<long long>(ss.logRecords));
+        w.key("truncated_bytes")
+            .value(static_cast<long long>(ss.truncatedBytes));
         w.endObject();
     } else {
         w.null();
@@ -299,6 +350,9 @@ StudyService::handleHealthz()
     w.endObject();
     HttpResponse resp;
     resp.body = w.str() + "\n";
+    // Live counters: an intermediary replaying a stale copy would
+    // mislead dashboards and the kill-recovery checks.
+    resp.headers.emplace_back("Cache-Control", "no-store");
     return resp;
 }
 
@@ -307,6 +361,7 @@ StudyService::handleDevices()
 {
     HttpResponse resp;
     resp.body = fleetToJson(DeviceRegistry::builtin().entries()) + "\n";
+    resp.headers.emplace_back("Cache-Control", "no-store");
     return resp;
 }
 
@@ -335,7 +390,7 @@ StudyService::runStudyRequest(const std::string &body)
         throw JsonError(error);
 
     StudyConfig cfg = _cfg.study;
-    cfg.cache = _cache.get();
+    cfg.cache = activeCache();
     if (doc.isObject()) {
         cfg.iterations =
             intField(doc, "iterations", cfg.iterations, 1);
@@ -401,9 +456,19 @@ StudyService::stats() const
 ResultCacheStats
 StudyService::cacheStats() const
 {
+    if (_durable)
+        return _durable->lruStats();
     if (!_cache)
         return ResultCacheStats{};
     return _cache->stats();
+}
+
+ExperimentStoreStats
+StudyService::storeStats() const
+{
+    if (!_durable)
+        return ExperimentStoreStats{};
+    return _durable->storeStats();
 }
 
 void

@@ -35,6 +35,7 @@
 #define PVAR_SERVICE_SERVICE_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,7 +47,8 @@
 
 #include "accubench/protocol.hh"
 #include "service/http.hh"
-#include "service/result_cache.hh"
+#include "store/durable_cache.hh"
+#include "store/result_cache.hh"
 
 namespace pvar
 {
@@ -71,6 +73,17 @@ struct ServiceConfig
 
     /** Result-cache capacity, in experiments; 0 disables caching. */
     std::size_t cacheEntries = 128;
+
+    /**
+     * Durable store directory. When set, results are persisted to an
+     * append-only log under this directory and reloaded on restart
+     * (warm starts), with the LRU above as the memory layer; empty
+     * keeps the cache memory-only. See store/durable_cache.hh.
+     */
+    std::string cacheDir;
+
+    /** fsync batching for the durable store's record log. */
+    int storeSyncEvery = 8;
 
     /**
      * Base study settings (iterations, ambient, experiment jobs).
@@ -118,6 +131,9 @@ class StudyService
     ServiceStats stats() const;
     ResultCacheStats cacheStats() const;
 
+    /** Durable-store counters; zeros when no cacheDir is configured. */
+    ExperimentStoreStats storeStats() const;
+
     /**
      * Pause/resume the study workers. Test hook: with workers paused,
      * queued studies accumulate deterministically so backpressure can
@@ -134,12 +150,17 @@ class StudyService
     {
         int fd;
         std::string body;
+        /** Request identity + arrival time for the per-request log. */
+        std::string method;
+        std::string path;
+        std::chrono::steady_clock::time_point start;
     };
 
     ServiceConfig _cfg;
     int _listenFd = -1;
     int _port = 0;
     std::unique_ptr<ResultCache> _cache;
+    std::unique_ptr<DurableCache> _durable;
 
     std::thread _acceptor;
     std::vector<std::thread> _workers;
@@ -157,7 +178,13 @@ class StudyService
     void acceptLoop();
     void workerLoop(int worker_id);
     void handleConnection(int fd);
-    void finishResponse(int fd, const HttpResponse &resp);
+    void finishResponse(int fd, const HttpResponse &resp,
+                        const std::string &method,
+                        const std::string &path,
+                        std::chrono::steady_clock::time_point start);
+
+    /** The active experiment memoizer: durable, memory, or none. */
+    ExperimentCache *activeCache();
 
     HttpResponse handleHealthz();
     HttpResponse handleDevices();

@@ -1,0 +1,251 @@
+#include "store/codec.hh"
+
+#include <cstdint>
+#include <cstring>
+
+namespace pvar
+{
+
+namespace
+{
+
+constexpr std::uint32_t kCodecVersion = 1;
+
+/**
+ * Keeps decoders honest about pathological counts: no real experiment
+ * has anywhere near this many iterations, channels, or samples, but a
+ * corrupted length field easily does.
+ */
+constexpr std::uint64_t kMaxCount = 64u * 1024 * 1024;
+
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        _out.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            _out.push_back(static_cast<char>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            _out.push_back(static_cast<char>(v >> (8 * i)));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        _out.append(s);
+    }
+
+    std::string take() { return std::move(_out); }
+
+  private:
+    std::string _out;
+};
+
+/** Cursor over immutable bytes; every read reports success. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &bytes) : _bytes(bytes) {}
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (_pos + 1 > _bytes.size())
+            return false;
+        v = static_cast<std::uint8_t>(_bytes[_pos++]);
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (_pos + 4 > _bytes.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(_bytes[_pos + i]))
+                 << (8 * i);
+        _pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (_pos + 8 > _bytes.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(_bytes[_pos + i]))
+                 << (8 * i);
+        _pos += 8;
+        return true;
+    }
+
+    bool
+    i64(std::int64_t &v)
+    {
+        std::uint64_t u = 0;
+        if (!u64(u))
+            return false;
+        v = static_cast<std::int64_t>(u);
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t len = 0;
+        if (!u32(len) || _pos + len > _bytes.size())
+            return false;
+        s.assign(_bytes, _pos, len);
+        _pos += len;
+        return true;
+    }
+
+    bool done() const { return _pos == _bytes.size(); }
+
+  private:
+    const std::string &_bytes;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+std::string
+encodeExperimentResult(const ExperimentResult &result)
+{
+    ByteWriter w;
+    w.u32(kCodecVersion);
+    w.str(result.unitId);
+    w.str(result.model);
+    w.str(result.socName);
+
+    w.u32(static_cast<std::uint32_t>(result.iterations.size()));
+    for (const IterationResult &it : result.iterations) {
+        w.f64(it.score);
+        w.f64(it.workloadEnergy.value());
+        w.f64(it.totalEnergy.value());
+        w.i64(it.warmupTime.toUsec());
+        w.i64(it.cooldownTime.toUsec());
+        w.i64(it.workloadTime.toUsec());
+        w.f64(it.tempAtWorkloadStart.value());
+        w.f64(it.peakWorkloadTemp.value());
+        w.u8(it.cooldownReachedTarget ? 1 : 0);
+    }
+
+    std::vector<std::string> channels = result.trace.channelNames();
+    w.u32(static_cast<std::uint32_t>(channels.size()));
+    for (const std::string &name : channels) {
+        const TraceChannel &ch = result.trace.channel(name);
+        w.str(name);
+        w.u64(ch.size());
+        for (const Sample &s : ch.samples()) {
+            w.i64(s.when.toUsec());
+            w.f64(s.value);
+        }
+    }
+    return w.take();
+}
+
+bool
+decodeExperimentResult(const std::string &bytes, ExperimentResult &out)
+{
+    ByteReader r(bytes);
+    std::uint32_t version = 0;
+    if (!r.u32(version) || version != kCodecVersion)
+        return false;
+
+    out = ExperimentResult{};
+    if (!r.str(out.unitId) || !r.str(out.model) || !r.str(out.socName))
+        return false;
+
+    std::uint32_t n_iterations = 0;
+    if (!r.u32(n_iterations) || n_iterations > kMaxCount)
+        return false;
+    out.iterations.reserve(n_iterations);
+    for (std::uint32_t i = 0; i < n_iterations; ++i) {
+        IterationResult it;
+        double workload_j = 0.0, total_j = 0.0;
+        double temp_start = 0.0, temp_peak = 0.0;
+        std::int64_t warmup = 0, cooldown = 0, workload = 0;
+        std::uint8_t reached = 0;
+        if (!r.f64(it.score) || !r.f64(workload_j) ||
+            !r.f64(total_j) || !r.i64(warmup) || !r.i64(cooldown) ||
+            !r.i64(workload) || !r.f64(temp_start) ||
+            !r.f64(temp_peak) || !r.u8(reached))
+            return false;
+        it.workloadEnergy = Joules(workload_j);
+        it.totalEnergy = Joules(total_j);
+        it.warmupTime = Time::usec(warmup);
+        it.cooldownTime = Time::usec(cooldown);
+        it.workloadTime = Time::usec(workload);
+        it.tempAtWorkloadStart = Celsius(temp_start);
+        it.peakWorkloadTemp = Celsius(temp_peak);
+        it.cooldownReachedTarget = reached != 0;
+        out.iterations.push_back(it);
+    }
+
+    std::uint32_t n_channels = 0;
+    if (!r.u32(n_channels) || n_channels > kMaxCount)
+        return false;
+    for (std::uint32_t c = 0; c < n_channels; ++c) {
+        std::string name;
+        std::uint64_t n_samples = 0;
+        if (!r.str(name) || !r.u64(n_samples) ||
+            n_samples > kMaxCount)
+            return false;
+        TraceChannel &ch = out.trace.channel(name);
+        for (std::uint64_t s = 0; s < n_samples; ++s) {
+            std::int64_t when = 0;
+            double value = 0.0;
+            if (!r.i64(when) || !r.f64(value))
+                return false;
+            ch.record(Time::usec(when), value);
+        }
+    }
+    // Trailing bytes mean the value was written by something else;
+    // reject rather than silently accept a prefix.
+    return r.done();
+}
+
+} // namespace pvar

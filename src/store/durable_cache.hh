@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DurableCache: the in-memory LRU layered over the on-disk store.
+ *
+ * The ExperimentCache implementation behind `--cache-dir`: reads
+ * check the LRU first, then the RecordLog-backed ExperimentStore;
+ * misses simulate and write through to both layers. Because the store
+ * and the LRU key on the same canonical (spec, unit, config) bytes,
+ * a restarted process — pvar_served after a crash, or a re-run of a
+ * killed pvar_study — rebuilds the index from disk and serves every
+ * already-completed experiment without re-simulating it.
+ *
+ * Determinism is inherited, not re-proved: a stored result was
+ * produced by the same deterministic simulation a fresh compute would
+ * run, the codec round-trips it bit-identically, and both layers
+ * degrade corruption to a miss. So cold ≡ warm at any jobs count,
+ * across process lifetimes.
+ */
+
+#ifndef PVAR_STORE_DURABLE_CACHE_HH
+#define PVAR_STORE_DURABLE_CACHE_HH
+
+#include <string>
+
+#include "store/result_cache.hh"
+#include "store/store.hh"
+
+namespace pvar
+{
+
+class DurableCache : public ExperimentCache
+{
+  public:
+    /**
+     * @param dir          store directory (created if missing)
+     * @param lru_entries  in-memory layer capacity, in experiments
+     * @param sync_every   fsync batching for the record log
+     */
+    explicit DurableCache(const std::string &dir,
+                          std::size_t lru_entries = 128,
+                          int sync_every = 8);
+
+    ExperimentResult getOrCompute(
+        const RegistryEntry &entry, std::size_t unit_index,
+        const ExperimentConfig &cfg,
+        const std::function<ExperimentResult()> &compute) override;
+
+    /** Study finished: fsync whatever the batch window still holds. */
+    void flushPending() override;
+
+    /** The memory layer's counters. */
+    ResultCacheStats lruStats() const { return _lru.stats(); }
+
+    /** The disk layer's counters. */
+    ExperimentStoreStats storeStats() const { return _store.stats(); }
+
+    /** Direct access for tools and tests. */
+    ExperimentStore &store() { return _store; }
+
+  private:
+    ExperimentStore _store;
+    ResultCache _lru;
+};
+
+} // namespace pvar
+
+#endif // PVAR_STORE_DURABLE_CACHE_HH

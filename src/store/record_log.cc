@@ -1,0 +1,323 @@
+#include "store/record_log.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'P', 'V', 'A', 'R', 'L', 'O', 'G', '1'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic);
+constexpr std::size_t kPrefixBytes = 8; // length u32 + crc32 u32
+
+/**
+ * Upper bound on one payload. Far above any real record (a full
+ * 5-iteration experiment with traces is ~1 MiB); its real job is to
+ * reject lengths fabricated by a corrupted prefix before they drive a
+ * huge allocation.
+ */
+constexpr std::uint32_t kMaxPayloadBytes = 256u * 1024 * 1024;
+
+std::uint32_t
+loadLe32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+storeLe32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+/** pread() exactly @p size bytes; false on EOF, short read, or error. */
+bool
+preadAll(int fd, void *buf, std::size_t size, std::int64_t offset)
+{
+    unsigned char *p = static_cast<unsigned char *>(buf);
+    while (size > 0) {
+        ssize_t n = ::pread(fd, p, size, offset);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        size -= static_cast<std::size_t>(n);
+        offset += n;
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void *buf, std::size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(buf);
+    while (size > 0) {
+        ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    // Table-driven IEEE CRC-32, table built on first use.
+    static const std::uint32_t *table = [] {
+        static std::uint32_t t[256];
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    std::uint32_t c = 0xffffffffu;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::size_t
+RecordLog::recordBytes(std::size_t key_size, std::size_t value_size)
+{
+    return kPrefixBytes + 4 + key_size + 4 + value_size;
+}
+
+RecordLog::RecordLog(std::string path, int sync_every)
+    : _path(std::move(path)), _syncEvery(sync_every)
+{
+    _fd = ::open(_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (_fd < 0) {
+        fatal("record log: cannot open '%s': %s", _path.c_str(),
+              std::strerror(errno));
+    }
+    recover();
+}
+
+RecordLog::~RecordLog()
+{
+    if (_fd >= 0) {
+        if (_unsynced > 0)
+            sync();
+        ::close(_fd);
+    }
+}
+
+void
+RecordLog::recover()
+{
+    struct stat st{};
+    if (::fstat(_fd, &st) != 0) {
+        fatal("record log: fstat '%s': %s", _path.c_str(),
+              std::strerror(errno));
+    }
+    std::int64_t size = st.st_size;
+
+    if (size == 0) {
+        // Fresh file: write the header eagerly so a crash right after
+        // creation still leaves a well-formed (empty) log.
+        if (!writeAll(_fd, kMagic, kHeaderBytes)) {
+            fatal("record log: cannot initialize '%s': %s",
+                  _path.c_str(), std::strerror(errno));
+        }
+        ::fsync(_fd);
+        _end = static_cast<std::int64_t>(kHeaderBytes);
+        _stats.bytes = kHeaderBytes;
+        return;
+    }
+
+    // A crash during creation can leave a partial header. Any prefix
+    // of the magic is our own torn write: reset to an empty log. A
+    // mismatch is some other file — refuse to clobber it.
+    std::size_t have =
+        std::min<std::size_t>(static_cast<std::size_t>(size),
+                              kHeaderBytes);
+    char magic[kHeaderBytes];
+    if (!preadAll(_fd, magic, have, 0) ||
+        std::memcmp(magic, kMagic, have) != 0) {
+        fatal("record log: '%s' is not a pvar record log",
+              _path.c_str());
+    }
+    if (size < static_cast<std::int64_t>(kHeaderBytes)) {
+        _stats.truncatedBytes = static_cast<std::uint64_t>(size);
+        if (::ftruncate(_fd, 0) != 0 ||
+            ::lseek(_fd, 0, SEEK_SET) < 0 ||
+            !writeAll(_fd, kMagic, kHeaderBytes)) {
+            fatal("record log: cannot reinitialize '%s': %s",
+                  _path.c_str(), std::strerror(errno));
+        }
+        ::fsync(_fd);
+        _end = static_cast<std::int64_t>(kHeaderBytes);
+        _stats.bytes = kHeaderBytes;
+        return;
+    }
+
+    // Walk the records, keeping the longest valid prefix. readAt()
+    // bounds-checks against _end, so expose the whole file while
+    // scanning and pull _end back to the last valid record after.
+    _end = size;
+    std::int64_t pos = static_cast<std::int64_t>(kHeaderBytes);
+    while (pos < size) {
+        std::string k, v;
+        if (!readAt(pos, k, v))
+            break;
+        pos += static_cast<std::int64_t>(
+            recordBytes(k.size(), v.size()));
+        ++_stats.records;
+    }
+
+    if (pos < size) {
+        _stats.truncatedBytes = static_cast<std::uint64_t>(size - pos);
+        warn("record log: '%s' has a torn tail; truncating %lld bytes "
+             "after %llu valid records",
+             _path.c_str(), static_cast<long long>(size - pos),
+             static_cast<unsigned long long>(_stats.records));
+        if (::ftruncate(_fd, pos) != 0) {
+            fatal("record log: cannot truncate '%s': %s",
+                  _path.c_str(), std::strerror(errno));
+        }
+        ::fsync(_fd);
+    }
+    _end = pos;
+    _stats.bytes = static_cast<std::uint64_t>(pos);
+}
+
+std::int64_t
+RecordLog::append(const std::string &key, const std::string &value)
+{
+    std::size_t payload_size = 4 + key.size() + 4 + value.size();
+    if (payload_size > kMaxPayloadBytes) {
+        warn("record log: record too large (%zu bytes); dropped",
+             payload_size);
+        return -1;
+    }
+
+    // Assemble the whole record so it reaches the kernel in one
+    // write(): a crash can then only tear it at the file tail, which
+    // recovery truncates away.
+    std::vector<unsigned char> buf(kPrefixBytes + payload_size);
+    storeLe32(buf.data() + 8, static_cast<std::uint32_t>(key.size()));
+    std::memcpy(buf.data() + 12, key.data(), key.size());
+    storeLe32(buf.data() + 12 + key.size(),
+              static_cast<std::uint32_t>(value.size()));
+    std::memcpy(buf.data() + 16 + key.size(), value.data(),
+                value.size());
+    storeLe32(buf.data(), static_cast<std::uint32_t>(payload_size));
+    storeLe32(buf.data() + 4,
+              crc32(buf.data() + kPrefixBytes, payload_size));
+
+    if (::lseek(_fd, _end, SEEK_SET) < 0 ||
+        !writeAll(_fd, buf.data(), buf.size())) {
+        warn("record log: append to '%s' failed: %s", _path.c_str(),
+             std::strerror(errno));
+        return -1;
+    }
+
+    std::int64_t offset = _end;
+    _end += static_cast<std::int64_t>(buf.size());
+    _stats.bytes = static_cast<std::uint64_t>(_end);
+    ++_stats.records;
+    ++_stats.appends;
+
+    if (_syncEvery > 0 && ++_unsynced >= _syncEvery)
+        sync();
+    return offset;
+}
+
+bool
+RecordLog::readAt(std::int64_t offset, std::string &key,
+                  std::string &value) const
+{
+    if (offset < static_cast<std::int64_t>(kHeaderBytes) ||
+        offset + static_cast<std::int64_t>(kPrefixBytes) > _end)
+        return false;
+
+    unsigned char prefix[kPrefixBytes];
+    if (!preadAll(_fd, prefix, kPrefixBytes, offset))
+        return false;
+    std::uint32_t length = loadLe32(prefix);
+    std::uint32_t want_crc = loadLe32(prefix + 4);
+    if (length < 8 || length > kMaxPayloadBytes ||
+        offset + static_cast<std::int64_t>(kPrefixBytes + length) >
+            _end)
+        return false;
+
+    std::vector<unsigned char> payload(length);
+    if (!preadAll(_fd, payload.data(), length,
+                  offset + static_cast<std::int64_t>(kPrefixBytes)))
+        return false;
+    if (crc32(payload.data(), length) != want_crc)
+        return false;
+
+    std::uint32_t key_len = loadLe32(payload.data());
+    if (key_len > length - 8)
+        return false;
+    std::uint32_t value_len = loadLe32(payload.data() + 4 + key_len);
+    if (static_cast<std::uint64_t>(key_len) + value_len + 8 != length)
+        return false;
+
+    key.assign(reinterpret_cast<char *>(payload.data()) + 4, key_len);
+    value.assign(
+        reinterpret_cast<char *>(payload.data()) + 8 + key_len,
+        value_len);
+    return true;
+}
+
+void
+RecordLog::scan(const std::function<void(std::int64_t,
+                                         const std::string &,
+                                         const std::string &)> &fn)
+    const
+{
+    std::int64_t pos = static_cast<std::int64_t>(kHeaderBytes);
+    std::string key, value;
+    while (pos < _end && readAt(pos, key, value)) {
+        fn(pos, key, value);
+        pos += static_cast<std::int64_t>(
+            recordBytes(key.size(), value.size()));
+    }
+}
+
+void
+RecordLog::sync()
+{
+    // _end is tracked in memory rather than re-fetched: recovery
+    // established it and append() is the only writer.
+    if (_fd >= 0 && ::fsync(_fd) == 0)
+        ++_stats.syncs;
+    _unsynced = 0;
+}
+
+} // namespace pvar

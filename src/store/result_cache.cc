@@ -1,4 +1,4 @@
-#include "service/result_cache.hh"
+#include "store/result_cache.hh"
 
 #include "report/spec_json.hh"
 #include "sim/logging.hh"

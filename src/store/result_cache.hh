@@ -20,8 +20,8 @@
  * misses don't serialize.
  */
 
-#ifndef PVAR_SERVICE_RESULT_CACHE_HH
-#define PVAR_SERVICE_RESULT_CACHE_HH
+#ifndef PVAR_STORE_RESULT_CACHE_HH
+#define PVAR_STORE_RESULT_CACHE_HH
 
 #include <cstdint>
 #include <list>
@@ -104,4 +104,4 @@ class ResultCache : public ExperimentCache
 
 } // namespace pvar
 
-#endif // PVAR_SERVICE_RESULT_CACHE_HH
+#endif // PVAR_STORE_RESULT_CACHE_HH

@@ -1,0 +1,199 @@
+#include "store/store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "store/codec.hh"
+#include "store/result_cache.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+const char *kLogName = "experiments.log";
+
+/** mkdir -p: create @p dir and any missing parents. */
+void
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            partial.push_back(dir[i]);
+            continue;
+        }
+        if (i < dir.size())
+            partial.push_back('/');
+        if (partial.empty() || partial == "/")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+            fatal("experiment store: cannot create '%s': %s",
+                  partial.c_str(), std::strerror(errno));
+        }
+    }
+}
+
+} // namespace
+
+ExperimentStore::ExperimentStore(const std::string &dir, int sync_every)
+    : _dir(dir), _syncEvery(sync_every)
+{
+    makeDirs(_dir);
+    _log = std::make_unique<RecordLog>(_dir + "/" + kLogName,
+                                       _syncEvery);
+    rebuildIndexLocked();
+    RecordLogStats ls = _log->stats();
+    std::string recovered;
+    if (ls.truncatedBytes) {
+        recovered = strfmt(
+            ", torn tail of %llu bytes truncated",
+            static_cast<unsigned long long>(ls.truncatedBytes));
+    }
+    inform("experiment store: %s (%llu records, %llu bytes%s)",
+           _log->path().c_str(),
+           static_cast<unsigned long long>(_index.size()),
+           static_cast<unsigned long long>(ls.bytes),
+           recovered.c_str());
+}
+
+void
+ExperimentStore::rebuildIndexLocked()
+{
+    _index.clear();
+    // Later records supersede earlier ones: the scan runs in file
+    // order, so the last insert per digest wins.
+    _log->scan([this](std::int64_t offset, const std::string &key,
+                      const std::string &) {
+        _index[contentDigest(key)] = offset;
+    });
+}
+
+bool
+ExperimentStore::get(const std::string &key_text, ExperimentResult &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(contentDigest(key_text));
+    if (it == _index.end()) {
+        ++_misses;
+        return false;
+    }
+    std::string key, value;
+    if (!_log->readAt(it->second, key, value) || key != key_text ||
+        !decodeExperimentResult(value, out)) {
+        // Collision or corruption: forget the entry so the caller's
+        // recompute can supersede it.
+        _index.erase(it);
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    return true;
+}
+
+void
+ExperimentStore::put(const std::string &key_text,
+                     const ExperimentResult &result)
+{
+    std::string value = encodeExperimentResult(result);
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::int64_t offset = _log->append(key_text, value);
+    if (offset >= 0)
+        _index[contentDigest(key_text)] = offset;
+}
+
+void
+ExperimentStore::sync()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _log->sync();
+}
+
+std::uint64_t
+ExperimentStore::compact()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    RecordLogStats before = _log->stats();
+
+    // Write the surviving records into a sibling file, fsync it, then
+    // rename over the live log: rename(2) is atomic, so a crash at
+    // any point leaves one complete, valid log.
+    std::string tmp_path = _log->path() + ".compact";
+    ::remove(tmp_path.c_str());
+    {
+        RecordLog fresh(tmp_path, /*sync_every=*/0);
+        _log->scan([&](std::int64_t offset, const std::string &key,
+                       const std::string &value) {
+            auto it = _index.find(contentDigest(key));
+            if (it == _index.end() || it->second != offset)
+                return; // superseded or already dropped
+            ExperimentResult probe;
+            if (!decodeExperimentResult(value, probe))
+                return; // orphaned: value no longer decodes
+            fresh.append(key, value);
+        });
+        fresh.sync();
+    }
+    if (::rename(tmp_path.c_str(), _log->path().c_str()) != 0) {
+        fatal("experiment store: rename '%s': %s", tmp_path.c_str(),
+              std::strerror(errno));
+    }
+
+    std::string live_path = _log->path();
+    _log = std::make_unique<RecordLog>(live_path, _syncEvery);
+    rebuildIndexLocked();
+    return before.records - _log->stats().records;
+}
+
+void
+ExperimentStore::forEach(
+    const std::function<void(const std::string &,
+                             const ExperimentResult &)> &fn,
+    std::uint64_t *bad)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _log->scan([&](std::int64_t offset, const std::string &key,
+                   const std::string &value) {
+        auto it = _index.find(contentDigest(key));
+        if (it == _index.end() || it->second != offset)
+            return; // superseded
+        ExperimentResult result;
+        if (!decodeExperimentResult(value, result)) {
+            if (bad)
+                ++*bad;
+            return;
+        }
+        fn(key, result);
+    });
+}
+
+ExperimentStoreStats
+ExperimentStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    RecordLogStats ls = _log->stats();
+    ExperimentStoreStats s;
+    s.records = _index.size();
+    s.logRecords = ls.records;
+    s.bytes = ls.bytes;
+    s.truncatedBytes = ls.truncatedBytes;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.appends = ls.appends;
+    s.syncs = ls.syncs;
+    return s;
+}
+
+const std::string &
+ExperimentStore::logPath() const
+{
+    return _log->path();
+}
+
+} // namespace pvar

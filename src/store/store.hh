@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The durable experiment store: a content-addressed map from the
+ * canonical experiment key (the exact-double (spec, unit, config)
+ * JSON the in-memory ResultCache already hashes) to a persisted
+ * ExperimentResult, backed by an append-only RecordLog.
+ *
+ * On open, the log is recovered (torn tail truncated) and scanned
+ * once to rebuild an in-memory index of content digest → file offset;
+ * later records supersede earlier ones with the same digest, exactly
+ * like the LRU's overwrite semantics. Every read re-verifies the full
+ * key text against the caller's key and re-decodes through the
+ * checksummed log, so a digest collision or on-disk corruption
+ * degrades to a miss — never a wrong result.
+ *
+ * compact() rewrites the log keeping only the live record per digest
+ * (dropping superseded versions and records whose value no longer
+ * decodes), then atomically renames it into place: a crash during
+ * compaction leaves either the old or the new file, both valid.
+ *
+ * Thread-safe: the study scheduler calls in from every worker.
+ */
+
+#ifndef PVAR_STORE_STORE_HH
+#define PVAR_STORE_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "accubench/result.hh"
+#include "store/record_log.hh"
+
+namespace pvar
+{
+
+/** Point-in-time store counters (surfaced on /healthz and storectl). */
+struct ExperimentStoreStats
+{
+    std::uint64_t records = 0;        ///< live (indexed) records
+    std::uint64_t logRecords = 0;     ///< records in the log file
+    std::uint64_t bytes = 0;          ///< log file size
+    std::uint64_t truncatedBytes = 0; ///< torn tail dropped at open
+    std::uint64_t hits = 0;           ///< get() served from disk
+    std::uint64_t misses = 0;         ///< get() not found / degraded
+    std::uint64_t appends = 0;        ///< put() records this session
+    std::uint64_t syncs = 0;          ///< fsyncs this session
+};
+
+class ExperimentStore
+{
+  public:
+    /**
+     * Open (creating directory and log as needed) the store rooted at
+     * @p dir; the log lives at dir/experiments.log. @p sync_every
+     * batches fsyncs (see RecordLog). Fatal when the directory or log
+     * cannot be created — a requested --cache-dir that cannot work
+     * should fail loudly at startup, not quietly compute everything.
+     */
+    explicit ExperimentStore(const std::string &dir,
+                             int sync_every = 8);
+
+    /**
+     * Look up @p key_text. True and fills @p out only when a record
+     * with the exact same key bytes is present and its value decodes;
+     * every other outcome (absent, superseded-then-corrupted, digest
+     * collision) is a miss.
+     */
+    bool get(const std::string &key_text, ExperimentResult &out);
+
+    /** Persist (or supersede) the record for @p key_text. */
+    void put(const std::string &key_text,
+             const ExperimentResult &result);
+
+    /** fsync any batched appends. */
+    void sync();
+
+    /**
+     * Rewrite the log keeping one live, decodable record per digest.
+     * Returns the number of records dropped. Fatal on I/O failure
+     * while writing the replacement (the original is untouched).
+     */
+    std::uint64_t compact();
+
+    /**
+     * Visit every live record (decoded) in file order; used by
+     * pvar_storectl verify/export. Records that fail decoding are
+     * reported through @p bad (may be nullptr).
+     */
+    void forEach(const std::function<void(const std::string &key,
+                                          const ExperimentResult &)> &fn,
+                 std::uint64_t *bad = nullptr);
+
+    ExperimentStoreStats stats() const;
+
+    const std::string &logPath() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::string _dir;
+    int _syncEvery;
+    std::unique_ptr<RecordLog> _log;
+    std::unordered_map<std::string, std::int64_t> _index;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+
+    void rebuildIndexLocked();
+};
+
+} // namespace pvar
+
+#endif // PVAR_STORE_STORE_HH

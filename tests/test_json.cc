@@ -214,3 +214,91 @@ TEST(JsonExactDouble, ParsesBackThroughParser)
         EXPECT_EQ(parsed.asNumber(), v);
     }
 }
+
+// ---------------------------------------------------------------------
+// Hardening corpus: the parser fronts the network service, so every
+// malformed document must produce a positioned error — never a crash,
+// a hang, or an unbounded allocation.
+// ---------------------------------------------------------------------
+
+TEST(JsonParseHardening, EveryTruncationFailsWithPosition)
+{
+    // A realistic request/fleet-style document exercising every
+    // construct: nested objects and arrays, escapes, unicode,
+    // exponents, booleans, null. No trailing whitespace, so every
+    // strict prefix is incomplete.
+    const std::string doc =
+        "{\"device\": \"SD-805:unit-b\",\n"
+        " \"iterations\": 5,\n"
+        " \"ambient_c\": 2.6e1,\n"
+        " \"tags\": [\"a\\\"b\", \"\\u00b5s\", null, true, -0.5],\n"
+        " \"nested\": {\"deep\": [[1, 2], {\"x\": []}]}}";
+    parseOk(doc);
+
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+        JsonValue v;
+        std::string error;
+        EXPECT_FALSE(parseJson(doc.substr(0, len), v, error))
+            << "prefix of " << len << " bytes parsed";
+        EXPECT_NE(error.find("line"), std::string::npos)
+            << "no position in: " << error;
+    }
+}
+
+TEST(JsonParseHardening, GarbageCorpusNeverCrashes)
+{
+    const std::string corpus[] = {
+        std::string("\x00\x01\x02\x03", 4),     // control bytes
+        std::string("\xff\xfe{\"a\": 1}"),      // UTF-16 BOM-ish prefix
+        "\xef\xbb\xbf{}",                        // UTF-8 BOM
+        "{\"a\": 0x10}",                         // hex number
+        "{\"a\": NaN}",                          // non-JSON literal
+        "{\"a\": Infinity}",
+        "{\"a\": +1}",
+        "{\"a\": .5}",
+        "{\"a\": 1.}",
+        "[1, 2,]",                               // trailing comma
+        "{\"a\": 1,}",
+        "{'a': 1}",                              // single quotes
+        "{a: 1}",                                // bare key
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"half unicode \\u12\"",
+        "\"\\",                                  // backslash at EOF
+        "[}",                                    // mismatched brackets
+        "{]",
+        "]",
+        "}",
+        ",",
+        ":",
+        "--1",
+        "1 2 3",
+        "{\"dup\": 1 \"missing comma\": 2}",
+        std::string("{\"a\"") + std::string(4096, ' '), // long padding
+    };
+
+    for (const std::string &text : corpus) {
+        JsonValue v;
+        std::string error;
+        EXPECT_FALSE(parseJson(text, v, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonParseHardening, DeepNestingFailsGracefully)
+{
+    // Way past the recursion guard, in each nesting flavor: the
+    // parser must refuse without exhausting the stack.
+    for (const char *open_close : {"[]", "{}"}) {
+        std::string deep;
+        for (int i = 0; i < 100000; ++i) {
+            deep += open_close[0];
+            if (open_close[0] == '{')
+                deep += "\"k\":";
+        }
+        JsonValue v;
+        std::string error;
+        EXPECT_FALSE(parseJson(deep, v, error));
+        EXPECT_NE(error.find("deep"), std::string::npos) << error;
+    }
+}

@@ -19,7 +19,7 @@
 #include "device/registry.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
-#include "service/result_cache.hh"
+#include "store/result_cache.hh"
 #include "service/service.hh"
 #include "sim/logging.hh"
 
@@ -460,4 +460,95 @@ TEST(FleetFileErrors, WrongTypesDieCleanly)
                                      R"({"fleet": "not an array"})");
     EXPECT_EXIT(loadFleetFile(path), testing::ExitedWithCode(1),
                 "pvar_wrong_types_fleet.json");
+}
+
+// ---------------------------------------------------------------------
+// Durable store behind the service: warm restarts.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** True if @p resp carries the header @p name with value @p value. */
+bool
+hasHeader(const HttpResponse &resp, const std::string &name,
+          const std::string &value)
+{
+    for (const auto &[k, v] : resp.headers)
+        if (k == name && v == value)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(StudyServiceDurable, WarmRestartServesIdenticalBytesFromTheStore)
+{
+    QuietLog quiet;
+    std::string dir = testing::TempDir() + "/pvar_svc_store";
+    std::remove((dir + "/experiments.log").c_str());
+
+    std::string cold_body;
+    {
+        ServiceConfig cfg = testServiceConfig();
+        cfg.cacheDir = dir;
+        StudyService svc(cfg);
+        HttpResponse cold =
+            svc.handle(makeRequest("POST", "/study", kUnitBody));
+        ASSERT_EQ(cold.status, 200) << cold.body;
+        cold_body = cold.body;
+        EXPECT_EQ(svc.storeStats().misses, 2u); // 1 unit x 2 modes
+        EXPECT_EQ(svc.storeStats().records, 2u);
+    }
+
+    // A restarted service on the same directory answers from the
+    // store: no recomputation, byte-identical response.
+    ServiceConfig cfg = testServiceConfig();
+    cfg.cacheDir = dir;
+    StudyService svc(cfg);
+    HttpResponse warm =
+        svc.handle(makeRequest("POST", "/study", kUnitBody));
+    ASSERT_EQ(warm.status, 200) << warm.body;
+    EXPECT_EQ(warm.body, cold_body);
+    EXPECT_EQ(svc.storeStats().hits, 2u);
+    EXPECT_EQ(svc.storeStats().misses, 0u);
+
+    // The bytes still match the CLI path exactly.
+    StudyConfig study = fastStudyConfig();
+    UnitRef ref = DeviceRegistry::builtin().findUnit("SD-805:unit-b");
+    ASSERT_NE(ref.entry, nullptr);
+    EXPECT_EQ(warm.body,
+              toJson(std::vector<SocStudy>{
+                  runUnitStudy(*ref.entry, ref.unitIndex, study)}) +
+                  "\n");
+
+    // /healthz reports the warm store.
+    HttpResponse hz = svc.handle(makeRequest("GET", "/healthz"));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(hz.body, doc, error)) << hz.body;
+    EXPECT_EQ(doc.at("store").at("records").asNumber(), 2.0);
+    EXPECT_EQ(doc.at("store").at("recovered_records").asNumber(), 2.0);
+    EXPECT_EQ(doc.at("store").at("hits").asNumber(), 2.0);
+    EXPECT_EQ(doc.at("store").at("truncated_bytes").asNumber(), 0.0);
+}
+
+TEST(StudyServiceHandle, MetadataEndpointsAreNoStore)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+
+    // Both metadata endpoints change across restarts and store
+    // mutations; intermediaries must not cache them.
+    EXPECT_TRUE(hasHeader(svc.handle(makeRequest("GET", "/healthz")),
+                          "Cache-Control", "no-store"));
+    EXPECT_TRUE(hasHeader(svc.handle(makeRequest("GET", "/devices")),
+                          "Cache-Control", "no-store"));
+
+    // Without --cache-dir, /healthz reports a null store.
+    HttpResponse hz = svc.handle(makeRequest("GET", "/healthz"));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(hz.body, doc, error)) << hz.body;
+    EXPECT_TRUE(doc.at("store").isNull());
 }

@@ -14,6 +14,9 @@
  *     --ambient C       default chamber target temperature
  *     --cache N         result-cache capacity in experiments
  *                       (default 128; 0 disables caching)
+ *     --cache-dir DIR   persist results to an append-only store in
+ *                       DIR and reload them on restart (warm starts;
+ *                       crash-safe, see store/record_log.hh)
  *     --quiet           suppress progress logging
  *     --help            this text
  *
@@ -64,6 +67,8 @@ usage()
         "  --ambient C       default chamber target temperature\n"
         "  --cache N         result-cache capacity (default 128;\n"
         "                    0 disables caching)\n"
+        "  --cache-dir DIR   persist results to DIR and reload them\n"
+        "                    on restart (crash-safe warm starts)\n"
         "  --quiet           suppress progress logging\n"
         "  --help            this text\n"
         "\n"
@@ -131,6 +136,8 @@ main(int argc, char **argv)
         } else if (arg == "--cache") {
             cfg.cacheEntries =
                 static_cast<std::size_t>(intArg(arg, next(), 0));
+        } else if (arg == "--cache-dir") {
+            cfg.cacheDir = next();
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * pvar_storectl: inspect and maintain a durable experiment store.
+ *
+ *   pvar_storectl <command> --cache-dir DIR [options]
+ *
+ *   commands:
+ *     stats             print store counters as JSON
+ *     verify            re-read every record through the checksummed
+ *                       log and the codec; exit 1 if any record is
+ *                       superseded garbage or fails to decode
+ *     compact           rewrite the log dropping superseded and
+ *                       orphaned records (atomic rename)
+ *     export --json     dump every live record as a JSON array of
+ *                       {"key": ..., "result": ...} objects
+ *
+ * The store directory is the one pvar_study/pvar_served write with
+ * their --cache-dir flag. All commands open the log through the same
+ * recovery path the services use, so a torn tail is truncated (and
+ * reported) here too.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/stat.h>
+
+#include "report/json.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "store/store.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "pvar_storectl: inspect a durable experiment store\n"
+        "\n"
+        "  pvar_storectl <command> --cache-dir DIR [options]\n"
+        "\n"
+        "commands:\n"
+        "  stats             print store counters as JSON\n"
+        "  verify            check every record end-to-end; exit 1 on\n"
+        "                    any undecodable record\n"
+        "  compact           drop superseded/orphaned records\n"
+        "  export --json     dump live records as a JSON array\n"
+        "\n"
+        "options:\n"
+        "  --cache-dir DIR   store directory (required)\n"
+        "  --quiet           suppress progress logging\n"
+        "  --help            this text\n");
+}
+
+/** Emit the machine-readable stats document. */
+void
+printStats(const ExperimentStoreStats &s, std::uint64_t dropped,
+           bool with_dropped)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("records").value(static_cast<long long>(s.records));
+    w.key("log_records").value(static_cast<long long>(s.logRecords));
+    w.key("bytes").value(static_cast<long long>(s.bytes));
+    w.key("truncated_bytes")
+        .value(static_cast<long long>(s.truncatedBytes));
+    if (with_dropped)
+        w.key("dropped").value(static_cast<long long>(dropped));
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string command;
+    std::string dir;
+    bool as_json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("pvar_storectl: %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--cache-dir") {
+            dir = next();
+        } else if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--quiet") {
+            setLogLevel(LogLevel::Quiet);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 1;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (command.empty()) {
+        usage();
+        return 1;
+    }
+    if (command != "stats" && command != "verify" &&
+        command != "compact" && command != "export") {
+        fatal("pvar_storectl: unknown command '%s'", command.c_str());
+    }
+    if (dir.empty())
+        fatal("pvar_storectl: %s requires --cache-dir", command.c_str());
+
+    // Inspection must not invent a store where none exists.
+    struct stat st{};
+    std::string log_path = dir + "/experiments.log";
+    if (::stat(log_path.c_str(), &st) != 0) {
+        fatal("pvar_storectl: no store at '%s' (%s missing)",
+              dir.c_str(), log_path.c_str());
+    }
+
+    ExperimentStore store(dir);
+
+    if (command == "stats") {
+        printStats(store.stats(), 0, false);
+        return 0;
+    }
+
+    if (command == "verify") {
+        std::uint64_t good = 0, bad = 0;
+        store.forEach(
+            [&](const std::string &, const ExperimentResult &) {
+                ++good;
+            },
+            &bad);
+        ExperimentStoreStats s = store.stats();
+        std::printf("verify: %llu records ok, %llu undecodable, "
+                    "%llu superseded, %llu torn bytes truncated\n",
+                    static_cast<unsigned long long>(good),
+                    static_cast<unsigned long long>(bad),
+                    static_cast<unsigned long long>(
+                        s.logRecords - good - bad),
+                    static_cast<unsigned long long>(s.truncatedBytes));
+        return bad == 0 ? 0 : 1;
+    }
+
+    if (command == "compact") {
+        std::uint64_t before = store.stats().bytes;
+        std::uint64_t dropped = store.compact();
+        ExperimentStoreStats s = store.stats();
+        inform("compact: dropped %llu records, %llu -> %llu bytes",
+               static_cast<unsigned long long>(dropped),
+               static_cast<unsigned long long>(before),
+               static_cast<unsigned long long>(s.bytes));
+        printStats(s, dropped, true);
+        return 0;
+    }
+
+    // export
+    if (!as_json)
+        fatal("pvar_storectl: export requires --json");
+    std::string out = "[";
+    bool first = true;
+    store.forEach([&](const std::string &key,
+                      const ExperimentResult &result) {
+        if (!first)
+            out += ",";
+        first = false;
+        // The key is already canonical JSON; the result serializer is
+        // the same one the study reports use.
+        out += "\n  {\"key\": " + key +
+               ", \"result\": " + toJson(result) + "}";
+    });
+    out += first ? "]\n" : "\n]\n";
+    std::printf("%s", out.c_str());
+    return 0;
+}

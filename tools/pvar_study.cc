@@ -16,6 +16,9 @@
  *     --csv             print the summary as CSV instead of the table
  *     --output PATH     write the report to PATH instead of stdout
  *     --cache           memoize identical experiments within this run
+ *     --cache-dir DIR   persist results to an append-only store in
+ *                       DIR; rerunning a killed or repeated study
+ *                       skips every experiment already on disk
  *     --quiet           suppress progress logging
  *     --help            this text
  */
@@ -23,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,7 +34,8 @@
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "report/table.hh"
-#include "service/result_cache.hh"
+#include "store/durable_cache.hh"
+#include "store/result_cache.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 
@@ -61,6 +66,9 @@ usage()
         "  --output PATH     write the report to PATH instead of stdout\n"
         "  --cache           memoize identical experiments within this "
         "run\n"
+        "  --cache-dir DIR   persist results to DIR; rerunning a\n"
+        "                    killed or repeated study skips work\n"
+        "                    already on disk\n"
         "  --quiet           suppress progress logging\n"
         "  --help            this text\n");
 }
@@ -175,6 +183,7 @@ main(int argc, char **argv)
     std::string device_id;
     std::string fleet_path;
     std::string output_path;
+    std::string cache_dir;
     bool as_json = false;
     bool as_csv = false;
     bool use_cache = false;
@@ -213,6 +222,8 @@ main(int argc, char **argv)
             output_path = next();
         } else if (arg == "--cache") {
             use_cache = true;
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {
@@ -233,8 +244,14 @@ main(int argc, char **argv)
         fatal("pvar_study: --json and --csv are exclusive");
 
     ResultCache cache;
-    if (use_cache)
+    std::unique_ptr<DurableCache> durable;
+    if (!cache_dir.empty()) {
+        // Durable mode subsumes --cache: the LRU layer is built in.
+        durable = std::make_unique<DurableCache>(cache_dir);
+        cfg.cache = durable.get();
+    } else if (use_cache) {
         cfg.cache = &cache;
+    }
 
     std::vector<SocStudy> studies;
     if (!fleet_path.empty()) {
@@ -258,7 +275,17 @@ main(int argc, char **argv)
         studies = runFullStudy(cfg);
     }
 
-    if (use_cache) {
+    if (durable) {
+        ResultCacheStats cs = durable->lruStats();
+        ExperimentStoreStats ss = durable->storeStats();
+        inform("cache: %llu memory hits, %llu store hits (resumed), "
+               "%llu computed; store now %llu records, %llu bytes",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(ss.hits),
+               static_cast<unsigned long long>(ss.misses),
+               static_cast<unsigned long long>(ss.records),
+               static_cast<unsigned long long>(ss.bytes));
+    } else if (use_cache) {
         ResultCacheStats cs = cache.stats();
         inform("cache: %llu hits, %llu misses",
                static_cast<unsigned long long>(cs.hits),
