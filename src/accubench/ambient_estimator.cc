@@ -1,7 +1,29 @@
 #include "accubench/ambient_estimator.hh"
 
+#include <cmath>
+
 namespace pvar
 {
+
+const char *
+ambientFitStatusName(AmbientFitStatus status)
+{
+    switch (status) {
+      case AmbientFitStatus::Ok:
+        return "ok";
+      case AmbientFitStatus::TooFewSamples:
+        return "too-few-samples";
+      case AmbientFitStatus::MismatchedInput:
+        return "mismatched-input";
+      case AmbientFitStatus::NonFinite:
+        return "non-finite";
+      case AmbientFitStatus::NotDecaying:
+        return "not-decaying";
+      case AmbientFitStatus::PoorFit:
+        return "poor-fit";
+    }
+    return "unknown";
+}
 
 AmbientEstimate
 estimateAmbient(const std::vector<double> &times_s,
@@ -9,14 +31,29 @@ estimateAmbient(const std::vector<double> &times_s,
 {
     AmbientEstimate est;
     est.samplesUsed = times_s.size();
-    if (times_s.size() < 4 || times_s.size() != temps_c.size())
+    if (times_s.size() != temps_c.size()) {
+        est.status = AmbientFitStatus::MismatchedInput;
         return est;
+    }
+    if (times_s.size() < 4) {
+        est.status = AmbientFitStatus::TooFewSamples;
+        return est;
+    }
+    for (std::size_t i = 0; i < times_s.size(); ++i) {
+        if (!std::isfinite(times_s[i]) || !std::isfinite(temps_c[i])) {
+            est.status = AmbientFitStatus::NonFinite;
+            return est;
+        }
+    }
 
     // Require a genuinely decaying window: the fit is meaningless on
-    // flat or rising data (e.g. a cooldown cut short).
+    // flat or rising data (e.g. a cooldown cut short or a sensor
+    // stuck on one value).
     double drop = temps_c.front() - temps_c.back();
-    if (drop < 1.0)
+    if (drop < 1.0) {
+        est.status = AmbientFitStatus::NotDecaying;
         return est;
+    }
 
     // A cooling phone is a two-time-constant system: the die relaxes
     // onto the case in seconds, then the case relaxes onto the
@@ -39,10 +76,20 @@ estimateAmbient(const std::vector<double> &times_s,
     }
 
     CoolingFit fit = fitCooling(tail_t, tail_c);
+    if (!std::isfinite(fit.ambient) || !std::isfinite(fit.tau) ||
+        !std::isfinite(fit.rmse)) {
+        // A degenerate window (e.g. non-monotone noise around a
+        // near-singular design matrix) can blow the fit up; report
+        // the classification with zeroed — finite — outputs.
+        est.status = AmbientFitStatus::NonFinite;
+        return est;
+    }
     est.ambient = Celsius(fit.ambient);
     est.tauSeconds = fit.tau;
     est.rmse = fit.rmse;
     est.valid = fit.tau > 0.0 && fit.rmse < 2.0;
+    est.status = est.valid ? AmbientFitStatus::Ok
+                           : AmbientFitStatus::PoorFit;
     return est;
 }
 

@@ -19,6 +19,36 @@
 namespace pvar
 {
 
+/**
+ * Why an estimation did (or did not) produce a usable ambient. Every
+ * failure is *classified* — pathological traces (stuck sensors,
+ * truncated cooldowns, non-finite samples) return a status, never a
+ * NaN in the outputs.
+ */
+enum class AmbientFitStatus
+{
+    /** Fit converged on a decaying window; `ambient` is usable. */
+    Ok = 0,
+
+    /** Fewer than four samples in the window. */
+    TooFewSamples,
+
+    /** times and temperatures differ in length. */
+    MismatchedInput,
+
+    /** A sample (or the fit itself) was NaN or infinite. */
+    NonFinite,
+
+    /** The window is flat or rising (stuck sensor, cut cooldown). */
+    NotDecaying,
+
+    /** The fit converged but its residual is too large to trust. */
+    PoorFit,
+};
+
+/** Stable wire name ("ok", "too-few-samples", ...). */
+const char *ambientFitStatusName(AmbientFitStatus status);
+
 /** Outcome of an ambient estimation. */
 struct AmbientEstimate
 {
@@ -36,6 +66,14 @@ struct AmbientEstimate
 
     /** True when enough decaying samples were available to fit. */
     bool valid = false;
+
+    /**
+     * Classification of the outcome; `valid` is exactly
+     * `status == AmbientFitStatus::Ok`. All numeric fields are finite
+     * for every status (zeroed when the fit failed or went
+     * non-finite).
+     */
+    AmbientFitStatus status = AmbientFitStatus::TooFewSamples;
 };
 
 /**

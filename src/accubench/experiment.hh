@@ -16,6 +16,8 @@
 #ifndef PVAR_ACCUBENCH_EXPERIMENT_HH
 #define PVAR_ACCUBENCH_EXPERIMENT_HH
 
+#include <cstdint>
+
 #include "accubench/accubench.hh"
 #include "accubench/result.hh"
 #include "device/device.hh"
@@ -71,6 +73,14 @@ struct ExperimentConfig
 
     /** Soak the device to the chamber target before iteration 1. */
     bool soakFirst = true;
+
+    /**
+     * Retry attempt discriminator, set by the supervised scheduler
+     * (0 = first attempt). It feeds the cache key — so a retried
+     * attempt never aliases the attempt it replaces — and re-keys the
+     * device's sensor noise stream via buildDevice()'s seed salt.
+     */
+    std::uint64_t retrySalt = 0;
 };
 
 /**

@@ -1,7 +1,11 @@
 #include "accubench/protocol.hh"
 
+#include <algorithm>
+
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/strfmt.hh"
 #include "stats/summary.hh"
 
 namespace pvar
@@ -30,38 +34,119 @@ modeName(WorkloadMode mode)
 }
 
 /**
+ * Supervise one task: attempt, classify, retry, and — when the budget
+ * runs out — quarantine (or escalate).
+ *
+ * Every fault decision inside the attempt (experiment.run, sensor
+ * reads, thermabox regulation) runs under a FaultScope keyed by
+ * (task index, attempt), so the decision sequence is a pure function
+ * of the plan seed and the task — bit-identical at any jobs count.
+ * The experiment.run check fires *before* the cache lookup so a warm
+ * cache faults exactly like a cold one.
+ */
+ExperimentResult
+superviseTask(const ExperimentTask &task, std::size_t task_index,
+              const StudyConfig &study)
+{
+    ExperimentCache *cache = study.cache;
+    int max_attempts = std::max(1, study.retry.maxAttempts);
+    const std::string &unit_id =
+        task.entry->units.at(task.unitIndex).id;
+    ExperimentStatus last = ExperimentStatus::TransientFault;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        ExperimentConfig acfg = task.cfg;
+        acfg.retrySalt = static_cast<std::uint64_t>(attempt);
+        FaultScope scope(faultScopeId(task_index,
+                                      static_cast<std::uint64_t>(
+                                          attempt)));
+
+        FaultHit hit = faultCheck(FaultSite::ExperimentRun);
+        if (hit.fired) {
+            if (hit.kind == FaultKind::Permanent) {
+                throw PermanentFaultError(
+                    strfmt("unit %s %s: injected permanent fault",
+                           unit_id.c_str(), modeName(acfg.mode)));
+            }
+            last = ExperimentStatus::TransientFault;
+            warn("study:   unit %s %s attempt %d/%d: transient "
+                 "fault%s",
+                 unit_id.c_str(), modeName(acfg.mode), attempt + 1,
+                 max_attempts,
+                 attempt + 1 < max_attempts ? "; retrying" : "");
+            continue;
+        }
+
+        auto compute = [&task, &acfg]() {
+            std::unique_ptr<Device> device = buildDevice(
+                task.entry->spec,
+                task.entry->units.at(task.unitIndex), acfg.retrySalt);
+            inform("study:   unit %s %s%s", device->unitId().c_str(),
+                   modeName(acfg.mode),
+                   acfg.retrySalt
+                       ? strfmt(" (retry %llu)",
+                                static_cast<unsigned long long>(
+                                    acfg.retrySalt))
+                             .c_str()
+                       : "");
+            return runExperiment(*device, acfg);
+        };
+        ExperimentResult result =
+            cache ? cache->getOrCompute(*task.entry, task.unitIndex,
+                                        acfg, compute)
+                  : compute();
+        ExperimentStatus status =
+            classifyExperiment(result, acfg, study.gate);
+        result.status = status;
+        result.attempts = static_cast<std::uint32_t>(attempt + 1);
+        result.quarantined = false;
+        if (status == ExperimentStatus::Ok)
+            return result;
+        last = status;
+        warn("study:   unit %s %s attempt %d/%d: %s%s",
+             unit_id.c_str(), modeName(acfg.mode), attempt + 1,
+             max_attempts, experimentStatusName(status),
+             attempt + 1 < max_attempts ? "; retrying" : "");
+    }
+
+    if (!study.retry.quarantine) {
+        throw PermanentFaultError(
+            strfmt("unit %s %s: %d attempts exhausted (last: %s)",
+                   unit_id.c_str(), modeName(task.cfg.mode),
+                   max_attempts, experimentStatusName(last)));
+    }
+    warn("study:   unit %s %s quarantined after %d attempts "
+         "(last: %s)",
+         unit_id.c_str(), modeName(task.cfg.mode), max_attempts,
+         experimentStatusName(last));
+    ExperimentResult benched;
+    benched.unitId = unit_id;
+    benched.model = task.entry->spec.model;
+    benched.socName = task.entry->spec.socName;
+    benched.status = last;
+    benched.attempts = static_cast<std::uint32_t>(max_attempts);
+    benched.quarantined = true;
+    return benched;
+}
+
+/**
  * Run every task, possibly across a thread pool. results[i] always
  * corresponds to tasks[i], so the output is independent of scheduling.
- * With a cache, each task is routed through it; a hit skips the
+ * With a cache, each attempt is routed through it; a hit skips the
  * simulation entirely and (by determinism) yields the same bytes.
  */
 std::vector<ExperimentResult>
-runExperimentTasks(const std::vector<ExperimentTask> &tasks, int jobs,
-                   ExperimentCache *cache)
+runExperimentTasks(const std::vector<ExperimentTask> &tasks,
+                   const StudyConfig &cfg)
 {
     std::vector<ExperimentResult> results(tasks.size());
-    parallelFor(tasks.size(), jobs, [&](std::size_t i) {
-        const ExperimentTask &task = tasks[i];
-        auto compute = [&task]() {
-            std::unique_ptr<Device> device = buildDevice(
-                task.entry->spec,
-                task.entry->units.at(task.unitIndex));
-            inform("study:   unit %s %s", device->unitId().c_str(),
-                   modeName(task.cfg.mode));
-            return runExperiment(*device, task.cfg);
-        };
-        if (cache) {
-            results[i] = cache->getOrCompute(*task.entry,
-                                             task.unitIndex, task.cfg,
-                                             compute);
-        } else {
-            results[i] = compute();
-        }
+    parallelFor(tasks.size(), cfg.jobs, [&](std::size_t i) {
+        results[i] = superviseTask(tasks[i], i, cfg);
     });
     // A finished study is a durability point: results a client is
     // about to see must survive a crash of the process.
-    if (cache)
-        cache->flushPending();
+    if (cfg.cache)
+        cfg.cache->flushPending();
     return results;
 }
 
@@ -116,6 +201,24 @@ reduceInterleaved(const std::string &soc_name, const std::string &model,
 
 } // namespace
 
+ExperimentStatus
+classifyExperiment(const ExperimentResult &result,
+                   const ExperimentConfig &cfg,
+                   const ValidityGate &gate)
+{
+    double target = cfg.accubench.cooldownTarget.value();
+    for (const IterationResult &it : result.iterations) {
+        if (gate.requireCooldownTarget && !it.cooldownReachedTarget)
+            return ExperimentStatus::InvalidRun;
+        if (it.tempAtWorkloadStart.value() >
+            target + gate.maxStartAboveTargetC)
+            return ExperimentStatus::InvalidRun;
+        if (it.peakWorkloadTemp.value() > gate.maxPeakWorkloadTempC)
+            return ExperimentStatus::InvalidRun;
+    }
+    return ExperimentStatus::Ok;
+}
+
 SocStudy
 reduceSocStudy(const std::string &soc_name, const std::string &model,
                const std::vector<ExperimentResult> &unconstrained,
@@ -148,7 +251,20 @@ reduceSocStudy(const std::string &soc_name, const std::string &model,
         unit.fixedEnergyRsdPercent = fix.energyRsdPercent();
         unit.meanFixedScore = fix.meanScore();
         unit.fixedScoreRsdPercent = fix.scoreRsdPercent();
+        unit.unconstrainedStatus = unc.status;
+        unit.fixedStatus = fix.status;
+        unit.unconstrainedAttempts = unc.attempts;
+        unit.fixedAttempts = fix.attempts;
+        unit.quarantined = unc.quarantined || fix.quarantined;
         study.units.push_back(unit);
+
+        if (unit.quarantined) {
+            // A benched unit contributes nothing to the variation
+            // numbers: one placeholder zero-score would otherwise
+            // dominate every spread.
+            ++study.quarantinedUnits;
+            continue;
+        }
 
         mean_scores.push_back(unit.meanScore);
         mean_fixed_energies.push_back(unit.meanFixedEnergyJ);
@@ -179,7 +295,7 @@ runEntryStudy(const RegistryEntry &entry, const StudyConfig &cfg)
            entry.spec.socName.c_str(), tasks.size() / 2,
            resolveJobs(cfg.jobs));
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
+        runExperimentTasks(tasks, cfg);
     return reduceInterleaved(entry.spec.socName, entry.spec.model,
                              results);
 }
@@ -200,7 +316,7 @@ runUnitStudy(const RegistryEntry &entry, std::size_t unit_index,
     inform("study: %s unit %s (%d jobs)", entry.spec.socName.c_str(),
            entry.units[unit_index].id.c_str(), resolveJobs(cfg.jobs));
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
+        runExperimentTasks(tasks, cfg);
     return reduceInterleaved(entry.spec.socName, entry.spec.model,
                              results);
 }
@@ -231,7 +347,7 @@ runStudy(const std::vector<const RegistryEntry *> &entries,
            resolveJobs(cfg.jobs));
 
     std::vector<ExperimentResult> results =
-        runExperimentTasks(tasks, cfg.jobs, cfg.cache);
+        runExperimentTasks(tasks, cfg);
 
     std::vector<SocStudy> studies;
     studies.reserve(entries.size());

@@ -57,6 +57,67 @@ class ExperimentCache
     virtual void flushPending() {}
 };
 
+/**
+ * Retry budget for supervised experiments.
+ *
+ * A transient fault or an invalid run consumes one attempt; the
+ * scheduler retries with the attempt index salted into the cache key
+ * and the sensor noise seed, so every attempt is individually
+ * reproducible and the retry sequence is bit-identical at any jobs
+ * count. Permanent faults are never retried.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per experiment (first try included). */
+    int maxAttempts = 3;
+
+    /**
+     * What to do when the budget runs out: true benches the unit
+     * (placeholder result with quarantined=true, excluded from study
+     * aggregates); false throws PermanentFaultError and aborts.
+     */
+    bool quarantine = true;
+};
+
+/**
+ * Validity gate of the ACCUBENCH protocol (paper §III): the app
+ * refuses to score an iteration whose thermal preconditions failed.
+ * Defaults are wide enough that no healthy simulated run ever
+ * trips them.
+ */
+struct ValidityGate
+{
+    /**
+     * Reject the experiment when any iteration's cooldown timed out
+     * before the chamber target was reached.
+     */
+    bool requireCooldownTarget = true;
+
+    /**
+     * Reject when an iteration's workload began more than this many
+     * degrees above the app's cooldown target (the die was still hot:
+     * the sensor drifted, or the poll raced the timeout).
+     */
+    double maxStartAboveTargetC = 3.0;
+
+    /**
+     * Reject when the peak workload temperature exceeds this
+     * absolute bound (runaway heating: throttling broken).
+     */
+    double maxPeakWorkloadTempC = 120.0;
+};
+
+/**
+ * Classify one completed experiment against the gate. A pure function
+ * of the result bytes and the configs, so a cached result classifies
+ * exactly like the fresh run that produced it. Returns Ok or
+ * InvalidRun — fault statuses are assigned by the supervisor, which
+ * sees the thrown FaultError instead of a result.
+ */
+ExperimentStatus classifyExperiment(const ExperimentResult &result,
+                                    const ExperimentConfig &cfg,
+                                    const ValidityGate &gate);
+
 /** Study-wide knobs. */
 struct StudyConfig
 {
@@ -88,6 +149,12 @@ struct StudyConfig
      * long-lived cache — are simulated once. nullptr = always compute.
      */
     ExperimentCache *cache = nullptr;
+
+    /** Retry/quarantine budget for faulted or invalid experiments. */
+    RetryPolicy retry;
+
+    /** Validity gate applied to every completed experiment. */
+    ValidityGate gate;
 };
 
 /** Per-unit outcome of both experiments. */
@@ -105,6 +172,16 @@ struct UnitOutcome
     double fixedEnergyRsdPercent = 0.0;
     double meanFixedScore = 0.0;
     double fixedScoreRsdPercent = 0.0;
+
+    /** @name Supervision outcome, per mode. @{ */
+    ExperimentStatus unconstrainedStatus = ExperimentStatus::Ok;
+    ExperimentStatus fixedStatus = ExperimentStatus::Ok;
+    std::uint32_t unconstrainedAttempts = 1;
+    std::uint32_t fixedAttempts = 1;
+
+    /** Either experiment exhausted its retry budget. */
+    bool quarantined = false;
+    /** @} */
 };
 
 /** Per-SoC reduction (one Table II row). */
@@ -131,6 +208,13 @@ struct SocStudy
      * averaged over units.
      */
     double efficiencyIterPerWh = 0.0;
+
+    /**
+     * Units benched after exhausting their retry budget. Quarantined
+     * units still appear in `units` (flagged) but are excluded from
+     * every aggregate above.
+     */
+    std::uint64_t quarantinedUnits = 0;
 };
 
 /** Run both experiments on every unit of one SoC's fleet. */

@@ -3,6 +3,22 @@
 namespace pvar
 {
 
+const char *
+experimentStatusName(ExperimentStatus status)
+{
+    switch (status) {
+      case ExperimentStatus::Ok:
+        return "ok";
+      case ExperimentStatus::InvalidRun:
+        return "invalid-run";
+      case ExperimentStatus::TransientFault:
+        return "transient-fault";
+      case ExperimentStatus::PermanentFault:
+        return "permanent-fault";
+    }
+    return "unknown";
+}
+
 OnlineSummary
 ExperimentResult::scoreSummary() const
 {

@@ -6,6 +6,7 @@
 #ifndef PVAR_ACCUBENCH_RESULT_HH
 #define PVAR_ACCUBENCH_RESULT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,34 @@ struct IterationResult
     bool cooldownReachedTarget = true;
 };
 
+/**
+ * Classified outcome of one supervised experiment. The supervisor
+ * classifies every attempt post-hoc (classifyExperiment() in
+ * protocol.hh), so cached and freshly computed results classify
+ * identically.
+ */
+enum class ExperimentStatus : std::uint8_t
+{
+    /** Completed and passed the validity gate. */
+    Ok = 0,
+
+    /**
+     * Completed but the validity gate rejected it (cooldown never
+     * reached its target, or the workload temperature excursion was
+     * out of range). Retried like a transient fault.
+     */
+    InvalidRun,
+
+    /** An injected (or real) transient fault aborted the attempt. */
+    TransientFault,
+
+    /** A permanent fault: never retried, always propagated. */
+    PermanentFault,
+};
+
+/** Stable wire name ("ok", "invalid-run", ...). */
+const char *experimentStatusName(ExperimentStatus status);
+
 /** Outcome of a multi-iteration experiment on one device. */
 struct ExperimentResult
 {
@@ -53,6 +82,16 @@ struct ExperimentResult
     std::string socName;
 
     std::vector<IterationResult> iterations;
+
+    /** @name Supervision outcome (see protocol.hh). @{ */
+    ExperimentStatus status = ExperimentStatus::Ok;
+
+    /** Attempts consumed, including the one that produced this. */
+    std::uint32_t attempts = 1;
+
+    /** True when the retry budget ran out and the unit was benched. */
+    bool quarantined = false;
+    /** @} */
 
     /** Full time series over the whole experiment. */
     Trace trace;

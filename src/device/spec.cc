@@ -81,13 +81,26 @@ resolveDeviceConfig(const DeviceSpec &spec, int bin, const Die *die)
 }
 
 std::unique_ptr<Device>
-buildDevice(const DeviceSpec &spec, const UnitCorner &corner)
+buildDevice(const DeviceSpec &spec, const UnitCorner &corner,
+            std::uint64_t seed_salt)
 {
     VariationModel model(spec.silicon);
     Die die = model.dieAtCorner(corner.corner, corner.leakResidual,
                                 corner.vthOffset, corner.id);
     int bin = corner.bin >= 0 ? corner.bin : spec.defaultBin;
     DeviceConfig cfg = resolveDeviceConfig(spec, bin, &die);
+    if (seed_salt != 0) {
+        // splitmix64 finalizer: salt 1 and salt 2 land on unrelated
+        // streams even though the inputs differ in one bit.
+        std::uint64_t x = cfg.sensorSeed ^
+                          (seed_salt * 0x9e3779b97f4a7c15ull);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        cfg.sensorSeed = x;
+    }
     return std::make_unique<Device>(std::move(cfg), std::move(die));
 }
 

@@ -211,9 +211,17 @@ DeviceConfig resolveDeviceConfig(const DeviceSpec &spec, int bin,
  * per-model make function — constructs the die at the corner, resolves
  * the config (including per-die fused tables) and assembles the
  * Device.
+ *
+ * @param seed_salt when non-zero, deterministically re-keys the sensor
+ *        noise stream (mixed into spec.sensorSeed). The supervised
+ *        scheduler salts retry attempts with the attempt index so a
+ *        retried experiment observes fresh-but-reproducible noise
+ *        instead of replaying the exact run that just failed. 0 (the
+ *        default) keeps the historical stream bit-for-bit.
  */
 std::unique_ptr<Device> buildDevice(const DeviceSpec &spec,
-                                    const UnitCorner &corner);
+                                    const UnitCorner &corner,
+                                    std::uint64_t seed_salt = 0);
 
 } // namespace pvar
 

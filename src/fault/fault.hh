@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * A FaultPlan names *sites* (instrumented points in the codebase) and
+ * attaches rules describing when a call through that site should fail.
+ * Decisions are pure functions of (plan seed, site, scope id,
+ * per-scope invocation count): nothing depends on wall-clock time,
+ * thread identity, or scheduling order, so a chaos run replays
+ * bit-identically from its serialized plan — including under a
+ * different `--jobs` count.
+ *
+ * Scoping is what makes that work in a parallel study. Experiment
+ * workers wrap each (task, attempt) in a FaultScope whose id is
+ * derived from the task's position in the flattened task list; every
+ * faultCheck() inside the scope counts invocations *per scope*, so
+ * "the 3rd sensor read of task 7, attempt 1" fires identically no
+ * matter which worker runs it or when. Calls outside any scope
+ * (the HTTP acceptor, store flushes at study boundaries) fall back to
+ * global atomic counters; those sites only affect transport and
+ * persistence, never study bytes, so their timing nondeterminism is
+ * harmless.
+ *
+ * Zero overhead when idle: with no plan installed, faultCheck() is a
+ * single relaxed atomic load and a predictable branch.
+ */
+
+#ifndef PVAR_FAULT_FAULT_HH
+#define PVAR_FAULT_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pvar
+{
+
+/** Instrumented failure points. Names are the JSON-facing ids. */
+enum class FaultSite : std::uint8_t
+{
+    StoreAppend,       ///< "store.append": record-log write fails
+    StoreFsync,        ///< "store.fsync": durability point fails
+    SensorRead,        ///< "sensor.read": sensor repeats a stale value
+    ThermaboxRegulate, ///< "thermabox.regulate": controller outage
+    ExperimentRun,     ///< "experiment.run": the whole run errors out
+    HttpAccept,        ///< "http.accept": accepted connection dropped
+};
+
+constexpr std::size_t kFaultSiteCount = 6;
+
+/** Canonical site name ("store.append", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** Parse a site name; false when unknown. */
+bool faultSiteFromName(const std::string &name, FaultSite &out);
+
+/** What an injected failure means to the site that hits it. */
+enum class FaultKind : std::uint8_t
+{
+    Io,        ///< I/O error (store sites, connection drops)
+    Transient, ///< retryable experiment failure
+    Permanent, ///< non-retryable failure: the rig itself is broken
+    Stuck,     ///< sensor latches its previous value (+ rule value)
+};
+
+/** Canonical kind name ("io", "transient", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Parse a kind name; false when unknown. */
+bool faultKindFromName(const std::string &name, FaultKind &out);
+
+/**
+ * One injection rule. Triggers are checked in this order; the first
+ * configured one decides:
+ *
+ *  - counts: fire exactly at these per-scope invocation counts;
+ *  - every/after: fire when count >= after and
+ *    (count - after) % every == 0;
+ *  - probability: fire when hash(seed, site, scope, count) < p.
+ *
+ * `times` (when > 0) caps how often the rule fires per scope.
+ */
+struct FaultRule
+{
+    FaultSite site = FaultSite::StoreAppend;
+    FaultKind kind = FaultKind::Io;
+    double probability = 0.0;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t after = 0;
+    std::uint64_t every = 0;
+    std::uint64_t times = 0;
+    double value = 0.0; ///< site-specific magnitude (e.g. stuck offset)
+};
+
+/** The outcome of one faultCheck(): fired + how to fail. */
+struct FaultHit
+{
+    bool fired = false;
+    FaultKind kind = FaultKind::Io;
+    double value = 0.0;
+};
+
+/** A seeded set of rules; immutable once installed. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : _seed(seed) {}
+
+    void addRule(FaultRule rule) { _rules.push_back(std::move(rule)); }
+
+    std::uint64_t seed() const { return _seed; }
+    const std::vector<FaultRule> &rules() const { return _rules; }
+
+  private:
+    std::uint64_t _seed = 0;
+    std::vector<FaultRule> _rules;
+};
+
+/**
+ * Base of the injected-failure exception hierarchy. The service layer
+ * catches this to shed load (503 + Retry-After) instead of crashing;
+ * the CLI converts it into a clean fatal error.
+ */
+class FaultError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A failure the supervisor may retry (fresh RNG substream). */
+class TransientFaultError : public FaultError
+{
+  public:
+    using FaultError::FaultError;
+};
+
+/** A failure retrying cannot fix; propagates out of the study. */
+class PermanentFaultError : public FaultError
+{
+  public:
+    using FaultError::FaultError;
+};
+
+/**
+ * Install @p plan process-wide (replacing any previous plan) and reset
+ * all global invocation counters. Install before spawning workers;
+ * the hot-path check reads the plan without synchronization beyond an
+ * acquire load.
+ */
+void installFaultPlan(std::shared_ptr<const FaultPlan> plan);
+
+/** Remove the installed plan (faultCheck returns to the no-op path). */
+void clearFaultPlan();
+
+/** The currently installed plan (nullptr when none). */
+std::shared_ptr<const FaultPlan> currentFaultPlan();
+
+namespace fault_detail
+{
+
+/**
+ * Per-scope counter frame, stack-allocated by FaultScope and linked
+ * thread-locally. counts[] is the invocation number per site; fired[]
+ * caps rules with a `times` budget.
+ */
+struct ScopeFrame
+{
+    std::uint64_t scopeId = 0;
+    std::uint64_t counts[kFaultSiteCount] = {};
+    std::uint64_t fired[kFaultSiteCount] = {};
+    ScopeFrame *parent = nullptr;
+};
+
+extern std::atomic<const FaultPlan *> g_activePlan;
+
+FaultHit check(const FaultPlan &plan, FaultSite site);
+
+} // namespace fault_detail
+
+/**
+ * Should the call through @p site fail here? Free to call from any
+ * thread; a single atomic load when no plan is installed.
+ */
+inline FaultHit
+faultCheck(FaultSite site)
+{
+    const FaultPlan *plan =
+        fault_detail::g_activePlan.load(std::memory_order_acquire);
+    if (plan == nullptr)
+        return FaultHit{};
+    return fault_detail::check(*plan, site);
+}
+
+/**
+ * RAII deterministic counting scope. All faultCheck() calls on this
+ * thread between construction and destruction count against
+ * @p scope_id instead of the global counters. Scopes nest; the
+ * innermost wins.
+ */
+class FaultScope
+{
+  public:
+    explicit FaultScope(std::uint64_t scope_id);
+    ~FaultScope();
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+
+  private:
+    fault_detail::ScopeFrame _frame;
+};
+
+/**
+ * Mix two identifiers into a scope id (splitmix64 finalizer). Used as
+ * faultScopeId(task_index, attempt) by the study supervisor.
+ */
+std::uint64_t faultScopeId(std::uint64_t a, std::uint64_t b);
+
+} // namespace pvar
+
+#endif // PVAR_FAULT_FAULT_HH

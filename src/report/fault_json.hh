@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FaultPlan <-> JSON: chaos runs are replayable artifacts.
+ *
+ * Schema (all rule fields optional except "site"):
+ *
+ *   {
+ *     "seed": 42,
+ *     "rules": [
+ *       {"site": "experiment.run", "kind": "transient",
+ *        "probability": 0.35, "after": 0, "every": 0, "times": 0,
+ *        "value": 0.0, "counts": [0, 2]}
+ *     ]
+ *   }
+ *
+ * Serialization is exact (jsonExactDouble for probability/value), so
+ * plan -> JSON -> plan reproduces the identical firing sequence.
+ */
+
+#ifndef PVAR_REPORT_FAULT_JSON_HH
+#define PVAR_REPORT_FAULT_JSON_HH
+
+#include <string>
+
+#include "fault/fault.hh"
+#include "report/json.hh"
+
+namespace pvar
+{
+
+/** Serialize @p plan (exact round-trip). */
+std::string toJson(const FaultPlan &plan);
+
+/** Decode a plan document; throws JsonError on schema violations. */
+FaultPlan faultPlanFromJson(const JsonValue &doc);
+
+/**
+ * Load a plan from a JSON file; fatal (with the file named) on read,
+ * parse, or schema errors — the CLI surface.
+ */
+FaultPlan loadFaultPlanFile(const std::string &path);
+
+} // namespace pvar
+
+#endif // PVAR_REPORT_FAULT_JSON_HH

@@ -676,6 +676,9 @@ writeExperiment(JsonWriter &w, const ExperimentResult &r)
     w.key("mean_workload_energy_j").value(
         r.meanWorkloadEnergy().value());
     w.key("energy_rsd_percent").value(r.energyRsdPercent());
+    w.key("status").value(experimentStatusName(r.status));
+    w.key("attempts").value(static_cast<long long>(r.attempts));
+    w.key("quarantined").value(r.quarantined);
     w.key("iterations").beginArray();
     for (const auto &it : r.iterations) {
         w.beginObject();
@@ -706,6 +709,8 @@ writeStudy(JsonWriter &w, const SocStudy &s)
     w.key("fixed_perf_spread_percent").value(s.fixedPerfSpreadPercent);
     w.key("mean_score_rsd_percent").value(s.meanScoreRsdPercent);
     w.key("efficiency_iter_per_wh").value(s.efficiencyIterPerWh);
+    w.key("quarantined_units")
+        .value(static_cast<long long>(s.quarantinedUnits));
     w.key("units").beginArray();
     for (const auto &u : s.units) {
         w.beginObject();
@@ -718,6 +723,15 @@ writeStudy(JsonWriter &w, const SocStudy &s)
         w.key("fixed_energy_rsd_percent")
             .value(u.fixedEnergyRsdPercent);
         w.key("mean_fixed_score").value(u.meanFixedScore);
+        w.key("status_unconstrained")
+            .value(experimentStatusName(u.unconstrainedStatus));
+        w.key("attempts_unconstrained")
+            .value(static_cast<long long>(u.unconstrainedAttempts));
+        w.key("status_fixed")
+            .value(experimentStatusName(u.fixedStatus));
+        w.key("attempts_fixed")
+            .value(static_cast<long long>(u.fixedAttempts));
+        w.key("quarantined").value(u.quarantined);
         w.endObject();
     }
     w.endArray();

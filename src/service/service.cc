@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "device/registry.hh"
+#include "fault/fault.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "sim/logging.hh"
@@ -179,6 +180,17 @@ StudyService::acceptLoop()
                 warn("pvar_served: accept: %s", std::strerror(errno));
             continue;
         }
+        if (faultCheck(FaultSite::HttpAccept).fired) {
+            // Injected listener failure: the connection is dropped
+            // before any bytes are read, as if the kernel reset it.
+            // Clients see ECONNRESET and retry; studies in flight are
+            // untouched.
+            ++_rejected;
+            warn("pvar_served: injected accept fault; connection "
+                 "dropped");
+            ::close(fd);
+            continue;
+        }
         handleConnection(fd);
     }
 }
@@ -306,7 +318,10 @@ StudyService::handleHealthz()
     ServiceStats s = stats();
     JsonWriter w;
     w.beginObject();
-    w.key("status").value("ok");
+    // Top-level status reflects the persistence layer: "degraded"
+    // means studies still compute correctly but stopped persisting.
+    w.key("status").value(
+        _durable && _durable->degraded() ? "degraded" : "ok");
     w.key("cache");
     if (activeCache()) {
         ResultCacheStats cs = cacheStats();
@@ -334,6 +349,11 @@ StudyService::handleHealthz()
             .value(static_cast<long long>(ss.logRecords));
         w.key("truncated_bytes")
             .value(static_cast<long long>(ss.truncatedBytes));
+        w.key("failed_appends")
+            .value(static_cast<long long>(ss.failedAppends));
+        w.key("failed_syncs")
+            .value(static_cast<long long>(ss.failedSyncs));
+        w.key("degraded").value(ss.degraded);
         w.endObject();
     } else {
         w.null();
@@ -375,6 +395,16 @@ StudyService::handleStudy(const std::string &body)
     } catch (const JsonError &e) {
         ++_badRequests;
         return errorResponse(400, e.what());
+    } catch (const FaultError &e) {
+        // Permanent fault (injected or escalated by the supervisor):
+        // shed the request instead of crashing the service. The study
+        // was not completed; the client should retry later.
+        warn("pvar_served: study shed on permanent fault: %s",
+             e.what());
+        HttpResponse resp = errorResponse(503, e.what());
+        resp.headers.emplace_back("Retry-After",
+                                  strfmt("%d", _cfg.retryAfterSec));
+        return resp;
     } catch (const std::exception &e) {
         warn("pvar_served: study failed: %s", e.what());
         return errorResponse(500, e.what());

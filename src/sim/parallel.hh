@@ -74,9 +74,22 @@ class ThreadPool
      * Run `fn(i)` for every i in [0, n) across the pool and wait.
      *
      * Indices are claimed dynamically but the caller sees no ordering
-     * effect as long as `fn` writes only to its own slot. The first
-     * exception thrown by any task is rethrown here after all workers
-     * settle; remaining unclaimed indices are skipped.
+     * effect as long as `fn` writes only to its own slot.
+     *
+     * Exception contract — first exception wins:
+     *  - the first exception thrown by any task (in claim order) is
+     *    captured and rethrown here, after every in-flight task has
+     *    settled — never while workers still touch caller state;
+     *  - indices not yet claimed when the exception is captured are
+     *    skipped, so a poisoned batch fails fast instead of running
+     *    to completion;
+     *  - indices that completed before (or concurrently with) the
+     *    failure keep their results: a caller that preallocated a
+     *    results vector can inspect the survivors after catching;
+     *  - exceptions after the first are swallowed — one batch, one
+     *    failure report;
+     *  - the pool itself stays usable: a later parallelFor on the
+     *    same pool runs normally.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);

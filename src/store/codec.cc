@@ -9,7 +9,10 @@ namespace pvar
 namespace
 {
 
-constexpr std::uint32_t kCodecVersion = 1;
+// v1: result core. v2 appends the supervision outcome (status u8,
+// attempts u32, quarantined u8) at the very end, so a v1 record is a
+// strict prefix and still decodes (with Ok/1/false defaults).
+constexpr std::uint32_t kCodecVersion = 2;
 
 /**
  * Keeps decoders honest about pathological counts: no real experiment
@@ -184,6 +187,11 @@ encodeExperimentResult(const ExperimentResult &result)
             w.f64(s.value);
         }
     }
+
+    // v2 supervision outcome.
+    w.u8(static_cast<std::uint8_t>(result.status));
+    w.u32(result.attempts);
+    w.u8(result.quarantined ? 1 : 0);
     return w.take();
 }
 
@@ -192,7 +200,7 @@ decodeExperimentResult(const std::string &bytes, ExperimentResult &out)
 {
     ByteReader r(bytes);
     std::uint32_t version = 0;
-    if (!r.u32(version) || version != kCodecVersion)
+    if (!r.u32(version) || version < 1 || version > kCodecVersion)
         return false;
 
     out = ExperimentResult{};
@@ -242,6 +250,18 @@ decodeExperimentResult(const std::string &bytes, ExperimentResult &out)
                 return false;
             ch.record(Time::usec(when), value);
         }
+    }
+
+    if (version >= 2) {
+        std::uint8_t status = 0, quarantined = 0;
+        if (!r.u8(status) ||
+            status > static_cast<std::uint8_t>(
+                         ExperimentStatus::PermanentFault) ||
+            !r.u32(out.attempts) || !r.u8(quarantined) ||
+            quarantined > 1)
+            return false;
+        out.status = static_cast<ExperimentStatus>(status);
+        out.quarantined = quarantined != 0;
     }
     // Trailing bytes mean the value was written by something else;
     // reject rather than silently accept a prefix.

@@ -57,6 +57,13 @@ class DurableCache : public ExperimentCache
     /** Direct access for tools and tests. */
     ExperimentStore &store() { return _store; }
 
+    /**
+     * True when the disk layer lost an append or a durability point
+     * and downgraded to memory-only. Results stay correct (the LRU
+     * keeps serving); they just stop persisting until a reopen.
+     */
+    bool degraded() const { return _store.degraded(); }
+
   private:
     ExperimentStore _store;
     ResultCache _lru;

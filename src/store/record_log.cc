@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace pvar
@@ -224,6 +225,17 @@ RecordLog::append(const std::string &key, const std::string &value)
         return -1;
     }
 
+    if (faultCheck(FaultSite::StoreAppend).fired) {
+        ++_stats.failedAppends;
+        if (!_degraded) {
+            warn("record log: append to '%s' failed: injected I/O "
+                 "fault",
+                 _path.c_str());
+        }
+        _degraded = true;
+        return -1;
+    }
+
     // Assemble the whole record so it reaches the kernel in one
     // write(): a crash can then only tear it at the file tail, which
     // recovery truncates away.
@@ -240,8 +252,10 @@ RecordLog::append(const std::string &key, const std::string &value)
 
     if (::lseek(_fd, _end, SEEK_SET) < 0 ||
         !writeAll(_fd, buf.data(), buf.size())) {
+        ++_stats.failedAppends;
         warn("record log: append to '%s' failed: %s", _path.c_str(),
              std::strerror(errno));
+        _degraded = true;
         return -1;
     }
 
@@ -315,9 +329,25 @@ RecordLog::sync()
 {
     // _end is tracked in memory rather than re-fetched: recovery
     // established it and append() is the only writer.
-    if (_fd >= 0 && ::fsync(_fd) == 0)
+    if (_fd < 0)
+        return;
+    bool injected = faultCheck(FaultSite::StoreFsync).fired;
+    if (!injected && ::fsync(_fd) == 0) {
         ++_stats.syncs;
-    _unsynced = 0;
+        _unsynced = 0;
+        return;
+    }
+    // The durability point was NOT reached: appends since the last
+    // good fsync may not survive power loss. Keep the unsynced window
+    // open so a later sync can retry, and mark the log degraded.
+    ++_stats.failedSyncs;
+    if (!_degraded) {
+        warn("record log: fsync '%s' failed: %s — batched appends are "
+             "not durable",
+             _path.c_str(),
+             injected ? "injected I/O fault" : std::strerror(errno));
+    }
+    _degraded = true;
 }
 
 } // namespace pvar

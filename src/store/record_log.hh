@@ -46,6 +46,8 @@ struct RecordLogStats
     std::uint64_t truncatedBytes = 0; ///< torn tail dropped at open()
     std::uint64_t appends = 0;        ///< records appended this session
     std::uint64_t syncs = 0;          ///< fsyncs issued this session
+    std::uint64_t failedAppends = 0;  ///< write() failures this session
+    std::uint64_t failedSyncs = 0;    ///< fsync() failures this session
 };
 
 /**
@@ -93,8 +95,20 @@ class RecordLog
                                        const std::string &value)> &fn)
         const;
 
-    /** Flush batched appends to disk now (fsync). */
+    /**
+     * Flush batched appends to disk now (fsync). A failed fsync is a
+     * *missed durability point*, not a success: it is counted, the log
+     * is marked degraded, and the unsynced window stays open so a
+     * later sync can retry.
+     */
     void sync();
+
+    /**
+     * True once any append or fsync has failed this session: data may
+     * have been lost, so owners should stop trusting the log for new
+     * writes (the ExperimentStore downgrades to memory-only).
+     */
+    bool degraded() const { return _degraded; }
 
     RecordLogStats stats() const { return _stats; }
     const std::string &path() const { return _path; }
@@ -109,6 +123,7 @@ class RecordLog
     int _syncEvery;
     int _unsynced = 0;
     std::int64_t _end = 0; ///< append position (file size)
+    bool _degraded = false;
     RecordLogStats _stats;
 
     void recover();

@@ -99,6 +99,8 @@ writeExperimentConfig(JsonWriter &w, const ExperimentConfig &cfg)
     putNum(w, "battery_soc", cfg.batterySoc);
     putTime(w, "dt_us", cfg.dt);
     w.key("soak_first").value(cfg.soakFirst);
+    w.key("retry_salt")
+        .value(static_cast<long long>(cfg.retrySalt));
     w.endObject();
 }
 

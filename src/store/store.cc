@@ -18,6 +18,7 @@ namespace
 {
 
 const char *kLogName = "experiments.log";
+const char *kDegradedMarker = "store.degraded";
 
 /** mkdir -p: create @p dir and any missing parents. */
 void
@@ -49,6 +50,14 @@ ExperimentStore::ExperimentStore(const std::string &dir, int sync_every)
     _log = std::make_unique<RecordLog>(_dir + "/" + kLogName,
                                        _syncEvery);
     rebuildIndexLocked();
+    struct stat marker{};
+    _markerOnDisk = ::stat(markerPath().c_str(), &marker) == 0;
+    if (_markerOnDisk) {
+        warn("experiment store: '%s' was marked degraded by an "
+             "earlier session (writes were lost); the marker clears "
+             "after the next successful write",
+             _dir.c_str());
+    }
     RecordLogStats ls = _log->stats();
     std::string recovered;
     if (ls.truncatedBytes) {
@@ -79,6 +88,12 @@ bool
 ExperimentStore::get(const std::string &key_text, ExperimentResult &out)
 {
     std::lock_guard<std::mutex> lock(_mutex);
+    if (_degraded) {
+        // Memory-only mode: pretend the disk layer is empty rather
+        // than trust a log that has already lost data.
+        ++_misses;
+        return false;
+    }
     auto it = _index.find(contentDigest(key_text));
     if (it == _index.end()) {
         ++_misses;
@@ -103,16 +118,30 @@ ExperimentStore::put(const std::string &key_text,
 {
     std::string value = encodeExperimentResult(result);
     std::lock_guard<std::mutex> lock(_mutex);
+    if (_degraded)
+        return; // memory-only: the LRU above still serves this run
     std::int64_t offset = _log->append(key_text, value);
-    if (offset >= 0)
-        _index[contentDigest(key_text)] = offset;
+    if (offset < 0 || _log->degraded()) {
+        noteDegradedLocked();
+        return;
+    }
+    _index[contentDigest(key_text)] = offset;
+    if (_markerOnDisk) {
+        // A clean write through the full path: the earlier session's
+        // degradation no longer describes this directory.
+        clearMarkerLocked();
+    }
 }
 
 void
 ExperimentStore::sync()
 {
     std::lock_guard<std::mutex> lock(_mutex);
+    if (_degraded)
+        return;
     _log->sync();
+    if (_log->degraded())
+        noteDegradedLocked();
 }
 
 std::uint64_t
@@ -139,6 +168,15 @@ ExperimentStore::compact()
             fresh.append(key, value);
         });
         fresh.sync();
+        if (fresh.degraded()) {
+            // A failed write mid-rewrite would rename a partial log
+            // over a complete one: keep the original instead.
+            warn("experiment store: compaction aborted (I/O failure "
+                 "writing '%s'); original log untouched",
+                 tmp_path.c_str());
+            ::remove(tmp_path.c_str());
+            return 0;
+        }
     }
     if (::rename(tmp_path.c_str(), _log->path().c_str()) != 0) {
         fatal("experiment store: rename '%s': %s", tmp_path.c_str(),
@@ -187,6 +225,10 @@ ExperimentStore::stats() const
     s.misses = _misses;
     s.appends = ls.appends;
     s.syncs = ls.syncs;
+    s.failedAppends = ls.failedAppends;
+    s.failedSyncs = ls.failedSyncs;
+    s.degraded = _degraded;
+    s.degradedMarker = _markerOnDisk;
     return s;
 }
 
@@ -194,6 +236,48 @@ const std::string &
 ExperimentStore::logPath() const
 {
     return _log->path();
+}
+
+bool
+ExperimentStore::degraded() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _degraded;
+}
+
+std::string
+ExperimentStore::markerPath() const
+{
+    return _dir + "/" + kDegradedMarker;
+}
+
+void
+ExperimentStore::noteDegradedLocked()
+{
+    if (_degraded)
+        return;
+    _degraded = true;
+    warn("experiment store: I/O failure on '%s'; degraded to "
+         "memory-only — results from here on are not persisted",
+         _dir.c_str());
+    // Best-effort persistent evidence for storectl verify; if even
+    // this write fails there is nothing more to do.
+    std::FILE *f = std::fopen(markerPath().c_str(), "w");
+    if (f) {
+        std::fputs("degraded\n", f);
+        std::fclose(f);
+        _markerOnDisk = true;
+    }
+}
+
+void
+ExperimentStore::clearMarkerLocked()
+{
+    if (::remove(markerPath().c_str()) == 0 || errno == ENOENT) {
+        _markerOnDisk = false;
+        inform("experiment store: degradation marker cleared after a "
+               "clean write");
+    }
 }
 
 } // namespace pvar

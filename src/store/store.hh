@@ -48,6 +48,10 @@ struct ExperimentStoreStats
     std::uint64_t misses = 0;         ///< get() not found / degraded
     std::uint64_t appends = 0;        ///< put() records this session
     std::uint64_t syncs = 0;          ///< fsyncs this session
+    std::uint64_t failedAppends = 0;  ///< lost writes this session
+    std::uint64_t failedSyncs = 0;    ///< missed durability points
+    bool degraded = false;            ///< memory-only (I/O failed)
+    bool degradedMarker = false;      ///< on-disk marker present
 };
 
 class ExperimentStore
@@ -98,6 +102,17 @@ class ExperimentStore
 
     const std::string &logPath() const;
 
+    /**
+     * True once this session has lost a write or a durability point:
+     * the store has downgraded to memory-only (get() misses, put()
+     * no-ops) so callers keep computing correct results that simply
+     * are not persisted. Reopening the directory recovers.
+     */
+    bool degraded() const;
+
+    /** Path of the on-disk degradation marker (dir/store.degraded). */
+    std::string markerPath() const;
+
   private:
     mutable std::mutex _mutex;
     std::string _dir;
@@ -106,8 +121,12 @@ class ExperimentStore
     std::unordered_map<std::string, std::int64_t> _index;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
+    bool _degraded = false;     ///< this session hit an I/O failure
+    bool _markerOnDisk = false; ///< marker file currently exists
 
     void rebuildIndexLocked();
+    void noteDegradedLocked();
+    void clearMarkerLocked();
 };
 
 } // namespace pvar

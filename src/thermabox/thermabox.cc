@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "fault/fault.hh"
+
 namespace pvar
 {
 
@@ -71,20 +73,27 @@ Thermabox::tick(Time now, Time dt)
         now - _lastControl >= _params.controllerPeriod) {
         _lastControl = now;
         _controlPrimed = true;
-        double err = _probe.value() - _params.target.value();
-        // Engage at the band edge, but keep driving until the probe
-        // crosses the target: releasing at the edge would leave the
-        // air grazing out of band on every drift cycle.
-        if (err < -_params.deadband) {
-            _lampOn = true;
-            _compressorOn = false;
-        } else if (err > _params.deadband) {
-            _lampOn = false;
-            _compressorOn = true;
-        } else if ((_lampOn && err >= 0.0) ||
-                   (_compressorOn && err <= 0.0)) {
+        if (faultCheck(FaultSite::ThermaboxRegulate).fired) {
+            // Injected controller outage: both actuators drop out
+            // until the next control period re-evaluates.
             _lampOn = false;
             _compressorOn = false;
+        } else {
+            double err = _probe.value() - _params.target.value();
+            // Engage at the band edge, but keep driving until the
+            // probe crosses the target: releasing at the edge would
+            // leave the air grazing out of band on every drift cycle.
+            if (err < -_params.deadband) {
+                _lampOn = true;
+                _compressorOn = false;
+            } else if (err > _params.deadband) {
+                _lampOn = false;
+                _compressorOn = true;
+            } else if ((_lampOn && err >= 0.0) ||
+                       (_compressorOn && err <= 0.0)) {
+                _lampOn = false;
+                _compressorOn = false;
+            }
         }
     }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "fault/fault.hh"
+
 namespace pvar
 {
 
@@ -20,6 +22,14 @@ TemperatureSensor::TemperatureSensor(std::string sensor_name,
 Celsius
 TemperatureSensor::sample()
 {
+    FaultHit hit = faultCheck(FaultSite::SensorRead);
+    if (hit.fired) {
+        // Injected sensor failure: the register re-reports its stale
+        // latched value (plus an optional offset) instead of sampling.
+        // The RNG is deliberately not advanced — a real hung read
+        // never consumed entropy either.
+        return Celsius(_latched.value() + hit.value);
+    }
     double t = _source().value() + _params.offset;
     if (_params.noiseSigma > 0.0)
         t += _rng.gaussian(0.0, _params.noiseSigma);

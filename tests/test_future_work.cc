@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <gtest/gtest.h>
 
 #include "accubench/ambient_estimator.hh"
@@ -59,6 +60,64 @@ TEST(AmbientEstimator, FromTraceWindow)
         ch, Time::sec(100), Time::sec(100 + 250));
     EXPECT_TRUE(est.valid);
     EXPECT_NEAR(est.ambient.value(), 26.0, 0.5);
+}
+
+TEST(AmbientEstimator, ClassifiesPathologicalTraces)
+{
+    // Truncated tail: a cooldown cut short after a few samples.
+    AmbientEstimate truncated =
+        estimateAmbient({0, 5, 10}, {50, 48, 46});
+    EXPECT_EQ(truncated.status, AmbientFitStatus::TooFewSamples);
+
+    // Stuck sensor: plenty of samples, no decay at all.
+    std::vector<double> ts, stuck;
+    for (int i = 0; i < 40; ++i) {
+        ts.push_back(i * 5.0);
+        stuck.push_back(41.5);
+    }
+    AmbientEstimate flat = estimateAmbient(ts, stuck);
+    EXPECT_EQ(flat.status, AmbientFitStatus::NotDecaying);
+
+    // Mismatched channel lengths (a dropped sample mid-export).
+    AmbientEstimate mismatched =
+        estimateAmbient({0, 5, 10, 15, 20}, {50, 48, 46, 44});
+    EXPECT_EQ(mismatched.status, AmbientFitStatus::MismatchedInput);
+
+    // A NaN or Inf reading anywhere poisons the window.
+    std::vector<double> poisoned = {50, 45, 41,
+                                    std::nan(""), 35, 33};
+    AmbientEstimate non_finite = estimateAmbient(
+        {0, 5, 10, 15, 20, 25}, poisoned);
+    EXPECT_EQ(non_finite.status, AmbientFitStatus::NonFinite);
+    poisoned[3] = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(estimateAmbient({0, 5, 10, 15, 20, 25}, poisoned)
+                  .status,
+              AmbientFitStatus::NonFinite);
+
+    // Every classified failure still reports finite numbers and an
+    // invalid estimate — callers can log fields unconditionally.
+    for (const AmbientEstimate &est :
+         {truncated, flat, mismatched, non_finite}) {
+        EXPECT_FALSE(est.valid);
+        EXPECT_NE(est.status, AmbientFitStatus::Ok);
+        EXPECT_TRUE(std::isfinite(est.ambient.value()));
+        EXPECT_TRUE(std::isfinite(est.tauSeconds));
+        EXPECT_TRUE(std::isfinite(est.rmse));
+        EXPECT_NE(std::string(ambientFitStatusName(est.status)),
+                  "unknown");
+    }
+
+    // And a healthy window is classified Ok with valid set — the two
+    // are one signal.
+    std::vector<double> good_t, good_c;
+    for (int i = 0; i < 60; ++i) {
+        double t = i * 5.0;
+        good_t.push_back(t);
+        good_c.push_back(24.0 + 46.0 * std::exp(-t / 140.0));
+    }
+    AmbientEstimate ok = estimateAmbient(good_t, good_c);
+    EXPECT_EQ(ok.status, AmbientFitStatus::Ok);
+    EXPECT_TRUE(ok.valid);
 }
 
 TEST(BinClustering, RecoversThreePerformanceBins)

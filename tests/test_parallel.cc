@@ -140,6 +140,41 @@ TEST(ParallelFor, ExceptionSkipsRemainingIndices)
     EXPECT_LT(ran.load(), 10000);
 }
 
+TEST(ParallelFor, ThrowingTaskKeepsSurvivorsAndPoolStaysUsable)
+{
+    // A task that throws mid-batch must not deadlock the pool, must
+    // not clobber slots that already completed, and must leave the
+    // pool fully usable for the next batch.
+    ThreadPool pool(4);
+    const std::size_t n = 64;
+    std::vector<int> slots(n, -1);
+
+    try {
+        pool.parallelFor(n, [&](std::size_t i) {
+            if (i == 7)
+                throw std::runtime_error("poisoned task");
+            slots[i] = static_cast<int>(i);
+        });
+        FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "poisoned task");
+    }
+
+    // Survivors keep their results; nothing wrote garbage.
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_TRUE(slots[i] == -1 || slots[i] == static_cast<int>(i))
+            << "slot " << i;
+    EXPECT_EQ(slots[7], -1) << "the throwing index must not commit";
+
+    // The same pool runs the next batch to completion.
+    std::vector<int> again(n, -1);
+    pool.parallelFor(n, [&](std::size_t i) {
+        again[i] = static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(again[i], static_cast<int>(i));
+}
+
 TEST(ParallelFor, ParallelSumMatchesSerial)
 {
     const std::size_t n = 1000;

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "accubench/protocol.hh"
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace pvar
@@ -132,7 +135,13 @@ expectStudiesBitIdentical(const SocStudy &a, const SocStudy &b)
         EXPECT_EQ(ua.fixedEnergyRsdPercent, ub.fixedEnergyRsdPercent);
         EXPECT_EQ(ua.meanFixedScore, ub.meanFixedScore);
         EXPECT_EQ(ua.fixedScoreRsdPercent, ub.fixedScoreRsdPercent);
+        EXPECT_EQ(ua.unconstrainedStatus, ub.unconstrainedStatus);
+        EXPECT_EQ(ua.fixedStatus, ub.fixedStatus);
+        EXPECT_EQ(ua.unconstrainedAttempts, ub.unconstrainedAttempts);
+        EXPECT_EQ(ua.fixedAttempts, ub.fixedAttempts);
+        EXPECT_EQ(ua.quarantined, ub.quarantined);
     }
+    EXPECT_EQ(a.quarantinedUnits, b.quarantinedUnits);
 }
 
 TEST(Protocol, ParallelStudyIsBitIdenticalToSerial)
@@ -142,6 +151,231 @@ TEST(Protocol, ParallelStudyIsBitIdenticalToSerial)
     SocStudy parallel = runSocStudy("SD-805", quickStudyConfig(8));
     setLogLevel(old);
     expectStudiesBitIdentical(serial, parallel);
+}
+
+// ---------------------------------------------------------------------
+// Supervised studies: classification, retry, quarantine, determinism.
+// ---------------------------------------------------------------------
+
+/** Install a plan for one test; always uninstalls on scope exit. */
+class PlanGuard
+{
+  public:
+    explicit PlanGuard(FaultPlan plan)
+    {
+        installFaultPlan(
+            std::make_shared<FaultPlan>(std::move(plan)));
+    }
+    ~PlanGuard() { clearFaultPlan(); }
+};
+
+/** A plan whose only rule faults experiment.run. */
+FaultPlan
+experimentFaultPlan(std::uint64_t seed, FaultKind kind, double p)
+{
+    FaultPlan plan(seed);
+    FaultRule rule;
+    rule.site = FaultSite::ExperimentRun;
+    rule.kind = kind;
+    rule.probability = p;
+    plan.addRule(rule);
+    return plan;
+}
+
+TEST(Classify, AcceptsAHealthyExperiment)
+{
+    ExperimentConfig cfg;
+    ExperimentResult r = synthetic("A", {100, 100}, {10, 10});
+    for (auto &it : r.iterations) {
+        it.cooldownReachedTarget = true;
+        it.tempAtWorkloadStart = Celsius(31.5);
+        it.peakWorkloadTemp = Celsius(70.0);
+    }
+    EXPECT_EQ(classifyExperiment(r, cfg, ValidityGate{}),
+              ExperimentStatus::Ok);
+}
+
+TEST(Classify, RejectsCooldownTimeoutHotStartAndRunaway)
+{
+    ExperimentConfig cfg; // cooldownTarget 32 C
+    ValidityGate gate;    // +3 C margin, 120 C peak bound
+    auto healthy = [] {
+        ExperimentResult r = synthetic("A", {100}, {10});
+        r.iterations[0].cooldownReachedTarget = true;
+        r.iterations[0].tempAtWorkloadStart = Celsius(31.5);
+        r.iterations[0].peakWorkloadTemp = Celsius(70.0);
+        return r;
+    };
+
+    ExperimentResult timed_out = healthy();
+    timed_out.iterations[0].cooldownReachedTarget = false;
+    EXPECT_EQ(classifyExperiment(timed_out, cfg, gate),
+              ExperimentStatus::InvalidRun);
+    // ... unless the gate is told not to care.
+    ValidityGate lax = gate;
+    lax.requireCooldownTarget = false;
+    EXPECT_EQ(classifyExperiment(timed_out, cfg, lax),
+              ExperimentStatus::Ok);
+
+    ExperimentResult hot_start = healthy();
+    hot_start.iterations[0].tempAtWorkloadStart = Celsius(35.5);
+    EXPECT_EQ(classifyExperiment(hot_start, cfg, gate),
+              ExperimentStatus::InvalidRun);
+
+    ExperimentResult runaway = healthy();
+    runaway.iterations[0].peakWorkloadTemp = Celsius(130.0);
+    EXPECT_EQ(classifyExperiment(runaway, cfg, gate),
+              ExperimentStatus::InvalidRun);
+}
+
+TEST(Protocol, ReduceExcludesQuarantinedUnitsFromAggregates)
+{
+    std::vector<ExperimentResult> unc = {
+        synthetic("A", {1000, 1000}, {500, 500}),
+        synthetic("B", {860, 860}, {520, 520}),
+    };
+    std::vector<ExperimentResult> fix = {
+        synthetic("A", {600, 600}, {300, 300}),
+        synthetic("B", {600, 600}, {360, 360}),
+    };
+    SocStudy full = reduceSocStudy("SD-TEST", "Test Phone", unc, fix);
+
+    // Bench unit B: the aggregates must match a study of A alone.
+    unc[1] = ExperimentResult{};
+    unc[1].unitId = "B";
+    unc[1].status = ExperimentStatus::TransientFault;
+    unc[1].attempts = 3;
+    unc[1].quarantined = true;
+    SocStudy benched =
+        reduceSocStudy("SD-TEST", "Test Phone", unc, fix);
+
+    EXPECT_EQ(benched.units.size(), 2u);
+    EXPECT_EQ(benched.quarantinedUnits, 1u);
+    EXPECT_TRUE(benched.units[1].quarantined);
+    EXPECT_EQ(benched.units[1].unconstrainedStatus,
+              ExperimentStatus::TransientFault);
+    EXPECT_EQ(benched.units[1].unconstrainedAttempts, 3u);
+
+    std::vector<ExperimentResult> only_a_unc = {unc[0]};
+    std::vector<ExperimentResult> only_a_fix = {fix[0]};
+    SocStudy only_a =
+        reduceSocStudy("SD-TEST", "Test Phone", only_a_unc,
+                       only_a_fix);
+    EXPECT_EQ(benched.perfVariationPercent,
+              only_a.perfVariationPercent);
+    EXPECT_EQ(benched.energyVariationPercent,
+              only_a.energyVariationPercent);
+    EXPECT_EQ(benched.efficiencyIterPerWh,
+              only_a.efficiencyIterPerWh);
+    EXPECT_EQ(full.quarantinedUnits, 0u);
+}
+
+TEST(Supervised, FaultedStudyIsBitIdenticalAcrossJobs)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    FaultPlan plan =
+        experimentFaultPlan(2024, FaultKind::Transient, 0.5);
+    SocStudy serial, parallel;
+    {
+        PlanGuard guard{FaultPlan(plan)};
+        serial = runSocStudy("SD-805", quickStudyConfig(1));
+    }
+    {
+        PlanGuard guard{FaultPlan(plan)};
+        parallel = runSocStudy("SD-805", quickStudyConfig(8));
+    }
+    setLogLevel(old);
+    expectStudiesBitIdentical(serial, parallel);
+
+    // With p=0.5 per attempt the plan must actually have bitten:
+    // at least one experiment needed a retry.
+    std::uint32_t total_attempts = 0;
+    for (const UnitOutcome &u : serial.units)
+        total_attempts += u.unconstrainedAttempts + u.fixedAttempts;
+    EXPECT_GT(total_attempts, 2 * serial.units.size());
+}
+
+TEST(Supervised, ExhaustedBudgetQuarantinesTheUnit)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    PlanGuard guard(
+        experimentFaultPlan(1, FaultKind::Transient, 1.0));
+    StudyConfig cfg = quickStudyConfig(1);
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    SocStudy s = runUnitStudy(entry, 0, cfg);
+    setLogLevel(old);
+
+    ASSERT_EQ(s.units.size(), 1u);
+    EXPECT_TRUE(s.units[0].quarantined);
+    EXPECT_EQ(s.quarantinedUnits, 1u);
+    EXPECT_EQ(s.units[0].unconstrainedStatus,
+              ExperimentStatus::TransientFault);
+    EXPECT_EQ(s.units[0].unconstrainedAttempts,
+              static_cast<std::uint32_t>(cfg.retry.maxAttempts));
+    // Aggregates over zero healthy units are zero, never NaN.
+    EXPECT_EQ(s.perfVariationPercent, 0.0);
+    EXPECT_EQ(s.efficiencyIterPerWh, 0.0);
+}
+
+TEST(Supervised, PermanentFaultAlwaysPropagates)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    PlanGuard guard(
+        experimentFaultPlan(1, FaultKind::Permanent, 1.0));
+    EXPECT_THROW(runSocStudy("SD-805", quickStudyConfig(1)),
+                 PermanentFaultError);
+    setLogLevel(old);
+}
+
+TEST(Supervised, NoQuarantineEscalatesExhaustion)
+{
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    PlanGuard guard(
+        experimentFaultPlan(1, FaultKind::Transient, 1.0));
+    StudyConfig cfg = quickStudyConfig(1);
+    cfg.retry.quarantine = false;
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    EXPECT_THROW(runUnitStudy(entry, 0, cfg), PermanentFaultError);
+    setLogLevel(old);
+}
+
+TEST(Supervised, RetriedExperimentRecoversWithFreshAttempt)
+{
+    // Find a seed whose decision pattern is: task 0 faults on its
+    // first attempt only, task 1 never faults. The scan uses the same
+    // (scope, count) hash the supervisor does, so the chosen seed is
+    // stable by construction.
+    auto decides = [](std::uint64_t seed, std::uint64_t task,
+                      std::uint64_t attempt) {
+        PlanGuard guard(
+            experimentFaultPlan(seed, FaultKind::Transient, 0.5));
+        FaultScope scope(faultScopeId(task, attempt));
+        return faultCheck(FaultSite::ExperimentRun).fired;
+    };
+    std::uint64_t seed = 0;
+    bool found = false;
+    for (; seed < 256 && !found; ++seed) {
+        found = decides(seed, 0, 0) && !decides(seed, 0, 1) &&
+                !decides(seed, 1, 0);
+    }
+    ASSERT_TRUE(found);
+    --seed;
+
+    LogLevel old = setLogLevel(LogLevel::Quiet);
+    PlanGuard guard(
+        experimentFaultPlan(seed, FaultKind::Transient, 0.5));
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    SocStudy s = runUnitStudy(entry, 0, quickStudyConfig(1));
+    setLogLevel(old);
+
+    ASSERT_EQ(s.units.size(), 1u);
+    EXPECT_FALSE(s.units[0].quarantined);
+    EXPECT_EQ(s.units[0].unconstrainedStatus, ExperimentStatus::Ok);
+    EXPECT_EQ(s.units[0].unconstrainedAttempts, 2u)
+        << "first attempt faulted, the retry recovered";
+    EXPECT_EQ(s.units[0].fixedStatus, ExperimentStatus::Ok);
+    EXPECT_EQ(s.units[0].fixedAttempts, 1u);
+    EXPECT_GT(s.units[0].meanScore, 0.0);
 }
 
 } // namespace

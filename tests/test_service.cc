@@ -10,13 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "accubench/protocol.hh"
 #include "device/registry.hh"
+#include "fault/fault.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "store/result_cache.hh"
@@ -551,4 +554,93 @@ TEST(StudyServiceHandle, MetadataEndpointsAreNoStore)
     std::string error;
     ASSERT_TRUE(parseJson(hz.body, doc, error)) << hz.body;
     EXPECT_TRUE(doc.at("store").isNull());
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: load shedding and degraded health.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Install a plan for one test; always uninstalls on scope exit. */
+class SvcPlanGuard
+{
+  public:
+    explicit SvcPlanGuard(FaultPlan plan)
+    {
+        installFaultPlan(
+            std::make_shared<FaultPlan>(std::move(plan)));
+    }
+    ~SvcPlanGuard() { clearFaultPlan(); }
+};
+
+} // namespace
+
+TEST(StudyServiceFaults, PermanentFaultShedsWith503AndRetryAfter)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.retryAfterSec = 7;
+    StudyService svc(cfg);
+
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.site = FaultSite::ExperimentRun;
+    rule.kind = FaultKind::Permanent;
+    rule.probability = 1.0;
+    plan.addRule(rule);
+    SvcPlanGuard guard{std::move(plan)};
+
+    HttpResponse shed =
+        svc.handle(makeRequest("POST", "/study", kUnitBody));
+    EXPECT_EQ(shed.status, 503);
+    EXPECT_TRUE(hasHeader(shed, "Retry-After", "7")) << shed.body;
+
+    // Metadata endpoints keep answering while studies shed.
+    EXPECT_EQ(svc.handle(makeRequest("GET", "/healthz")).status, 200);
+}
+
+TEST(StudyServiceFaults, HealthzReportsDegradedStore)
+{
+    QuietLog quiet;
+    std::string dir = testing::TempDir() + "/pvar_svc_degraded";
+    std::remove((dir + "/experiments.log").c_str());
+    std::remove((dir + "/store.degraded").c_str());
+
+    ServiceConfig cfg = testServiceConfig();
+    cfg.cacheDir = dir;
+    StudyService svc(cfg);
+
+    // Healthy at startup.
+    {
+        HttpResponse hz = svc.handle(makeRequest("GET", "/healthz"));
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(hz.body, doc, error)) << hz.body;
+        EXPECT_EQ(doc.at("status").asString(), "ok");
+    }
+
+    // A study under an injected append fault still answers 200 —
+    // the result is computed, just not persisted — and /healthz
+    // flips to degraded with the failure counters visible.
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.site = FaultSite::StoreAppend;
+    rule.kind = FaultKind::Io;
+    rule.every = 1;
+    plan.addRule(rule);
+    SvcPlanGuard guard{std::move(plan)};
+
+    HttpResponse study =
+        svc.handle(makeRequest("POST", "/study", kUnitBody));
+    EXPECT_EQ(study.status, 200) << study.body;
+
+    HttpResponse hz = svc.handle(makeRequest("GET", "/healthz"));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(hz.body, doc, error)) << hz.body;
+    EXPECT_EQ(doc.at("status").asString(), "degraded");
+    EXPECT_TRUE(doc.at("store").at("degraded").asBool());
+    EXPECT_GE(doc.at("store").at("failed_appends").asNumber(), 1.0);
 }

@@ -25,6 +25,7 @@
 
 #include "accubench/protocol.hh"
 #include "device/registry.hh"
+#include "fault/fault.hh"
 #include "report/json.hh"
 #include "sim/logging.hh"
 #include "store/codec.hh"
@@ -61,7 +62,7 @@ freshDir(const std::string &name)
     ::mkdir(dir.c_str(), 0755); // EEXIST is fine
     for (const char *leftover :
          {"/experiments.log", "/experiments.log.compact", "/test.log",
-          "/test.log.victim"})
+          "/test.log.victim", "/store.degraded"})
         std::remove((dir + leftover).c_str());
     return dir;
 }
@@ -572,4 +573,185 @@ TEST(DurableCache, ResumedStudyIsByteIdenticalAndSkipsDoneWork)
               reference);
     EXPECT_EQ(third.storeStats().hits, 4u);
     EXPECT_EQ(third.storeStats().misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Codec v2: the supervision outcome rides at the end of the record.
+// ---------------------------------------------------------------------
+
+TEST(StoreCodec, SupervisionOutcomeRoundTrips)
+{
+    ExperimentResult original = makeResult(2);
+    original.status = ExperimentStatus::TransientFault;
+    original.attempts = 3;
+    original.quarantined = true;
+
+    std::string bytes = encodeExperimentResult(original);
+    ExperimentResult decoded;
+    ASSERT_TRUE(decodeExperimentResult(bytes, decoded));
+    EXPECT_EQ(decoded.status, ExperimentStatus::TransientFault);
+    EXPECT_EQ(decoded.attempts, 3u);
+    EXPECT_TRUE(decoded.quarantined);
+    EXPECT_EQ(encodeExperimentResult(decoded), bytes);
+
+    // Garbage in the new tail fields must not decode.
+    std::string bad_status = bytes;
+    bad_status[bytes.size() - 6] = 17; // status out of range
+    ExperimentResult scratch;
+    EXPECT_FALSE(decodeExperimentResult(bad_status, scratch));
+    std::string bad_flag = bytes;
+    bad_flag[bytes.size() - 1] = 2; // quarantined neither 0 nor 1
+    EXPECT_FALSE(decodeExperimentResult(bad_flag, scratch));
+}
+
+TEST(StoreCodec, DecodesVersionOneRecordsWithDefaults)
+{
+    // A v1 record is the v2 encoding minus the 6-byte supervision
+    // tail, with the leading version u32 set to 1. Old logs keep
+    // decoding; the new fields take their healthy defaults.
+    ExperimentResult original = makeResult(1);
+    std::string v2 = encodeExperimentResult(original);
+    std::string v1 = v2.substr(0, v2.size() - 6);
+    v1[0] = 1;
+
+    ExperimentResult decoded;
+    decoded.status = ExperimentStatus::PermanentFault; // must be reset
+    decoded.attempts = 99;
+    decoded.quarantined = true;
+    ASSERT_TRUE(decodeExperimentResult(v1, decoded));
+    EXPECT_EQ(decoded.status, ExperimentStatus::Ok);
+    EXPECT_EQ(decoded.attempts, 1u);
+    EXPECT_FALSE(decoded.quarantined);
+    EXPECT_EQ(decoded.unitId, original.unitId);
+
+    // A v1 record with the v2 tail still attached has trailing bytes
+    // and must be rejected, as must a v2 record cut at the v1 length.
+    std::string v1_long = v2;
+    v1_long[0] = 1;
+    ExperimentResult scratch;
+    EXPECT_FALSE(decodeExperimentResult(v1_long, scratch));
+    std::string v2_short = v2.substr(0, v2.size() - 6);
+    EXPECT_FALSE(decodeExperimentResult(v2_short, scratch));
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: injected store I/O faults downgrade the store
+// to memory-only; a reopen recovers.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Install a plan for one test; always uninstalls on scope exit. */
+class StorePlanGuard
+{
+  public:
+    explicit StorePlanGuard(FaultPlan plan)
+    {
+        installFaultPlan(
+            std::make_shared<FaultPlan>(std::move(plan)));
+    }
+    ~StorePlanGuard() { clearFaultPlan(); }
+};
+
+FaultPlan
+storeFaultPlan(FaultSite site)
+{
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.site = site;
+    rule.kind = FaultKind::Io;
+    rule.every = 1; // every invocation
+    plan.addRule(rule);
+    return plan;
+}
+
+} // namespace
+
+TEST(ExperimentStore, FailedAppendDegradesToMemoryOnly)
+{
+    QuietLog quiet;
+    std::string dir = freshDir("degrade_append");
+
+    {
+        ExperimentStore store(dir);
+        StorePlanGuard guard{storeFaultPlan(FaultSite::StoreAppend)};
+
+        store.put("key-a", makeResult(1));
+        EXPECT_TRUE(store.degraded());
+
+        ExperimentStoreStats s = store.stats();
+        EXPECT_GE(s.failedAppends, 1u);
+        EXPECT_TRUE(s.degraded);
+        EXPECT_TRUE(s.degradedMarker);
+        struct stat st;
+        EXPECT_EQ(::stat(store.markerPath().c_str(), &st), 0)
+            << "marker file must exist on disk";
+
+        // Memory-only: the lost record is a miss, further puts
+        // no-op instead of retrying the broken file descriptor.
+        ExperimentResult out;
+        EXPECT_FALSE(store.get("key-a", out));
+        store.put("key-b", makeResult(2));
+        EXPECT_FALSE(store.get("key-b", out));
+        EXPECT_EQ(store.stats().records, 0u);
+    }
+
+    // Reopen without the fault: the store works again. The marker
+    // survives open (operators must see the evidence) and is cleared
+    // by the next clean append.
+    ExperimentStore reopened(dir);
+    EXPECT_FALSE(reopened.degraded());
+    EXPECT_TRUE(reopened.stats().degradedMarker);
+    reopened.put("key-a", makeResult(1));
+    EXPECT_FALSE(reopened.degraded());
+    EXPECT_FALSE(reopened.stats().degradedMarker);
+    ExperimentResult out;
+    EXPECT_TRUE(reopened.get("key-a", out));
+    EXPECT_EQ(encodeExperimentResult(out),
+              encodeExperimentResult(makeResult(1)));
+}
+
+TEST(ExperimentStore, FailedFsyncCountsAndDegrades)
+{
+    QuietLog quiet;
+    std::string dir = freshDir("degrade_fsync");
+
+    ExperimentStore store(dir, /*sync_every=*/1);
+    StorePlanGuard guard{storeFaultPlan(FaultSite::StoreFsync)};
+
+    store.put("key-a", makeResult(1));
+    ExperimentStoreStats s = store.stats();
+    EXPECT_GE(s.failedSyncs, 1u);
+    EXPECT_TRUE(s.degraded);
+    EXPECT_TRUE(store.degraded());
+}
+
+TEST(DurableCache, DegradedStoreStillServesFromMemory)
+{
+    QuietLog quiet;
+    std::string dir = freshDir("degrade_cache");
+    const RegistryEntry &entry = DeviceRegistry::builtin().at("SD-805");
+    ExperimentConfig cfg;
+
+    DurableCache cache(dir);
+    StorePlanGuard guard{storeFaultPlan(FaultSite::StoreAppend)};
+
+    int computes = 0;
+    auto compute = [&]() {
+        ++computes;
+        return makeResult(3);
+    };
+    ExperimentResult cold = cache.getOrCompute(entry, 0, cfg, compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_TRUE(cache.degraded());
+
+    // Correctness is unaffected: the LRU still serves the result.
+    ExperimentResult warm = cache.getOrCompute(entry, 0, cfg, compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(encodeExperimentResult(cold),
+              encodeExperimentResult(warm));
+    EXPECT_GE(cache.lruStats().hits, 1u);
+    // flushPending on a degraded store must not throw.
+    cache.flushPending();
 }

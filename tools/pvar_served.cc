@@ -32,6 +32,10 @@
 
 #include <unistd.h>
 
+#include <memory>
+
+#include "fault/fault.hh"
+#include "report/fault_json.hh"
 #include "service/service.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
@@ -69,6 +73,8 @@ usage()
         "                    0 disables caching)\n"
         "  --cache-dir DIR   persist results to DIR and reload them\n"
         "                    on restart (crash-safe warm starts)\n"
+        "  --fault-plan FILE install a deterministic fault-injection\n"
+        "                    plan (JSON) for chaos replays\n"
         "  --quiet           suppress progress logging\n"
         "  --help            this text\n"
         "\n"
@@ -138,6 +144,9 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(intArg(arg, next(), 0));
         } else if (arg == "--cache-dir") {
             cfg.cacheDir = next();
+        } else if (arg == "--fault-plan") {
+            installFaultPlan(std::make_shared<FaultPlan>(
+                loadFaultPlanFile(next())));
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {

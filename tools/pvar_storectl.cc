@@ -8,7 +8,9 @@
  *     stats             print store counters as JSON
  *     verify            re-read every record through the checksummed
  *                       log and the codec; exit 1 if any record is
- *                       superseded garbage or fails to decode
+ *                       superseded garbage or fails to decode, exit 2
+ *                       if the store is marked degraded or records
+ *                       were dropped (torn tail truncated at open)
  *     compact           rewrite the log dropping superseded and
  *                       orphaned records (atomic rename)
  *     export --json     dump every live record as a JSON array of
@@ -47,7 +49,8 @@ usage()
         "commands:\n"
         "  stats             print store counters as JSON\n"
         "  verify            check every record end-to-end; exit 1 on\n"
-        "                    any undecodable record\n"
+        "                    any undecodable record, exit 2 when the\n"
+        "                    store is marked degraded or lost records\n"
         "  compact           drop superseded/orphaned records\n"
         "  export --json     dump live records as a JSON array\n"
         "\n"
@@ -69,6 +72,11 @@ printStats(const ExperimentStoreStats &s, std::uint64_t dropped,
     w.key("bytes").value(static_cast<long long>(s.bytes));
     w.key("truncated_bytes")
         .value(static_cast<long long>(s.truncatedBytes));
+    w.key("failed_appends")
+        .value(static_cast<long long>(s.failedAppends));
+    w.key("failed_syncs")
+        .value(static_cast<long long>(s.failedSyncs));
+    w.key("degraded_marker").value(s.degradedMarker);
     if (with_dropped)
         w.key("dropped").value(static_cast<long long>(dropped));
     w.endObject();
@@ -149,13 +157,23 @@ main(int argc, char **argv)
             &bad);
         ExperimentStoreStats s = store.stats();
         std::printf("verify: %llu records ok, %llu undecodable, "
-                    "%llu superseded, %llu torn bytes truncated\n",
+                    "%llu superseded, %llu torn bytes truncated%s\n",
                     static_cast<unsigned long long>(good),
                     static_cast<unsigned long long>(bad),
                     static_cast<unsigned long long>(
                         s.logRecords - good - bad),
-                    static_cast<unsigned long long>(s.truncatedBytes));
-        return bad == 0 ? 0 : 1;
+                    static_cast<unsigned long long>(s.truncatedBytes),
+                    s.degradedMarker ? ", DEGRADED marker present"
+                                     : "");
+        if (bad != 0)
+            return 1;
+        // Distinct exit code for silent data loss: every surviving
+        // record is fine, but a writer lost appends (marker) or the
+        // log lost its tail (truncation). A clean rerun that writes
+        // through the store clears the marker.
+        if (s.degradedMarker || s.truncatedBytes > 0)
+            return 2;
+        return 0;
     }
 
     if (command == "compact") {

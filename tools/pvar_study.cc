@@ -19,6 +19,12 @@
  *     --cache-dir DIR   persist results to an append-only store in
  *                       DIR; rerunning a killed or repeated study
  *                       skips every experiment already on disk
+ *     --fault-plan FILE install a deterministic fault-injection plan
+ *                       (JSON; see report/fault_json.hh) for chaos
+ *                       replays
+ *     --max-attempts N  retry budget per experiment (default 3)
+ *     --no-quarantine   abort on budget exhaustion instead of
+ *                       benching the unit
  *     --quiet           suppress progress logging
  *     --help            this text
  */
@@ -31,6 +37,8 @@
 #include <vector>
 
 #include "accubench/protocol.hh"
+#include "fault/fault.hh"
+#include "report/fault_json.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "report/table.hh"
@@ -69,6 +77,11 @@ usage()
         "  --cache-dir DIR   persist results to DIR; rerunning a\n"
         "                    killed or repeated study skips work\n"
         "                    already on disk\n"
+        "  --fault-plan FILE install a deterministic fault-injection\n"
+        "                    plan (JSON) for chaos replays\n"
+        "  --max-attempts N  retry budget per experiment (default 3)\n"
+        "  --no-quarantine   abort on budget exhaustion instead of\n"
+        "                    benching the unit\n"
         "  --quiet           suppress progress logging\n"
         "  --help            this text\n");
 }
@@ -79,14 +92,17 @@ summaryCsv(const std::vector<SocStudy> &studies)
     std::string out =
         "soc,model,units,perf_variation_percent,"
         "energy_variation_percent,fixed_perf_spread_percent,"
-        "mean_score_rsd_percent,efficiency_iter_per_wh\n";
+        "mean_score_rsd_percent,efficiency_iter_per_wh,"
+        "quarantined_units\n";
     for (const auto &s : studies) {
-        out += strfmt("%s,%s,%zu,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+        out += strfmt("%s,%s,%zu,%.3f,%.3f,%.3f,%.3f,%.1f,%llu\n",
                       s.socName.c_str(), s.model.c_str(),
                       s.units.size(), s.perfVariationPercent,
                       s.energyVariationPercent,
                       s.fixedPerfSpreadPercent, s.meanScoreRsdPercent,
-                      s.efficiencyIterPerWh);
+                      s.efficiencyIterPerWh,
+                      static_cast<unsigned long long>(
+                          s.quarantinedUnits));
     }
     return out;
 }
@@ -224,6 +240,14 @@ main(int argc, char **argv)
             use_cache = true;
         } else if (arg == "--cache-dir") {
             cache_dir = next();
+        } else if (arg == "--fault-plan") {
+            installFaultPlan(std::make_shared<FaultPlan>(
+                loadFaultPlanFile(next())));
+        } else if (arg == "--max-attempts") {
+            cfg.retry.maxAttempts =
+                static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--no-quarantine") {
+            cfg.retry.quarantine = false;
         } else if (arg == "--quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (arg == "--help" || arg == "-h") {
@@ -254,25 +278,41 @@ main(int argc, char **argv)
     }
 
     std::vector<SocStudy> studies;
-    if (!fleet_path.empty()) {
-        // The loaded entries must outlive the flattened task list.
-        std::vector<RegistryEntry> fleet = loadFleetFile(fleet_path);
-        inform("fleet: %s (%zu models)", fleet_path.c_str(),
-               fleet.size());
-        std::vector<const RegistryEntry *> entries;
-        for (const RegistryEntry &e : fleet)
-            entries.push_back(&e);
-        studies = runStudy(entries, cfg);
-    } else if (!device_id.empty()) {
-        UnitRef ref = DeviceRegistry::builtin().findUnit(device_id);
-        if (!ref.entry)
-            fatal("pvar_study: unknown unit '%s' (try --list-devices)",
-                  device_id.c_str());
-        studies.push_back(runUnitStudy(*ref.entry, ref.unitIndex, cfg));
-    } else if (!soc.empty()) {
-        studies.push_back(runSocStudy(soc, cfg));
-    } else {
-        studies = runFullStudy(cfg);
+    try {
+        if (!fleet_path.empty()) {
+            // The loaded entries must outlive the flattened task list.
+            std::vector<RegistryEntry> fleet =
+                loadFleetFile(fleet_path);
+            inform("fleet: %s (%zu models)", fleet_path.c_str(),
+                   fleet.size());
+            std::vector<const RegistryEntry *> entries;
+            for (const RegistryEntry &e : fleet)
+                entries.push_back(&e);
+            studies = runStudy(entries, cfg);
+        } else if (!device_id.empty()) {
+            UnitRef ref =
+                DeviceRegistry::builtin().findUnit(device_id);
+            if (!ref.entry)
+                fatal("pvar_study: unknown unit '%s' (try "
+                      "--list-devices)",
+                      device_id.c_str());
+            studies.push_back(
+                runUnitStudy(*ref.entry, ref.unitIndex, cfg));
+        } else if (!soc.empty()) {
+            studies.push_back(runSocStudy(soc, cfg));
+        } else {
+            studies = runFullStudy(cfg);
+        }
+    } catch (const FaultError &e) {
+        // A permanent fault (or an exhausted budget under
+        // --no-quarantine): a clean one-line abort, not a crash.
+        fatal("pvar_study: study aborted by permanent fault: %s",
+              e.what());
+    }
+
+    if (durable && durable->degraded()) {
+        warn("pvar_study: cache store degraded to memory-only during "
+             "this run; results are complete but were NOT persisted");
     }
 
     if (durable) {
