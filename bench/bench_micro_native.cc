@@ -209,6 +209,16 @@ writeStudyScalingJson()
     double parallel_sec =
         wallSeconds([&] { parallel_out = runFullStudy(cfg); });
 
+    // Solver comparison, serial: the stepped reference against the
+    // analytic event-to-event fast path (agrees to tolerance, not
+    // bit-for-bit, so no identity check here — the equivalence stage
+    // of scripts/check.sh owns the accuracy contract).
+    cfg.jobs = 1;
+    cfg.solver = SolverKind::Fast;
+    std::vector<SocStudy> fast_out;
+    double fast_sec = wallSeconds([&] { fast_out = runFullStudy(cfg); });
+    cfg.solver = SolverKind::Stepped;
+
     // Whole-stack throughput: simulated seconds per wall second.
     auto device = makeNexus5(2, UnitCorner{"bench", 0.3, 0.1, 0.0});
     Simulator sim(Time::msec(10));
@@ -229,11 +239,15 @@ writeStudyScalingJson()
         "  \"parallel_sec\": %.3f,\n"
         "  \"speedup\": %.3f,\n"
         "  \"outputs_identical\": %s,\n"
+        "  \"solver_stepped_sec\": %.3f,\n"
+        "  \"solver_fast_sec\": %.3f,\n"
+        "  \"solver_speedup\": %.3f,\n"
         "  \"sim_seconds_per_wall_second\": %.1f\n"
         "}\n",
         cfg.iterations, experiments, hardwareJobs(), serial_sec,
         parallel_sec, serial_sec / parallel_sec,
         studiesIdentical(serial_out, parallel_out) ? "true" : "false",
+        serial_sec, fast_sec, serial_sec / fast_sec,
         60.0 / minute_sec);
 
     std::ofstream f("BENCH_study.json");
@@ -246,6 +260,12 @@ writeStudyScalingJson()
                 studiesIdentical(serial_out, parallel_out)
                     ? ""
                     : "  MISS: outputs differ");
+    std::printf("solver fast path: %.2fs stepped, %.2fs fast serial "
+                "(%.2fx)%s\n",
+                serial_sec, fast_sec, serial_sec / fast_sec,
+                serial_sec / fast_sec >= 10.0
+                    ? ""
+                    : "  MISS: fast solver under 10x");
 }
 
 // -- Durable-store benchmark ---------------------------------------------

@@ -161,6 +161,42 @@ EOF
 }
 chaos ./build/pvar_study ./build/pvar_storectl
 
+# Solver equivalence: the analytic fast path must reproduce the full
+# stepped study within its accuracy contract — per-unit scores and
+# energies to 1%, derived variation percentages to one point. (The
+# two solvers agree to tolerance, not bit-for-bit: `stepped` remains
+# the bit-identity reference.)
+solver_equivalence() {
+    local study=$1 tmp
+    tmp=$(mktemp -d)
+    "$study" --iterations 1 --jobs 1 --solver stepped --json --quiet \
+        --output "$tmp/stepped.json"
+    "$study" --iterations 1 --jobs 1 --solver fast --json --quiet \
+        --output "$tmp/fast.json"
+    python3 - "$tmp/stepped.json" "$tmp/fast.json" <<'EOF'
+import json, sys
+stepped = json.load(open(sys.argv[1]))
+fast = json.load(open(sys.argv[2]))
+assert len(stepped) == len(fast), (len(stepped), len(fast))
+for s, f in zip(stepped, fast):
+    assert s["soc"] == f["soc"]
+    for key in ("perf_variation_percent", "energy_variation_percent",
+                "fixed_perf_spread_percent"):
+        assert abs(s[key] - f[key]) <= 1.0, (s["soc"], key, s[key], f[key])
+    assert s["quarantined_units"] == f["quarantined_units"], s["soc"]
+    for su, fu in zip(s["units"], f["units"]):
+        assert su["unit"] == fu["unit"]
+        for key in ("mean_score", "mean_unconstrained_energy_j",
+                    "mean_fixed_energy_j", "mean_fixed_score"):
+            rel = abs(su[key] - fu[key]) / max(abs(su[key]), 1e-9)
+            assert rel <= 0.01, (s["soc"], su["unit"], key,
+                                 su[key], fu[key])
+print("solver equivalence ok:", ", ".join(s["soc"] for s in stepped))
+EOF
+    rm -rf "$tmp"
+}
+solver_equivalence ./build/pvar_study
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -193,6 +229,7 @@ service_smoke ./build-tsan/pvar_served ./build-tsan/pvar_study
 kill_recovery ./build-tsan/pvar_served ./build-tsan/pvar_study \
     ./build-tsan/pvar_storectl
 chaos ./build-tsan/pvar_study ./build-tsan/pvar_storectl
+solver_equivalence ./build-tsan/pvar_study
 
 fail=0
 for b in build/bench/bench_*; do

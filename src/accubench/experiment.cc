@@ -25,6 +25,13 @@ runExperiment(Device &device, const ExperimentConfig &cfg)
     sim.add(&device);
     box.placeDevice(&device);
 
+    // -- Solver -------------------------------------------------------------
+    if (cfg.solver == SolverKind::Fast) {
+        sim.setEventDriven(true);
+        device.setThermalSolver(SolverKind::Fast);
+        box.setSolver(SolverKind::Fast);
+    }
+
     // -- Power source -------------------------------------------------------
     std::unique_ptr<Monsoon> monsoon;
     switch (cfg.supply) {
@@ -72,6 +79,7 @@ runExperiment(Device &device, const ExperimentConfig &cfg)
     device.attachTrace(nullptr);
     device.attachExternalSupply(nullptr);
     device.setPerformanceMode();
+    device.setThermalSolver(SolverKind::Stepped);
 
     return result;
 }

@@ -71,6 +71,13 @@ struct ExperimentConfig
     /** Simulation step. */
     Time dt = Time::msec(10);
 
+    /**
+     * Thermal solver: Stepped (default) is the bit-identity reference
+     * integrator; Fast advances analytically between simulator events
+     * (outputs agree to tolerance, not bit-for-bit; ~10-100x faster).
+     */
+    SolverKind solver = SolverKind::Stepped;
+
     /** Soak the device to the chamber target before iteration 1. */
     bool soakFirst = true;
 

@@ -160,6 +160,7 @@ studyExperimentConfigs(const RegistryEntry &entry, const StudyConfig &cfg)
     unc_cfg.accubench = cfg.accubench;
     unc_cfg.thermabox = cfg.thermabox;
     unc_cfg.dt = cfg.dt;
+    unc_cfg.solver = cfg.solver;
     unc_cfg.supply = SupplyChoice::MonsoonExplicit;
     unc_cfg.monsoonVoltage = entry.monsoonVoltage;
 

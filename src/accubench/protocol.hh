@@ -127,6 +127,14 @@ struct StudyConfig
     /** Simulation step. */
     Time dt = Time::msec(10);
 
+    /**
+     * Thermal solver for every experiment in the study: Stepped is the
+     * bit-identity reference; Fast is the analytic event-to-event path
+     * (agrees to tolerance). Part of the cache key: cached stepped
+     * results are never served for a fast study or vice versa.
+     */
+    SolverKind solver = SolverKind::Stepped;
+
     /** Chamber parameters (paper: 26 +/- 0.5 C). */
     ThermaboxParams thermabox;
 

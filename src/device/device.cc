@@ -93,6 +93,7 @@ Device::setPerformanceMode()
 {
     for (auto &g : _cpufreq)
         g = std::make_unique<PerformanceGovernor>();
+    _hasInteractiveGov = false;
 }
 
 void
@@ -102,6 +103,7 @@ Device::setFixedFrequency(MegaHertz f)
         std::size_t idx = _soc.cluster(i).table().indexAtOrBelow(f);
         _cpufreq[i] = std::make_unique<UserspaceGovernor>(idx);
     }
+    _hasInteractiveGov = false;
 }
 
 void
@@ -109,6 +111,7 @@ Device::setInteractiveMode()
 {
     for (auto &g : _cpufreq)
         g = std::make_unique<InteractiveGovernor>();
+    _hasInteractiveGov = true;
 }
 
 void
@@ -124,6 +127,22 @@ Device::attachTrace(Trace *trace, const std::string &prefix)
     _trace = trace;
     _tracePrefix = prefix;
     _lastTraceSample = Time::zero();
+    _chDieTemp = _chCaseTemp = _chPower = _chSupply = nullptr;
+    _chOnlineCores = nullptr;
+    _chClusterFreq.clear();
+    if (!_trace)
+        return;
+    // Channel references are map-backed and stable; resolving them
+    // once keeps string assembly off the per-sample hot path.
+    _chDieTemp = &_trace->channel(prefix + "die_temp");
+    _chCaseTemp = &_trace->channel(prefix + "case_temp");
+    _chPower = &_trace->channel(prefix + "power_w");
+    _chSupply = &_trace->channel(prefix + "supply_v");
+    _chOnlineCores = &_trace->channel(prefix + "online_cores");
+    for (std::size_t i = 0; i < _soc.clusterCount(); ++i)
+        _chClusterFreq.push_back(&_trace->channel(
+            strfmt("%sfreq_%s", prefix.c_str(),
+                   _soc.cluster(i).name().c_str())));
 }
 
 void
@@ -179,6 +198,16 @@ Device::applyGovernors(Time now)
 void
 Device::tick(Time now, Time dt)
 {
+    if (_solver == SolverKind::Fast) {
+        fastTick(now, dt);
+        return;
+    }
+    steppedTick(now, dt);
+}
+
+void
+Device::steppedTick(Time now, Time dt)
+{
     // -- OS suspend state ------------------------------------------------
     bool want_awake = _wakelocks > 0 || !_suspendAllowed ||
                       now <= _wakeUntil;
@@ -223,9 +252,164 @@ Device::tick(Time now, Time dt)
 
     // -- Sensor and governors ---------------------------------------------
     _sensor.tick(now);
+    trackSensorPeak();
     if (!_suspended)
         applyGovernors(now);
 
+    recordTrace(now);
+}
+
+namespace
+{
+
+// Fast-path service cadence. Awake segments end every 250 ms — the
+// fastest governor period in the fleet (thermal governor), and a
+// multiple of the sensor (100 ms is sampled late by at most 150 ms,
+// within its own latch noise) and RBCPR (200 ms) cadences. Suspended
+// devices only need the trace and cooldown-poll grid, every 500 ms.
+const Time kFastAwakePeriod = Time::msec(250);
+const Time kFastSuspendPeriod = Time::msec(500);
+
+// Segments longer than this close the leakage-temperature loop with a
+// midpoint Picard iteration instead of start-of-interval power.
+const Time kFastPicardThreshold = Time::msec(250);
+
+// How far the device lets the simulator jump in one tick; fastTick
+// subdivides internally, so this only bounds staleness of cross
+// component coupling (the THERMABOX ambient).
+const Time kFastHorizon = Time::sec(5);
+
+} // namespace
+
+Time
+Device::nextBoundary(Time now, Time base_dt) const
+{
+    // The interactive governor tracks utilization every tick, and a
+    // duty-cycled workload has burst edges between service points;
+    // both pin the device to base stepping.
+    if (_solver != SolverKind::Fast || _hasInteractiveGov ||
+        _engine.bursty())
+        return now + base_dt;
+    return now + kFastHorizon;
+}
+
+void
+Device::fastTick(Time now, Time dt)
+{
+    Time t = now - dt;
+    while (t < now) {
+        // A segment is awake iff its end stays inside the wake grant:
+        // segments split at _wakeUntil, so `t < _wakeUntil` here
+        // matches the stepped loop's `now <= _wakeUntil` decision.
+        bool awake =
+            _wakelocks > 0 || !_suspendAllowed || t < _wakeUntil;
+        Time seg_end = std::min(
+            now, t + (awake ? kFastAwakePeriod : kFastSuspendPeriod));
+        if (awake && _wakelocks == 0 && _suspendAllowed &&
+            _wakeUntil < seg_end)
+            seg_end = _wakeUntil;
+        advanceFastSegment(seg_end, seg_end - t, awake);
+        serviceFast(seg_end, awake);
+        t = seg_end;
+    }
+}
+
+void
+Device::advanceFastSegment(Time seg_end, Time seg, bool awake)
+{
+    _suspended = !awake;
+
+    // -- Workload --------------------------------------------------------
+    if (_suspended) {
+        for (auto &c : _soc.clusters())
+            c.setUtilization(0.0);
+    } else {
+        updateBackgroundNoise(seg_end);
+        _engine.tick(seg);
+    }
+
+    // -- Power -----------------------------------------------------------
+    // Start-of-interval power is exactly the stepped scheme at a
+    // larger step; leakage drifts well under 0.1 K across an awake
+    // segment. Longer (suspended) segments close the loop below.
+    Celsius t0 = _package.dieTemp();
+    Watts p_soc = _soc.power(t0, _suspended);
+    Watts p_board = _suspended ? _config.boardSuspended
+                               : _config.boardActive;
+    PowerSupply &src = supply();
+
+    auto setPackagePowers = [&](Watts soc_power) -> Watts {
+        Watts p_load = soc_power + p_board;
+        Watts p_supply = Watts(p_load.value() / _config.pmicEfficiency);
+        Amps i_draw = src.operatingCurrent(p_supply);
+        _package.setCpuPower(soc_power);
+        _package.setBoardPower(p_board + (p_supply - p_load));
+        _package.setBatteryPower(_externalSupply
+                                     ? Watts(0.0)
+                                     : _battery.selfHeating(i_draw));
+        return p_supply;
+    };
+
+    if (seg > kFastPicardThreshold) {
+        // Midpoint Picard closure of the leakage-temperature loop:
+        // evaluate power at the midpoint of the analytic trajectory
+        // the candidate power itself produces, and iterate.
+        bool converged = false;
+        double prev_mid = t0.value();
+        for (int it = 0; it < 8; ++it) {
+            setPackagePowers(p_soc);
+            Celsius t_end = _package.previewDieTemp(seg);
+            double mid = 0.5 * (t0.value() + t_end.value());
+            p_soc = _soc.power(Celsius(mid), _suspended);
+            if (it > 0 && std::fabs(mid - prev_mid) < 1e-4) {
+                converged = true;
+                break;
+            }
+            prev_mid = mid;
+        }
+        if (!converged) {
+            // Non-contracting (or the analytic path is unavailable):
+            // fall back to the stepped reference over this segment,
+            // re-closing power every substep.
+            ++_picardFallbacks;
+            Time t = seg_end - seg;
+            while (t < seg_end) {
+                Time h = std::min(Time::msec(10), seg_end - t);
+                t = t + h;
+                Watts p = _soc.power(_package.dieTemp(), _suspended);
+                Watts p_supply = setPackagePowers(p);
+                Amps i_draw = src.operatingCurrent(p_supply);
+                _lastSupplyVoltage = src.terminalVoltage(i_draw);
+                src.drain(i_draw, h);
+                _lastPower = p_supply;
+                _meter.accumulate(p_supply, t, h);
+                _package.step(h);
+            }
+            return;
+        }
+    }
+
+    Watts p_supply = setPackagePowers(p_soc);
+    Amps i_draw = src.operatingCurrent(p_supply);
+    _lastSupplyVoltage = src.terminalVoltage(i_draw);
+    src.drain(i_draw, seg);
+    _lastPower = p_supply;
+    _meter.accumulate(p_supply, seg_end, seg);
+
+    // -- Thermals: one analytic jump ---------------------------------------
+    _package.fastStep(seg);
+}
+
+void
+Device::serviceFast(Time now, bool awake)
+{
+    // Every facility self-gates on its own cadence; firing them at
+    // every segment end keeps the service grid a superset of what each
+    // needs without per-facility due tracking.
+    _sensor.tick(now);
+    trackSensorPeak();
+    if (awake)
+        applyGovernors(now);
     recordTrace(now);
 }
 
@@ -258,18 +442,15 @@ Device::recordTrace(Time now)
         return;
     _lastTraceSample = now;
 
-    const std::string &p = _tracePrefix;
-    _trace->record(p + "die_temp", now, _package.dieTemp().value());
-    _trace->record(p + "case_temp", now, _package.caseTemp().value());
-    _trace->record(p + "power_w", now, _lastPower.value());
-    _trace->record(p + "supply_v", now, _lastSupplyVoltage.value());
-    _trace->record(p + "online_cores", now,
-                   static_cast<double>(_soc.cluster(0).onlineCores()));
+    _chDieTemp->record(now, _package.dieTemp().value());
+    _chCaseTemp->record(now, _package.caseTemp().value());
+    _chPower->record(now, _lastPower.value());
+    _chSupply->record(now, _lastSupplyVoltage.value());
+    _chOnlineCores->record(
+        now, static_cast<double>(_soc.cluster(0).onlineCores()));
     for (std::size_t i = 0; i < _soc.clusterCount(); ++i) {
-        const CpuCluster &c = _soc.cluster(i);
-        double f = _suspended ? 0.0 : c.frequency().value();
-        _trace->record(strfmt("%sfreq_%s", p.c_str(), c.name().c_str()),
-                       now, f);
+        double f = _suspended ? 0.0 : _soc.cluster(i).frequency().value();
+        _chClusterFreq[i]->record(now, f);
     }
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "power/battery.hh"
+#include "thermal/rc_network.hh"
 #include "power/energy_meter.hh"
 #include "power/power_supply.hh"
 #include "silicon/die.hh"
@@ -170,6 +171,16 @@ class Device : public Tickable
     /** The die temperature as software sees it (latched sensor). */
     Celsius readCpuTemp() const { return _sensor.read(); }
 
+    /**
+     * Highest latched sensor reading observed since the last
+     * resetSensorPeak() — the per-tick running max ACCUBENCH scores
+     * as the peak workload temperature.
+     */
+    Celsius sensorPeak() const { return _sensorPeak; }
+
+    /** Restart peak tracking from the current latched reading. */
+    void resetSensorPeak() { _sensorPeak = _sensor.read(); }
+
     /** @} */
 
     /** @name Workload control. @{ */
@@ -202,6 +213,29 @@ class Device : public Tickable
 
     /** @} */
 
+    /** @name Solver selection. @{ */
+
+    /**
+     * Choose how tick() advances the device. Stepped is the
+     * bit-identity reference (explicit Euler substeps at the base
+     * cadence); Fast advances analytically between service instants
+     * via the eigendecomposed matrix exponential, servicing sensors,
+     * governors, noise and tracing on an internal 250 ms awake /
+     * 500 ms suspended cadence. Outputs agree to tolerance, not
+     * bit-for-bit.
+     */
+    void setThermalSolver(SolverKind kind) { _solver = kind; }
+
+    SolverKind thermalSolver() const { return _solver; }
+
+    /**
+     * Number of analytic segments where the leakage Picard closure
+     * failed to contract and the stepped integrator was used instead.
+     */
+    std::uint64_t picardFallbacks() const { return _picardFallbacks; }
+
+    /** @} */
+
     /** @name Environment and tracing. @{ */
 
     /** Drive the ambient temperature (THERMABOX coupling). */
@@ -225,6 +259,8 @@ class Device : public Tickable
     /** @} */
 
     void tick(Time now, Time dt) override;
+
+    Time nextBoundary(Time now, Time base_dt) const override;
 
     /** Reset governors and meters for a fresh experiment iteration. */
     void resetExperimentState();
@@ -257,13 +293,37 @@ class Device : public Tickable
     std::string _tracePrefix;
     Time _lastTraceSample;
 
+    // Channel handles resolved once in attachTrace(); recordTrace is
+    // on the hot path in both solver modes.
+    TraceChannel *_chDieTemp = nullptr;
+    TraceChannel *_chCaseTemp = nullptr;
+    TraceChannel *_chPower = nullptr;
+    TraceChannel *_chSupply = nullptr;
+    TraceChannel *_chOnlineCores = nullptr;
+    std::vector<TraceChannel *> _chClusterFreq;
+
     Rng _noiseRng;
     Time _lastNoiseUpdate;
     bool _noisePrimed;
 
+    SolverKind _solver = SolverKind::Stepped;
+    bool _hasInteractiveGov = false;
+    Celsius _sensorPeak{0.0};
+    std::uint64_t _picardFallbacks = 0;
+
     void applyGovernors(Time now);
     void recordTrace(Time now);
     void updateBackgroundNoise(Time now);
+
+    void steppedTick(Time now, Time dt);
+    void fastTick(Time now, Time dt);
+    void advanceFastSegment(Time seg_end, Time seg, bool awake);
+    void serviceFast(Time now, bool awake);
+    void trackSensorPeak()
+    {
+        if (_sensor.read().value() > _sensorPeak.value())
+            _sensorPeak = _sensor.read();
+    }
 };
 
 } // namespace pvar

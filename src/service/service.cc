@@ -431,6 +431,13 @@ StudyService::runStudyRequest(const std::string &body)
             cfg.thermabox.target = Celsius(t);
             cfg.accubench.cooldownTarget = Celsius(t + 6.0);
         }
+        if (const JsonValue *solver = doc.find("solver")) {
+            if (!parseSolverKind(solver->asString(), cfg.solver))
+                throw JsonError(
+                    strfmt("'solver' must be \"stepped\" or \"fast\", "
+                           "got \"%s\"",
+                           solver->asString().c_str()));
+        }
     }
 
     const JsonValue *soc =

@@ -29,20 +29,41 @@ Simulator::remove(Tickable *component)
 }
 
 void
-Simulator::step()
+Simulator::advanceOnce(Time limit)
 {
-    _now += _dt;
+    // The jump target: nearest pending event or component boundary,
+    // clamped to the caller's deadline — but never less than one base
+    // step, which reproduces the fixed-step loop's overshoot when a
+    // deadline is not dt-aligned and keeps pinned components exact.
+    Time target = _now + _dt;
+    if (_eventDriven) {
+        Time candidate = _events.nextDeadline();
+        for (auto *c : _components)
+            candidate = std::min(candidate, c->nextBoundary(_now, _dt));
+        candidate = std::min(candidate, limit);
+        target = std::max(target, candidate);
+    }
+    Time dt = target - _now;
+    _now = target;
     ++_steps;
     for (auto *c : _components)
-        c->tick(_now, _dt);
+        c->tick(_now, dt);
     _events.runUntil(_now);
+}
+
+void
+Simulator::step()
+{
+    // A bare step is always one base dt, in either mode: callers that
+    // single-step want the fixed cadence they asked for.
+    advanceOnce(_now + _dt);
 }
 
 void
 Simulator::runUntil(Time deadline)
 {
     while (_now < deadline)
-        step();
+        advanceOnce(deadline);
 }
 
 void
@@ -55,7 +76,7 @@ bool
 Simulator::runUntilCondition(const std::function<bool()> &pred, Time deadline)
 {
     while (_now < deadline) {
-        step();
+        advanceOnce(deadline);
         if (pred())
             return true;
     }

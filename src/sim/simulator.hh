@@ -45,6 +45,17 @@ class Simulator
     /** One-shot and periodic callbacks. */
     EventQueue &events() { return _events; }
 
+    /**
+     * Event-driven mode: instead of fixed `dt` ticks, each step jumps
+     * to the nearest component boundary or pending event (never less
+     * than one `dt`, so the mode degenerates to fixed stepping when a
+     * component demands it). Components see the same tick() interface
+     * with a variable dt. Off by default.
+     */
+    void setEventDriven(bool on) { _eventDriven = on; }
+
+    bool eventDriven() const { return _eventDriven; }
+
     /** Advance by exactly one step. */
     void step();
 
@@ -69,8 +80,11 @@ class Simulator
     Time _dt;
     Time _now;
     std::uint64_t _steps;
+    bool _eventDriven = false;
     std::vector<Tickable *> _components;
     EventQueue _events;
+
+    void advanceOnce(Time limit);
 };
 
 } // namespace pvar

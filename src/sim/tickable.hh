@@ -33,6 +33,21 @@ class Tickable
      */
     virtual void tick(Time now, Time dt) = 0;
 
+    /**
+     * Latest time this component can be advanced to in one tick
+     * without losing behavior, given the simulator is at `now` with
+     * base step `base_dt`.
+     *
+     * Components that handle their own internal event cadence (the
+     * analytic thermal fast path) report a horizon far beyond
+     * `base_dt`; the default pins the component to base stepping,
+     * which keeps unknown components correct in event-driven mode.
+     */
+    virtual Time nextBoundary(Time now, Time base_dt) const
+    {
+        return now + base_dt;
+    }
+
     /** Diagnostic name used in traces and log messages. */
     virtual std::string name() const = 0;
 };

@@ -98,6 +98,9 @@ writeExperimentConfig(JsonWriter &w, const ExperimentConfig &cfg)
     putNum(w, "monsoon_v", cfg.monsoonVoltage.value());
     putNum(w, "battery_soc", cfg.batterySoc);
     putTime(w, "dt_us", cfg.dt);
+    // Solvers agree to tolerance, not bit-for-bit, so a cached stepped
+    // result must never satisfy a fast-solver request (or vice versa).
+    w.key("solver").value(solverKindName(cfg.solver));
     w.key("soak_first").value(cfg.soakFirst);
     w.key("retry_salt")
         .value(static_cast<long long>(cfg.retrySalt));

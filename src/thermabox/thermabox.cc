@@ -1,5 +1,6 @@
 #include "thermabox/thermabox.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fault/fault.hh"
@@ -61,7 +62,67 @@ Thermabox::compressorDutyCycle() const
 }
 
 void
+Thermabox::evaluateController(Time now)
+{
+    _lastControl = now;
+    _controlPrimed = true;
+    if (faultCheck(FaultSite::ThermaboxRegulate).fired) {
+        // Injected controller outage: both actuators drop out
+        // until the next control period re-evaluates.
+        _lampOn = false;
+        _compressorOn = false;
+        return;
+    }
+    double err = _probe.value() - _params.target.value();
+    // Engage at the band edge, but keep driving until the
+    // probe crosses the target: releasing at the edge would
+    // leave the air grazing out of band on every drift cycle.
+    if (err < -_params.deadband) {
+        _lampOn = true;
+        _compressorOn = false;
+    } else if (err > _params.deadband) {
+        _lampOn = false;
+        _compressorOn = true;
+    } else if ((_lampOn && err >= 0.0) ||
+               (_compressorOn && err <= 0.0)) {
+        _lampOn = false;
+        _compressorOn = false;
+    }
+}
+
+void
+Thermabox::updateStability(Time now, Time dt)
+{
+    // A small margin over the control band: the bang-bang cycle by
+    // design grazes the edges, and momentary edge contact should not
+    // reset the dwell clock.
+    bool in_band =
+        std::fabs(airTemp().value() - _params.target.value()) <=
+        _params.deadband + 0.15;
+    if (in_band && !_inBand)
+        _inBandSince = now;
+    _inBand = in_band;
+    _stable = in_band && (now - _inBandSince >= _params.stabilityDwell);
+
+    _observed += dt;
+    if (_lampOn)
+        _lampOnTime += dt;
+    if (_compressorOn)
+        _compressorOnTime += dt;
+}
+
+void
 Thermabox::tick(Time now, Time dt)
+{
+    if (_solver == SolverKind::Fast) {
+        fastTick(now, dt);
+        return;
+    }
+    steppedTick(now, dt);
+}
+
+void
+Thermabox::steppedTick(Time now, Time dt)
 {
     // -- Probe lag: first-order response toward the air temperature. ----
     double alpha = 1.0 - std::exp(-dt.toSec() / _params.probeTau.toSec());
@@ -70,32 +131,8 @@ Thermabox::tick(Time now, Time dt)
 
     // -- Bang-bang controller at its own period. -------------------------
     if (!_controlPrimed || now < _lastControl ||
-        now - _lastControl >= _params.controllerPeriod) {
-        _lastControl = now;
-        _controlPrimed = true;
-        if (faultCheck(FaultSite::ThermaboxRegulate).fired) {
-            // Injected controller outage: both actuators drop out
-            // until the next control period re-evaluates.
-            _lampOn = false;
-            _compressorOn = false;
-        } else {
-            double err = _probe.value() - _params.target.value();
-            // Engage at the band edge, but keep driving until the
-            // probe crosses the target: releasing at the edge would
-            // leave the air grazing out of band on every drift cycle.
-            if (err < -_params.deadband) {
-                _lampOn = true;
-                _compressorOn = false;
-            } else if (err > _params.deadband) {
-                _lampOn = false;
-                _compressorOn = true;
-            } else if ((_lampOn && err >= 0.0) ||
-                       (_compressorOn && err <= 0.0)) {
-                _lampOn = false;
-                _compressorOn = false;
-            }
-        }
-    }
+        now - _lastControl >= _params.controllerPeriod)
+        evaluateController(now);
 
     // -- Heat balance of the chamber. --------------------------------------
     // Actuator power splits between the air and the walls (the lamp
@@ -119,22 +156,72 @@ Thermabox::tick(Time now, Time dt)
         _device->setAmbient(airTemp());
 
     // -- Stability bookkeeping. -------------------------------------------
-    // A small margin over the control band: the bang-bang cycle by
-    // design grazes the edges, and momentary edge contact should not
-    // reset the dwell clock.
-    bool in_band =
-        std::fabs(airTemp().value() - _params.target.value()) <=
-        _params.deadband + 0.15;
-    if (in_band && !_inBand)
-        _inBandSince = now;
-    _inBand = in_band;
-    _stable = in_band && (now - _inBandSince >= _params.stabilityDwell);
+    updateStability(now, dt);
+}
 
-    _observed += dt;
-    if (_lampOn)
-        _lampOnTime += dt;
-    if (_compressorOn)
-        _compressorOnTime += dt;
+void
+Thermabox::fastTick(Time now, Time dt)
+{
+    // The box ticks before the device, so the device's dissipated heat
+    // is at its jump-start value either way; holding it for the whole
+    // jump costs ~mK on the air node over the 5 s horizon.
+    double dev_heat = _device ? _device->heatToAmbientW() : 0.0;
+
+    Time t = now - dt;
+    while (t < now) {
+        // Controller evaluations land exactly on their 1 s dues, which
+        // also delimit the analytic segments (actuators are constant
+        // inside a segment, so one jump per segment is exact).
+        if (!_controlPrimed || t < _lastControl ||
+            t - _lastControl >= _params.controllerPeriod)
+            evaluateController(t);
+        Time seg_end =
+            std::min(now, _lastControl + _params.controllerPeriod);
+        Time seg = seg_end - t;
+
+        double actuator = 0.0;
+        if (_lampOn)
+            actuator += _params.lampPower;
+        if (_compressorOn)
+            actuator -= _params.compressorPower;
+        double to_air = actuator * _params.actuatorAirFraction;
+        double to_wall = actuator - to_air;
+        to_air += dev_heat;
+        _net.setPower(_air, Watts(to_air));
+        _net.setPower(_wall, Watts(to_wall));
+
+        double air0 = airTemp().value();
+        _net.fastAdvance(seg);
+        double air1 = airTemp().value();
+
+        // Probe lag toward the moving air: the trapezoid of the
+        // segment endpoints stands in for the continuous trajectory,
+        // well inside the probe's quantization and lag error.
+        double alpha =
+            1.0 - std::exp(-seg.toSec() / _params.probeTau.toSec());
+        _probe = Celsius(_probe.value() +
+                         alpha * (0.5 * (air0 + air1) - _probe.value()));
+
+        updateStability(seg_end, seg);
+        t = seg_end;
+    }
+
+    if (_device)
+        _device->setAmbient(airTemp());
+}
+
+Time
+Thermabox::nextBoundary(Time now, Time base_dt) const
+{
+    if (_solver != SolverKind::Fast || !_controlPrimed)
+        return now + base_dt;
+    // Cap the jump at the pending stability-dwell expiry so stable()
+    // flips at the same instant the stepped loop would observe it
+    // (the simulator floors the result at one base step).
+    Time horizon = now + Time::sec(5);
+    if (_inBand && !_stable)
+        horizon = std::min(horizon, _inBandSince + _params.stabilityDwell);
+    return horizon;
 }
 
 } // namespace pvar

@@ -104,12 +104,24 @@ class Thermabox : public Tickable
     double compressorDutyCycle() const;
     /** @} */
 
+    /**
+     * Select how tick() advances the chamber: Stepped is the
+     * bit-identity reference; Fast advances analytically between
+     * controller evaluations (the probe lag becomes a trapezoid of
+     * the segment endpoints, within the probe's own noise floor).
+     */
+    void setSolver(SolverKind kind) { _solver = kind; }
+    SolverKind solver() const { return _solver; }
+
     void tick(Time now, Time dt) override;
+
+    Time nextBoundary(Time now, Time base_dt) const override;
 
     const ThermaboxParams &params() const { return _params; }
 
   private:
     ThermaboxParams _params;
+    SolverKind _solver = SolverKind::Stepped;
     ThermalNetwork _net;
     ThermalNodeId _air;
     ThermalNodeId _wall;
@@ -129,6 +141,11 @@ class Thermabox : public Tickable
     Time _observed;
     Time _lampOnTime;
     Time _compressorOnTime;
+
+    void evaluateController(Time now);
+    void updateStability(Time now, Time dt);
+    void steppedTick(Time now, Time dt);
+    void fastTick(Time now, Time dt);
 };
 
 } // namespace pvar

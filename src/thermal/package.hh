@@ -83,6 +83,15 @@ class PhonePackage
     /** Advance the package by `dt`. */
     void step(Time dt) { _net.step(dt); }
 
+    /** Advance analytically (matrix exponential) by `dt`. */
+    void fastStep(Time dt) { _net.fastAdvance(dt); }
+
+    /**
+     * Die temperature `dt` from now under current powers, without
+     * mutating any node (Picard closure of leakage feedback).
+     */
+    Celsius previewDieTemp(Time dt) { return _net.fastPreview(_die, dt); }
+
     /** Equalize every node to the given temperature (cold start). */
     void soakTo(Celsius t);
 

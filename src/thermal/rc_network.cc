@@ -9,6 +9,26 @@
 namespace pvar
 {
 
+const char *
+solverKindName(SolverKind kind)
+{
+    return kind == SolverKind::Fast ? "fast" : "stepped";
+}
+
+bool
+parseSolverKind(const std::string &text, SolverKind &out)
+{
+    if (text == "stepped") {
+        out = SolverKind::Stepped;
+        return true;
+    }
+    if (text == "fast") {
+        out = SolverKind::Fast;
+        return true;
+    }
+    return false;
+}
+
 ThermalNodeId
 ThermalNetwork::addNode(const std::string &node_name,
                         JoulesPerKelvin capacitance, Celsius initial)
@@ -126,8 +146,32 @@ ThermalNetwork::refreshTopologyCache()
                          : 0.0; // boundary: dT is forced to zero
     }
     _flux.assign(_nodes.size(), 0.0);
-    _cachedDtSec = -1.0; // substep count depends on tau, re-derive
+    // Substep counts depend on tau; re-derive on next use.
+    _substepCache[0] = SubstepEntry{};
+    _substepCache[1] = SubstepEntry{};
+    _substepMru = 0;
+    _fastDirty = true;
     _topologyDirty = false;
+}
+
+int
+ThermalNetwork::substepsFor(double h_total)
+{
+    if (_substepCache[_substepMru].dtSec == h_total)
+        return _substepCache[_substepMru].substeps;
+    int other = 1 - _substepMru;
+    if (_substepCache[other].dtSec == h_total) {
+        _substepMru = other;
+        return _substepCache[other].substeps;
+    }
+    int substeps = 1;
+    if (std::isfinite(_minTau) && _minTau > 0.0)
+        substeps = std::max(
+            1,
+            static_cast<int>(std::ceil(h_total / (0.5 * _minTau))));
+    _substepMru = other; // evict the least recently used entry
+    _substepCache[other] = SubstepEntry{h_total, substeps};
+    return substeps;
 }
 
 void
@@ -143,15 +187,7 @@ ThermalNetwork::step(Time dt)
     // accuracy headroom. The substep count only changes with the
     // topology or the step size, both cached.
     double h_total = dt.toSec();
-    if (h_total != _cachedDtSec) {
-        _cachedSubsteps = 1;
-        if (std::isfinite(_minTau) && _minTau > 0.0)
-            _cachedSubsteps = std::max(
-                1, static_cast<int>(
-                       std::ceil(h_total / (0.5 * _minTau))));
-        _cachedDtSec = h_total;
-    }
-    int substeps = _cachedSubsteps;
+    int substeps = substepsFor(h_total);
     double h = h_total / substeps;
 
     const std::size_t n_nodes = _nodes.size();
@@ -173,9 +209,81 @@ ThermalNetwork::step(Time dt)
 }
 
 bool
+ThermalNetwork::fastReady()
+{
+    if (_topologyDirty)
+        refreshTopologyCache();
+    if (_fastDirty) {
+        std::vector<double> caps(_nodes.size());
+        for (ThermalNodeId i = 0; i < _nodes.size(); ++i)
+            caps[i] = _nodes[i].capacitance;
+        std::vector<FastSolverEdge> edges;
+        edges.reserve(_edges.size());
+        for (const Edge &e : _edges)
+            edges.push_back(FastSolverEdge{e.a, e.b, e.conductance});
+        _fastUsable = _fast.build(caps, edges);
+        _fastTemps.resize(_nodes.size());
+        _fastPowers.resize(_nodes.size());
+        _fastDirty = false;
+    }
+    return _fastUsable;
+}
+
+void
+ThermalNetwork::gatherFastState()
+{
+    for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+        _fastTemps[i] = _nodes[i].temp;
+        _fastPowers[i] = _nodes[i].power;
+    }
+}
+
+void
+ThermalNetwork::fastAdvance(Time dt)
+{
+    if (_nodes.empty() || dt <= Time::zero())
+        return;
+    if (!fastReady()) {
+        step(dt);
+        return;
+    }
+    gatherFastState();
+    _fast.advance(_fastTemps, _fastPowers, dt.toSec());
+    for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+        if (_nodes[i].capacitance > 0.0)
+            _nodes[i].temp = _fastTemps[i];
+    }
+}
+
+Celsius
+ThermalNetwork::fastPreview(ThermalNodeId node, Time dt)
+{
+    checkNode(node);
+    if (dt <= Time::zero() || !fastReady())
+        return Celsius(_nodes[node].temp);
+    gatherFastState();
+    _fast.advance(_fastTemps, _fastPowers, dt.toSec());
+    return Celsius(_fastTemps[node]);
+}
+
+bool
 ThermalNetwork::solveSteadyState(double tolerance, int max_iters,
                                  double *final_residual)
 {
+    // Seed from the direct eigendecomposed solve when available: the
+    // Gauss-Seidel sweeps below then act as verification and polish,
+    // converging in a sweep or two with a residual no worse than the
+    // purely iterative path's.
+    if (!_nodes.empty() && fastReady()) {
+        gatherFastState();
+        if (_fast.steadyState(_fastTemps, _fastPowers)) {
+            for (ThermalNodeId i = 0; i < _nodes.size(); ++i) {
+                if (_nodes[i].capacitance > 0.0)
+                    _nodes[i].temp = _fastTemps[i];
+            }
+        }
+    }
+
     double worst = 0.0;
     for (int iter = 0; iter < max_iters; ++iter) {
         worst = 0.0;

@@ -22,12 +22,34 @@
 
 #include "sim/time.hh"
 #include "sim/units.hh"
+#include "thermal/fast_solver.hh"
 
 namespace pvar
 {
 
 /** Index of a node within a ThermalNetwork. */
 using ThermalNodeId = std::size_t;
+
+/**
+ * Which integrator advances thermal state.
+ *
+ * `Stepped` is the explicit-Euler reference: its output is the
+ * bit-identity contract every cache and determinism check is keyed
+ * to. `Fast` jumps event-to-event through the eigendecomposed matrix
+ * exponential (see thermal/fast_solver.hh); it agrees with Stepped to
+ * tolerance, not bit-for-bit.
+ */
+enum class SolverKind
+{
+    Stepped,
+    Fast,
+};
+
+/** Canonical lowercase name ("stepped" / "fast"). */
+const char *solverKindName(SolverKind kind);
+
+/** Parse a canonical solver name; false leaves `out` untouched. */
+bool parseSolverKind(const std::string &text, SolverKind &out);
 
 /**
  * A graph of thermal masses and conductances.
@@ -96,6 +118,23 @@ class ThermalNetwork
     /** Net heat flow out of a node through its edges right now (W). */
     Watts heatOutflow(ThermalNodeId node) const;
 
+    /**
+     * Analytic fast path: advance by `dt` in one O(n^2) jump. Exact
+     * for the linear network while powers and boundaries are held;
+     * falls back to step() if the eigendecomposition is unavailable.
+     */
+    void fastAdvance(Time dt);
+
+    /**
+     * Temperature `node` would reach after `dt` at the current powers
+     * without mutating any state — the Picard-iteration probe for
+     * temperature-dependent power.
+     */
+    Celsius fastPreview(ThermalNodeId node, Time dt);
+
+    /** True once the analytic solver is built for this topology. */
+    bool fastReady();
+
   private:
     struct Node
     {
@@ -123,14 +162,33 @@ class ThermalNetwork
     // being recomputed every call.
     bool _topologyDirty = true;     // tau/invCap need a recompute
     double _minTau = 0.0;           // cached minTimeConstant()
-    double _cachedDtSec = -1.0;     // dt the substep count was sized for
-    int _cachedSubsteps = 1;        // substeps for _cachedDtSec
     std::vector<double> _invCap;    // 1/C per node; 0 for boundaries
     std::vector<double> _flux;      // scratch, sized to _nodes
+
+    // Components tick with alternating step sizes (device at dt, box
+    // controller remainders), so a single cached dt would re-derive
+    // the substep count every call; a two-entry MRU covers the
+    // ping-pong without thrash.
+    struct SubstepEntry
+    {
+        double dtSec = -1.0; // dt the substep count was sized for
+        int substeps = 1;
+    };
+    SubstepEntry _substepCache[2];
+    int _substepMru = 0;
+
+    // Analytic solver state, rebuilt lazily per topology.
+    FastThermalSolver _fast;
+    bool _fastDirty = true;
+    bool _fastUsable = false;
+    std::vector<double> _fastTemps;  // gather/scatter scratch
+    std::vector<double> _fastPowers; // gather scratch
 
     void checkNode(ThermalNodeId node) const;
     void refreshTopologyCache();
     double minTimeConstant() const;
+    int substepsFor(double h_total);
+    void gatherFastState();
 };
 
 } // namespace pvar

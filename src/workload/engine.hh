@@ -34,6 +34,16 @@ class WorkloadEngine
     bool running() const { return _running; }
 
     /**
+     * True while a duty-cycled workload runs. Burst edges fall inside
+     * a long analytic jump, so event-driven stepping must stay on the
+     * base cadence whenever this holds.
+     */
+    bool bursty() const
+    {
+        return _running && _workload.burstPeriod > Time::zero();
+    }
+
+    /**
      * Advance one step: apply utilization and accrue iterations.
      * Call once per simulator tick, before power is computed.
      */

@@ -305,10 +305,11 @@ TEST(ThermalNetwork, SteadyStateReportsResidualOnConvergence)
     EXPECT_LT(residual, 1e-6);
 }
 
-TEST(ThermalNetwork, SteadyStateReportsResidualOnNonConvergence)
+TEST(ThermalNetwork, SteadyStateDirectSeedConvergesInOneSweep)
 {
-    // A slow chain given a single iteration cannot converge; the
-    // residual must say how far off the solve stopped.
+    // The direct eigendecomposed solve seeds the iterative pass, so
+    // even a single Gauss-Seidel sweep lands within a tight tolerance
+    // on a chain that used to need hundreds of sweeps.
     ThermalNetwork net;
     auto die = net.addNode("die", JoulesPerKelvin(1.0), Celsius(25.0));
     auto cas = net.addNode("case", JoulesPerKelvin(10.0), Celsius(25.0));
@@ -318,7 +319,27 @@ TEST(ThermalNetwork, SteadyStateReportsResidualOnNonConvergence)
     net.setPower(die, Watts(3.0));
 
     double residual = -1.0;
-    EXPECT_FALSE(net.solveSteadyState(1e-9, 1, &residual));
+    EXPECT_TRUE(net.solveSteadyState(1e-9, 1, &residual));
+    EXPECT_GE(residual, 0.0);
+    EXPECT_LT(residual, 1e-9);
+    // die = ambient + 3/0.5 + 3/1 = 25 + 6 + 3.
+    EXPECT_NEAR(net.temperature(die).value(), 34.0, 1e-7);
+    EXPECT_NEAR(net.temperature(cas).value(), 31.0, 1e-7);
+}
+
+TEST(ThermalNetwork, SteadyStateReportsResidualOnNonConvergence)
+{
+    // A boundary-less powered network has no steady state: the direct
+    // solve must refuse (singular conductance system), and the
+    // iterative pass must report how far off it stopped.
+    ThermalNetwork net;
+    auto die = net.addNode("die", JoulesPerKelvin(1.0), Celsius(25.0));
+    auto cas = net.addNode("case", JoulesPerKelvin(10.0), Celsius(25.0));
+    net.connect(die, cas, WattsPerKelvin(1.0));
+    net.setPower(die, Watts(3.0));
+
+    double residual = -1.0;
+    EXPECT_FALSE(net.solveSteadyState(1e-9, 5, &residual));
     EXPECT_GT(residual, 1e-9);
 }
 

@@ -69,6 +69,9 @@ usage()
         "  --iterations N    default iterations per experiment "
         "(default 5)\n"
         "  --ambient C       default chamber target temperature\n"
+        "  --solver KIND     default thermal solver: \"stepped\"\n"
+        "                    (bit-exact reference) or \"fast\"\n"
+        "                    (analytic; agrees to tolerance)\n"
         "  --cache N         result-cache capacity (default 128;\n"
         "                    0 disables caching)\n"
         "  --cache-dir DIR   persist results to DIR and reload them\n"
@@ -83,7 +86,8 @@ usage()
         "  GET  /devices     the built-in registry as a fleet document\n"
         "  POST /study       run a study; body is a fleet document or\n"
         "                    {\"soc\": ...} / {\"device\": ...}, with\n"
-        "                    optional \"iterations\"/\"ambient\" keys\n");
+        "                    optional \"iterations\"/\"ambient\"/\n"
+        "                    \"solver\" keys\n");
 }
 
 /** Parse an integer option value or die with a one-line error. */
@@ -139,6 +143,12 @@ main(int argc, char **argv)
                       text);
             cfg.study.thermabox.target = Celsius(t);
             cfg.study.accubench.cooldownTarget = Celsius(t + 6.0);
+        } else if (arg == "--solver") {
+            std::string kind = next();
+            if (!parseSolverKind(kind, cfg.study.solver))
+                fatal("pvar_served: --solver must be \"stepped\" or "
+                      "\"fast\", got \"%s\"",
+                      kind.c_str());
         } else if (arg == "--cache") {
             cfg.cacheEntries =
                 static_cast<std::size_t>(intArg(arg, next(), 0));

@@ -68,6 +68,10 @@ usage()
         "  --jobs N          parallel experiment workers (default: all\n"
         "                    hardware threads; results identical for "
         "any N)\n"
+        "  --solver KIND     thermal solver: \"stepped\" (reference,\n"
+        "                    bit-exact) or \"fast\" (analytic event-to-\n"
+        "                    event stepping; agrees to tolerance and\n"
+        "                    runs 10-100x faster per experiment)\n"
         "  --json            print results as JSON instead of the table\n"
         "  --csv             print the summary as CSV instead of the "
         "table\n"
@@ -230,6 +234,12 @@ main(int argc, char **argv)
             cfg.accubench.cooldownTarget = Celsius(t + 6.0);
         } else if (arg == "--jobs") {
             cfg.jobs = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--solver") {
+            std::string kind = next();
+            if (!parseSolverKind(kind, cfg.solver))
+                fatal("pvar_study: --solver must be \"stepped\" or "
+                      "\"fast\", got \"%s\"",
+                      kind.c_str());
         } else if (arg == "--json") {
             as_json = true;
         } else if (arg == "--csv") {
