@@ -7,16 +7,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <stdlib.h>
 
+#include "accubench/batch.hh"
 #include "accubench/protocol.hh"
 #include "device/catalog.hh"
 #include "report/json.hh"
@@ -354,6 +357,155 @@ writeStoreColdWarmJson()
                     dir);
 }
 
+// -- Batch-engine benchmark ----------------------------------------------
+//
+// Die-cohort throughput of the batched engine at widths 1, 8 and 64
+// (same-spec dies, fast solver, one thread), written to
+// BENCH_batch.json. Per-die outputs are bit-identical across widths —
+// tests/test_batch.cc and the batch-identity stage of scripts/check.sh
+// own that contract — so this tracks only the payoff, at two levels:
+//
+//  - cohort advance: the SoA flux kernel on the production path
+//    (ThermalNetwork::fastAdvanceBatch over b same-topology networks
+//    sharing one eigendecomposition, gather/scatter included). This
+//    is where the algorithmic win lives, and it carries the MISS
+//    gate: B=64 under 2x the B=1 rate is a regression.
+//  - full experiment: end-to-end §III protocol throughput through
+//    runExperimentCohort. Informational — the protocol's per-die
+//    scalar work (libm leakage exps, sensor RNG draws, governors,
+//    trace) is identical at every width by the bit-identity contract,
+//    so Amdahl caps this ratio near 1; it is recorded so the batched
+//    path's end-to-end cost stays on the PR-to-PR trajectory.
+
+/** The cohort engine's jump stage, isolated: b same-shape phone
+ *  package networks advancing in lockstep on one shared solver. */
+double
+measureCohortAdvanceDiesPerSec(std::size_t width)
+{
+    std::vector<std::unique_ptr<ThermalNetwork>> nets;
+    std::vector<ThermalNetwork *> ptrs;
+    std::vector<std::size_t> die_nodes;
+    for (std::size_t d = 0; d < width; ++d) {
+        auto net = std::make_unique<ThermalNetwork>();
+        double bias = 0.05 * static_cast<double>(d);
+        auto die = net->addNode("die", JoulesPerKelvin(2.0),
+                                Celsius(40 + bias));
+        auto soc = net->addNode("soc", JoulesPerKelvin(22.0),
+                                Celsius(35 + bias));
+        auto batt = net->addNode("batt", JoulesPerKelvin(40.0),
+                                 Celsius(30 + bias));
+        auto cas = net->addNode("case", JoulesPerKelvin(60.0),
+                                Celsius(30 + bias));
+        auto amb = net->addBoundary("amb", Celsius(26));
+        net->connect(die, soc, WattsPerKelvin(0.32));
+        net->connect(soc, cas, WattsPerKelvin(0.33));
+        net->connect(soc, batt, WattsPerKelvin(0.10));
+        net->connect(batt, cas, WattsPerKelvin(0.15));
+        net->connect(cas, amb, WattsPerKelvin(0.23));
+        net->setPower(die, Watts(4.0 + 0.01 * bias));
+        net->fastReady();
+        if (d > 0)
+            net->adoptFastSolver(*nets.front());
+        ptrs.push_back(net.get());
+        nets.push_back(std::move(net));
+    }
+
+    // The engine's segment grid: awake 250 ms spans with suspended
+    // 500 ms spans mixed in, as the cohort rounds produce them.
+    const Time spans[4] = {Time::msec(250), Time::msec(250),
+                           Time::msec(250), Time::msec(500)};
+    std::size_t advances = 0;
+    double sec = 0.0;
+    while (sec < 0.3) {
+        sec += wallSeconds([&] {
+            for (int rep = 0; rep < 2000; ++rep)
+                ThermalNetwork::fastAdvanceBatch(ptrs.data(), width,
+                                                 spans[rep & 3]);
+        });
+        advances += 2000;
+    }
+    return static_cast<double>(advances * width) / sec;
+}
+
+double
+measureCohortDiesPerSec(std::size_t width)
+{
+    ExperimentConfig exp;
+    exp.iterations = 1;
+    exp.solver = SolverKind::Fast;
+
+    // A fresh same-spec pool per width so every point starts from cold
+    // devices. Corners vary across the pool; the package topology (and
+    // with it the shared eigendecomposition) does not.
+    std::vector<std::unique_ptr<Device>> pool;
+    for (int i = 0; i < 64; ++i) {
+        double corner = -1.5 + 3.0 * static_cast<double>(i) / 63.0;
+        pool.push_back(makeNexus5(
+            2, UnitCorner{strfmt("bench-%d", i), corner, 0.1, 0.0}));
+    }
+
+    std::size_t dies = 0;
+    double sec = 0.0;
+    while (sec < 0.3) {
+        sec += wallSeconds([&] {
+            for (std::size_t begin = 0; begin < pool.size();
+                 begin += width) {
+                std::size_t end = std::min(pool.size(), begin + width);
+                std::vector<CohortTask> tasks(end - begin);
+                for (std::size_t i = begin; i < end; ++i) {
+                    tasks[i - begin].device = pool[i].get();
+                    tasks[i - begin].cfg = exp;
+                }
+                runExperimentCohort(tasks);
+            }
+        });
+        dies += pool.size();
+    }
+    return static_cast<double>(dies) / sec;
+}
+
+void
+writeBatchSweepJson()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    double a1 = measureCohortAdvanceDiesPerSec(1);
+    double a8 = measureCohortAdvanceDiesPerSec(8);
+    double a64 = measureCohortAdvanceDiesPerSec(64);
+
+    double e1 = measureCohortDiesPerSec(1);
+    double e8 = measureCohortDiesPerSec(8);
+    double e64 = measureCohortDiesPerSec(64);
+
+    std::string json = strfmt(
+        "{\n"
+        "  \"benchmark\": \"batch_sweep\",\n"
+        "  \"solver\": \"fast\",\n"
+        "  \"cohort_advance_dies_per_sec_b1\": %.0f,\n"
+        "  \"cohort_advance_dies_per_sec_b8\": %.0f,\n"
+        "  \"cohort_advance_dies_per_sec_b64\": %.0f,\n"
+        "  \"cohort_advance_speedup_b64\": %.3f,\n"
+        "  \"experiment_dies_per_sec_b1\": %.1f,\n"
+        "  \"experiment_dies_per_sec_b8\": %.1f,\n"
+        "  \"experiment_dies_per_sec_b64\": %.1f,\n"
+        "  \"experiment_speedup_b64\": %.3f\n"
+        "}\n",
+        a1, a8, a64, a64 / a1, e1, e8, e64, e64 / e1);
+
+    std::ofstream f("BENCH_batch.json");
+    f << json;
+    std::printf("%s", json.c_str());
+    std::printf("batch cohort advance: %.3g dies/s serial, %.3g at "
+                "B=8 (%.2fx), %.3g at B=64 (%.2fx)%s\n",
+                a1, a8, a8 / a1, a64, a64 / a1,
+                a64 / a1 >= 2.0
+                    ? ""
+                    : "  MISS: B=64 cohort advance under 2x serial");
+    std::printf("batch full experiment: %.0f dies/s serial, %.0f at "
+                "B=8 (%.2fx), %.0f at B=64 (%.2fx)\n",
+                e1, e8, e8 / e1, e64, e64 / e1);
+}
+
 } // namespace
 } // namespace pvar
 
@@ -367,5 +519,6 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     pvar::writeStudyScalingJson();
     pvar::writeStoreColdWarmJson();
+    pvar::writeBatchSweepJson();
     return 0;
 }

@@ -197,6 +197,27 @@ EOF
 }
 solver_equivalence ./build/pvar_study
 
+# Batch identity: the die-cohort engine is a pure throughput knob.
+# A full fast-solver study and a stepped reference study must emit
+# byte-identical reports at width 1 and width 16 — per-die results
+# may not depend on how many dies advance in lockstep.
+batch_identity() {
+    local study=$1 tmp
+    tmp=$(mktemp -d)
+    "$study" --iterations 1 --jobs 2 --solver fast --batch 1 \
+        --json --quiet --output "$tmp/fast_b1.json"
+    "$study" --iterations 1 --jobs 2 --solver fast --batch 16 \
+        --json --quiet --output "$tmp/fast_b16.json"
+    cmp "$tmp/fast_b1.json" "$tmp/fast_b16.json"
+    "$study" --soc SD-805 --iterations 1 --jobs 2 --solver stepped \
+        --batch 1 --json --quiet --output "$tmp/stepped_b1.json"
+    "$study" --soc SD-805 --iterations 1 --jobs 2 --solver stepped \
+        --batch 16 --json --quiet --output "$tmp/stepped_b16.json"
+    cmp "$tmp/stepped_b1.json" "$tmp/stepped_b16.json"
+    rm -rf "$tmp"
+}
+batch_identity ./build/pvar_study
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -230,6 +251,7 @@ kill_recovery ./build-tsan/pvar_served ./build-tsan/pvar_study \
     ./build-tsan/pvar_storectl
 chaos ./build-tsan/pvar_study ./build-tsan/pvar_storectl
 solver_equivalence ./build-tsan/pvar_study
+batch_identity ./build-tsan/pvar_study
 
 fail=0
 for b in build/bench/bench_*; do

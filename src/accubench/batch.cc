@@ -1,0 +1,447 @@
+#include "accubench/batch.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "fault/fault.hh"
+#include "power/monsoon.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+/**
+ * Where a member's protocol script is parked between simulator
+ * advances. "Wait" states resume after an advance; the others are
+ * inline transitions the state machine runs through without leaving
+ * stepProtocol().
+ */
+enum class Phase
+{
+    StabilizeWait,
+    WarmupWait,
+    CooldownHead,
+    CooldownPollWait,
+    CooldownExit,
+    WorkloadWait,
+    Done,
+};
+
+/**
+ * One die mid-experiment. Carries a replica of the Simulator state
+ * (clock, event queue, event-driven flag) because the engine — not a
+ * Simulator — drives the member's two components, which is what lets
+ * it interleave device segments across the cohort.
+ */
+struct Member
+{
+    Device *dev;
+    const ExperimentConfig *cfg;
+    FaultFrame *frame;
+
+    Thermabox box;
+    std::unique_ptr<Monsoon> monsoon;
+
+    // Simulator replica. Components tick in Simulator::add order:
+    // chamber first, device second, then the event queue drains.
+    EventQueue events;
+    Time now = Time::zero();
+    bool eventDriven = false;
+
+    ExperimentResult result;
+
+    Phase phase = Phase::StabilizeWait;
+    bool needAdvance = false;
+    Time limit; // deadline of the run loop currently advancing
+
+    Time stabDeadline;
+
+    IterationResult it;
+    int iterDone = 0;
+    Time warmupStart, warmupEnd;
+    Joules e0{0.0};
+    Time cooldownStart, cooldownDeadline, pollEnd;
+    Time workloadStart, workloadEnd;
+    Joules eWorkloadStart{0.0};
+
+    explicit Member(CohortTask &task)
+        : dev(task.device), cfg(&task.cfg), frame(task.faultFrame),
+          box(task.cfg.thermabox)
+    {
+        // Mirrors runExperiment()'s setup line for line.
+        result.unitId = dev->unitId();
+        result.model = dev->model();
+        result.socName = dev->socName();
+
+        if (cfg->dt <= Time::zero())
+            fatal("Simulator step must be positive, got %s",
+                  cfg->dt.toString().c_str());
+        box.placeDevice(dev);
+
+        if (cfg->solver == SolverKind::Fast) {
+            eventDriven = true;
+            dev->setThermalSolver(SolverKind::Fast);
+            box.setSolver(SolverKind::Fast);
+        }
+
+        switch (cfg->supply) {
+          case SupplyChoice::MonsoonNominal:
+            monsoon =
+                std::make_unique<Monsoon>(dev->config().battery.nominal);
+            dev->attachExternalSupply(monsoon.get());
+            break;
+          case SupplyChoice::MonsoonExplicit:
+            monsoon = std::make_unique<Monsoon>(cfg->monsoonVoltage);
+            dev->attachExternalSupply(monsoon.get());
+            break;
+          case SupplyChoice::Battery:
+            dev->attachExternalSupply(nullptr);
+            dev->battery().setStateOfCharge(cfg->batterySoc);
+            break;
+        }
+
+        if (cfg->mode == WorkloadMode::FixedFrequency)
+            dev->setFixedFrequency(cfg->fixedFrequency);
+        else
+            dev->setPerformanceMode();
+
+        dev->resetExperimentState();
+        dev->setSuspendAllowed(false);
+        if (cfg->soakFirst)
+            dev->soakTo(box.airTemp());
+        dev->attachTrace(&result.trace);
+
+        // Confirm the chamber is in band (the app's first step).
+        stabDeadline = now + Time::minutes(30);
+        limit = stabDeadline;
+        phase = Phase::StabilizeWait;
+        needAdvance = true; // now < stabDeadline always holds here
+    }
+};
+
+void
+markPhase(Member &m, AccubenchPhase phase)
+{
+    m.result.trace.record("phase", m.now, static_cast<double>(phase));
+}
+
+void
+enterWarmup(Member &m)
+{
+    m.it = IterationResult{};
+    markPhase(m, AccubenchPhase::Warmup);
+    m.dev->acquireWakelock();
+    m.dev->startWorkload(m.cfg->accubench.workload);
+    m.warmupStart = m.now;
+    m.e0 = m.dev->energyMeter().total();
+    m.warmupEnd = m.now + m.cfg->accubench.warmupDuration;
+    m.limit = m.warmupEnd;
+    m.phase = Phase::WarmupWait;
+}
+
+void
+enterCooldown(Member &m)
+{
+    markPhase(m, AccubenchPhase::Cooldown);
+    m.dev->stopWorkload();
+    m.dev->releaseWakelock();
+    m.dev->setSuspendAllowed(true);
+    m.cooldownStart = m.now;
+    m.cooldownDeadline = m.now + m.cfg->accubench.cooldownTimeout;
+    m.it.cooldownReachedTarget = false;
+    m.phase = Phase::CooldownHead;
+}
+
+void
+enterWorkload(Member &m)
+{
+    markPhase(m, AccubenchPhase::Workload);
+    m.dev->acquireWakelock();
+    m.dev->resetIterations();
+    m.it.tempAtWorkloadStart = m.dev->readCpuTemp();
+    m.workloadStart = m.now;
+    m.eWorkloadStart = m.dev->energyMeter().total();
+    m.dev->startWorkload(m.cfg->accubench.workload);
+    m.dev->resetSensorPeak();
+    m.workloadEnd = m.now + m.cfg->accubench.workloadDuration;
+    m.limit = m.workloadEnd;
+    m.phase = Phase::WorkloadWait;
+}
+
+/** Next iteration, or restore the device and park the member. */
+void
+beginIterationOrFinish(Member &m)
+{
+    if (m.iterDone < m.cfg->iterations) {
+        enterWarmup(m);
+        return;
+    }
+    m.dev->attachTrace(nullptr);
+    m.dev->attachExternalSupply(nullptr);
+    m.dev->setPerformanceMode();
+    m.dev->setThermalSolver(SolverKind::Stepped);
+    m.phase = Phase::Done;
+}
+
+/**
+ * Run the member's protocol script until it either needs a simulator
+ * advance (needAdvance set; `limit` holds the active deadline) or
+ * completes. Called once after setup and after every advance; each
+ * "Wait" case re-checks its loop condition exactly as the serial
+ * runUntil / runUntilCondition loops do.
+ */
+void
+stepProtocol(Member &m)
+{
+    for (;;) {
+        switch (m.phase) {
+          case Phase::StabilizeWait:
+            // runUntilCondition(box.stable, +30min): the predicate is
+            // checked after every advance, then once more on deadline.
+            if (m.box.stable()) {
+                beginIterationOrFinish(m);
+                continue;
+            }
+            if (m.now < m.stabDeadline) {
+                m.needAdvance = true;
+                return;
+            }
+            warn("runExperiment: thermabox failed to stabilize; "
+                 "proceeding anyway");
+            beginIterationOrFinish(m);
+            continue;
+
+          case Phase::WarmupWait:
+            if (m.now < m.warmupEnd) {
+                m.needAdvance = true;
+                return;
+            }
+            m.it.warmupTime = m.now - m.warmupStart;
+            enterCooldown(m);
+            continue;
+
+          case Phase::CooldownHead:
+            if (m.now < m.cooldownDeadline) {
+                // Sleep until the next poll, then wake momentarily to
+                // read the sensor, as the paper's app does.
+                m.pollEnd = m.now + m.cfg->accubench.cooldownPoll;
+                m.limit = m.pollEnd;
+                m.phase = Phase::CooldownPollWait;
+                continue;
+            }
+            m.phase = Phase::CooldownExit;
+            continue;
+
+          case Phase::CooldownPollWait:
+            if (m.now < m.pollEnd) {
+                m.needAdvance = true;
+                return;
+            }
+            m.dev->stayAwakeUntil(m.now + m.cfg->accubench.pollWakeSpan);
+            if (m.dev->readCpuTemp() <= m.cfg->accubench.cooldownTarget) {
+                m.it.cooldownReachedTarget = true;
+                m.phase = Phase::CooldownExit;
+            } else {
+                m.phase = Phase::CooldownHead;
+            }
+            continue;
+
+          case Phase::CooldownExit:
+            if (!m.it.cooldownReachedTarget)
+                warn("ACCUBENCH %s: cooldown timed out above %.1fC",
+                     m.dev->name().c_str(),
+                     m.cfg->accubench.cooldownTarget.value());
+            m.it.cooldownTime = m.now - m.cooldownStart;
+            m.dev->setSuspendAllowed(false);
+            enterWorkload(m);
+            continue;
+
+          case Phase::WorkloadWait: {
+            if (m.now < m.workloadEnd) {
+                m.needAdvance = true;
+                return;
+            }
+            double peak = m.dev->sensorPeak().value();
+            m.dev->stopWorkload();
+            m.dev->releaseWakelock();
+            markPhase(m, AccubenchPhase::Idle);
+            m.it.workloadTime = m.now - m.workloadStart;
+            m.it.score = m.dev->iterations();
+            m.it.workloadEnergy =
+                m.dev->energyMeter().total() - m.eWorkloadStart;
+            m.it.totalEnergy = m.dev->energyMeter().total() - m.e0;
+            m.it.peakWorkloadTemp = Celsius(peak);
+            m.result.iterations.push_back(m.it);
+            ++m.iterDone;
+            beginIterationOrFinish(m);
+            continue;
+          }
+
+          case Phase::Done:
+            return;
+        }
+    }
+}
+
+/**
+ * Let every Fast member alias the first member's eigendecomposition.
+ * adoptFastSolver() only succeeds on bit-identical topologies, so a
+ * mixed cohort silently degrades to per-member solvers.
+ */
+void
+shareFastSolvers(std::vector<std::unique_ptr<Member>> &members)
+{
+    Member *donor = nullptr;
+    for (auto &mp : members) {
+        if (mp->cfg->solver != SolverKind::Fast)
+            continue;
+        if (!donor) {
+            if (mp->dev->packageNetwork().fastReady())
+                donor = mp.get();
+            continue;
+        }
+        mp->dev->packageNetwork().adoptFastSolver(
+            donor->dev->packageNetwork());
+    }
+}
+
+/**
+ * Advance every pending thermal jump, batching members whose segment
+ * spans match (the batched advance itself degrades to serial when the
+ * networks don't share a solver). Grouping never changes result bits;
+ * it only decides how much of the work runs interleaved.
+ */
+void
+batchJumps(std::vector<Member *> &jumps)
+{
+    std::vector<ThermalNetwork *> nets;
+    std::vector<Member *> rest;
+    while (!jumps.empty()) {
+        Time span = jumps.front()->dev->fastSegmentSpan();
+        nets.clear();
+        rest.clear();
+        for (Member *m : jumps) {
+            if (m->dev->fastSegmentSpan() == span)
+                nets.push_back(&m->dev->packageNetwork());
+            else
+                rest.push_back(m);
+        }
+        ThermalNetwork::fastAdvanceBatch(nets.data(), nets.size(), span);
+        jumps.swap(rest);
+    }
+}
+
+} // namespace
+
+int
+resolveBatchSize(int batch, SolverKind solver)
+{
+    if (batch > 0)
+        return batch;
+    return solver == SolverKind::Fast ? 16 : 1;
+}
+
+std::vector<ExperimentResult>
+runExperimentCohort(std::vector<CohortTask> &tasks)
+{
+    std::vector<std::unique_ptr<Member>> members;
+    members.reserve(tasks.size());
+    for (CohortTask &task : tasks) {
+        FaultFrameGuard guard(task.faultFrame);
+        members.push_back(std::make_unique<Member>(task));
+    }
+    shareFastSolvers(members);
+
+    std::vector<Member *> advancers;
+    std::vector<Member *> staged;
+    std::vector<Member *> jumps;
+    for (;;) {
+        // Run every member's script to its next advance point. A
+        // member whose protocol finished drops out here — that is the
+        // cohort splitting on divergence — and one entering its next
+        // phase rejoins the common rounds below.
+        advancers.clear();
+        for (auto &mp : members) {
+            Member &m = *mp;
+            if (m.phase == Phase::Done)
+                continue;
+            if (!m.needAdvance) {
+                FaultFrameGuard guard(m.frame);
+                stepProtocol(m);
+            }
+            if (m.needAdvance)
+                advancers.push_back(&m);
+        }
+        if (advancers.empty())
+            break;
+
+        // One Simulator::advanceOnce replica per member: pick the
+        // event-driven jump target, tick the chamber, then open the
+        // device tick — staged for Fast members so their segments can
+        // interleave, monolithic otherwise.
+        staged.clear();
+        for (Member *m : advancers) {
+            FaultFrameGuard guard(m->frame);
+            Time target = m->now + m->cfg->dt;
+            if (m->eventDriven) {
+                Time candidate = m->events.nextDeadline();
+                candidate = std::min(
+                    candidate, m->box.nextBoundary(m->now, m->cfg->dt));
+                candidate = std::min(
+                    candidate, m->dev->nextBoundary(m->now, m->cfg->dt));
+                candidate = std::min(candidate, m->limit);
+                target = std::max(target, candidate);
+            }
+            Time step = target - m->now;
+            m->now = target;
+            m->box.tick(m->now, step);
+            if (m->dev->thermalSolver() == SolverKind::Fast) {
+                m->dev->fastTickBegin(m->now, step);
+                staged.push_back(m);
+            } else {
+                m->dev->tick(m->now, step);
+            }
+        }
+
+        // Stage rounds: one segment per member per round. The cohort
+        // shrinks as members exhaust their tick spans (throttle or
+        // suspend divergence shortens segments member by member).
+        while (!staged.empty()) {
+            jumps.clear();
+            for (Member *m : staged) {
+                FaultFrameGuard guard(m->frame);
+                if (m->dev->fastSegmentAdvance())
+                    jumps.push_back(m);
+            }
+            batchJumps(jumps);
+            for (Member *m : staged) {
+                FaultFrameGuard guard(m->frame);
+                m->dev->fastSegmentService();
+            }
+            staged.erase(
+                std::remove_if(staged.begin(), staged.end(),
+                               [](Member *m) {
+                                   return m->dev->fastTickDone();
+                               }),
+                staged.end());
+        }
+
+        for (Member *m : advancers) {
+            FaultFrameGuard guard(m->frame);
+            m->events.runUntil(m->now);
+            m->needAdvance = false;
+        }
+    }
+
+    std::vector<ExperimentResult> results;
+    results.reserve(members.size());
+    for (auto &mp : members)
+        results.push_back(std::move(mp->result));
+    return results;
+}
+
+} // namespace pvar

@@ -1,11 +1,15 @@
 #include "accubench/crowd.hh"
 
+#include <memory>
+
 #include "accubench/ambient_estimator.hh"
+#include "accubench/batch.hh"
 #include "accubench/experiment.hh"
 #include "accubench/phase_windows.hh"
 #include "device/fleet.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/rng.hh"
 #include "sim/strfmt.hh"
 
 namespace pvar
@@ -42,45 +46,76 @@ simulateCrowd(const CrowdConfig &cfg)
     std::vector<UnitSpec> specs(cfg.units);
     for (int i = 0; i < cfg.units; ++i) {
         UnitSpec &spec = specs[i];
-        spec.corner.id = strfmt("%s-crowd-%03d", cfg.socName.c_str(), i);
-        spec.corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
-        spec.corner.leakResidual = rng.gaussian(0.0, 0.3);
+        spec.corner = sampleUnitCorner(
+            rng, strfmt("%s-crowd-%03d", cfg.socName.c_str(), i),
+            cfg.cornerSigma);
         spec.ambient = rng.uniform(cfg.ambientLoC, cfg.ambientHiC);
     }
 
+    // Units run in cohort windows through the batched engine; the
+    // batch-size invariant keeps every unit's bytes independent of the
+    // window width, so this is pure throughput, like `jobs`.
+    std::size_t width = static_cast<std::size_t>(
+        resolveBatchSize(cfg.batch, cfg.solver));
+    std::size_t windows =
+        (specs.size() + width - 1) / width;
+
     CrowdResult result;
     result.outcomes.resize(cfg.units);
-    parallelFor(specs.size(), cfg.jobs, [&](std::size_t i) {
-        const UnitSpec &spec = specs[i];
-        auto device = makeUnitForSoc(cfg.socName, spec.corner);
+    parallelFor(windows, cfg.jobs, [&](std::size_t w) {
+        std::size_t begin = w * width;
+        std::size_t end = std::min(specs.size(), begin + width);
 
-        ExperimentConfig exp;
-        exp.mode = WorkloadMode::Unconstrained;
-        exp.iterations = cfg.iterations;
-        exp.accubench = cfg.accubench;
-        exp.supply = SupplyChoice::Battery; // no lab gear in the wild
-        exp.thermabox.target = Celsius(spec.ambient);
-        exp.accubench.cooldownTarget = Celsius(spec.ambient + 8.0);
-        ExperimentResult r = runExperiment(*device, exp);
+        std::vector<std::unique_ptr<Device>> devices;
+        std::vector<CohortTask> tasks(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            const UnitSpec &spec = specs[i];
+            devices.push_back(makeUnitForSoc(cfg.socName, spec.corner));
 
-        // The app-side ambient estimate: fit the second cooldown.
-        AmbientEstimate est;
-        if (auto w = phaseWindow(r.trace, AccubenchPhase::Cooldown, 1)) {
-            est = estimateAmbientFromTrace(r.trace.channel("die_temp"),
-                                           w->begin, w->end);
+            ExperimentConfig exp;
+            exp.mode = WorkloadMode::Unconstrained;
+            exp.iterations = cfg.iterations;
+            exp.accubench = cfg.accubench;
+            exp.supply = SupplyChoice::Battery; // no lab gear out there
+            exp.thermabox.target = Celsius(spec.ambient);
+            exp.accubench.cooldownTarget = Celsius(spec.ambient + 8.0);
+            exp.solver = cfg.solver;
+            tasks[i - begin].device = devices.back().get();
+            tasks[i - begin].cfg = exp;
         }
+        std::vector<ExperimentResult> window_results =
+            runExperimentCohort(tasks);
 
-        CrowdUnitOutcome &out = result.outcomes[i];
-        out.report.unitId = spec.corner.id;
-        out.report.model = device->model();
-        out.report.score = r.meanScore();
-        out.report.estimatedAmbientC =
-            est.valid ? est.ambient.value() : -273.0;
-        out.report.ambientValid = est.valid;
-        out.trueAmbientC = spec.ambient;
-        out.leakFactor = device->soc().die().params().leakFactor;
-        out.speedFactor = device->soc().die().params().speedFactor;
+        for (std::size_t i = begin; i < end; ++i) {
+            const UnitSpec &spec = specs[i];
+            const Device &device = *devices[i - begin];
+            ExperimentResult &r = window_results[i - begin];
+
+            // The app-side ambient estimate: fit the second cooldown.
+            AmbientEstimate est;
+            if (auto win =
+                    phaseWindow(r.trace, AccubenchPhase::Cooldown, 1)) {
+                est = estimateAmbientFromTrace(
+                    r.trace.channel("die_temp"), win->begin, win->end);
+            }
+
+            CrowdUnitOutcome &out = result.outcomes[i];
+            out.report.unitId = spec.corner.id;
+            out.report.model = device.model();
+            out.report.score = r.meanScore();
+            out.report.estimatedAmbientC =
+                est.valid ? est.ambient.value() : -273.0;
+            out.report.ambientValid = est.valid;
+            out.trueAmbientC = spec.ambient;
+            out.leakFactor = device.soc().die().params().leakFactor;
+            out.speedFactor = device.soc().die().params().speedFactor;
+        }
     });
+
+    // Population statistics: P² estimates are feed-order dependent,
+    // so fold serially in unit order once every slot is filled.
+    for (const CrowdUnitOutcome &out : result.outcomes)
+        result.scores.add(out.report.score);
     return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include "accubench/accubench.hh"
 #include "accubench/ranking.hh"
+#include "stats/summary.hh"
 
 namespace pvar
 {
@@ -56,6 +57,21 @@ struct CrowdConfig
      * (default); <= 0 = all hardware threads.
      */
     int jobs = 1;
+
+    /**
+     * Thermal solver for every unit's experiment (same contract as
+     * StudyConfig::solver).
+     */
+    SolverKind solver = SolverKind::Stepped;
+
+    /**
+     * Die-cohort width: units run through the batched experiment
+     * engine (accubench/batch.hh) in windows of this many lockstep
+     * members. Per-unit results are bit-identical for any value —
+     * a pure throughput knob, like `jobs`. 0 (default) = engine pick
+     * (~16 fast, serial stepped).
+     */
+    int batch = 0;
 };
 
 /** One simulated participant. */
@@ -73,6 +89,14 @@ struct CrowdUnitOutcome
 struct CrowdResult
 {
     std::vector<CrowdUnitOutcome> outcomes;
+
+    /**
+     * Streaming population statistics over the raw scores — mean/RSD
+     * plus P² median and 90th percentile — fed serially in unit order
+     * after the fan-out completes, so the estimates are bit-identical
+     * for any jobs or batch value.
+     */
+    StreamingSummary scores;
 
     /** Just the reports, for rankDevices(). */
     std::vector<CrowdReport> reports() const;

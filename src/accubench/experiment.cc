@@ -1,9 +1,8 @@
 #include "accubench/experiment.hh"
 
-#include <memory>
+#include <utility>
 
-#include "power/monsoon.hh"
-#include "sim/logging.hh"
+#include "accubench/batch.hh"
 
 namespace pvar
 {
@@ -11,77 +10,14 @@ namespace pvar
 ExperimentResult
 runExperiment(Device &device, const ExperimentConfig &cfg)
 {
-    ExperimentResult result;
-    result.unitId = device.unitId();
-    result.model = device.model();
-    result.socName = device.socName();
-
-    Simulator sim(cfg.dt);
-    Thermabox box(cfg.thermabox);
-
-    // Chamber first, device second: the box pins the ambient the
-    // device sees during the same step.
-    sim.add(&box);
-    sim.add(&device);
-    box.placeDevice(&device);
-
-    // -- Solver -------------------------------------------------------------
-    if (cfg.solver == SolverKind::Fast) {
-        sim.setEventDriven(true);
-        device.setThermalSolver(SolverKind::Fast);
-        box.setSolver(SolverKind::Fast);
-    }
-
-    // -- Power source -------------------------------------------------------
-    std::unique_ptr<Monsoon> monsoon;
-    switch (cfg.supply) {
-      case SupplyChoice::MonsoonNominal:
-        monsoon = std::make_unique<Monsoon>(device.config().battery.nominal);
-        device.attachExternalSupply(monsoon.get());
-        break;
-      case SupplyChoice::MonsoonExplicit:
-        monsoon = std::make_unique<Monsoon>(cfg.monsoonVoltage);
-        device.attachExternalSupply(monsoon.get());
-        break;
-      case SupplyChoice::Battery:
-        device.attachExternalSupply(nullptr);
-        device.battery().setStateOfCharge(cfg.batterySoc);
-        break;
-    }
-
-    // -- DVFS mode ----------------------------------------------------------
-    if (cfg.mode == WorkloadMode::FixedFrequency)
-        device.setFixedFrequency(cfg.fixedFrequency);
-    else
-        device.setPerformanceMode();
-
-    device.resetExperimentState();
-    device.setSuspendAllowed(false);
-    if (cfg.soakFirst)
-        device.soakTo(box.airTemp());
-    device.attachTrace(&result.trace);
-
-    // -- Confirm the chamber is in band (the app's first step). -------------
-    bool stable = sim.runUntilCondition([&box] { return box.stable(); },
-                                        sim.now() + Time::minutes(30));
-    if (!stable)
-        warn("runExperiment: thermabox failed to stabilize; "
-             "proceeding anyway");
-
-    // -- N back-to-back iterations. ------------------------------------------
-    for (int i = 0; i < cfg.iterations; ++i) {
-        IterationResult it = runAccubenchIteration(
-            sim, device, cfg.accubench, &result.trace);
-        result.iterations.push_back(it);
-    }
-
-    // -- Restore the device for the next experiment. -------------------------
-    device.attachTrace(nullptr);
-    device.attachExternalSupply(nullptr);
-    device.setPerformanceMode();
-    device.setThermalSolver(SolverKind::Stepped);
-
-    return result;
+    // The single-die path is a width-1 cohort: one code path for
+    // every batch size keeps B=1 bit-identical to batched runs by
+    // construction (see accubench/batch.hh for the contract).
+    std::vector<CohortTask> tasks(1);
+    tasks[0].device = &device;
+    tasks[0].cfg = cfg;
+    std::vector<ExperimentResult> results = runExperimentCohort(tasks);
+    return std::move(results.front());
 }
 
 } // namespace pvar

@@ -1,11 +1,14 @@
 #include "accubench/lower_bound.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "accubench/batch.hh"
 #include "accubench/experiment.hh"
 #include "device/fleet.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/rng.hh"
 #include "sim/strfmt.hh"
 #include "stats/summary.hh"
 
@@ -28,6 +31,7 @@ sampleSizeStudy(const LowerBoundConfig &cfg)
     exp.accubench = cfg.accubench;
     exp.supply = SupplyChoice::MonsoonExplicit;
     exp.monsoonVoltage = studyMonsoonVoltageForSoc(cfg.socName);
+    exp.solver = cfg.solver;
 
     // Sample every corner serially in (size, replicate, unit) order —
     // the exact draw order of the serial loop — then fan the
@@ -48,19 +52,38 @@ sampleSizeStudy(const LowerBoundConfig &cfg)
             replicate_of_size.push_back(s);
             for (int u = 0; u < n; ++u) {
                 UnitDraw d;
-                d.corner.id = strfmt("lb-n%d-r%d-u%d", n, rep, u);
-                d.corner.corner = rng.gaussian(0.0, cfg.cornerSigma);
-                d.corner.leakResidual = rng.gaussian(0.0, 0.3);
+                d.corner = sampleUnitCorner(
+                    rng, strfmt("lb-n%d-r%d-u%d", n, rep, u),
+                    cfg.cornerSigma);
                 d.replicateIndex = slot;
                 draws.push_back(d);
             }
         }
     }
 
+    // Fan out in cohort windows through the batched engine; every
+    // unit's score is independent of the window width (batch-size
+    // invariant), exactly as it is independent of `jobs`.
+    std::size_t width = static_cast<std::size_t>(
+        resolveBatchSize(cfg.batch, cfg.solver));
+    std::size_t windows = (draws.size() + width - 1) / width;
+
     std::vector<double> scores(draws.size());
-    parallelFor(draws.size(), cfg.jobs, [&](std::size_t i) {
-        auto device = makeUnitForSoc(cfg.socName, draws[i].corner);
-        scores[i] = runExperiment(*device, exp).meanScore();
+    parallelFor(windows, cfg.jobs, [&](std::size_t w) {
+        std::size_t begin = w * width;
+        std::size_t end = std::min(draws.size(), begin + width);
+        std::vector<std::unique_ptr<Device>> devices;
+        std::vector<CohortTask> tasks(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            devices.push_back(
+                makeUnitForSoc(cfg.socName, draws[i].corner));
+            tasks[i - begin].device = devices.back().get();
+            tasks[i - begin].cfg = exp;
+        }
+        std::vector<ExperimentResult> window_results =
+            runExperimentCohort(tasks);
+        for (std::size_t i = begin; i < end; ++i)
+            scores[i] = window_results[i - begin].meanScore();
     });
 
     // Reduce each replicate's slice; draws are already grouped by

@@ -56,6 +56,19 @@ struct LowerBoundConfig
      * value. 1 = serial (default); <= 0 = all hardware threads.
      */
     int jobs = 1;
+
+    /**
+     * Thermal solver for every unit's experiment (same contract as
+     * StudyConfig::solver).
+     */
+    SolverKind solver = SolverKind::Stepped;
+
+    /**
+     * Die-cohort width for the batched experiment engine; per-unit
+     * results are bit-identical for any value (see CrowdConfig::batch).
+     * 0 (default) = engine pick.
+     */
+    int batch = 0;
 };
 
 /** Result for one fleet size. */

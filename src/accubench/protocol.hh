@@ -50,6 +50,39 @@ class ExperimentCache
         const std::function<ExperimentResult()> &compute) = 0;
 
     /**
+     * Batched-engine split of getOrCompute: probe for a cached result
+     * without computing. True fills `out` and counts as a hit; false
+     * counts as a miss, and the scheduler later hands the computed
+     * result to insert(). Implementations must keep (lookup-miss +
+     * insert) equivalent to one getOrCompute. The defaults — always
+     * miss, never store — keep pre-batch implementations compiling,
+     * at the cost of no memoization on the batched path.
+     */
+    virtual bool lookup(const RegistryEntry &entry,
+                        std::size_t unit_index,
+                        const ExperimentConfig &cfg,
+                        ExperimentResult &out)
+    {
+        (void)entry;
+        (void)unit_index;
+        (void)cfg;
+        (void)out;
+        return false;
+    }
+
+    /** Store a result computed after a lookup() miss. */
+    virtual void insert(const RegistryEntry &entry,
+                        std::size_t unit_index,
+                        const ExperimentConfig &cfg,
+                        const ExperimentResult &result)
+    {
+        (void)entry;
+        (void)unit_index;
+        (void)cfg;
+        (void)result;
+    }
+
+    /**
      * Called by the scheduler after a study's task fan-out completes.
      * Durable implementations use it as a batch boundary (fsync
      * buffered appends); the in-memory cache has nothing to flush.
@@ -157,6 +190,17 @@ struct StudyConfig
      * long-lived cache — are simulated once. nullptr = always compute.
      */
     ExperimentCache *cache = nullptr;
+
+    /**
+     * Cohort width for the batched die engine: same-(model, mode)
+     * experiments run B dies in lockstep, sharing one thermal
+     * eigendecomposition (accubench/batch.hh). Per-die outputs are
+     * bit-identical for every value — the batch-size invariant,
+     * enforced alongside the jobs invariant by tests — so this is a
+     * pure throughput knob. 0 (default) lets the engine pick: ~16 for
+     * the fast solver, serial for the stepped reference.
+     */
+    int batch = 0;
 
     /** Retry/quarantine budget for faulted or invalid experiments. */
     RetryPolicy retry;

@@ -76,6 +76,20 @@ Volts studyMonsoonVoltageForSoc(const std::string &soc_name);
 std::unique_ptr<Device> makeUnitForSoc(const std::string &soc_name,
                                        const UnitCorner &corner);
 
+class Rng;
+
+/**
+ * Draw one synthetic unit's silicon corner: the latent process
+ * deviate (sigma given by the caller) then the residual log-leakage
+ * deviate (sigma 0.3), in that exact order. Every Monte-Carlo
+ * population in the repo (crowd, sample-size study) samples units
+ * through this helper serially before fanning experiments out, so a
+ * population is a pure function of the seed regardless of how the
+ * fan-out is scheduled or batched.
+ */
+UnitCorner sampleUnitCorner(Rng &rng, std::string id,
+                            double corner_sigma);
+
 } // namespace pvar
 
 #endif // PVAR_DEVICE_FLEET_HH

@@ -122,6 +122,19 @@ check(const FaultPlan &plan, FaultSite site)
     return FaultHit{};
 }
 
+void
+pushFrame(ScopeFrame *frame)
+{
+    frame->parent = t_frame;
+    t_frame = frame;
+}
+
+void
+popFrame(ScopeFrame *frame)
+{
+    t_frame = frame->parent;
+}
+
 } // namespace fault_detail
 
 const char *
@@ -194,13 +207,12 @@ currentFaultPlan()
 FaultScope::FaultScope(std::uint64_t scope_id)
 {
     _frame.scopeId = scope_id;
-    _frame.parent = t_frame;
-    t_frame = &_frame;
+    fault_detail::pushFrame(&_frame);
 }
 
 FaultScope::~FaultScope()
 {
-    t_frame = _frame.parent;
+    fault_detail::popFrame(&_frame);
 }
 
 std::uint64_t

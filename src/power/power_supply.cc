@@ -12,12 +12,22 @@ PowerSupply::operatingCurrent(Watts demand) const
     // Fixed-point iteration: I_{k+1} = P / V(I_k). The source
     // impedance of both supplies is far below the load impedance, so
     // a handful of iterations suffices.
+    //
+    // Once an iterate repeats bitwise the map is at a fixed point:
+    // terminalVoltage() is pure within the call, so every further
+    // iteration would reproduce the same current (and the same
+    // collapsed-supply verdict). Exiting there returns exactly what
+    // the full loop returns, and in practice cuts the hot supply
+    // solve from 8 V(I) evaluations to 2-3.
     Amps i(demand.value() / terminalVoltage(Amps(0.0)).value());
     for (int k = 0; k < 8; ++k) {
         Volts v = terminalVoltage(i);
         if (v.value() <= 0.1)
             return i; // collapsed supply; caller will notice
-        i = demand / v;
+        Amps next = demand / v;
+        if (next.value() == i.value())
+            return i;
+        i = next;
     }
     return i;
 }

@@ -69,6 +69,114 @@ OnlineSummary::merge(const OnlineSummary &other)
     _max = std::max(_max, other._max);
 }
 
+P2Quantile::P2Quantile(double q) : _q(q), _n(0)
+{
+    if (q <= 0.0 || q >= 1.0)
+        fatal("P2Quantile: quantile must be in (0, 1), got %g", q);
+    for (int i = 0; i < 5; ++i) {
+        _heights[i] = 0.0;
+        _positions[i] = static_cast<double>(i + 1);
+    }
+    _desired[0] = 1.0;
+    _desired[1] = 1.0 + 2.0 * q;
+    _desired[2] = 1.0 + 4.0 * q;
+    _desired[3] = 3.0 + 2.0 * q;
+    _desired[4] = 5.0;
+    _rates[0] = 0.0;
+    _rates[1] = q / 2.0;
+    _rates[2] = q;
+    _rates[3] = (1.0 + q) / 2.0;
+    _rates[4] = 1.0;
+}
+
+void
+P2Quantile::add(double x)
+{
+    ++_n;
+    if (_n <= 5) {
+        // Warm-up: collect the first five observations sorted; they
+        // become the initial marker heights.
+        std::size_t i = _n - 1;
+        while (i > 0 && _heights[i - 1] > x) {
+            _heights[i] = _heights[i - 1];
+            --i;
+        }
+        _heights[i] = x;
+        return;
+    }
+
+    // Locate the cell, pushing the extreme markers outward if the
+    // observation falls outside the current span.
+    int k;
+    if (x < _heights[0]) {
+        _heights[0] = x;
+        k = 0;
+    } else if (x >= _heights[4]) {
+        _heights[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= _heights[k + 1])
+            ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i)
+        _positions[i] += 1.0;
+    for (int i = 0; i < 5; ++i)
+        _desired[i] += _rates[i];
+
+    // Nudge the three interior markers toward their desired positions:
+    // parabolic (P²) interpolation when it keeps the heights ordered,
+    // linear otherwise.
+    for (int i = 1; i <= 3; ++i) {
+        double d = _desired[i] - _positions[i];
+        if ((d >= 1.0 && _positions[i + 1] - _positions[i] > 1.0) ||
+            (d <= -1.0 && _positions[i - 1] - _positions[i] < -1.0)) {
+            double sign = d >= 0.0 ? 1.0 : -1.0;
+            double np = _positions[i + 1] - _positions[i];
+            double pp = _positions[i - 1] - _positions[i];
+            double nq = _heights[i + 1] - _heights[i];
+            double pq = _heights[i - 1] - _heights[i];
+            double parabolic =
+                _heights[i] +
+                sign / (np - pp) *
+                    ((sign - pp) * nq / np + (np - sign) * pq / pp);
+            if (_heights[i - 1] < parabolic &&
+                parabolic < _heights[i + 1]) {
+                _heights[i] = parabolic;
+            } else {
+                int j = d >= 0.0 ? i + 1 : i - 1;
+                _heights[i] +=
+                    sign * (_heights[j] - _heights[i]) /
+                    (_positions[j] - _positions[i]);
+            }
+            _positions[i] += sign;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (_n == 0)
+        return 0.0;
+    if (_n >= 5)
+        return _heights[2];
+    // Exact small-sample estimate from the sorted warm-up buffer.
+    std::vector<double> sorted(_heights, _heights + _n);
+    return percentile(std::move(sorted), _q * 100.0);
+}
+
+StreamingSummary::StreamingSummary() : _p50(0.5), _p90(0.9) {}
+
+void
+StreamingSummary::add(double x)
+{
+    _moments.add(x);
+    _p50.add(x);
+    _p90.add(x);
+}
+
 OnlineSummary
 summarize(const std::vector<double> &values)
 {

@@ -60,6 +60,67 @@ class OnlineSummary
     double _max;
 };
 
+/**
+ * Streaming quantile estimator (the P² algorithm of Jain & Chlamtac).
+ *
+ * Tracks one quantile with five markers in O(1) space, no sample
+ * buffer. Exact for the first five observations, then a parabolic
+ * (piecewise-linear fallback) approximation whose error vanishes as
+ * the stream grows. The estimate depends on feed order, so producers
+ * that promise determinism must feed it in a canonical order (the
+ * crowd pipeline feeds unit order).
+ */
+class P2Quantile
+{
+  public:
+    /** @param q target quantile in (0, 1), e.g. 0.5 for the median. */
+    explicit P2Quantile(double q);
+
+    /** Fold one observation into the estimate. */
+    void add(double x);
+
+    /** Current estimate (exact until five observations; 0 if empty). */
+    double value() const;
+
+    std::size_t count() const { return _n; }
+
+  private:
+    double _q;
+    std::size_t _n;
+    double _heights[5];   // marker heights (the estimates)
+    double _positions[5]; // actual marker positions, 1-based
+    double _desired[5];   // desired marker positions
+    double _rates[5];     // desired-position increments per sample
+};
+
+/**
+ * Welford + P² in one accumulator: mean/RSD/min/max plus streaming
+ * median and 90th percentile, O(1) space for arbitrarily large
+ * populations. The percentile estimates are feed-order dependent
+ * (see P2Quantile); everything else is exact.
+ */
+class StreamingSummary
+{
+  public:
+    StreamingSummary();
+
+    void add(double x);
+
+    const OnlineSummary &moments() const { return _moments; }
+    std::size_t count() const { return _moments.count(); }
+    double mean() const { return _moments.mean(); }
+    double rsdPercent() const { return _moments.rsdPercent(); }
+    double min() const { return _moments.min(); }
+    double max() const { return _moments.max(); }
+    double median() const { return _p50.value(); }
+    double p90() const { return _p90.value(); }
+
+  private:
+    OnlineSummary _moments;
+    P2Quantile _p50;
+    P2Quantile _p90;
+};
+
 /** Summarize a batch of values in one call. */
 OnlineSummary summarize(const std::vector<double> &values);
 

@@ -196,6 +196,38 @@ ResultCache::getOrCompute(const RegistryEntry &entry,
     return result;
 }
 
+bool
+ResultCache::lookup(const RegistryEntry &entry, std::size_t unit_index,
+                    const ExperimentConfig &cfg, ExperimentResult &out)
+{
+    std::string key_text = experimentKeyText(entry, unit_index, cfg);
+    std::string digest = contentDigest(key_text);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(digest);
+    if (it != _index.end() && it->second->keyText == key_text) {
+        ++_hits;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        debug("result-cache: hit %s", digest.c_str());
+        out = it->second->result;
+        return true;
+    }
+    ++_misses;
+    return false;
+}
+
+void
+ResultCache::insert(const RegistryEntry &entry, std::size_t unit_index,
+                    const ExperimentConfig &cfg,
+                    const ExperimentResult &result)
+{
+    std::string key_text = experimentKeyText(entry, unit_index, cfg);
+    std::string digest = contentDigest(key_text);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    insertLocked(std::move(digest), std::move(key_text), result);
+}
+
 void
 ResultCache::insertLocked(std::string digest, std::string key_text,
                           const ExperimentResult &result)

@@ -147,5 +147,88 @@ TEST_P(RsdScaleInvariance, ScalingDoesNotChangeRsd)
 INSTANTIATE_TEST_SUITE_P(Scales, RsdScaleInvariance,
                          ::testing::Values(0.001, 0.1, 1.0, 7.5, 1000.0));
 
+// ---------------------------------------------------------------------
+// P² streaming quantiles.
+// ---------------------------------------------------------------------
+
+TEST(P2Quantile, ExactForSmallSamples)
+{
+    P2Quantile p50(0.5);
+    EXPECT_EQ(p50.value(), 0.0); // empty
+
+    p50.add(7.0);
+    EXPECT_DOUBLE_EQ(p50.value(), 7.0);
+
+    // Below five observations the estimate is the exact interpolated
+    // percentile of the sorted buffer, regardless of feed order.
+    P2Quantile p(0.5);
+    for (double x : {9.0, 1.0, 5.0})
+        p.add(x);
+    std::vector<double> sorted = {1.0, 5.0, 9.0};
+    EXPECT_DOUBLE_EQ(p.value(), percentile(sorted, 50.0));
+}
+
+TEST(P2Quantile, ConvergesOnAUniformStream)
+{
+    // A deterministic low-discrepancy uniform stream over [0, 1):
+    // the golden-ratio (Weyl) sequence. Median -> 0.5, p90 -> 0.9.
+    P2Quantile p50(0.5);
+    P2Quantile p90(0.9);
+    double x = 0.0;
+    const double phi = 0.6180339887498949;
+    for (int i = 0; i < 20000; ++i) {
+        x += phi;
+        x -= static_cast<double>(static_cast<long long>(x));
+        p50.add(x);
+        p90.add(x);
+    }
+    EXPECT_NEAR(p50.value(), 0.5, 0.01);
+    EXPECT_NEAR(p90.value(), 0.9, 0.01);
+}
+
+TEST(P2Quantile, TracksASkewedStream)
+{
+    // Squaring the uniform stream skews it hard toward zero; the
+    // exact quantiles are q^2 (median 0.25, p90 0.81).
+    P2Quantile p50(0.5);
+    P2Quantile p90(0.9);
+    double x = 0.0;
+    const double phi = 0.6180339887498949;
+    for (int i = 0; i < 20000; ++i) {
+        x += phi;
+        x -= static_cast<double>(static_cast<long long>(x));
+        p50.add(x * x);
+        p90.add(x * x);
+    }
+    EXPECT_NEAR(p50.value(), 0.25, 0.02);
+    EXPECT_NEAR(p90.value(), 0.81, 0.02);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles)
+{
+    EXPECT_DEATH(P2Quantile(0.0), "");
+    EXPECT_DEATH(P2Quantile(1.0), "");
+}
+
+TEST(StreamingSummary, CombinesMomentsAndQuantiles)
+{
+    StreamingSummary s;
+    for (int i = 1; i <= 1000; ++i)
+        s.add(static_cast<double>(i));
+
+    EXPECT_EQ(s.count(), 1000u);
+    EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+    EXPECT_NEAR(s.median(), 500.5, 5.0);
+    EXPECT_NEAR(s.p90(), 900.0, 10.0);
+    // The moments side is exact Welford: same numbers OnlineSummary
+    // produces for the same stream.
+    OnlineSummary reference;
+    for (int i = 1; i <= 1000; ++i)
+        reference.add(static_cast<double>(i));
+    EXPECT_EQ(s.rsdPercent(), reference.rsdPercent());
+}
+
 } // namespace
 } // namespace pvar

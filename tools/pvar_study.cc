@@ -12,6 +12,9 @@
  *     --jobs N          parallel experiment workers (default: all
  *                       hardware threads; results are identical for
  *                       any N)
+ *     --batch B         die-cohort width: B same-model experiments in
+ *                       lockstep sharing one thermal eigendecomposition
+ *                       (results identical for any B)
  *     --json            print results as JSON instead of the table
  *     --csv             print the summary as CSV instead of the table
  *     --output PATH     write the report to PATH instead of stdout
@@ -72,6 +75,12 @@ usage()
         "                    bit-exact) or \"fast\" (analytic event-to-\n"
         "                    event stepping; agrees to tolerance and\n"
         "                    runs 10-100x faster per experiment)\n"
+        "  --batch B         die-cohort width: run B same-model\n"
+        "                    experiments in lockstep sharing one\n"
+        "                    thermal eigendecomposition. Per-die\n"
+        "                    results identical for any B (pure\n"
+        "                    throughput knob); default: engine pick\n"
+        "                    (~16 fast, serial stepped)\n"
         "  --json            print results as JSON instead of the table\n"
         "  --csv             print the summary as CSV instead of the "
         "table\n"
@@ -240,6 +249,8 @@ main(int argc, char **argv)
                 fatal("pvar_study: --solver must be \"stepped\" or "
                       "\"fast\", got \"%s\"",
                       kind.c_str());
+        } else if (arg == "--batch") {
+            cfg.batch = static_cast<int>(intArg(arg, next(), 1));
         } else if (arg == "--json") {
             as_json = true;
         } else if (arg == "--csv") {
