@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "accubench/lower_bound.hh"
+#include "sampling/lower_bound.hh"
 #include "bench_util.hh"
 #include "report/figure.hh"
 #include "report/table.hh"

@@ -14,7 +14,7 @@
 
 #include <cstdio>
 
-#include "accubench/crowd.hh"
+#include "sampling/crowd.hh"
 #include "accubench/ranking.hh"
 #include "bench_util.hh"
 #include "report/figure.hh"

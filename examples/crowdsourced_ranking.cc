@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "accubench/crowd.hh"
+#include "sampling/crowd.hh"
 #include "accubench/ranking.hh"
 #include "report/table.hh"
 #include "sim/logging.hh"

@@ -218,6 +218,43 @@ batch_identity() {
 }
 batch_identity ./build/pvar_study
 
+# Crowd identity: the stratified sampler must be a pure function of
+# (population seed, strata, rounds) — byte-identical reports at any
+# jobs count and cohort width — and a live-point-warm rerun on the
+# same store must reproduce the cold bytes exactly while storectl
+# still validates every checkpoint through the digested codec path.
+crowd_identity() {
+    local study=$1 storectl=$2 tmp
+    tmp=$(mktemp -d)
+    "$study" --crowd 256 --strata 4 --jobs 1 --batch 1 --quiet \
+        --output "$tmp/j1.json"
+    "$study" --crowd 256 --strata 4 --jobs 4 --batch 1 --quiet \
+        --output "$tmp/j4.json"
+    "$study" --crowd 256 --strata 4 --jobs 2 --batch 16 --quiet \
+        --output "$tmp/b16.json"
+    cmp "$tmp/j1.json" "$tmp/j4.json"
+    cmp "$tmp/j1.json" "$tmp/b16.json"
+    # Cold run captures one live point per sampled die; the warm rerun
+    # restores from them and must not change a single output byte.
+    "$study" --crowd 256 --strata 4 --quiet \
+        --cache-dir "$tmp/store" --output "$tmp/cold.json"
+    "$study" --crowd 256 --strata 4 --quiet \
+        --cache-dir "$tmp/store" --output "$tmp/warm.json"
+    cmp "$tmp/j1.json" "$tmp/cold.json"
+    cmp "$tmp/cold.json" "$tmp/warm.json"
+    "$storectl" verify --cache-dir "$tmp/store" --quiet
+    "$storectl" stats --cache-dir "$tmp/store" --quiet \
+        > "$tmp/stats.json"
+    python3 - "$tmp/stats.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["live_point_records"] == 16, s
+assert s["live_point_bytes"] > 0, s
+EOF
+    rm -rf "$tmp"
+}
+crowd_identity ./build/pvar_study ./build/pvar_storectl
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -252,6 +289,7 @@ kill_recovery ./build-tsan/pvar_served ./build-tsan/pvar_study \
 chaos ./build-tsan/pvar_study ./build-tsan/pvar_storectl
 solver_equivalence ./build-tsan/pvar_study
 batch_identity ./build-tsan/pvar_study
+crowd_identity ./build-tsan/pvar_study ./build-tsan/pvar_storectl
 
 fail=0
 for b in build/bench/bench_*; do

@@ -17,6 +17,8 @@
 #define PVAR_ACCUBENCH_EXPERIMENT_HH
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "accubench/accubench.hh"
 #include "accubench/result.hh"
@@ -44,6 +46,63 @@ enum class SupplyChoice
 
     /** The phone's own battery. */
     Battery,
+};
+
+/**
+ * Storage interface for live-point checkpoints: opaque serialized
+ * simulator state keyed by the full canonical experiment key, saved
+ * the first time a protocol reaches its post-warmup capture point and
+ * restored on re-runs so the stabilize/warmup/cooldown prefix is
+ * skipped. Declared here (not in store/) because the experiment layer
+ * cannot depend on the durability layer; the durable store adapts
+ * itself to this interface (store/durable_cache.hh), and tests/bench
+ * use the in-memory implementation below.
+ *
+ * Contract: fetch() returns true only for a value previously stored
+ * under the exact same key that still validates; implementations must
+ * treat corruption as a miss. Restoring is transactional at the call
+ * site (batch.cc rolls back to the cold state when a fetched value
+ * fails to decode), so a live point can make a run *faster*, never
+ * *different*.
+ */
+class LivePointCache
+{
+  public:
+    virtual ~LivePointCache() = default;
+
+    /** Fetch the checkpoint stored under @p key_text, if any. */
+    virtual bool fetch(const std::string &key_text,
+                       std::string &out) = 0;
+
+    /** Store (or supersede) the checkpoint for @p key_text. */
+    virtual void store(const std::string &key_text,
+                       const std::string &value) = 0;
+};
+
+/** Process-local LivePointCache (tests, benchmarks). */
+class MemoryLivePointCache : public LivePointCache
+{
+  public:
+    bool
+    fetch(const std::string &key_text, std::string &out) override
+    {
+        auto it = _map.find(key_text);
+        if (it == _map.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    store(const std::string &key_text, const std::string &value) override
+    {
+        _map[key_text] = value;
+    }
+
+    std::size_t size() const { return _map.size(); }
+
+  private:
+    std::map<std::string, std::string> _map;
 };
 
 /** Full experiment configuration. */
@@ -88,6 +147,21 @@ struct ExperimentConfig
      * device's sensor noise stream via buildDevice()'s seed salt.
      */
     std::uint64_t retrySalt = 0;
+
+    /**
+     * Live-point checkpointing (optional). When a cache is attached
+     * and `livePointKey` is non-empty, the protocol restores the
+     * post-warmup capture state stored under the key (skipping the
+     * stabilize/warmup/cooldown prefix of iteration 0) or, on a cold
+     * run, captures it at the capture point for the next run.
+     *
+     * Deliberately EXCLUDED from the result cache key
+     * (writeExperimentConfig): warm and cold runs produce
+     * byte-identical results — that is the whole contract — so they
+     * must share one cache entry.
+     */
+    LivePointCache *livePoints = nullptr;
+    std::string livePointKey;
 };
 
 /**

@@ -478,4 +478,83 @@ Device::recordTrace(Time now)
     }
 }
 
+void
+Device::saveState(ByteWriter &w) const
+{
+    _soc.saveState(w);
+    _package.saveState(w);
+    _sensor.saveState(w);
+    _battery.saveState(w);
+    _engine.saveState(w);
+    _thermalGov.saveState(w);
+    w.u32(static_cast<std::uint32_t>(_rbcpr.size()));
+    for (const RbcprController &c : _rbcpr)
+        c.saveState(w);
+    _inputThrottle.saveState(w);
+    _meter.saveState(w);
+    w.u32(static_cast<std::uint32_t>(_cpufreq.size()));
+    for (const auto &gov : _cpufreq)
+        gov->saveState(w);
+
+    w.u32(static_cast<std::uint32_t>(_wakelocks));
+    w.u8(_suspendAllowed ? 1 : 0);
+    w.u8(_suspended ? 1 : 0);
+    w.i64(_wakeUntil.toUsec());
+    w.f64(_lastSupplyVoltage.value());
+    w.f64(_lastPower.value());
+    w.i64(_lastTraceSample.toUsec());
+    _noiseRng.saveState(w);
+    w.i64(_lastNoiseUpdate.toUsec());
+    w.u8(_noisePrimed ? 1 : 0);
+    w.f64(_sensorPeak.value());
+    w.u64(_picardFallbacks);
+}
+
+bool
+Device::loadState(ByteReader &r)
+{
+    if (!_soc.loadState(r) || !_package.loadState(r) ||
+        !_sensor.loadState(r) || !_battery.loadState(r) ||
+        !_engine.loadState(r) || !_thermalGov.loadState(r))
+        return false;
+    std::uint32_t n_rbcpr = 0;
+    if (!r.u32(n_rbcpr) || n_rbcpr != _rbcpr.size())
+        return false;
+    for (RbcprController &c : _rbcpr)
+        if (!c.loadState(r))
+            return false;
+    if (!_inputThrottle.loadState(r) || !_meter.loadState(r))
+        return false;
+    std::uint32_t n_govs = 0;
+    if (!r.u32(n_govs) || n_govs != _cpufreq.size())
+        return false;
+    for (auto &gov : _cpufreq)
+        if (!gov->loadState(r))
+            return false;
+
+    std::uint32_t wakelocks = 0;
+    std::uint8_t suspend_allowed = 0, suspended = 0, noise_primed = 0;
+    std::int64_t wake_until = 0, last_trace = 0, last_noise = 0;
+    double supply_v = 0.0, power_w = 0.0, sensor_peak = 0.0;
+    if (!r.u32(wakelocks) || !r.u8(suspend_allowed) ||
+        suspend_allowed > 1 || !r.u8(suspended) || suspended > 1 ||
+        !r.i64(wake_until) || !r.f64(supply_v) || !r.f64(power_w) ||
+        !r.i64(last_trace) || !_noiseRng.loadState(r) ||
+        !r.i64(last_noise) || !r.u8(noise_primed) ||
+        noise_primed > 1 || !r.f64(sensor_peak) ||
+        !r.u64(_picardFallbacks))
+        return false;
+    _wakelocks = static_cast<int>(wakelocks);
+    _suspendAllowed = suspend_allowed != 0;
+    _suspended = suspended != 0;
+    _wakeUntil = Time::usec(wake_until);
+    _lastSupplyVoltage = Volts(supply_v);
+    _lastPower = Watts(power_w);
+    _lastTraceSample = Time::usec(last_trace);
+    _lastNoiseUpdate = Time::usec(last_noise);
+    _noisePrimed = noise_primed != 0;
+    _sensorPeak = Celsius(sensor_peak);
+    return true;
+}
+
 } // namespace pvar

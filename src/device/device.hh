@@ -310,6 +310,25 @@ class Device : public Tickable
     /** Reset governors and meters for a fresh experiment iteration. */
     void resetExperimentState();
 
+    /**
+     * @name Live-point state.
+     *
+     * Serializes every field that evolves during a protocol run:
+     * silicon/thermal/supply state, OS surface, governor latches, the
+     * noise stream, and accounting. Excluded by design: the external
+     * supply pointer, trace attachment and channel caches, the solver
+     * selection, and the staged fast-tick scratch — all of those are
+     * (re)established by the experiment configuration path before a
+     * restore, which must therefore run *after* attachTrace() so the
+     * restored trace cursor survives. loadState() returns false on
+     * any malformed input, leaving the device unspecified; callers
+     * roll back via a saved cold snapshot (see batch.cc).
+     * @{
+     */
+    void saveState(ByteWriter &w) const;
+    bool loadState(ByteReader &r);
+    /** @} */
+
   private:
     DeviceConfig _config;
     Soc _soc;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "power/power_supply.hh"
+#include "sim/bytes.hh"
 
 namespace pvar
 {
@@ -80,6 +81,20 @@ class Battery : public PowerSupply
     Watts selfHeating(Amps load) const;
 
     const BatteryParams &params() const { return _params; }
+
+    /** @name Live-point state (state of charge only). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.f64(_soc);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        return r.f64(_soc);
+    }
+    /** @} */
 
   private:
     BatteryParams _params;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 #include "sim/units.hh"
 
@@ -60,6 +61,62 @@ class EnergyMeter
 
     /** Forget everything. */
     void reset();
+
+    /** @name Live-point state (totals, spans, open span). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.f64(_total.value());
+        w.u32(static_cast<std::uint32_t>(_spans.size()));
+        for (const EnergySpan &s : _spans) {
+            w.str(s.label);
+            w.i64(s.start.toUsec());
+            w.i64(s.end.toUsec());
+            w.f64(s.energy.value());
+        }
+        w.u8(_open ? 1 : 0);
+        w.str(_openLabel);
+        w.i64(_openStart.toUsec());
+        w.f64(_openStartEnergy.value());
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        double total = 0.0, open_start_j = 0.0;
+        std::uint32_t n_spans = 0;
+        std::uint8_t open = 0;
+        std::int64_t open_start = 0;
+        if (!r.f64(total) || !r.u32(n_spans) ||
+            n_spans > 1024u * 1024u)
+            return false;
+        std::vector<EnergySpan> spans;
+        spans.reserve(n_spans);
+        for (std::uint32_t i = 0; i < n_spans; ++i) {
+            EnergySpan s;
+            std::int64_t start = 0, end = 0;
+            double energy = 0.0;
+            if (!r.str(s.label) || !r.i64(start) || !r.i64(end) ||
+                !r.f64(energy))
+                return false;
+            s.start = Time::usec(start);
+            s.end = Time::usec(end);
+            s.energy = Joules(energy);
+            spans.push_back(std::move(s));
+        }
+        std::string open_label;
+        if (!r.u8(open) || open > 1 || !r.str(open_label) ||
+            !r.i64(open_start) || !r.f64(open_start_j))
+            return false;
+        _total = Joules(total);
+        _spans = std::move(spans);
+        _open = open != 0;
+        _openLabel = std::move(open_label);
+        _openStart = Time::usec(open_start);
+        _openStartEnergy = Joules(open_start_j);
+        return true;
+    }
+    /** @} */
 
   private:
     Joules _total;

@@ -1,0 +1,45 @@
+#include "sampling/cohort_runner.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "accubench/batch.hh"
+#include "sim/parallel.hh"
+
+namespace pvar
+{
+
+void
+runCohortWindows(
+    std::size_t count, int jobs, int batch, SolverKind solver,
+    const std::function<std::unique_ptr<Device>(std::size_t)>
+        &make_device,
+    const std::function<ExperimentConfig(std::size_t)> &make_config,
+    const std::function<void(std::size_t, Device &, ExperimentResult &)>
+        &consume)
+{
+    if (count == 0)
+        return;
+    std::size_t width =
+        static_cast<std::size_t>(resolveBatchSize(batch, solver));
+    std::size_t windows = (count + width - 1) / width;
+
+    parallelFor(windows, jobs, [&](std::size_t w) {
+        std::size_t begin = w * width;
+        std::size_t end = std::min(count, begin + width);
+
+        std::vector<std::unique_ptr<Device>> devices;
+        std::vector<CohortTask> tasks(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            devices.push_back(make_device(i));
+            tasks[i - begin].device = devices.back().get();
+            tasks[i - begin].cfg = make_config(i);
+        }
+        std::vector<ExperimentResult> results =
+            runExperimentCohort(tasks);
+        for (std::size_t i = begin; i < end; ++i)
+            consume(i, *devices[i - begin], results[i - begin]);
+    });
+}
+
+} // namespace pvar

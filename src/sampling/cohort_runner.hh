@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared cohort-window fan-out.
+ *
+ * Every Monte-Carlo study in the repo runs the same loop: split a
+ * flat list of unit experiments into windows of the batched engine's
+ * cohort width, fan the windows out across worker threads, and run
+ * each window through runExperimentCohort(). The determinism contract
+ * is identical everywhere — all randomness is drawn serially *before*
+ * the fan-out, each window writes disjoint output slots, so results
+ * are bit-identical for any `jobs` or `batch` value — and lives here
+ * once instead of being re-derived per study (crowd, sample-size,
+ * stratified sampler).
+ */
+
+#ifndef PVAR_SAMPLING_COHORT_RUNNER_HH
+#define PVAR_SAMPLING_COHORT_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "accubench/experiment.hh"
+
+namespace pvar
+{
+
+/**
+ * Run @p count unit experiments through the batched engine in cohort
+ * windows.
+ *
+ * @param count       number of experiments
+ * @param jobs        worker threads (1 = serial; <= 0 = all cores)
+ * @param batch       cohort width (0 = engine pick for the solver)
+ * @param solver      solver used to resolve the default width
+ * @param make_device build the i-th unit (called inside the window)
+ * @param make_config the i-th experiment's configuration
+ * @param consume     called for each i with the device still alive,
+ *                    in index order within a window; windows may run
+ *                    concurrently, so it must only touch state owned
+ *                    by index i.
+ */
+void runCohortWindows(
+    std::size_t count, int jobs, int batch, SolverKind solver,
+    const std::function<std::unique_ptr<Device>(std::size_t)>
+        &make_device,
+    const std::function<ExperimentConfig(std::size_t)> &make_config,
+    const std::function<void(std::size_t, Device &, ExperimentResult &)>
+        &consume);
+
+} // namespace pvar
+
+#endif // PVAR_SAMPLING_COHORT_RUNNER_HH

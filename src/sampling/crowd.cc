@@ -1,14 +1,13 @@
-#include "accubench/crowd.hh"
+#include "sampling/crowd.hh"
 
 #include <memory>
 
 #include "accubench/ambient_estimator.hh"
-#include "accubench/batch.hh"
 #include "accubench/experiment.hh"
 #include "accubench/phase_windows.hh"
 #include "device/fleet.hh"
+#include "sampling/cohort_runner.hh"
 #include "sim/logging.hh"
-#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "sim/strfmt.hh"
 
@@ -52,26 +51,18 @@ simulateCrowd(const CrowdConfig &cfg)
         spec.ambient = rng.uniform(cfg.ambientLoC, cfg.ambientHiC);
     }
 
-    // Units run in cohort windows through the batched engine; the
+    // Units run in cohort windows through the shared runner; the
     // batch-size invariant keeps every unit's bytes independent of the
     // window width, so this is pure throughput, like `jobs`.
-    std::size_t width = static_cast<std::size_t>(
-        resolveBatchSize(cfg.batch, cfg.solver));
-    std::size_t windows =
-        (specs.size() + width - 1) / width;
-
     CrowdResult result;
     result.outcomes.resize(cfg.units);
-    parallelFor(windows, cfg.jobs, [&](std::size_t w) {
-        std::size_t begin = w * width;
-        std::size_t end = std::min(specs.size(), begin + width);
-
-        std::vector<std::unique_ptr<Device>> devices;
-        std::vector<CohortTask> tasks(end - begin);
-        for (std::size_t i = begin; i < end; ++i) {
+    runCohortWindows(
+        specs.size(), cfg.jobs, cfg.batch, cfg.solver,
+        [&](std::size_t i) {
+            return makeUnitForSoc(cfg.socName, specs[i].corner);
+        },
+        [&](std::size_t i) {
             const UnitSpec &spec = specs[i];
-            devices.push_back(makeUnitForSoc(cfg.socName, spec.corner));
-
             ExperimentConfig exp;
             exp.mode = WorkloadMode::Unconstrained;
             exp.iterations = cfg.iterations;
@@ -80,16 +71,10 @@ simulateCrowd(const CrowdConfig &cfg)
             exp.thermabox.target = Celsius(spec.ambient);
             exp.accubench.cooldownTarget = Celsius(spec.ambient + 8.0);
             exp.solver = cfg.solver;
-            tasks[i - begin].device = devices.back().get();
-            tasks[i - begin].cfg = exp;
-        }
-        std::vector<ExperimentResult> window_results =
-            runExperimentCohort(tasks);
-
-        for (std::size_t i = begin; i < end; ++i) {
+            return exp;
+        },
+        [&](std::size_t i, Device &device, ExperimentResult &r) {
             const UnitSpec &spec = specs[i];
-            const Device &device = *devices[i - begin];
-            ExperimentResult &r = window_results[i - begin];
 
             // The app-side ambient estimate: fit the second cooldown.
             AmbientEstimate est;
@@ -109,8 +94,7 @@ simulateCrowd(const CrowdConfig &cfg)
             out.trueAmbientC = spec.ambient;
             out.leakFactor = device.soc().die().params().leakFactor;
             out.speedFactor = device.soc().die().params().speedFactor;
-        }
-    });
+        });
 
     // Population statistics: P² estimates are feed-order dependent,
     // so fold serially in unit order once every slot is filled.

@@ -12,8 +12,8 @@
  * rankDevices() / recoverBins().
  */
 
-#ifndef PVAR_ACCUBENCH_CROWD_HH
-#define PVAR_ACCUBENCH_CROWD_HH
+#ifndef PVAR_SAMPLING_CROWD_HH
+#define PVAR_SAMPLING_CROWD_HH
 
 #include <string>
 #include <vector>
@@ -113,4 +113,4 @@ CrowdResult simulateCrowd(const CrowdConfig &cfg);
 
 } // namespace pvar
 
-#endif // PVAR_ACCUBENCH_CROWD_HH
+#endif // PVAR_SAMPLING_CROWD_HH

@@ -1,13 +1,12 @@
-#include "accubench/lower_bound.hh"
+#include "sampling/lower_bound.hh"
 
 #include <algorithm>
 #include <memory>
 
-#include "accubench/batch.hh"
 #include "accubench/experiment.hh"
 #include "device/fleet.hh"
+#include "sampling/cohort_runner.hh"
 #include "sim/logging.hh"
-#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "sim/strfmt.hh"
 #include "stats/summary.hh"
@@ -61,30 +60,19 @@ sampleSizeStudy(const LowerBoundConfig &cfg)
         }
     }
 
-    // Fan out in cohort windows through the batched engine; every
+    // Fan out in cohort windows through the shared runner; every
     // unit's score is independent of the window width (batch-size
     // invariant), exactly as it is independent of `jobs`.
-    std::size_t width = static_cast<std::size_t>(
-        resolveBatchSize(cfg.batch, cfg.solver));
-    std::size_t windows = (draws.size() + width - 1) / width;
-
     std::vector<double> scores(draws.size());
-    parallelFor(windows, cfg.jobs, [&](std::size_t w) {
-        std::size_t begin = w * width;
-        std::size_t end = std::min(draws.size(), begin + width);
-        std::vector<std::unique_ptr<Device>> devices;
-        std::vector<CohortTask> tasks(end - begin);
-        for (std::size_t i = begin; i < end; ++i) {
-            devices.push_back(
-                makeUnitForSoc(cfg.socName, draws[i].corner));
-            tasks[i - begin].device = devices.back().get();
-            tasks[i - begin].cfg = exp;
-        }
-        std::vector<ExperimentResult> window_results =
-            runExperimentCohort(tasks);
-        for (std::size_t i = begin; i < end; ++i)
-            scores[i] = window_results[i - begin].meanScore();
-    });
+    runCohortWindows(
+        draws.size(), cfg.jobs, cfg.batch, cfg.solver,
+        [&](std::size_t i) {
+            return makeUnitForSoc(cfg.socName, draws[i].corner);
+        },
+        [&](std::size_t) { return exp; },
+        [&](std::size_t i, Device &, ExperimentResult &r) {
+            scores[i] = r.meanScore();
+        });
 
     // Reduce each replicate's slice; draws are already grouped by
     // replicate in order, so a single sweep recovers the slices.

@@ -14,8 +14,8 @@
  * numbers systematically underestimate the population spread.
  */
 
-#ifndef PVAR_ACCUBENCH_LOWER_BOUND_HH
-#define PVAR_ACCUBENCH_LOWER_BOUND_HH
+#ifndef PVAR_SAMPLING_LOWER_BOUND_HH
+#define PVAR_SAMPLING_LOWER_BOUND_HH
 
 #include <string>
 #include <vector>
@@ -94,4 +94,4 @@ std::vector<LowerBoundPoint> sampleSizeStudy(const LowerBoundConfig &cfg);
 
 } // namespace pvar
 
-#endif // PVAR_ACCUBENCH_LOWER_BOUND_HH
+#endif // PVAR_SAMPLING_LOWER_BOUND_HH

@@ -1,0 +1,56 @@
+#include "sampling/population.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/strfmt.hh"
+#include "stats/normal.hh"
+
+namespace pvar
+{
+
+CrowdDie
+crowdDie(const CrowdPopulationConfig &pop, std::uint64_t index)
+{
+    if (pop.size == 0)
+        fatal("crowdDie: empty population");
+    if (index >= pop.size)
+        fatal("crowdDie: index %llu out of range (population %llu)",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(pop.size));
+
+    // One forked stream per die, keyed on the index alone, so the die
+    // is identical no matter which sampling plan requested it.
+    Rng rng = Rng(pop.seed).fork(index);
+
+    // Systematic quantile with in-cell jitter; clamp keeps the
+    // inverse CDF off its poles for the extreme cells.
+    double p = (static_cast<double>(index) + rng.uniform()) /
+               static_cast<double>(pop.size);
+    p = std::min(std::max(p, 1e-12), 1.0 - 1e-12);
+
+    CrowdDie die;
+    die.corner.id = strfmt("%s-crowd-%llu", pop.socName.c_str(),
+                           static_cast<unsigned long long>(index));
+    // Same field order as sampleUnitCorner(): corner, then the
+    // residual log-leakage deviate.
+    die.corner.corner = pop.cornerSigma * inverseNormalCdf(p);
+    die.corner.leakResidual = rng.gaussian(0.0, 0.3);
+    die.bin = crowdBinForCorner(die.corner.corner, pop.cornerSigma);
+    die.ambientC = rng.uniform(pop.ambientLoC, pop.ambientHiC);
+    return die;
+}
+
+int
+crowdBinForCorner(double corner, double corner_sigma, int bin_count)
+{
+    if (bin_count < 1)
+        fatal("crowdBinForCorner: need at least one bin");
+    double sigma = corner_sigma > 0.0 ? corner_sigma : 1.0;
+    int bin = static_cast<int>(normalCdf(corner / sigma) *
+                               static_cast<double>(bin_count));
+    return std::min(std::max(bin, 0), bin_count - 1);
+}
+
+} // namespace pvar

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Finite crowd population, addressable by die index.
+ *
+ * A crowd study wants statistics over a population of N dies without
+ * materializing (let alone simulating) all N. This module defines the
+ * population as a *pure function* of (seed, N, index): die i's latent
+ * corner is the i-th systematic quantile of the process distribution,
+ *
+ *     corner_i = sigma * Phi^-1((i + u_i) / N),
+ *
+ * where u_i in (0,1) is a per-die uniform jitter drawn from a forked
+ * stream keyed on the index. Jittering within the i-th quantile cell
+ * (rather than using the cell midpoint) makes every die marginally
+ * distributed exactly as the process model while keeping the
+ * population *sorted by corner in index order* — so contiguous index
+ * ranges are exactly equal-probability strata of the latent corner
+ * distribution, which is what the stratified sampler (sampler.hh)
+ * exploits. The leakage residual and the unit's climate come from the
+ * same per-die stream, independent across dies.
+ *
+ * Because a die is a pure function of (seed, N, index), any sampling
+ * plan — exhaustive, stratified, adaptive — observes the *same*
+ * population, and an exhaustive small-N run is a usable ground truth
+ * for the sampler's estimates (test_sampling.cc).
+ */
+
+#ifndef PVAR_SAMPLING_POPULATION_HH
+#define PVAR_SAMPLING_POPULATION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "device/spec.hh"
+
+namespace pvar
+{
+
+/** The population's generating parameters. */
+struct CrowdPopulationConfig
+{
+    /** The SoC whose owners participate. */
+    std::string socName = "SD-821";
+
+    /** Population size N. */
+    std::uint64_t size = 1000000;
+
+    /** Seed; together with `size` it defines every die. */
+    std::uint64_t seed = 1;
+
+    /** Sigma of the latent process deviate across the population. */
+    double cornerSigma = 1.0;
+
+    /** Ambient temperature range of the climates (uniform). */
+    double ambientLoC = 2.0;
+    double ambientHiC = 44.0;
+};
+
+/** One die of the population, fully determined by its index. */
+struct CrowdDie
+{
+    UnitCorner corner;
+
+    /** The owner's climate. */
+    double ambientC = 0.0;
+
+    /**
+     * Statistical bin label (crowdBinForCorner). Deliberately NOT
+     * corner.bin: that field selects a voltage table on bin-anchored
+     * models, and crowd units run the spec's default table exactly as
+     * simulateCrowd()'s do.
+     */
+    int bin = 0;
+};
+
+/**
+ * Materialize die @p index of the population. O(1): no other die is
+ * touched. Fatal if index >= pop.size.
+ */
+CrowdDie crowdDie(const CrowdPopulationConfig &pop, std::uint64_t index);
+
+/**
+ * Equal-population bin label for a corner deviate: bin b collects the
+ * dies between the b/n and (b+1)/n quantiles of the latent normal,
+ * bin 0 the slowest (paper Table I orders voltage bins the same way).
+ * A pure function of the die, so exhaustive ground-truth shares are
+ * computable without simulation.
+ */
+int crowdBinForCorner(double corner, double corner_sigma,
+                      int bin_count = 7);
+
+} // namespace pvar
+
+#endif // PVAR_SAMPLING_POPULATION_HH

@@ -13,6 +13,7 @@
 #include "fault/fault.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
+#include "sampling/sampler.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 
@@ -208,7 +209,11 @@ StudyService::handleConnection(int fd)
         return;
     }
 
-    if (req.method == "POST" && req.path == "/study") {
+    // The heavy endpoints share the bounded study queue: a crowd
+    // study is a fleet-sized batch of experiments, so it gets the
+    // same backpressure as /study instead of blocking the acceptor.
+    if (req.method == "POST" &&
+        (req.path == "/study" || req.path == "/crowd")) {
         {
             std::lock_guard<std::mutex> lock(_mutex);
             if (!_stopping && _queue.size() < _cfg.queueDepth) {
@@ -259,8 +264,10 @@ StudyService::workerLoop(int worker_id)
             job = std::move(_queue.front());
             _queue.pop_front();
         }
-        finishResponse(job.fd, handleStudy(job.body), job.method,
-                       job.path, job.start);
+        HttpResponse resp = job.path == "/crowd"
+                                ? handleCrowd(job.body)
+                                : handleStudy(job.body);
+        finishResponse(job.fd, resp, job.method, job.path, job.start);
     }
 }
 
@@ -306,6 +313,11 @@ StudyService::handle(const HttpRequest &req)
         if (req.method != "POST")
             return methodNotAllowed("POST");
         return handleStudy(req.body);
+    }
+    if (req.path == "/crowd") {
+        if (req.method != "POST")
+            return methodNotAllowed("POST");
+        return handleCrowd(req.body);
     }
     return errorResponse(404,
                          strfmt("no such endpoint '%s'",
@@ -409,6 +421,89 @@ StudyService::handleStudy(const std::string &body)
         warn("pvar_served: study failed: %s", e.what());
         return errorResponse(500, e.what());
     }
+}
+
+HttpResponse
+StudyService::handleCrowd(const std::string &body)
+{
+    try {
+        HttpResponse resp;
+        resp.body = runCrowdRequest(body);
+        return resp;
+    } catch (const JsonError &e) {
+        ++_badRequests;
+        return errorResponse(400, e.what());
+    } catch (const FaultError &e) {
+        warn("pvar_served: crowd study shed on permanent fault: %s",
+             e.what());
+        HttpResponse resp = errorResponse(503, e.what());
+        resp.headers.emplace_back("Retry-After",
+                                  strfmt("%d", _cfg.retryAfterSec));
+        return resp;
+    } catch (const std::exception &e) {
+        warn("pvar_served: crowd study failed: %s", e.what());
+        return errorResponse(500, e.what());
+    }
+}
+
+std::string
+StudyService::runCrowdRequest(const std::string &body)
+{
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(body, doc, error))
+        throw JsonError(error);
+    if (!doc.isObject())
+        throw JsonError("crowd request must be a JSON object");
+    if (!doc.find("dies"))
+        throw JsonError("'dies' is required");
+
+    CrowdStudyConfig cfg;
+    cfg.population.size = static_cast<std::uint64_t>(
+        intField(doc, "dies", 0, 1));
+    cfg.population.seed = static_cast<std::uint64_t>(
+        intField(doc, "seed", static_cast<int>(cfg.population.seed),
+                 0));
+    cfg.strata = intField(doc, "strata", cfg.strata, 1);
+    cfg.iterations = intField(doc, "iterations", cfg.iterations, 1);
+    if (const JsonValue *target = doc.find("ci_target")) {
+        double t = target->asNumber();
+        if (t <= 0.0)
+            throw JsonError("'ci_target' must be a positive "
+                            "percentage");
+        cfg.ciTargetPercent = t;
+    }
+    if (const JsonValue *soc = doc.find("soc")) {
+        if (!DeviceRegistry::builtin().find(soc->asString())) {
+            throw JsonError(strfmt("unknown SoC or model '%s'",
+                                   soc->asString().c_str()));
+        }
+        cfg.population.socName = soc->asString();
+    }
+    if (const JsonValue *solver = doc.find("solver")) {
+        if (!parseSolverKind(solver->asString(), cfg.solver))
+            throw JsonError(
+                strfmt("'solver' must be \"stepped\" or \"fast\", "
+                       "got \"%s\"",
+                       solver->asString().c_str()));
+    }
+
+    // Shared deployment knobs: the same fan-out and technique
+    // parameters the /study path runs with.
+    cfg.jobs = _cfg.study.jobs;
+    cfg.batch = _cfg.study.batch;
+    cfg.accubench = _cfg.study.accubench;
+
+    std::unique_ptr<DurableLivePointCache> live_points;
+    if (_durable) {
+        live_points = std::make_unique<DurableLivePointCache>(
+            _durable->store());
+        cfg.livePoints = live_points.get();
+    }
+
+    CrowdStudyResult r = runCrowdStudy(cfg);
+    // Exactly the bytes pvar_study --crowd prints for the same input.
+    return crowdStudyJson(r) + "\n";
 }
 
 std::string

@@ -13,6 +13,13 @@
  *                  optionally with "iterations" and "ambient"
  *                  overrides (fleet documents accept them as wrapper
  *                  keys next to "fleet").
+ *   POST /crowd    characterize an N-die population by stratified
+ *                  sampling (sampling/sampler.hh); body:
+ *                    {"dies": 100000}
+ *                  optionally with "strata", "ci_target", "seed",
+ *                  "iterations", "soc", and "solver" overrides. The
+ *                  response is exactly the bytes pvar_study --crowd
+ *                  prints for the same parameters.
  *
  * Architecture: one acceptor thread parses requests and answers the
  * cheap endpoints inline; /study jobs go through a *bounded* queue to
@@ -189,9 +196,13 @@ class StudyService
     HttpResponse handleHealthz();
     HttpResponse handleDevices();
     HttpResponse handleStudy(const std::string &body);
+    HttpResponse handleCrowd(const std::string &body);
 
     /** Run the study a /study body describes (throws JsonError). */
     std::string runStudyRequest(const std::string &body);
+
+    /** Run the crowd study a /crowd body describes (throws JsonError). */
+    std::string runCrowdRequest(const std::string &body);
 };
 
 } // namespace pvar

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "sim/bytes.hh"
+
 namespace pvar
 {
 
@@ -61,6 +63,32 @@ class Rng
      * @param stream distinguishing label mixed into the child seed.
      */
     Rng fork(std::uint64_t stream);
+
+    /**
+     * Serialize the full generator state (xoshiro words plus the
+     * Box-Muller spare) so a restored Rng continues the exact stream.
+     */
+    void
+    saveState(ByteWriter &w) const
+    {
+        for (std::uint64_t word : _s)
+            w.u64(word);
+        w.f64(_spare);
+        w.u8(_hasSpare ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint8_t has_spare = 0;
+        for (std::uint64_t &word : _s)
+            if (!r.u64(word))
+                return false;
+        if (!r.f64(_spare) || !r.u8(has_spare) || has_spare > 1)
+            return false;
+        _hasSpare = has_spare != 0;
+        return true;
+    }
 
   private:
     std::uint64_t _s[4];

@@ -15,6 +15,7 @@
 
 #include "silicon/die.hh"
 #include "silicon/vf_table.hh"
+#include "sim/bytes.hh"
 #include "sim/units.hh"
 
 namespace pvar
@@ -120,6 +121,33 @@ class CpuCluster
      * given the commanded utilization.
      */
     double workRate() const;
+
+    /** @name Live-point state (OPP, hotplug, load, recoup). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u64(static_cast<std::uint64_t>(_oppIndex));
+        w.u32(static_cast<std::uint32_t>(_onlineCores));
+        w.f64(_utilization);
+        w.f64(_recoup.value());
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint64_t opp = 0;
+        std::uint32_t online = 0;
+        double utilization = 0.0, recoup = 0.0;
+        if (!r.u64(opp) || !r.u32(online) || !r.f64(utilization) ||
+            !r.f64(recoup))
+            return false;
+        _oppIndex = static_cast<std::size_t>(opp);
+        _onlineCores = static_cast<int>(online);
+        _utilization = utilization;
+        _recoup = Volts(recoup);
+        return true;
+    }
+    /** @} */
 
   private:
     ClusterParams _params;

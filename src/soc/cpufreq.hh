@@ -20,6 +20,7 @@
 #include <string>
 
 #include "silicon/vf_table.hh"
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 
 namespace pvar
@@ -47,6 +48,18 @@ class CpufreqGovernor
 
     /** Reset internal ramp state. */
     virtual void reset() {}
+
+    /**
+     * @name Live-point state.
+     *
+     * The governor *type* is fixed by the experiment configuration
+     * (the live-point key pins the full config), so only dynamic ramp
+     * state is serialized; stateless policies write nothing.
+     * @{
+     */
+    virtual void saveState(ByteWriter &w) const { (void)w; }
+    virtual bool loadState(ByteReader &r) { (void)r; return true; }
+    /** @} */
 };
 
 /** Always selects the highest OPP. */
@@ -70,6 +83,22 @@ class UserspaceGovernor : public CpufreqGovernor
 
     void setIndex(std::size_t index) { _index = index; }
     std::size_t index() const { return _index; }
+
+    void
+    saveState(ByteWriter &w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(_index));
+    }
+
+    bool
+    loadState(ByteReader &r) override
+    {
+        std::uint64_t index = 0;
+        if (!r.u64(index))
+            return false;
+        _index = static_cast<std::size_t>(index);
+        return true;
+    }
 
   private:
     std::size_t _index;
@@ -102,6 +131,29 @@ class InteractiveGovernor : public CpufreqGovernor
     std::size_t desiredIndex(const VfTable &table, double utilization,
                              Time now) override;
     void reset() override;
+
+    void
+    saveState(ByteWriter &w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(_current));
+        w.i64(_lastChange.toUsec());
+        w.u8(_primed ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r) override
+    {
+        std::uint64_t current = 0;
+        std::int64_t last_change = 0;
+        std::uint8_t primed = 0;
+        if (!r.u64(current) || !r.i64(last_change) || !r.u8(primed) ||
+            primed > 1)
+            return false;
+        _current = static_cast<std::size_t>(current);
+        _lastChange = Time::usec(last_change);
+        _primed = primed != 0;
+        return true;
+    }
 
   private:
     Params _params;

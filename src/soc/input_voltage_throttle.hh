@@ -14,6 +14,7 @@
 #ifndef PVAR_SOC_INPUT_VOLTAGE_THROTTLE_HH
 #define PVAR_SOC_INPUT_VOLTAGE_THROTTLE_HH
 
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 #include "sim/units.hh"
 
@@ -58,6 +59,30 @@ class InputVoltageThrottle
     void reset();
 
     const InputVoltageThrottleParams &params() const { return _params; }
+
+    /** @name Live-point state (latch, poll clock). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u8(_engaged ? 1 : 0);
+        w.i64(_lastPoll.toUsec());
+        w.u8(_primed ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint8_t engaged = 0, primed = 0;
+        std::int64_t last_poll = 0;
+        if (!r.u8(engaged) || engaged > 1 || !r.i64(last_poll) ||
+            !r.u8(primed) || primed > 1)
+            return false;
+        _engaged = engaged != 0;
+        _lastPoll = Time::usec(last_poll);
+        _primed = primed != 0;
+        return true;
+    }
+    /** @} */
 
   private:
     InputVoltageThrottleParams _params;

@@ -21,6 +21,7 @@
 #define PVAR_SOC_RBCPR_HH
 
 #include "silicon/die.hh"
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 #include "sim/units.hh"
 
@@ -76,6 +77,31 @@ class RbcprController
     void reset();
 
     const RbcprParams &params() const { return _params; }
+
+    /** @name Live-point state (recoup, loop clock). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.f64(_recoup.value());
+        w.i64(_lastUpdate.toUsec());
+        w.u8(_primed ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        double recoup = 0.0;
+        std::int64_t last_update = 0;
+        std::uint8_t primed = 0;
+        if (!r.f64(recoup) || !r.i64(last_update) || !r.u8(primed) ||
+            primed > 1)
+            return false;
+        _recoup = Volts(recoup);
+        _lastUpdate = Time::usec(last_update);
+        _primed = primed != 0;
+        return true;
+    }
+    /** @} */
 
   private:
     RbcprParams _params;

@@ -69,6 +69,28 @@ class Soc
     /** Set every cluster to its highest OPP. */
     void toHighestOpp();
 
+    /** @name Live-point state (per-cluster dynamic state). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(_clusters.size()));
+        for (const CpuCluster &c : _clusters)
+            c.saveState(w);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint32_t n_clusters = 0;
+        if (!r.u32(n_clusters) || n_clusters != _clusters.size())
+            return false;
+        for (CpuCluster &c : _clusters)
+            if (!c.loadState(r))
+                return false;
+        return true;
+    }
+    /** @} */
+
   private:
     SocParams _params;
     Die _die;

@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 #include "sim/units.hh"
 
@@ -100,6 +101,51 @@ class ThermalGovernor
     void reset();
 
     const ThermalGovernorParams &params() const { return _params; }
+
+    /** @name Live-point state (latched trips, poll clock). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(_tripActive.size()));
+        for (bool active : _tripActive)
+            w.u8(active ? 1 : 0);
+        w.u32(static_cast<std::uint32_t>(_shutdownActive.size()));
+        for (bool active : _shutdownActive)
+            w.u8(active ? 1 : 0);
+        w.i64(_lastPoll.toUsec());
+        w.u8(_primed ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint32_t n_trips = 0, n_shutdowns = 0;
+        std::int64_t last_poll = 0;
+        std::uint8_t primed = 0;
+        if (!r.u32(n_trips) || n_trips != _tripActive.size())
+            return false;
+        for (std::size_t i = 0; i < _tripActive.size(); ++i) {
+            std::uint8_t active = 0;
+            if (!r.u8(active) || active > 1)
+                return false;
+            _tripActive[i] = active != 0;
+        }
+        if (!r.u32(n_shutdowns) ||
+            n_shutdowns != _shutdownActive.size())
+            return false;
+        for (std::size_t i = 0; i < _shutdownActive.size(); ++i) {
+            std::uint8_t active = 0;
+            if (!r.u8(active) || active > 1)
+                return false;
+            _shutdownActive[i] = active != 0;
+        }
+        if (!r.i64(last_poll) || !r.u8(primed) || primed > 1)
+            return false;
+        _lastPoll = Time::usec(last_poll);
+        _primed = primed != 0;
+        return true;
+    }
+    /** @} */
 
   private:
     ThermalGovernorParams _params;

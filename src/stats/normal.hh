@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Normal distribution helpers.
+ *
+ * The sampling layer maps equal-probability strata of the latent
+ * process-corner distribution onto corner values, which needs the
+ * inverse standard normal CDF (the probit function). The variation
+ * model itself only ever *draws* normals (sim/rng.hh); inversion
+ * lives here with the other statistics utilities.
+ */
+
+#ifndef PVAR_STATS_NORMAL_HH
+#define PVAR_STATS_NORMAL_HH
+
+namespace pvar
+{
+
+/**
+ * Inverse standard normal CDF: returns z with P(Z <= z) = p.
+ *
+ * Acklam's rational approximation (~1.15e-9 relative error) refined
+ * by one Halley step against the exact erfc-based CDF, giving
+ * accuracy at the double rounding floor across (0, 1). Fatal outside
+ * (0, 1) — the sampler never evaluates the endpoints because every
+ * stratum midpoint is interior.
+ */
+double inverseNormalCdf(double p);
+
+/** Standard normal CDF via erfc (double precision). */
+double normalCdf(double z);
+
+} // namespace pvar
+
+#endif // PVAR_STATS_NORMAL_HH

@@ -167,7 +167,66 @@ P2Quantile::value() const
     return percentile(std::move(sorted), _q * 100.0);
 }
 
+void
+P2Quantile::merge(const P2Quantile &other)
+{
+    if (_q != other._q)
+        fatal("P2Quantile::merge: mismatched quantiles %g vs %g", _q,
+              other._q);
+    if (other._n == 0)
+        return;
+    if (_n == 0) {
+        *this = other;
+        return;
+    }
+    if (other._n <= 5) {
+        // The other side's warm-up buffer holds its observations
+        // exactly (sorted); replaying them is a lossless merge.
+        for (std::size_t i = 0; i < other._n; ++i)
+            add(other._heights[i]);
+        return;
+    }
+    if (_n <= 5) {
+        // Symmetric case: replay our exact buffer into the big side.
+        double buffered[5];
+        std::size_t n_buffered = _n;
+        std::copy(_heights, _heights + n_buffered, buffered);
+        *this = other;
+        for (std::size_t i = 0; i < n_buffered; ++i)
+            add(buffered[i]);
+        return;
+    }
+
+    // Both sides past warm-up: count-weighted marker combination.
+    // Heights average preserves ordering (both quintets are sorted);
+    // positions add with a -(1 - rate) correction so the extreme
+    // markers keep their invariants (pos[0] = 1, pos[4] = n).
+    double na = static_cast<double>(_n);
+    double nb = static_cast<double>(other._n);
+    double total = na + nb;
+    for (int i = 0; i < 5; ++i) {
+        _heights[i] =
+            (_heights[i] * na + other._heights[i] * nb) / total;
+        _positions[i] += other._positions[i] + _rates[i] - 1.0;
+    }
+    _n += other._n;
+    double extra = static_cast<double>(_n - 5);
+    _desired[0] = 1.0;
+    _desired[1] = 1.0 + 2.0 * _q + _rates[1] * extra;
+    _desired[2] = 1.0 + 4.0 * _q + _rates[2] * extra;
+    _desired[3] = 3.0 + 2.0 * _q + _rates[3] * extra;
+    _desired[4] = 5.0 + extra;
+}
+
 StreamingSummary::StreamingSummary() : _p50(0.5), _p90(0.9) {}
+
+void
+StreamingSummary::merge(const StreamingSummary &other)
+{
+    _moments.merge(other._moments);
+    _p50.merge(other._p50);
+    _p90.merge(other._p90);
+}
 
 void
 StreamingSummary::add(double x)

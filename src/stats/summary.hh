@@ -84,6 +84,20 @@ class P2Quantile
 
     std::size_t count() const { return _n; }
 
+    /**
+     * Fold another estimator for the same quantile into this one.
+     *
+     * Exact whenever either side is still in its warm-up (n <= 5):
+     * the small side's buffered observations are replayed through
+     * add(), so merging degenerate sides — empty, single observation —
+     * loses nothing. When both sides are past warm-up the markers are
+     * combined by count-weighted interpolation; like add() itself the
+     * result is then an order-dependent approximation of the true
+     * quantile, not a bit-exact equivalent of one combined stream.
+     * Fatal if the two estimators target different quantiles.
+     */
+    void merge(const P2Quantile &other);
+
   private:
     double _q;
     std::size_t _n;
@@ -114,6 +128,15 @@ class StreamingSummary
     double max() const { return _moments.max(); }
     double median() const { return _p50.value(); }
     double p90() const { return _p90.value(); }
+
+    /**
+     * Merge another summary into this one. Moments (count, mean,
+     * variance, min/max) merge exactly for any side sizes including
+     * empty and single-observation sides; the percentile markers
+     * merge exactly while either side is in P² warm-up and by
+     * count-weighted approximation afterwards (see P2Quantile::merge).
+     */
+    void merge(const StreamingSummary &other);
 
   private:
     OnlineSummary _moments;

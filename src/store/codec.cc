@@ -1,7 +1,8 @@
 #include "store/codec.hh"
 
 #include <cstdint>
-#include <cstring>
+
+#include "sim/bytes.hh"
 
 namespace pvar
 {
@@ -12,6 +13,8 @@ namespace
 // v1: result core. v2 appends the supervision outcome (status u8,
 // attempts u32, quarantined u8) at the very end, so a v1 record is a
 // strict prefix and still decodes (with Ok/1/false defaults).
+// Version 3 is reserved for live-point records (a different kind that
+// shares the log), so result decoding stays capped at 2.
 constexpr std::uint32_t kCodecVersion = 2;
 
 /**
@@ -20,137 +23,6 @@ constexpr std::uint32_t kCodecVersion = 2;
  * corrupted length field easily does.
  */
 constexpr std::uint64_t kMaxCount = 64u * 1024 * 1024;
-
-class ByteWriter
-{
-  public:
-    void
-    u8(std::uint8_t v)
-    {
-        _out.push_back(static_cast<char>(v));
-    }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            _out.push_back(static_cast<char>(v >> (8 * i)));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            _out.push_back(static_cast<char>(v >> (8 * i)));
-    }
-
-    void
-    i64(std::int64_t v)
-    {
-        u64(static_cast<std::uint64_t>(v));
-    }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<std::uint32_t>(s.size()));
-        _out.append(s);
-    }
-
-    std::string take() { return std::move(_out); }
-
-  private:
-    std::string _out;
-};
-
-/** Cursor over immutable bytes; every read reports success. */
-class ByteReader
-{
-  public:
-    explicit ByteReader(const std::string &bytes) : _bytes(bytes) {}
-
-    bool
-    u8(std::uint8_t &v)
-    {
-        if (_pos + 1 > _bytes.size())
-            return false;
-        v = static_cast<std::uint8_t>(_bytes[_pos++]);
-        return true;
-    }
-
-    bool
-    u32(std::uint32_t &v)
-    {
-        if (_pos + 4 > _bytes.size())
-            return false;
-        v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(_bytes[_pos + i]))
-                 << (8 * i);
-        _pos += 4;
-        return true;
-    }
-
-    bool
-    u64(std::uint64_t &v)
-    {
-        if (_pos + 8 > _bytes.size())
-            return false;
-        v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(_bytes[_pos + i]))
-                 << (8 * i);
-        _pos += 8;
-        return true;
-    }
-
-    bool
-    i64(std::int64_t &v)
-    {
-        std::uint64_t u = 0;
-        if (!u64(u))
-            return false;
-        v = static_cast<std::int64_t>(u);
-        return true;
-    }
-
-    bool
-    f64(double &v)
-    {
-        std::uint64_t bits = 0;
-        if (!u64(bits))
-            return false;
-        std::memcpy(&v, &bits, sizeof(v));
-        return true;
-    }
-
-    bool
-    str(std::string &s)
-    {
-        std::uint32_t len = 0;
-        if (!u32(len) || _pos + len > _bytes.size())
-            return false;
-        s.assign(_bytes, _pos, len);
-        _pos += len;
-        return true;
-    }
-
-    bool done() const { return _pos == _bytes.size(); }
-
-  private:
-    const std::string &_bytes;
-    std::size_t _pos = 0;
-};
 
 } // namespace
 
@@ -265,6 +137,39 @@ decodeExperimentResult(const std::string &bytes, ExperimentResult &out)
     }
     // Trailing bytes mean the value was written by something else;
     // reject rather than silently accept a prefix.
+    return r.done();
+}
+
+bool
+valueIsLivePoint(const std::string &bytes)
+{
+    ByteReader r(bytes);
+    std::uint32_t version = 0;
+    return r.u32(version) && version == kLivePointVersion;
+}
+
+bool
+validateLivePointValue(const std::string &bytes)
+{
+    ByteReader r(bytes);
+    std::uint32_t version = 0;
+    if (!r.u32(version) || version != kLivePointVersion)
+        return false;
+    std::uint64_t digest = 0;
+    if (!r.u64(digest) ||
+        fnv1a64(bytes.data() + r.pos(), bytes.size() - r.pos()) !=
+            digest)
+        return false;
+    std::uint32_t n_sections = 0;
+    if (!r.u32(n_sections) || n_sections > kMaxLivePointSections)
+        return false;
+    for (std::uint32_t i = 0; i < n_sections; ++i) {
+        std::uint32_t tag = 0, len = 0;
+        if (!r.u32(tag) || !r.u32(len) || !r.skip(len))
+            return false;
+    }
+    // Trailing bytes past the framed sections mean the record was not
+    // written by this codec; reject the whole value.
     return r.done();
 }
 

@@ -47,6 +47,38 @@ std::string encodeExperimentResult(const ExperimentResult &result);
 bool decodeExperimentResult(const std::string &bytes,
                             ExperimentResult &out);
 
+/**
+ * Live-point records (codec v3) share the log with results but hold
+ * opaque simulator state, not an ExperimentResult. The value is
+ * self-describing so the store can validate and retain records whose
+ * payload semantics it does not know:
+ *
+ *   livepoint := version u32 (=3)
+ *                digest u64 (FNV-1a of every byte after this field)
+ *                n_sections u32
+ *                section*
+ *   section   := tag u32 | payload str (u32 length + bytes)
+ *
+ * The digest makes the record self-checking: a single flipped bit
+ * anywhere in the body fails validation even when the transport has
+ * no checksum of its own (the record log's CRC is a second,
+ * independent layer). Section tags and payload layouts belong to the
+ * accubench layer (batch.cc); see DESIGN.md §2.8.
+ */
+constexpr std::uint32_t kLivePointVersion = 3;
+
+/** Framing sanity cap for live-point section counts. */
+constexpr std::uint32_t kMaxLivePointSections = 64;
+
+/** True when @p bytes carries the live-point version tag. */
+bool valueIsLivePoint(const std::string &bytes);
+
+/**
+ * Structural validation of a live-point value: version tag, section
+ * framing, and no trailing bytes. Does not interpret payloads.
+ */
+bool validateLivePointValue(const std::string &bytes);
+
 } // namespace pvar
 
 #endif // PVAR_STORE_CODEC_HH

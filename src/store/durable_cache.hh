@@ -86,6 +86,37 @@ class DurableCache : public ExperimentCache
     ResultCache _lru;
 };
 
+/**
+ * LivePointCache adapter over an ExperimentStore: live points share
+ * the result log (as codec-v3 records) and therefore inherit its CRC
+ * framing, torn-tail recovery, full-key read verification, and
+ * compaction. Any validation failure surfaces as a fetch miss, which
+ * the protocol answers with a cold start.
+ */
+class DurableLivePointCache : public LivePointCache
+{
+  public:
+    explicit DurableLivePointCache(ExperimentStore &store)
+        : _store(store)
+    {
+    }
+
+    bool
+    fetch(const std::string &key_text, std::string &out) override
+    {
+        return _store.getBytes(key_text, out);
+    }
+
+    void
+    store(const std::string &key_text, const std::string &value) override
+    {
+        _store.putBytes(key_text, value);
+    }
+
+  private:
+    ExperimentStore &_store;
+};
+
 } // namespace pvar
 
 #endif // PVAR_STORE_DURABLE_CACHE_HH

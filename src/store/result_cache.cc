@@ -104,6 +104,9 @@ writeExperimentConfig(JsonWriter &w, const ExperimentConfig &cfg)
     w.key("soak_first").value(cfg.soakFirst);
     w.key("retry_salt")
         .value(static_cast<long long>(cfg.retrySalt));
+    // cfg.livePoints / cfg.livePointKey are deliberately absent: a
+    // live-point-warm run is byte-identical to a cold one (batch.cc
+    // rolls back on any mismatch), so both must alias one entry.
     w.endObject();
 }
 
@@ -134,6 +137,18 @@ experimentKeyText(const RegistryEntry &entry, std::size_t unit_index,
     writeUnit(w, entry.units.at(unit_index));
     w.key("experiment");
     writeExperimentConfig(w, cfg);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+livePointKeyText(const RegistryEntry &entry, std::size_t unit_index,
+                 const ExperimentConfig &cfg)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("live_point")
+        .rawValue(experimentKeyText(entry, unit_index, cfg));
     w.endObject();
     return w.str();
 }

@@ -44,6 +44,20 @@ std::string experimentKeyText(const RegistryEntry &entry,
                               std::size_t unit_index,
                               const ExperimentConfig &cfg);
 
+/**
+ * The canonical key of the live-point checkpoint for one experiment:
+ * the experiment key wrapped in a `{"live_point": ...}` discriminator
+ * so a checkpoint and a result for the same experiment coexist in one
+ * digest-indexed log instead of superseding each other. The full
+ * config (spec, unit, ambient, solver, dt, ...) is part of the key on
+ * purpose — any parameter that changes the protocol's pre-capture
+ * trajectory must yield a different checkpoint, which is what makes
+ * warm restores bit-identical rather than merely close.
+ */
+std::string livePointKeyText(const RegistryEntry &entry,
+                             std::size_t unit_index,
+                             const ExperimentConfig &cfg);
+
 /** 128-bit FNV-1a digest of @p text, as 32 hex characters. */
 std::string contentDigest(const std::string &text);
 

@@ -76,11 +76,17 @@ void
 ExperimentStore::rebuildIndexLocked()
 {
     _index.clear();
+    _livePointSizes.clear();
     // Later records supersede earlier ones: the scan runs in file
-    // order, so the last insert per digest wins.
+    // order, so the last insert per digest wins (and the kind tally
+    // follows whichever record kind won).
     _log->scan([this](std::int64_t offset, const std::string &key,
-                      const std::string &) {
-        _index[contentDigest(key)] = offset;
+                      const std::string &value) {
+        std::string digest = contentDigest(key);
+        _index[digest] = offset;
+        _livePointSizes.erase(digest);
+        if (valueIsLivePoint(value))
+            _livePointSizes[digest] = value.size();
     });
 }
 
@@ -94,7 +100,8 @@ ExperimentStore::get(const std::string &key_text, ExperimentResult &out)
         ++_misses;
         return false;
     }
-    auto it = _index.find(contentDigest(key_text));
+    std::string digest = contentDigest(key_text);
+    auto it = _index.find(digest);
     if (it == _index.end()) {
         ++_misses;
         return false;
@@ -105,11 +112,66 @@ ExperimentStore::get(const std::string &key_text, ExperimentResult &out)
         // Collision or corruption: forget the entry so the caller's
         // recompute can supersede it.
         _index.erase(it);
+        _livePointSizes.erase(digest);
         ++_misses;
         return false;
     }
     ++_hits;
     return true;
+}
+
+bool
+ExperimentStore::getBytes(const std::string &key_text, std::string &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_degraded) {
+        ++_misses;
+        return false;
+    }
+    std::string digest = contentDigest(key_text);
+    auto it = _index.find(digest);
+    if (it == _index.end()) {
+        ++_misses;
+        return false;
+    }
+    std::string key, value;
+    if (!_log->readAt(it->second, key, value) || key != key_text ||
+        !validateLivePointValue(value)) {
+        // Same ladder as get(): a digest collision, a corrupt value,
+        // or a *result* record under this key all degrade to a miss
+        // so the caller cold-starts and supersedes the entry.
+        _index.erase(it);
+        _livePointSizes.erase(digest);
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    out = std::move(value);
+    return true;
+}
+
+void
+ExperimentStore::putBytes(const std::string &key_text,
+                          const std::string &value)
+{
+    if (!validateLivePointValue(value)) {
+        warn("experiment store: rejecting putBytes of a value that "
+             "is not a valid live point (%zu bytes)", value.size());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_degraded)
+        return;
+    std::int64_t offset = _log->append(key_text, value);
+    if (offset < 0 || _log->degraded()) {
+        noteDegradedLocked();
+        return;
+    }
+    std::string digest = contentDigest(key_text);
+    _index[digest] = offset;
+    _livePointSizes[digest] = value.size();
+    if (_markerOnDisk)
+        clearMarkerLocked();
 }
 
 void
@@ -125,7 +187,9 @@ ExperimentStore::put(const std::string &key_text,
         noteDegradedLocked();
         return;
     }
-    _index[contentDigest(key_text)] = offset;
+    std::string digest = contentDigest(key_text);
+    _index[digest] = offset;
+    _livePointSizes.erase(digest); // a result superseded this digest
     if (_markerOnDisk) {
         // A clean write through the full path: the earlier session's
         // degradation no longer describes this directory.
@@ -162,9 +226,17 @@ ExperimentStore::compact()
             auto it = _index.find(contentDigest(key));
             if (it == _index.end() || it->second != offset)
                 return; // superseded or already dropped
-            ExperimentResult probe;
-            if (!decodeExperimentResult(value, probe))
-                return; // orphaned: value no longer decodes
+            if (valueIsLivePoint(value)) {
+                // Live points survive compaction when structurally
+                // valid — they are exactly the records whose value a
+                // re-run avoids recomputing.
+                if (!validateLivePointValue(value))
+                    return;
+            } else {
+                ExperimentResult probe;
+                if (!decodeExperimentResult(value, probe))
+                    return; // orphaned: value no longer decodes
+            }
             fresh.append(key, value);
         });
         fresh.sync();
@@ -193,7 +265,7 @@ void
 ExperimentStore::forEach(
     const std::function<void(const std::string &,
                              const ExperimentResult &)> &fn,
-    std::uint64_t *bad)
+    std::uint64_t *bad, std::uint64_t *live_points)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _log->scan([&](std::int64_t offset, const std::string &key,
@@ -201,6 +273,15 @@ ExperimentStore::forEach(
         auto it = _index.find(contentDigest(key));
         if (it == _index.end() || it->second != offset)
             return; // superseded
+        if (valueIsLivePoint(value)) {
+            if (validateLivePointValue(value)) {
+                if (live_points)
+                    ++*live_points;
+            } else if (bad) {
+                ++*bad;
+            }
+            return;
+        }
         ExperimentResult result;
         if (!decodeExperimentResult(value, result)) {
             if (bad)
@@ -220,6 +301,9 @@ ExperimentStore::stats() const
     s.records = _index.size();
     s.logRecords = ls.records;
     s.bytes = ls.bytes;
+    s.livePointRecords = _livePointSizes.size();
+    for (const auto &[digest, size] : _livePointSizes)
+        s.livePointBytes += size;
     s.truncatedBytes = ls.truncatedBytes;
     s.hits = _hits;
     s.misses = _misses;

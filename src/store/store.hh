@@ -43,6 +43,8 @@ struct ExperimentStoreStats
     std::uint64_t records = 0;        ///< live (indexed) records
     std::uint64_t logRecords = 0;     ///< records in the log file
     std::uint64_t bytes = 0;          ///< log file size
+    std::uint64_t livePointRecords = 0; ///< live-point records (live)
+    std::uint64_t livePointBytes = 0;   ///< their value bytes
     std::uint64_t truncatedBytes = 0; ///< torn tail dropped at open
     std::uint64_t hits = 0;           ///< get() served from disk
     std::uint64_t misses = 0;         ///< get() not found / degraded
@@ -79,6 +81,24 @@ class ExperimentStore
     void put(const std::string &key_text,
              const ExperimentResult &result);
 
+    /**
+     * @name Raw record access (live-point checkpoints).
+     *
+     * Live points persist opaque simulator state (codec v3, see
+     * store/codec.hh) under the same digest-indexed log as results.
+     * getBytes applies the identical safety ladder as get(): absent,
+     * key-text mismatch, or a structurally invalid live-point value
+     * are all misses (the corrupt entry is dropped from the index so
+     * a recompute supersedes it). putBytes refuses values that do not
+     * validate as live points — the typed put() is the only door for
+     * result records, so the log never holds a third kind.
+     * @{
+     */
+    bool getBytes(const std::string &key_text, std::string &out);
+    void putBytes(const std::string &key_text,
+                  const std::string &value);
+    /** @} */
+
     /** fsync any batched appends. */
     void sync();
 
@@ -90,13 +110,16 @@ class ExperimentStore
     std::uint64_t compact();
 
     /**
-     * Visit every live record (decoded) in file order; used by
-     * pvar_storectl verify/export. Records that fail decoding are
-     * reported through @p bad (may be nullptr).
+     * Visit every live *result* record (decoded) in file order; used
+     * by pvar_storectl verify/export. Records that fail decoding are
+     * reported through @p bad (may be nullptr). Live-point records
+     * are not decoded here: structurally valid ones are counted into
+     * @p live_points (may be nullptr), invalid ones into @p bad.
      */
     void forEach(const std::function<void(const std::string &key,
                                           const ExperimentResult &)> &fn,
-                 std::uint64_t *bad = nullptr);
+                 std::uint64_t *bad = nullptr,
+                 std::uint64_t *live_points = nullptr);
 
     ExperimentStoreStats stats() const;
 
@@ -119,6 +142,9 @@ class ExperimentStore
     int _syncEvery;
     std::unique_ptr<RecordLog> _log;
     std::unordered_map<std::string, std::int64_t> _index;
+    // Digest → value size for live (indexed) live-point records, so
+    // stats() can report kind counts without rescanning the log.
+    std::unordered_map<std::string, std::uint64_t> _livePointSizes;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     bool _degraded = false;     ///< this session hit an I/O failure

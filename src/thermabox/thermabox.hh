@@ -119,6 +119,63 @@ class Thermabox : public Tickable
 
     const ThermaboxParams &params() const { return _params; }
 
+    /**
+     * @name Live-point state.
+     *
+     * Chamber network temperatures/powers plus probe, actuator
+     * latches, controller clock, and stability/duty accounting. The
+     * placed device and solver selection are configuration, re-applied
+     * by the restoring experiment.
+     * @{
+     */
+    void
+    saveState(ByteWriter &w) const
+    {
+        _net.saveState(w);
+        w.f64(_probe.value());
+        w.u8(_lampOn ? 1 : 0);
+        w.u8(_compressorOn ? 1 : 0);
+        w.i64(_lastControl.toUsec());
+        w.u8(_controlPrimed ? 1 : 0);
+        w.i64(_inBandSince.toUsec());
+        w.u8(_inBand ? 1 : 0);
+        w.u8(_stable ? 1 : 0);
+        w.i64(_observed.toUsec());
+        w.i64(_lampOnTime.toUsec());
+        w.i64(_compressorOnTime.toUsec());
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        double probe = 0.0;
+        std::uint8_t lamp = 0, compressor = 0, control_primed = 0;
+        std::uint8_t in_band = 0, stable = 0;
+        std::int64_t last_control = 0, in_band_since = 0;
+        std::int64_t observed = 0, lamp_on = 0, compressor_on = 0;
+        if (!_net.loadState(r) || !r.f64(probe) || !r.u8(lamp) ||
+            lamp > 1 || !r.u8(compressor) || compressor > 1 ||
+            !r.i64(last_control) || !r.u8(control_primed) ||
+            control_primed > 1 || !r.i64(in_band_since) ||
+            !r.u8(in_band) || in_band > 1 || !r.u8(stable) ||
+            stable > 1 || !r.i64(observed) || !r.i64(lamp_on) ||
+            !r.i64(compressor_on))
+            return false;
+        _probe = Celsius(probe);
+        _lampOn = lamp != 0;
+        _compressorOn = compressor != 0;
+        _lastControl = Time::usec(last_control);
+        _controlPrimed = control_primed != 0;
+        _inBandSince = Time::usec(in_band_since);
+        _inBand = in_band != 0;
+        _stable = stable != 0;
+        _observed = Time::usec(observed);
+        _lampOnTime = Time::usec(lamp_on);
+        _compressorOnTime = Time::usec(compressor_on);
+        return true;
+    }
+    /** @} */
+
   private:
     ThermaboxParams _params;
     SolverKind _solver = SolverKind::Stepped;

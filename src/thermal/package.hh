@@ -95,6 +95,11 @@ class PhonePackage
     /** Equalize every node to the given temperature (cold start). */
     void soakTo(Celsius t);
 
+    /** @name Live-point state (delegates to the network). @{ */
+    void saveState(ByteWriter &w) const { _net.saveState(w); }
+    bool loadState(ByteReader &r) { return _net.loadState(r); }
+    /** @} */
+
     /** Node handles (for trace labels / tests). */
     ThermalNodeId dieNode() const { return _die; }
     ThermalNodeId socNode() const { return _soc; }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "sim/time.hh"
 #include "sim/units.hh"
 #include "thermal/fast_solver.hh"
@@ -160,6 +161,38 @@ class ThermalNetwork
      */
     static void fastAdvanceBatch(ThermalNetwork *const *nets,
                                  std::size_t count, Time dt);
+
+    /**
+     * @name Live-point state.
+     *
+     * Only per-node temperature and injected power are dynamic; the
+     * topology (names, capacitances, edges) is rebuilt from the device
+     * spec, and every solver cache gathers state per call, so a
+     * restore needs no invalidation.
+     * @{
+     */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(_nodes.size()));
+        for (const Node &n : _nodes) {
+            w.f64(n.temp);
+            w.f64(n.power);
+        }
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint32_t n_nodes = 0;
+        if (!r.u32(n_nodes) || n_nodes != _nodes.size())
+            return false;
+        for (Node &n : _nodes)
+            if (!r.f64(n.temp) || !r.f64(n.power))
+                return false;
+        return true;
+    }
+    /** @} */
 
   private:
     struct Node

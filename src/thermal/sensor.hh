@@ -67,6 +67,32 @@ class TemperatureSensor
     /** Force an immediate refresh (used at reset). */
     void refresh();
 
+    /** @name Live-point state (noise stream + latched register). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        _rng.saveState(w);
+        w.f64(_latched.value());
+        w.i64(_lastRefresh.toUsec());
+        w.u8(_primed ? 1 : 0);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        double latched = 0.0;
+        std::int64_t last_refresh = 0;
+        std::uint8_t primed = 0;
+        if (!_rng.loadState(r) || !r.f64(latched) ||
+            !r.i64(last_refresh) || !r.u8(primed) || primed > 1)
+            return false;
+        _latched = Celsius(latched);
+        _lastRefresh = Time::usec(last_refresh);
+        _primed = primed != 0;
+        return true;
+    }
+    /** @} */
+
   private:
     std::string _name;
     SensorParams _params;

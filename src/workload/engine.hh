@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "soc/soc.hh"
 #include "sim/time.hh"
 #include "workload/workload.hh"
@@ -68,6 +69,46 @@ class WorkloadEngine
 
     /** Zero the iteration counters (start of a scored phase). */
     void resetIterations();
+
+    /** @name Live-point state (run flag, workload, counters). @{ */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u8(_running ? 1 : 0);
+        w.str(_workload.name);
+        w.f64(_workload.utilization);
+        w.i64(_workload.burstPeriod.toUsec());
+        w.f64(_workload.burstDuty);
+        w.f64(_iterations);
+        w.f64(_backgroundSteal);
+        w.i64(_phaseClock.toUsec());
+        w.u32(static_cast<std::uint32_t>(_clusterIterations.size()));
+        for (double it : _clusterIterations)
+            w.f64(it);
+    }
+
+    bool
+    loadState(ByteReader &r)
+    {
+        std::uint8_t running = 0;
+        std::int64_t burst_period = 0, phase_clock = 0;
+        std::uint32_t n_clusters = 0;
+        if (!r.u8(running) || running > 1 || !r.str(_workload.name) ||
+            !r.f64(_workload.utilization) || !r.i64(burst_period) ||
+            !r.f64(_workload.burstDuty) || !r.f64(_iterations) ||
+            !r.f64(_backgroundSteal) || !r.i64(phase_clock) ||
+            !r.u32(n_clusters) ||
+            n_clusters != _clusterIterations.size())
+            return false;
+        for (double &it : _clusterIterations)
+            if (!r.f64(it))
+                return false;
+        _running = running != 0;
+        _workload.burstPeriod = Time::usec(burst_period);
+        _phaseClock = Time::usec(phase_clock);
+        return true;
+    }
+    /** @} */
 
   private:
     Soc *_soc;

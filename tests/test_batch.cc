@@ -20,9 +20,9 @@
 #include <vector>
 
 #include "accubench/batch.hh"
-#include "accubench/crowd.hh"
+#include "sampling/crowd.hh"
 #include "accubench/experiment.hh"
-#include "accubench/lower_bound.hh"
+#include "sampling/lower_bound.hh"
 #include "accubench/protocol.hh"
 #include "device/fleet.hh"
 #include "fault/fault.hh"

@@ -6,9 +6,9 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
-#include "accubench/crowd.hh"
+#include "sampling/crowd.hh"
 #include "accubench/experiment.hh"
-#include "accubench/lower_bound.hh"
+#include "sampling/lower_bound.hh"
 #include "accubench/phase_windows.hh"
 #include "accubench/throttle_analysis.hh"
 #include "device/catalog.hh"

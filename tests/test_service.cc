@@ -22,6 +22,7 @@
 #include "fault/fault.hh"
 #include "report/json.hh"
 #include "report/spec_json.hh"
+#include "sampling/sampler.hh"
 #include "store/result_cache.hh"
 #include "service/service.hh"
 #include "sim/logging.hh"
@@ -321,6 +322,41 @@ TEST(StudyServiceHandle, StudyMatchesTheCliBytes)
     ResultCacheStats cs = svc.cacheStats();
     EXPECT_EQ(cs.misses, 2u); // 1 unit x 2 modes
     EXPECT_EQ(cs.hits, 2u);
+}
+
+TEST(StudyServiceHandle, CrowdMatchesTheCliBytesAndRejects)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+
+    // Method and body validation first.
+    EXPECT_EQ(svc.handle(makeRequest("GET", "/crowd")).status, 405);
+    EXPECT_EQ(svc.handle(makeRequest("POST", "/crowd", "{}")).status,
+              400);
+    EXPECT_EQ(svc.handle(makeRequest("POST", "/crowd",
+                                     R"({"dies": 0})"))
+                  .status,
+              400);
+    EXPECT_EQ(svc.handle(makeRequest("POST", "/crowd",
+                                     R"({"dies": 64, "ci_target": -1})"))
+                  .status,
+              400);
+    EXPECT_EQ(svc.handle(makeRequest("POST", "/crowd",
+                                     R"({"dies": 64, "soc": "SD-9999"})"))
+                  .status,
+              400);
+
+    HttpResponse resp = svc.handle(
+        makeRequest("POST", "/crowd", R"({"dies": 64, "strata": 4})"));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // The same study through the library: the response is exactly the
+    // bytes `pvar_study --crowd 64 --strata 4` prints.
+    CrowdStudyConfig cfg;
+    cfg.population.size = 64;
+    cfg.strata = 4;
+    CrowdStudyResult r = runCrowdStudy(cfg);
+    EXPECT_EQ(resp.body, crowdStudyJson(r) + "\n");
 }
 
 // ---------------------------------------------------------------------

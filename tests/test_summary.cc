@@ -6,6 +6,7 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "sim/rng.hh"
 #include "stats/summary.hh"
 
 namespace pvar
@@ -228,6 +229,119 @@ TEST(StreamingSummary, CombinesMomentsAndQuantiles)
     for (int i = 1; i <= 1000; ++i)
         reference.add(static_cast<double>(i));
     EXPECT_EQ(s.rsdPercent(), reference.rsdPercent());
+}
+
+// ---------------------------------------------------------------------
+// StreamingSummary::merge — the sampling layer's reducer. The crowd
+// sampler folds per-round partial summaries into population sketches,
+// so the degenerate shapes (empty rounds, one-observation strata) and
+// the merged-vs-single-stream contract are load-bearing.
+// ---------------------------------------------------------------------
+
+TEST(StreamingSummaryMerge, EmptySideIsIdentity)
+{
+    StreamingSummary filled;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0})
+        filled.add(x);
+
+    StreamingSummary a = filled, empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), filled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(a.rsdPercent(), filled.rsdPercent());
+    EXPECT_DOUBLE_EQ(a.median(), filled.median());
+    EXPECT_DOUBLE_EQ(a.p90(), filled.p90());
+
+    StreamingSummary b;
+    b.merge(filled);
+    EXPECT_EQ(b.count(), filled.count());
+    EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(b.median(), filled.median());
+    EXPECT_DOUBLE_EQ(b.p90(), filled.p90());
+
+    StreamingSummary c, d;
+    c.merge(d);
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(StreamingSummaryMerge, SingleObservationSideReplaysExactly)
+{
+    // One-observation sides are still in P² warm-up, so the merge
+    // contract is exact: identical to add()ing the value directly.
+    StreamingSummary big;
+    for (int i = 1; i <= 100; ++i)
+        big.add(static_cast<double>(i));
+
+    StreamingSummary merged = big, one;
+    one.add(1000.0);
+    merged.merge(one);
+
+    StreamingSummary direct = big;
+    direct.add(1000.0);
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+    EXPECT_DOUBLE_EQ(merged.rsdPercent(), direct.rsdPercent());
+    EXPECT_DOUBLE_EQ(merged.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(merged.median(), direct.median());
+    EXPECT_DOUBLE_EQ(merged.p90(), direct.p90());
+
+    // The mirror shape: a large side merged INTO a one-observation
+    // accumulator (an almost-empty stratum absorbing a full one).
+    StreamingSummary tiny;
+    tiny.add(1000.0);
+    tiny.merge(big);
+    EXPECT_EQ(tiny.count(), 101u);
+    // Merging INTO the small side runs the pairwise-Welford formula
+    // rather than a replay, so the mean matches to rounding, not bits.
+    EXPECT_NEAR(tiny.mean(), direct.mean(), 1e-12 * direct.mean());
+    EXPECT_DOUBLE_EQ(tiny.min(), 1.0);
+    EXPECT_DOUBLE_EQ(tiny.max(), 1000.0);
+}
+
+TEST(StreamingSummaryMerge, RandomSplitsMatchSingleStream)
+{
+    // Seeded property sweep: any partition of a stream, merged back
+    // together, must reproduce the single-stream moments exactly and
+    // land near the single-stream quantile estimates.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed);
+        const int n = 2000;
+        std::vector<double> xs(n);
+        for (double &x : xs)
+            x = rng.lognormal(0.0, 0.75);
+
+        StreamingSummary whole;
+        for (double x : xs)
+            whole.add(x);
+
+        // Split into a random number of contiguous parts, including
+        // some empty and near-empty ones.
+        int parts = 2 + static_cast<int>(rng.uniform(0.0, 6.0));
+        std::vector<StreamingSummary> partial(
+            static_cast<std::size_t>(parts));
+        for (double x : xs) {
+            int p = static_cast<int>(
+                rng.uniform(0.0, static_cast<double>(parts)));
+            partial[static_cast<std::size_t>(p)].add(x);
+        }
+        StreamingSummary merged;
+        for (const StreamingSummary &s : partial)
+            merged.merge(s);
+
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_NEAR(merged.mean(), whole.mean(),
+                    1e-9 * std::abs(whole.mean()));
+        EXPECT_NEAR(merged.rsdPercent(), whole.rsdPercent(), 1e-6);
+        EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+        EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+        // Quantile markers merge approximately (count-weighted);
+        // both sides are themselves approximations of the same
+        // distribution, so compare loosely against each other.
+        EXPECT_NEAR(merged.median(), whole.median(),
+                    0.15 * whole.median() + 1e-12);
+        EXPECT_NEAR(merged.p90(), whole.p90(),
+                    0.15 * whole.p90() + 1e-12);
+    }
 }
 
 } // namespace

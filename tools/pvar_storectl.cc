@@ -70,6 +70,10 @@ printStats(const ExperimentStoreStats &s, std::uint64_t dropped,
     w.key("records").value(static_cast<long long>(s.records));
     w.key("log_records").value(static_cast<long long>(s.logRecords));
     w.key("bytes").value(static_cast<long long>(s.bytes));
+    w.key("live_point_records")
+        .value(static_cast<long long>(s.livePointRecords));
+    w.key("live_point_bytes")
+        .value(static_cast<long long>(s.livePointBytes));
     w.key("truncated_bytes")
         .value(static_cast<long long>(s.truncatedBytes));
     w.key("failed_appends")
@@ -149,19 +153,21 @@ main(int argc, char **argv)
     }
 
     if (command == "verify") {
-        std::uint64_t good = 0, bad = 0;
+        std::uint64_t good = 0, bad = 0, live_points = 0;
         store.forEach(
             [&](const std::string &, const ExperimentResult &) {
                 ++good;
             },
-            &bad);
+            &bad, &live_points);
         ExperimentStoreStats s = store.stats();
-        std::printf("verify: %llu records ok, %llu undecodable, "
-                    "%llu superseded, %llu torn bytes truncated%s\n",
+        std::printf("verify: %llu records ok, %llu live points ok, "
+                    "%llu undecodable, %llu superseded, "
+                    "%llu torn bytes truncated%s\n",
                     static_cast<unsigned long long>(good),
+                    static_cast<unsigned long long>(live_points),
                     static_cast<unsigned long long>(bad),
                     static_cast<unsigned long long>(
-                        s.logRecords - good - bad),
+                        s.logRecords - good - bad - live_points),
                     static_cast<unsigned long long>(s.truncatedBytes),
                     s.degradedMarker ? ", DEGRADED marker present"
                                      : "");

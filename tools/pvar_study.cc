@@ -6,6 +6,13 @@
  *     --soc NAME        run one SoC (SD-800..SD-821); default: all
  *     --device ID       run one unit ("dev-363" or "SD-820:unit-3")
  *     --fleet PATH      run a fleet defined in a JSON spec file
+ *     --crowd N         characterize an N-die crowd population by
+ *                       stratified sampling instead of a fleet study;
+ *                       reports every statistic with a ± interval
+ *     --ci-target PCT   crowd mode: keep sampling until every
+ *                       headline statistic's relative error is <= PCT
+ *     --strata K        crowd mode: equal-probability corner strata
+ *     --seed S          crowd mode: population seed (default 1)
  *     --list-devices    print the device registry and exit
  *     --iterations N    ACCUBENCH iterations per experiment (default 5)
  *     --ambient C       THERMABOX target temperature (default 26)
@@ -45,6 +52,7 @@
 #include "report/json.hh"
 #include "report/spec_json.hh"
 #include "report/table.hh"
+#include "sampling/sampler.hh"
 #include "store/durable_cache.hh"
 #include "store/result_cache.hh"
 #include "sim/logging.hh"
@@ -65,6 +73,19 @@ usage()
         "  --device ID       run one unit (\"dev-363\" or "
         "\"SD-820:unit-3\")\n"
         "  --fleet PATH      run a fleet defined in a JSON spec file\n"
+        "  --crowd N         characterize an N-die crowd population by\n"
+        "                    stratified sampling (sampling/sampler.hh);\n"
+        "                    prints a JSON report where every statistic\n"
+        "                    carries a 95%% confidence half-width.\n"
+        "                    Defaults: fast solver, 1 iteration, 16\n"
+        "                    strata. With --cache-dir, live-point\n"
+        "                    checkpoints make re-runs byte-identical\n"
+        "                    and much faster\n"
+        "  --ci-target PCT   crowd mode: sample until every headline\n"
+        "                    statistic's relative error is <= PCT\n"
+        "                    (default: fixed 4 rounds)\n"
+        "  --strata K        crowd mode: corner strata (default 16)\n"
+        "  --seed S          crowd mode: population seed (default 1)\n"
         "  --list-devices    print the device registry and exit\n"
         "  --iterations N    iterations per experiment (default 5)\n"
         "  --ambient C       chamber target temperature (default 26)\n"
@@ -216,6 +237,10 @@ main(int argc, char **argv)
     bool as_json = false;
     bool as_csv = false;
     bool use_cache = false;
+    bool solver_given = false;
+    bool iterations_given = false;
+    long long crowd_n = 0;
+    CrowdStudyConfig crowd;
     StudyConfig cfg;
     cfg.jobs = 0; // tool default: all hardware threads
 
@@ -235,8 +260,21 @@ main(int argc, char **argv)
         } else if (arg == "--list-devices") {
             listDevices();
             return 0;
+        } else if (arg == "--crowd") {
+            crowd_n = intArg(arg, next(), 1);
+        } else if (arg == "--ci-target") {
+            crowd.ciTargetPercent = doubleArg(arg, next());
+            if (crowd.ciTargetPercent <= 0.0)
+                fatal("pvar_study: --ci-target needs a positive "
+                      "percentage");
+        } else if (arg == "--strata") {
+            crowd.strata = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--seed") {
+            crowd.population.seed =
+                static_cast<std::uint64_t>(intArg(arg, next(), 0));
         } else if (arg == "--iterations") {
             cfg.iterations = static_cast<int>(intArg(arg, next(), 1));
+            iterations_given = true;
         } else if (arg == "--ambient") {
             double t = doubleArg(arg, next());
             cfg.thermabox.target = Celsius(t);
@@ -249,6 +287,7 @@ main(int argc, char **argv)
                 fatal("pvar_study: --solver must be \"stepped\" or "
                       "\"fast\", got \"%s\"",
                       kind.c_str());
+            solver_given = true;
         } else if (arg == "--batch") {
             cfg.batch = static_cast<int>(intArg(arg, next(), 1));
         } else if (arg == "--json") {
@@ -282,9 +321,10 @@ main(int argc, char **argv)
     }
 
     if ((soc.empty() ? 0 : 1) + (device_id.empty() ? 0 : 1) +
-            (fleet_path.empty() ? 0 : 1) >
+            (fleet_path.empty() ? 0 : 1) + (crowd_n > 0 ? 1 : 0) >
         1)
-        fatal("pvar_study: --soc, --device and --fleet are exclusive");
+        fatal("pvar_study: --soc, --device, --fleet and --crowd are "
+              "exclusive");
     if (as_json && as_csv)
         fatal("pvar_study: --json and --csv are exclusive");
 
@@ -296,6 +336,42 @@ main(int argc, char **argv)
         cfg.cache = durable.get();
     } else if (use_cache) {
         cfg.cache = &cache;
+    }
+
+    if (crowd_n > 0) {
+        crowd.population.size = static_cast<std::uint64_t>(crowd_n);
+        crowd.jobs = cfg.jobs;
+        crowd.batch = cfg.batch;
+        // Crowd defaults diverge from the fleet study: the analytic
+        // solver and a single iteration are what make population
+        // scale tractable; explicit flags still win.
+        crowd.solver = solver_given ? cfg.solver : SolverKind::Fast;
+        crowd.iterations = iterations_given ? cfg.iterations : 1;
+        crowd.accubench = cfg.accubench;
+        std::unique_ptr<DurableLivePointCache> live_points;
+        if (durable) {
+            live_points = std::make_unique<DurableLivePointCache>(
+                durable->store());
+            crowd.livePoints = live_points.get();
+        }
+
+        CrowdStudyResult r = runCrowdStudy(crowd);
+        inform("crowd: %llu of %llu dies sampled (%d rounds x %d "
+               "strata), %.3f%% achieved relative error",
+               static_cast<unsigned long long>(r.sampled),
+               static_cast<unsigned long long>(r.population),
+               r.rounds, r.strata, r.achievedRelErrPercent);
+        if (durable && durable->degraded()) {
+            warn("pvar_study: cache store degraded to memory-only "
+                 "during this run; live points were NOT persisted");
+        }
+        // Same trailing-newline contract as the /study JSON report.
+        std::string report = crowdStudyJson(r) + "\n";
+        if (!output_path.empty())
+            writeFile(output_path, report);
+        else
+            std::printf("%s", report.c_str());
+        return 0;
     }
 
     std::vector<SocStudy> studies;
