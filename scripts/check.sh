@@ -255,6 +255,61 @@ EOF
 }
 crowd_identity ./build/pvar_study ./build/pvar_storectl
 
+# Service under load: the native generator drives a live server over
+# keep-alive connections — zero transport errors, zero non-2xx, a
+# sampled /study response byte-identical to the CLI, and (in the
+# normal tree, where timing is honest) keep-alive throughput strictly
+# above the one-connection-per-request baseline.
+service_load() {
+    local served=$1 loadgen=$2 study=$3 assert_speedup=$4 tmp
+    tmp=$(mktemp -d)
+    "$served" --port 0 --port-file "$tmp/port" --iterations 1 \
+        --quiet & local pid=$!
+    for _ in $(seq 100); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+    local port; port=$(cat "$tmp/port")
+    # Closed-loop /study: every response is a full study; the sampled
+    # body must be exactly what pvar_study prints.
+    "$loadgen" --port "$port" --path /study \
+        --body '{"device": "SD-805:unit-b", "iterations": 1}' \
+        --connections 2 --duration-ms 800 --warmup-ms 100 \
+        --json "$tmp/study.json" --sample "$tmp/sample.json" --quiet
+    "$study" --device SD-805:unit-b --iterations 1 --json --quiet \
+        --output "$tmp/cli.json"
+    cmp "$tmp/sample.json" "$tmp/cli.json"
+    # Keep-alive versus reconnect-per-request on the cheap endpoint.
+    # Interleaved best-of-3 per mode: on a 1-core box a background
+    # blip can swing one short run by more than the keep-alive margin.
+    local i
+    for i in 1 2 3; do
+        "$loadgen" --port "$port" --path /devices --connections 2 \
+            --duration-ms 600 --warmup-ms 100 \
+            --json "$tmp/keep.$i.json" --quiet
+        "$loadgen" --port "$port" --path /devices --connections 2 \
+            --duration-ms 600 --warmup-ms 100 --close \
+            --json "$tmp/close.$i.json" --quiet
+    done
+    kill -TERM "$pid"
+    wait "$pid"
+    python3 - "$tmp" "$assert_speedup" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+study = json.load(open(tmp + "/study.json"))
+keeps = [json.load(open("%s/keep.%d.json" % (tmp, i))) for i in (1, 2, 3)]
+closes = [json.load(open("%s/close.%d.json" % (tmp, i))) for i in (1, 2, 3)]
+for r in [study] + keeps + closes:
+    assert r["errors"] == 0 and r["non_2xx"] == 0, r
+    assert r["requests"] > 0, r
+assert study["keepalive_reuses"] > 0, study
+keep = max(r["rps"] for r in keeps)
+close = max(r["rps"] for r in closes)
+if sys.argv[2] == "1":
+    assert keep > close, (keep, close)
+EOF
+    rm -rf "$tmp"
+}
+service_load ./build/pvar_served ./build/pvar_loadgen \
+    ./build/pvar_study 1
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -263,9 +318,10 @@ crowd_identity ./build/pvar_study ./build/pvar_storectl
 cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
 cmake --build build-tsan \
     --target test_parallel test_protocol test_json test_spec \
-        test_service test_store test_fault pvar_study pvar_served \
-        pvar_storectl
+        test_service test_eventloop test_store test_fault pvar_study \
+        pvar_served pvar_loadgen pvar_storectl
 ./build-tsan/tests/test_parallel
+./build-tsan/tests/test_eventloop
 ./build-tsan/tests/test_fault
 ./build-tsan/tests/test_protocol
 ./build-tsan/tests/test_json
@@ -290,6 +346,8 @@ chaos ./build-tsan/pvar_study ./build-tsan/pvar_storectl
 solver_equivalence ./build-tsan/pvar_study
 batch_identity ./build-tsan/pvar_study
 crowd_identity ./build-tsan/pvar_study ./build-tsan/pvar_storectl
+service_load ./build-tsan/pvar_served ./build-tsan/pvar_loadgen \
+    ./build-tsan/pvar_study 0
 
 fail=0
 for b in build/bench/bench_*; do

@@ -1,22 +1,32 @@
 /**
  * @file
- * Minimal embedded HTTP/1.1 transport.
+ * Embedded HTTP/1.1 transport: incremental parser and blocking client.
  *
  * pvar deliberately has no external dependencies, so the study
- * service speaks a small, strict subset of HTTP/1.1 implemented
- * directly over POSIX sockets: one request per connection
- * (`Connection: close`), `Content-Length` bodies only (no chunked
- * transfer), bounded header and body sizes, and receive timeouts so a
- * stalled peer cannot wedge the acceptor. That subset is exactly what
- * curl, load balancers, and the in-tree client below produce.
+ * service speaks a strict subset of HTTP/1.1 implemented directly
+ * over POSIX sockets. Since the event-loop rewrite the server side is
+ * fully incremental: HttpParser consumes bytes as they arrive (the
+ * loop feeds it from non-blocking reads) and emits zero or more
+ * complete requests per feed, which is what makes keep-alive and
+ * pipelining possible. The parser is deliberately unforgiving —
+ * duplicate or conflicting Content-Length, oversized request lines,
+ * bare CR bytes, and control characters in the head are all hard
+ * errors with a specific status code (400/413/431), never
+ * best-effort guesses; request smuggling thrives on lenient parsers.
  *
- * The same header also provides the tiny blocking client used by the
- * service tests and the check.sh smoke stage.
+ * The same header provides the blocking client used by the service
+ * tests, the check.sh smoke stages, and pvar_loadgen: HttpClient
+ * holds one connection open across requests (keep-alive reuse),
+ * decodes both Content-Length and chunked response framing, and
+ * exposes raw send/read hooks so tests can pipeline requests or
+ * dribble partial bytes (slow-loris) on purpose.
  */
 
 #ifndef PVAR_SERVICE_HTTP_HH
 #define PVAR_SERVICE_HTTP_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,13 +37,16 @@ namespace pvar
 /** Parse limits and socket timeouts for one connection. */
 struct HttpLimits
 {
-    /** Maximum size of the request line + headers. */
+    /** Maximum size of the request line alone (431 beyond). */
+    std::size_t maxRequestLineBytes = 8 * 1024;
+
+    /** Maximum size of the request line + headers (431 beyond). */
     std::size_t maxHeaderBytes = 64 * 1024;
 
     /** Maximum Content-Length accepted (fleet files are ~KBs). */
     std::size_t maxBodyBytes = 16 * 1024 * 1024;
 
-    /** Socket receive/send timeout, in milliseconds. */
+    /** Socket receive/send timeout for blocking clients, in ms. */
     int ioTimeoutMs = 10000;
 };
 
@@ -49,6 +62,13 @@ struct HttpRequest
 
     /** Header value by lower-case name, or empty string. */
     const std::string &header(const std::string &name) const;
+
+    /**
+     * Whether the connection should stay open after this request:
+     * HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+     * HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+     */
+    bool keepAlive() const;
 };
 
 /** One response to serialize (or, client-side, one parsed reply). */
@@ -57,8 +77,8 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     /**
-     * Extra headers (e.g. Retry-After); on responses parsed by
-     * httpRequest(), every header, names lower-cased.
+     * Extra headers (e.g. Retry-After); on responses parsed by the
+     * client, every header, names lower-cased.
      */
     std::vector<std::pair<std::string, std::string>> headers;
     std::string body;
@@ -71,23 +91,139 @@ struct HttpResponse
 const char *httpStatusReason(int status);
 
 /**
- * Read and parse one request from a connected socket. Returns false
- * on malformed input, oversized requests, or timeouts; @p error then
- * holds a one-line description suitable for a 400 body.
+ * Incremental HTTP/1.1 request parser for one connection.
+ *
+ * Usage: feed() raw bytes as they arrive, then call next() until it
+ * stops returning Ready — each Ready hands out one complete request,
+ * so a single feed of pipelined requests yields them all in order.
+ * After Error the parser is poisoned (the byte stream can no longer
+ * be trusted to resynchronize); the connection must answer
+ * errorStatus()/error() and close.
  */
-bool readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &req,
-                     std::string &error);
+class HttpParser
+{
+  public:
+    enum class Result
+    {
+        NeedMore, ///< no complete request buffered yet
+        Ready,    ///< one request extracted into the out-param
+        Error,    ///< malformed stream; see errorStatus()/error()
+    };
+
+    explicit HttpParser(const HttpLimits &limits);
+
+    /** Append raw bytes from the socket. */
+    void feed(const char *data, std::size_t len);
+
+    /** Extract the next complete request, if any. */
+    Result next(HttpRequest &req);
+
+    /** HTTP status for the failure: 400, 413, or 431. */
+    int errorStatus() const { return _errorStatus; }
+
+    /** One-line description of the failure. */
+    const std::string &error() const { return _error; }
+
+    /** Bytes buffered but not yet consumed (tests). */
+    std::size_t buffered() const { return _buf.size(); }
+
+  private:
+    HttpLimits _limits;
+    std::string _buf;
+    int _errorStatus = 0;
+    std::string _error;
+
+    Result fail(int status, std::string message);
+    Result parseHead(std::size_t head_end, HttpRequest &req,
+                     std::size_t &body_len);
+};
 
 /**
- * Serialize and send a response (adds Content-Length and
- * `Connection: close`). Returns false if the peer went away.
+ * Serialize the head of a response. Adds Content-Length (or
+ * `Transfer-Encoding: chunked` when @p chunked) and the Connection
+ * header matching @p keep_alive. The body is NOT appended — the
+ * event loop streams it separately so a multi-megabyte study report
+ * never has to be duplicated into one contiguous send buffer.
  */
-bool writeHttpResponse(int fd, const HttpResponse &resp);
+std::string serializeHttpResponseHead(const HttpResponse &resp,
+                                      bool keep_alive, bool chunked);
 
 /**
- * Blocking one-shot client: connect to host:port, send the request,
- * read the response until EOF. Fatal on connection failure (tests and
- * smoke scripts want loud errors); parse failures set status 0.
+ * Blocking HTTP client over one persistent connection. Used by the
+ * tests, the smoke scripts, and pvar_loadgen; understands keep-alive
+ * (the connection is reused until the server closes it or a request
+ * is sent with close_after) and both Content-Length and chunked
+ * response bodies.
+ */
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, int port, HttpLimits limits = {});
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Connect (if not already connected). @p bind_host optionally
+     * binds the local end to a specific source address — the
+     * fair-admission tests use distinct 127.0.0.0/8 addresses to look
+     * like distinct clients. Returns false and sets @p error on
+     * failure.
+     */
+    bool connect(std::string &error, const std::string &bind_host = "");
+
+    bool connected() const { return _fd >= 0; }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /**
+     * Close abortively: SO_LINGER 0 makes the kernel send RST instead
+     * of FIN, so the server observes a hard mid-stream client abort.
+     */
+    void abortConnection();
+
+    /**
+     * Send one request. Connects on demand. With @p close_after the
+     * request carries `Connection: close` and the connection is
+     * retired after the response is read.
+     */
+    bool send(const std::string &method, const std::string &path,
+              const std::string &body, bool close_after,
+              std::string &error);
+
+    /** Send raw bytes (pipelining and slow-loris tests). */
+    bool sendRaw(const std::string &bytes, std::string &error);
+
+    /**
+     * Read one complete response (Content-Length, chunked, or
+     * EOF-delimited). Returns false on timeout, malformed framing, or
+     * a connection closed before a full response arrived.
+     */
+    bool readResponse(HttpResponse &resp, std::string &error);
+
+    /** Requests sent over an already-open connection (reuse count). */
+    std::uint64_t reuses() const { return _reuses; }
+
+  private:
+    std::string _host;
+    int _port;
+    HttpLimits _limits;
+    int _fd = -1;
+    std::string _buf;     ///< bytes read past the previous response
+    bool _everConnected = false;
+
+    std::uint64_t _reuses = 0;
+
+    bool fillBuf(std::string &error);
+};
+
+/**
+ * Blocking one-shot client: connect to host:port, send the request
+ * with `Connection: close`, read the response. Fatal on connection
+ * failure (tests and smoke scripts want loud errors); parse failures
+ * set status 0.
  */
 HttpResponse httpRequest(const std::string &host, int port,
                          const std::string &method,

@@ -1,0 +1,275 @@
+#include "service/loadgen.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "report/json.hh"
+#include "sim/strfmt.hh"
+
+namespace pvar
+{
+
+namespace
+{
+
+/** 32 linear sub-buckets per power-of-two octave. */
+constexpr std::uint64_t kSubBuckets = 32;
+
+/** Enough octaves to cover any latency a run can produce. */
+constexpr std::size_t kBucketCount = 2 * kSubBuckets + 57 * kSubBuckets;
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : _buckets(kBucketCount, 0) {}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t us)
+{
+    // The first two octaves ([0, 64)) are exact.
+    if (us < 2 * kSubBuckets)
+        return static_cast<std::size_t>(us);
+    int msb = 63 - std::countl_zero(us);
+    int shift = msb - 5;
+    std::size_t index = 2 * kSubBuckets +
+                        static_cast<std::size_t>(msb - 6) * kSubBuckets +
+                        static_cast<std::size_t>((us >> shift) &
+                                                 (kSubBuckets - 1));
+    return std::min(index, kBucketCount - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketValue(std::size_t index)
+{
+    if (index < 2 * kSubBuckets)
+        return index;
+    std::size_t octave = (index - 2 * kSubBuckets) / kSubBuckets;
+    std::uint64_t sub = (index - 2 * kSubBuckets) % kSubBuckets;
+    int shift = static_cast<int>(octave) + 1;
+    std::uint64_t lower = (kSubBuckets + sub) << shift;
+    // Bucket midpoint: halves the worst-case quantization error.
+    return lower + (std::uint64_t{1} << shift) / 2;
+}
+
+void
+LatencyHistogram::record(std::uint64_t us)
+{
+    ++_buckets[bucketIndex(us)];
+    ++_count;
+    _sumUs += us;
+    _maxUs = std::max(_maxUs, us);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+        _buckets[i] += other._buckets[i];
+    _count += other._count;
+    _sumUs += other._sumUs;
+    _maxUs = std::max(_maxUs, other._maxUs);
+}
+
+double
+LatencyHistogram::meanUs() const
+{
+    return _count == 0
+               ? 0.0
+               : static_cast<double>(_sumUs) /
+                     static_cast<double>(_count);
+}
+
+std::uint64_t
+LatencyHistogram::percentileUs(double p) const
+{
+    if (_count == 0)
+        return 0;
+    double clamped = std::clamp(p, 0.0, 100.0);
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(_count)));
+    target = std::max<std::uint64_t>(target, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return std::min(bucketValue(i), _maxUs);
+    }
+    return _maxUs;
+}
+
+std::uint64_t
+LoadGenReport::non2xx() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[status, count] : statuses)
+        if (status < 200 || status >= 300)
+            n += count;
+    return n;
+}
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerState
+{
+    std::uint64_t requests = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t reuses = 0;
+    std::map<int, std::uint64_t> statuses;
+    LatencyHistogram hist;
+    std::string sample;
+};
+
+void
+driveWorker(const LoadGenConfig &cfg, Clock::time_point t0,
+            Clock::time_point warmup_end, Clock::time_point deadline,
+            std::atomic<std::uint64_t> *arrival, WorkerState &out)
+{
+    HttpClient client(cfg.host, cfg.port, cfg.limits);
+    const double interval_us =
+        cfg.targetRps > 0.0 ? 1e6 / cfg.targetRps : 0.0;
+
+    while (true) {
+        Clock::time_point now = Clock::now();
+        if (now >= deadline)
+            break;
+        // Open loop: latency is measured from the *scheduled* arrival
+        // so queueing delay the service causes is charged to it.
+        Clock::time_point measure_from = now;
+        if (interval_us > 0.0) {
+            std::uint64_t i = arrival->fetch_add(1);
+            Clock::time_point sched =
+                t0 + std::chrono::microseconds(static_cast<
+                         std::int64_t>(
+                         static_cast<double>(i) * interval_us));
+            if (sched >= deadline)
+                break;
+            std::this_thread::sleep_until(sched);
+            measure_from = sched;
+        }
+
+        std::string error;
+        HttpResponse resp;
+        bool ok = client.send(cfg.method, cfg.path, cfg.body,
+                              !cfg.keepAlive, error) &&
+                  client.readResponse(resp, error);
+        Clock::time_point end = Clock::now();
+        if (!ok) {
+            ++out.errors;
+            client.close(); // reconnect on the next request
+            continue;
+        }
+        if (measure_from < warmup_end) {
+            ++out.warmup;
+            continue;
+        }
+        ++out.requests;
+        ++out.statuses[resp.status];
+        out.hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                end - measure_from)
+                .count()));
+        if (resp.status == 200 && out.sample.empty())
+            out.sample = resp.body;
+    }
+    out.reuses = client.reuses();
+}
+
+} // namespace
+
+LoadGenReport
+runLoadGen(const LoadGenConfig &cfg)
+{
+    int connections = std::max(cfg.connections, 1);
+    Clock::time_point t0 = Clock::now();
+    Clock::time_point warmup_end =
+        t0 + std::chrono::milliseconds(std::max(cfg.warmupMs, 0));
+    Clock::time_point deadline =
+        warmup_end +
+        std::chrono::milliseconds(std::max(cfg.durationMs, 1));
+
+    std::atomic<std::uint64_t> arrival{0};
+    std::vector<WorkerState> states(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (int c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            driveWorker(cfg, t0, warmup_end, deadline, &arrival,
+                        states[c]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - warmup_end)
+            .count();
+
+    LoadGenReport report;
+    for (const WorkerState &s : states) {
+        report.requests += s.requests;
+        report.warmup += s.warmup;
+        report.errors += s.errors;
+        report.keepAliveReuses += s.reuses;
+        for (const auto &[status, count] : s.statuses)
+            report.statuses[status] += count;
+        report.latency.merge(s.hist);
+        if (report.sampleBody.empty() && !s.sample.empty())
+            report.sampleBody = s.sample;
+    }
+    report.elapsedSec = elapsed;
+    report.rps = elapsed > 0.0
+                     ? static_cast<double>(report.requests) / elapsed
+                     : 0.0;
+    return report;
+}
+
+std::string
+loadGenReportJson(const LoadGenConfig &cfg, const LoadGenReport &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("host").value(cfg.host);
+    w.key("port").value(static_cast<long long>(cfg.port));
+    w.key("method").value(cfg.method);
+    w.key("path").value(cfg.path);
+    w.key("keep_alive").value(cfg.keepAlive);
+    w.key("connections").value(static_cast<long long>(cfg.connections));
+    w.key("target_rps").value(cfg.targetRps);
+    w.key("duration_ms").value(static_cast<long long>(cfg.durationMs));
+    w.key("warmup_ms").value(static_cast<long long>(cfg.warmupMs));
+    w.key("requests").value(static_cast<long long>(r.requests));
+    w.key("warmup_requests").value(static_cast<long long>(r.warmup));
+    w.key("errors").value(static_cast<long long>(r.errors));
+    w.key("non_2xx").value(static_cast<long long>(r.non2xx()));
+    w.key("statuses").beginObject();
+    for (const auto &[status, count] : r.statuses)
+        w.key(strfmt("%d", status))
+            .value(static_cast<long long>(count));
+    w.endObject();
+    w.key("elapsed_sec").value(r.elapsedSec);
+    w.key("rps").value(r.rps);
+    w.key("keepalive_reuses")
+        .value(static_cast<long long>(r.keepAliveReuses));
+    w.key("latency_us").beginObject();
+    w.key("p50").value(
+        static_cast<long long>(r.latency.percentileUs(50.0)));
+    w.key("p90").value(
+        static_cast<long long>(r.latency.percentileUs(90.0)));
+    w.key("p95").value(
+        static_cast<long long>(r.latency.percentileUs(95.0)));
+    w.key("p99").value(
+        static_cast<long long>(r.latency.percentileUs(99.0)));
+    w.key("mean").value(r.latency.meanUs());
+    w.key("max").value(static_cast<long long>(r.latency.maxUs()));
+    w.endObject();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+} // namespace pvar

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Native load generation against the study service.
+ *
+ * Two driving disciplines, per the repeatable-measurement
+ * methodology the bench suite follows (PAPERS.md):
+ *
+ *  - Closed loop (targetRps == 0): a fixed number of connections,
+ *    each issuing its next request the moment the previous response
+ *    arrives. Measures the service's saturated throughput; latency is
+ *    response time under self-limiting load.
+ *
+ *  - Open loop (targetRps > 0): requests are *scheduled* on a fixed
+ *    arrival clock shared by all connections, and each latency sample
+ *    is measured from the request's scheduled arrival time — not from
+ *    when a free connection got around to sending it. A service that
+ *    falls behind therefore shows the queueing delay in its tail
+ *    instead of silently hiding it (the coordinated-omission trap).
+ *
+ * Latencies land in an HDR-style log-linear histogram: 32 linear
+ * sub-buckets per power-of-two octave of microseconds, so p50/p95/p99
+ * resolve to ~3% across nanosecond-to-minute ranges at a few KB of
+ * memory, and merging per-thread histograms is element-wise addition.
+ */
+
+#ifndef PVAR_SERVICE_LOADGEN_HH
+#define PVAR_SERVICE_LOADGEN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/http.hh"
+
+namespace pvar
+{
+
+/** HDR-style log-linear latency histogram over microseconds. */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    void record(std::uint64_t us);
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t maxUs() const { return _maxUs; }
+    double meanUs() const;
+
+    /** Value at percentile @p p in [0, 100]; 0 when empty. */
+    std::uint64_t percentileUs(double p) const;
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    std::uint64_t _sumUs = 0;
+    std::uint64_t _maxUs = 0;
+
+    static std::size_t bucketIndex(std::uint64_t us);
+    static std::uint64_t bucketValue(std::size_t index);
+};
+
+/** One load-generation run. */
+struct LoadGenConfig
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string method = "GET";
+    std::string path = "/devices";
+    std::string body;
+
+    /** Concurrent connections (threads). */
+    int connections = 4;
+
+    /** Open-loop arrival rate; 0 runs closed-loop. */
+    double targetRps = 0.0;
+
+    /** Measured window, after warmup. */
+    int durationMs = 2000;
+
+    /** Requests started in the first warmupMs are not recorded. */
+    int warmupMs = 200;
+
+    /** Reuse connections (keep-alive) vs one connection per request. */
+    bool keepAlive = true;
+
+    HttpLimits limits;
+};
+
+/** What a run measured. */
+struct LoadGenReport
+{
+    std::uint64_t requests = 0;  ///< recorded (post-warmup) requests
+    std::uint64_t warmup = 0;    ///< discarded warmup requests
+    std::uint64_t errors = 0;    ///< transport errors (connect/send/read)
+    std::map<int, std::uint64_t> statuses; ///< responses by HTTP status
+    double elapsedSec = 0.0;     ///< measured window wall time
+    double rps = 0.0;            ///< recorded requests / elapsed
+    std::uint64_t keepAliveReuses = 0;
+    LatencyHistogram latency;
+
+    /** First 200 body seen, for byte-identity checks vs the CLI. */
+    std::string sampleBody;
+
+    /** Responses outside 2xx (derived from statuses). */
+    std::uint64_t non2xx() const;
+};
+
+/** Drive the service; blocks for warmup + duration. */
+LoadGenReport runLoadGen(const LoadGenConfig &cfg);
+
+/** The run as a JSON report (config echo + measurements). */
+std::string loadGenReportJson(const LoadGenConfig &cfg,
+                              const LoadGenReport &report);
+
+} // namespace pvar
+
+#endif // PVAR_SERVICE_LOADGEN_HH

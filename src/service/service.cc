@@ -1,13 +1,6 @@
 #include "service/service.hh"
 
-#include <cerrno>
-#include <cstring>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
+#include <algorithm>
 
 #include "device/registry.hh"
 #include "fault/fault.hh"
@@ -94,38 +87,52 @@ StudyService::~StudyService()
 void
 StudyService::start()
 {
-    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (_listenFd < 0)
-        fatal("pvar_served: socket: %s", std::strerror(errno));
-    int one = 1;
-    setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    HttpLoopConfig lc;
+    lc.host = _cfg.host;
+    lc.port = _cfg.port;
+    lc.limits = _cfg.limits;
+    lc.maxConns = _cfg.maxConns;
+    lc.idleTimeoutMs = _cfg.idleTimeoutMs;
+    lc.backend = _cfg.backend;
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(_cfg.port));
-    if (inet_pton(AF_INET, _cfg.host.c_str(), &addr.sin_addr) != 1)
-        fatal("pvar_served: bad bind address '%s'", _cfg.host.c_str());
-    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0) {
-        fatal("pvar_served: bind %s:%d: %s", _cfg.host.c_str(),
-              _cfg.port, std::strerror(errno));
-    }
-    if (::listen(_listenFd, 64) < 0)
-        fatal("pvar_served: listen: %s", std::strerror(errno));
+    _loop = std::make_unique<HttpServerLoop>(
+        lc,
+        [this](const HttpRequest &req, const std::string &client,
+               HttpServerLoop::Token token, HttpResponse &out) {
+            return onRequest(req, client, token, out);
+        },
+        [this](int status, const std::string &msg) {
+            // Transport-level failure (malformed request, overload
+            // shed): no handler ran, but a response still goes out.
+            if (status == 400 || status == 413 || status == 431)
+                ++_badRequests;
+            ++_served;
+            inform("request method=- path=- status=%d ms=0.0", status);
+            return errorResponse(status, msg);
+        },
+        [this]() {
+            if (faultCheck(FaultSite::HttpAccept).fired) {
+                // Injected listener failure: the connection is
+                // dropped before any bytes are read, as if the kernel
+                // reset it. Clients see ECONNRESET and retry; studies
+                // in flight are untouched.
+                ++_rejected;
+                warn("pvar_served: injected accept fault; connection "
+                     "dropped");
+                return false;
+            }
+            return true;
+        });
 
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    getsockname(_listenFd, reinterpret_cast<sockaddr *>(&bound), &len);
-    _port = ntohs(bound.sin_port);
-
-    _acceptor = std::thread([this] { acceptLoop(); });
     for (int i = 0; i < _cfg.workers; ++i)
         _workers.emplace_back([this, i] { workerLoop(i); });
+    _loop->start();
+    _port = _loop->port();
 
-    inform("pvar_served: listening on %s:%d (%d workers, queue %zu, "
-           "cache %zu)",
-           _cfg.host.c_str(), _port, _cfg.workers, _cfg.queueDepth,
-           _cfg.cacheEntries);
+    inform("pvar_served: listening on %s:%d (%s loop, %d workers, "
+           "queue %zu, cache %zu)",
+           _cfg.host.c_str(), _port, pollerBackendName(_cfg.backend),
+           _cfg.workers, _cfg.queueDepth, _cfg.cacheEntries);
 }
 
 void
@@ -139,108 +146,98 @@ StudyService::stop()
         _paused = false;
     }
     _wake.notify_all();
-    if (_acceptor.joinable())
-        _acceptor.join();
+    // Order matters: the loop stops accepting first, workers then
+    // drain the queue (their completions flow back to the loop, which
+    // flushes them before its own thread exits).
+    if (_loop)
+        _loop->requestStop();
     for (std::thread &w : _workers) {
         if (w.joinable())
             w.join();
     }
     _workers.clear();
-    if (_listenFd >= 0) {
-        ::close(_listenFd);
-        _listenFd = -1;
-    }
+    if (_loop)
+        _loop->join();
     inform("pvar_served: drained (%llu served, %llu rejected)",
            static_cast<unsigned long long>(_served.load()),
            static_cast<unsigned long long>(_rejected.load()));
 }
 
-void
-StudyService::acceptLoop()
+int
+StudyService::retryAfterSeconds() const
 {
-    setLogThreadTag("acc");
-    while (true) {
-        {
-            std::lock_guard<std::mutex> lock(_mutex);
-            if (_stopping)
-                return;
-        }
-        pollfd pfd{};
-        pfd.fd = _listenFd;
-        pfd.events = POLLIN;
-        int rc = ::poll(&pfd, 1, 200);
-        if (rc < 0 && errno != EINTR) {
-            warn("pvar_served: poll: %s", std::strerror(errno));
-            return;
-        }
-        if (rc <= 0 || !(pfd.revents & POLLIN))
-            continue;
-        int fd = ::accept(_listenFd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno != EINTR && errno != EAGAIN)
-                warn("pvar_served: accept: %s", std::strerror(errno));
-            continue;
-        }
-        if (faultCheck(FaultSite::HttpAccept).fired) {
-            // Injected listener failure: the connection is dropped
-            // before any bytes are read, as if the kernel reset it.
-            // Clients see ECONNRESET and retry; studies in flight are
-            // untouched.
-            ++_rejected;
-            warn("pvar_served: injected accept fault; connection "
-                 "dropped");
-            ::close(fd);
-            continue;
-        }
-        handleConnection(fd);
+    std::size_t queued;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        queued = _queue.size();
     }
+    std::size_t workers = static_cast<std::size_t>(
+        std::max(_cfg.workers, 1));
+    std::size_t factor =
+        std::max<std::size_t>(1, (queued + workers - 1) / workers);
+    long secs = static_cast<long>(_cfg.retryAfterSec) *
+                static_cast<long>(factor);
+    return static_cast<int>(std::clamp<long>(secs, 1, 60));
 }
 
-void
-StudyService::handleConnection(int fd)
+bool
+StudyService::onRequest(const HttpRequest &req,
+                        const std::string &client,
+                        HttpServerLoop::Token token, HttpResponse &out)
 {
     auto start = std::chrono::steady_clock::now();
-    HttpRequest req;
-    std::string error;
-    if (!readHttpRequest(fd, _cfg.limits, req, error)) {
-        ++_badRequests;
-        finishResponse(fd, errorResponse(400, error), req.method,
-                       req.path, start);
-        return;
-    }
 
     // The heavy endpoints share the bounded study queue: a crowd
     // study is a fleet-sized batch of experiments, so it gets the
-    // same backpressure as /study instead of blocking the acceptor.
+    // same backpressure as /study instead of blocking the loop.
     if (req.method == "POST" &&
         (req.path == "/study" || req.path == "/crowd")) {
+        int reject_status = 0;
+        std::string reject_msg;
         {
             std::lock_guard<std::mutex> lock(_mutex);
-            if (!_stopping && _queue.size() < _cfg.queueDepth) {
-                _queue.push_back(Job{fd, std::move(req.body),
-                                     req.method, req.path, start});
-                _wake.notify_one();
-                return;
-            }
             if (_stopping) {
-                // Drain mode: the listener is about to close.
-                error = "service shutting down";
+                reject_status = 503;
+                reject_msg = "service shutting down";
+            } else if (_queue.size() >= _cfg.queueDepth) {
+                reject_status = 429;
+                reject_msg = "study queue full; retry later";
+            } else {
+                // Fair admission: with K client addresses holding
+                // queued studies, none may hold more than
+                // queueDepth / K slots. A lone client still gets the
+                // whole queue; a greedy one among many gets 429 while
+                // the others' share stays admittable.
+                auto mine = _pendingByClient.find(client);
+                std::size_t held =
+                    mine == _pendingByClient.end() ? 0 : mine->second;
+                std::size_t competitors =
+                    _pendingByClient.size() + (held == 0 ? 1 : 0);
+                std::size_t share = std::max<std::size_t>(
+                    1, _cfg.queueDepth / competitors);
+                if (held >= share) {
+                    reject_status = 429;
+                    reject_msg =
+                        "client over fair queue share; retry later";
+                } else {
+                    _queue.push_back(Job{token, req.body, req.method,
+                                         req.path, client, start});
+                    ++_pendingByClient[client];
+                    _wake.notify_one();
+                    return false; // a worker completes it later
+                }
             }
         }
-        if (!error.empty()) {
-            finishResponse(fd, errorResponse(503, error), req.method,
-                           req.path, start);
-        } else {
-            HttpResponse resp =
-                errorResponse(429, "study queue full; retry later");
-            resp.headers.emplace_back(
-                "Retry-After", strfmt("%d", _cfg.retryAfterSec));
-            finishResponse(fd, resp, req.method, req.path, start);
-        }
-        return;
+        out = errorResponse(reject_status, reject_msg);
+        out.headers.emplace_back("Retry-After",
+                                 strfmt("%d", retryAfterSeconds()));
+        finalize(req.method, req.path, out, start);
+        return true;
     }
 
-    finishResponse(fd, handle(req), req.method, req.path, start);
+    out = handle(req);
+    finalize(req.method, req.path, out, start);
+    return true;
 }
 
 void
@@ -263,28 +260,31 @@ StudyService::workerLoop(int worker_id)
             }
             job = std::move(_queue.front());
             _queue.pop_front();
+            auto it = _pendingByClient.find(job.client);
+            if (it != _pendingByClient.end() && --it->second == 0)
+                _pendingByClient.erase(it);
         }
+        ++_inFlight;
         HttpResponse resp = job.path == "/crowd"
                                 ? handleCrowd(job.body)
                                 : handleStudy(job.body);
-        finishResponse(job.fd, resp, job.method, job.path, job.start);
+        --_inFlight;
+        // Count before the bytes go out: a client that has read its
+        // response must observe the updated counters on /healthz.
+        finalize(job.method, job.path, resp, job.start);
+        _loop->complete(job.token, std::move(resp));
     }
 }
 
 void
-StudyService::finishResponse(int fd, const HttpResponse &resp,
-                             const std::string &method,
-                             const std::string &path,
-                             std::chrono::steady_clock::time_point start)
+StudyService::finalize(const std::string &method,
+                       const std::string &path,
+                       const HttpResponse &resp,
+                       std::chrono::steady_clock::time_point start)
 {
-    // Count before the bytes go out: a client that has read its
-    // response must observe the updated counters on /healthz.
     ++_served;
     if (resp.status == 429)
         ++_rejected;
-    if (!writeHttpResponse(fd, resp))
-        debug("pvar_served: client went away mid-response");
-    ::close(fd);
 
     // One structured line per request, for ops debugging: what was
     // asked, what came back, how long it took end to end.
@@ -370,6 +370,33 @@ StudyService::handleHealthz()
     } else {
         w.null();
     }
+    // The event loop's own counters: how the transport is doing,
+    // independent of what the studies compute.
+    w.key("server");
+    if (_loop) {
+        HttpLoopStats ls = _loop->stats();
+        w.beginObject();
+        w.key("backend").value(pollerBackendName(_cfg.backend));
+        w.key("open").value(static_cast<long long>(ls.open));
+        w.key("accepted").value(static_cast<long long>(ls.accepted));
+        w.key("keepalive_reuses")
+            .value(static_cast<long long>(ls.keepAliveReuses));
+        w.key("in_flight").value(static_cast<long long>(s.inFlight));
+        w.key("timeouts")
+            .value(static_cast<long long>(ls.timeoutsFired));
+        w.key("aborted").value(static_cast<long long>(ls.aborted));
+        w.key("overload_closed")
+            .value(static_cast<long long>(ls.overloadClosed));
+        w.key("bytes_in").value(static_cast<long long>(ls.bytesIn));
+        w.key("bytes_out").value(static_cast<long long>(ls.bytesOut));
+        w.key("chunked")
+            .value(static_cast<long long>(ls.chunkedResponses));
+        w.key("parse_errors")
+            .value(static_cast<long long>(ls.parseErrors));
+        w.endObject();
+    } else {
+        w.null();
+    }
     w.key("queue").beginObject();
     w.key("depth").value(static_cast<long long>(s.queued));
     w.key("capacity").value(static_cast<long long>(_cfg.queueDepth));
@@ -415,7 +442,7 @@ StudyService::handleStudy(const std::string &body)
              e.what());
         HttpResponse resp = errorResponse(503, e.what());
         resp.headers.emplace_back("Retry-After",
-                                  strfmt("%d", _cfg.retryAfterSec));
+                                  strfmt("%d", retryAfterSeconds()));
         return resp;
     } catch (const std::exception &e) {
         warn("pvar_served: study failed: %s", e.what());
@@ -438,7 +465,7 @@ StudyService::handleCrowd(const std::string &body)
              e.what());
         HttpResponse resp = errorResponse(503, e.what());
         resp.headers.emplace_back("Retry-After",
-                                  strfmt("%d", _cfg.retryAfterSec));
+                                  strfmt("%d", retryAfterSeconds()));
         return resp;
     } catch (const std::exception &e) {
         warn("pvar_served: crowd study failed: %s", e.what());
@@ -580,6 +607,7 @@ StudyService::stats() const
     s.served = _served.load();
     s.rejected = _rejected.load();
     s.badRequests = _badRequests.load();
+    s.inFlight = _inFlight.load();
     std::lock_guard<std::mutex> lock(_mutex);
     s.queued = _queue.size();
     return s;
@@ -593,6 +621,14 @@ StudyService::cacheStats() const
     if (!_cache)
         return ResultCacheStats{};
     return _cache->stats();
+}
+
+HttpLoopStats
+StudyService::loopStats() const
+{
+    if (!_loop)
+        return HttpLoopStats{};
+    return _loop->stats();
 }
 
 ExperimentStoreStats

@@ -4,7 +4,7 @@
  *
  * Exposes the registry/fleet/ACCUBENCH machinery over HTTP:
  *
- *   GET  /healthz  liveness + cache/queue/request counters
+ *   GET  /healthz  liveness + cache/queue/server/request counters
  *   GET  /devices  the built-in registry as a fleet document
  *   POST /study    run the protocol; body is either a fleet document
  *                  (the same schema pvar_study --fleet reads) or a
@@ -21,21 +21,31 @@
  *                  response is exactly the bytes pvar_study --crowd
  *                  prints for the same parameters.
  *
- * Architecture: one acceptor thread parses requests and answers the
- * cheap endpoints inline; /study jobs go through a *bounded* queue to
- * a small pool of study workers (each of which fans its experiments
- * out onto the PR 1 parallel scheduler). A full queue answers 429
- * with a Retry-After header — backpressure instead of unbounded
- * memory. stop() drains: no new connections, queued studies finish,
- * workers join.
+ * Architecture (since the event-loop rewrite): ONE loop thread
+ * (service/eventloop.hh) owns every socket — accept, parse, write —
+ * with keep-alive, pipelining, chunked streaming for large bodies,
+ * and idle/slow-loris timeouts. The loop calls this class's handler
+ * for each parsed request; cheap endpoints answer inline on the loop
+ * thread, while /study and /crowd go through a *bounded* queue to a
+ * small pool of study workers (each of which fans its experiments out
+ * onto the PR 1 parallel scheduler) and come back to the loop over
+ * its wakeup pipe. A full queue answers 429 with a Retry-After header
+ * derived from the backlog — backpressure instead of unbounded
+ * memory. Admission is additionally fair per client: when several
+ * client addresses compete, no one address may hold more than its
+ * share (queueDepth / clients) of the queue, so one greedy tenant
+ * cannot starve the rest while the queue still has room. stop()
+ * drains: no new connections, queued studies finish, in-flight
+ * responses flush, workers and loop join.
  *
  * Determinism contract: byte-identical request bodies produce
  * byte-identical response bodies — cached or not, at any jobs count.
  * POST /study responses are exactly the bytes `pvar_study --json`
  * emits for the same input, so clients can diff CLI and service
- * output directly. All experiment work is routed through the
- * content-addressed ResultCache, so identical study units are
- * simulated once per cache lifetime.
+ * output directly (chunked transfer framing is transport-level; the
+ * de-chunked body is the identical bytes). All experiment work is
+ * routed through the content-addressed ResultCache, so identical
+ * study units are simulated once per cache lifetime.
  */
 
 #ifndef PVAR_SERVICE_SERVICE_HH
@@ -50,9 +60,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "accubench/protocol.hh"
+#include "service/eventloop.hh"
 #include "service/http.hh"
 #include "store/durable_cache.hh"
 #include "store/result_cache.hh"
@@ -75,8 +87,22 @@ struct ServiceConfig
     /** Bounded pending-study queue depth; beyond it, 429. */
     std::size_t queueDepth = 8;
 
-    /** Seconds a 429 tells the client to wait before retrying. */
+    /**
+     * Base Retry-After seconds for 429/503. The advertised value
+     * scales with the backlog: base * ceil(queued / workers), clamped
+     * to [1, 60] — an idle service says "base", a saturated one says
+     * roughly how long the queue needs to drain.
+     */
     int retryAfterSec = 1;
+
+    /** Open-connection cap; beyond it, accepts answer 503 + close. */
+    int maxConns = 256;
+
+    /** Per-connection idle/slow-loris deadline, in ms. */
+    int idleTimeoutMs = 5000;
+
+    /** Readiness backend for the event loop. */
+    PollerBackend backend = defaultPollerBackend();
 
     /** Result-cache capacity, in experiments; 0 disables caching. */
     std::size_t cacheEntries = 128;
@@ -109,6 +135,7 @@ struct ServiceStats
     std::uint64_t rejected = 0;  ///< 429 backpressure responses
     std::uint64_t badRequests = 0; ///< 400 responses
     std::size_t queued = 0;      ///< studies waiting for a worker
+    std::uint64_t inFlight = 0;  ///< studies being computed right now
 };
 
 class StudyService
@@ -121,14 +148,14 @@ class StudyService
     StudyService &operator=(const StudyService &) = delete;
 
     /**
-     * Bind, listen, and spawn the acceptor + worker threads. Fatal on
+     * Bind, listen, and spawn the loop + worker threads. Fatal on
      * bind/listen failure (the deployment is unusable).
      */
     void start();
 
     /**
-     * Graceful drain: stop accepting, let queued studies finish,
-     * join every thread. Idempotent.
+     * Graceful drain: stop accepting, let queued studies finish and
+     * their responses flush, join every thread. Idempotent.
      */
     void stop();
 
@@ -137,6 +164,9 @@ class StudyService
 
     ServiceStats stats() const;
     ResultCacheStats cacheStats() const;
+
+    /** Event-loop counters; zeros before start(). */
+    HttpLoopStats loopStats() const;
 
     /** Durable-store counters; zeros when no cacheDir is configured. */
     ExperimentStoreStats storeStats() const;
@@ -155,40 +185,50 @@ class StudyService
   private:
     struct Job
     {
-        int fd;
+        HttpServerLoop::Token token;
         std::string body;
         /** Request identity + arrival time for the per-request log. */
         std::string method;
         std::string path;
+        /** Peer address, for per-client fair admission. */
+        std::string client;
         std::chrono::steady_clock::time_point start;
     };
 
     ServiceConfig _cfg;
-    int _listenFd = -1;
     int _port = 0;
     std::unique_ptr<ResultCache> _cache;
     std::unique_ptr<DurableCache> _durable;
+    std::unique_ptr<HttpServerLoop> _loop;
 
-    std::thread _acceptor;
     std::vector<std::thread> _workers;
 
     mutable std::mutex _mutex;
     std::condition_variable _wake;
     std::deque<Job> _queue;
+    /** Queued studies per client address (fair admission). */
+    std::unordered_map<std::string, std::size_t> _pendingByClient;
     bool _stopping = false;
     bool _paused = false;
 
     std::atomic<std::uint64_t> _served{0};
     std::atomic<std::uint64_t> _rejected{0};
     std::atomic<std::uint64_t> _badRequests{0};
+    std::atomic<std::uint64_t> _inFlight{0};
 
-    void acceptLoop();
+    /** Loop-thread callback: route, admit, or reject one request. */
+    bool onRequest(const HttpRequest &req, const std::string &client,
+                   HttpServerLoop::Token token, HttpResponse &out);
+
     void workerLoop(int worker_id);
-    void handleConnection(int fd);
-    void finishResponse(int fd, const HttpResponse &resp,
-                        const std::string &method,
-                        const std::string &path,
-                        std::chrono::steady_clock::time_point start);
+
+    /** Count + log one finished response (any thread). */
+    void finalize(const std::string &method, const std::string &path,
+                  const HttpResponse &resp,
+                  std::chrono::steady_clock::time_point start);
+
+    /** Backlog-scaled Retry-After value, in seconds. */
+    int retryAfterSeconds() const;
 
     /** The active experiment memoizer: durable, memory, or none. */
     ExperimentCache *activeCache();

@@ -1,0 +1,657 @@
+/**
+ * @file
+ * Tests for the async service core beneath StudyService: the
+ * incremental HTTP parser and its malformed-request corpus (request
+ * smuggling defenses), the hashed timer wheel, the Poller backends,
+ * the HttpServerLoop end to end with synthetic handlers (keep-alive,
+ * deferred completions, chunked streaming, overload shedding), and
+ * the load generator's latency histogram. scripts/check.sh also
+ * builds this binary in the TSan tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/eventloop.hh"
+#include "service/http.hh"
+#include "service/loadgen.hh"
+#include "sim/logging.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+/** Quiet logging for the duration of one test. */
+class QuietLog
+{
+  public:
+    QuietLog() : _prev(setLogLevel(LogLevel::Quiet)) {}
+    ~QuietLog() { setLogLevel(_prev); }
+
+  private:
+    LogLevel _prev;
+};
+
+HttpParser::Result
+feedAll(HttpParser &parser, const std::string &bytes, HttpRequest &req)
+{
+    parser.feed(bytes.data(), bytes.size());
+    return parser.next(req);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Incremental parser: the happy paths.
+// ---------------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesASimpleGet)
+{
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser,
+                      "GET /devices HTTP/1.1\r\nHost: x\r\n\r\n", req),
+              HttpParser::Result::Ready);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/devices");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+    EXPECT_TRUE(req.keepAlive()); // 1.1 defaults to keep-alive
+    EXPECT_EQ(parser.buffered(), 0u);
+    EXPECT_EQ(parser.next(req), HttpParser::Result::NeedMore);
+}
+
+TEST(HttpParserTest, KeepAliveFollowsVersionAndConnectionHeader)
+{
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser,
+                      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+                      "GET / HTTP/1.0\r\n\r\n"
+                      "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                      req),
+              HttpParser::Result::Ready);
+    EXPECT_FALSE(req.keepAlive());
+    ASSERT_EQ(parser.next(req), HttpParser::Result::Ready);
+    EXPECT_FALSE(req.keepAlive()); // 1.0 defaults to close
+    ASSERT_EQ(parser.next(req), HttpParser::Result::Ready);
+    EXPECT_TRUE(req.keepAlive());
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutInOrder)
+{
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser,
+                      "GET /a HTTP/1.1\r\n\r\n"
+                      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+                      "GET /c HTTP/1.1\r\n\r\n",
+                      req),
+              HttpParser::Result::Ready);
+    EXPECT_EQ(req.path, "/a");
+    ASSERT_EQ(parser.next(req), HttpParser::Result::Ready);
+    EXPECT_EQ(req.path, "/b");
+    EXPECT_EQ(req.body, "hi");
+    ASSERT_EQ(parser.next(req), HttpParser::Result::Ready);
+    EXPECT_EQ(req.path, "/c");
+    EXPECT_EQ(parser.next(req), HttpParser::Result::NeedMore);
+}
+
+TEST(HttpParserTest, ByteAtATimeDribbleStaysIncremental)
+{
+    const std::string bytes =
+        "POST /study HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        parser.feed(&bytes[i], 1);
+        ASSERT_EQ(parser.next(req), HttpParser::Result::NeedMore)
+            << "after byte " << i;
+    }
+    parser.feed(&bytes[bytes.size() - 1], 1);
+    ASSERT_EQ(parser.next(req), HttpParser::Result::Ready);
+    EXPECT_EQ(req.body, "body");
+}
+
+TEST(HttpParserTest, HeaderNamesAreLowerCasedAndValuesTrimmed)
+{
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser,
+                      "GET / HTTP/1.1\r\nX-Thing:  padded \r\n\r\n",
+                      req),
+              HttpParser::Result::Ready);
+    EXPECT_EQ(req.header("x-thing"), "padded");
+}
+
+// ---------------------------------------------------------------------
+// The malformed-request corpus: every entry is a hard error with a
+// specific status, never a best-effort parse.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct BadRequest
+{
+    const char *label;
+    std::string bytes;
+    int status;
+};
+
+std::vector<BadRequest>
+badRequestCorpus()
+{
+    std::string long_line = "GET /";
+    long_line.append(9000, 'a');
+    long_line += " HTTP/1.1\r\n\r\n";
+    return {
+        {"duplicate content-length",
+         "POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+         "Content-Length: 2\r\n\r\nhi",
+         400},
+        {"conflicting content-length",
+         "POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+         "Content-Length: 3\r\n\r\nhi",
+         400},
+        {"comma content-length",
+         "POST / HTTP/1.1\r\nContent-Length: 2, 2\r\n\r\nhi", 400},
+        {"non-numeric content-length",
+         "POST / HTTP/1.1\r\nContent-Length: ab\r\n\r\n", 400},
+        {"negative content-length",
+         "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+        {"bare CR in header",
+         "GET / HTTP/1.1\r\nX: a\rb\r\n\r\n", 400},
+        {"control byte in head",
+         std::string("GET / HTTP/1.1\r\nX: a\x01") + "b\r\n\r\n", 400},
+        {"whitespace in header name",
+         "GET / HTTP/1.1\r\nX Y: v\r\n\r\n", 400},
+        {"space before colon",
+         "GET / HTTP/1.1\r\nHost : v\r\n\r\n", 400},
+        {"colon-less header",
+         "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+        {"missing version", "GET /\r\n\r\n", 400},
+        {"double space request line",
+         "GET  / HTTP/1.1\r\n\r\n", 400},
+        {"extra token request line",
+         "GET / HTTP/1.1 junk\r\n\r\n", 400},
+        {"unsupported protocol", "GET / HTTP/2\r\n\r\n", 400},
+        {"transfer-encoding request",
+         "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+         "0\r\n\r\n",
+         400},
+        {"oversized request line", long_line, 431},
+    };
+}
+
+} // namespace
+
+TEST(HttpParserCorpus, EveryMalformedRequestIsRejected)
+{
+    for (const BadRequest &bad : badRequestCorpus()) {
+        HttpParser parser{HttpLimits{}};
+        HttpRequest req;
+        EXPECT_EQ(feedAll(parser, bad.bytes, req),
+                  HttpParser::Result::Error)
+            << bad.label;
+        EXPECT_EQ(parser.errorStatus(), bad.status) << bad.label;
+        EXPECT_FALSE(parser.error().empty()) << bad.label;
+    }
+}
+
+TEST(HttpParserCorpus, DuplicateVsConflictingAreDistinguished)
+{
+    HttpParser dup{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(dup,
+                      "POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+                      "Content-Length: 2\r\n\r\nhi",
+                      req),
+              HttpParser::Result::Error);
+    EXPECT_NE(dup.error().find("duplicate"), std::string::npos)
+        << dup.error();
+
+    HttpParser conflict{HttpLimits{}};
+    ASSERT_EQ(feedAll(conflict,
+                      "POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+                      "Content-Length: 3\r\n\r\nhi",
+                      req),
+              HttpParser::Result::Error);
+    EXPECT_NE(conflict.error().find("conflicting"), std::string::npos)
+        << conflict.error();
+}
+
+TEST(HttpParserCorpus, RequestLineCapAppliesBeforeTheLineCompletes)
+{
+    // A request line that never ends must not buffer unboundedly.
+    HttpLimits limits;
+    limits.maxRequestLineBytes = 64;
+    HttpParser parser{limits};
+    HttpRequest req;
+    std::string bytes = "GET /";
+    bytes.append(200, 'a'); // no CRLF anywhere
+    EXPECT_EQ(feedAll(parser, bytes, req), HttpParser::Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParserCorpus, HeaderCapYields431)
+{
+    HttpLimits limits;
+    limits.maxHeaderBytes = 128;
+    HttpParser parser{limits};
+    HttpRequest req;
+    std::string bytes = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 20; ++i)
+        bytes += "X-Pad: aaaaaaaaaaaaaaaa\r\n";
+    bytes += "\r\n";
+    EXPECT_EQ(feedAll(parser, bytes, req), HttpParser::Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParserCorpus, BodyCapYields413)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 8;
+    HttpParser parser{limits};
+    HttpRequest req;
+    EXPECT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"
+                      "123456789",
+                      req),
+              HttpParser::Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpParserCorpus, PoisonedParserStaysPoisoned)
+{
+    HttpParser parser{HttpLimits{}};
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser, "BOGUS\r\n\r\n", req),
+              HttpParser::Result::Error);
+    // Later valid bytes cannot resurrect the stream.
+    EXPECT_EQ(feedAll(parser, "GET / HTTP/1.1\r\n\r\n", req),
+              HttpParser::Result::Error);
+    EXPECT_EQ(parser.buffered(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel.
+// ---------------------------------------------------------------------
+
+TEST(TimerWheelTest, FiresAtTheDeadlineNotBefore)
+{
+    TimerWheel wheel(16, 10, 1000);
+    wheel.schedule(7, 1050);
+    std::vector<std::uint64_t> fired;
+    wheel.advance(1049, fired);
+    EXPECT_TRUE(fired.empty());
+    wheel.advance(1060, fired);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 7u);
+    EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, RescheduleMovesTheDeadline)
+{
+    TimerWheel wheel(16, 10, 1000);
+    wheel.schedule(1, 1050);
+    wheel.schedule(1, 2000); // re-arm (every read/write does this)
+    std::vector<std::uint64_t> fired;
+    wheel.advance(1500, fired);
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(wheel.pending(), 1u);
+    wheel.advance(2011, fired);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(TimerWheelTest, CancelledEntriesNeverFire)
+{
+    TimerWheel wheel(16, 10, 1000);
+    wheel.schedule(1, 1050);
+    wheel.schedule(2, 1050);
+    wheel.cancel(1);
+    std::vector<std::uint64_t> fired;
+    wheel.advance(1100, fired);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 2u);
+}
+
+TEST(TimerWheelTest, DeadlinesBeyondOneRotationSurviveTheSweeps)
+{
+    // 16 slots x 10ms = one rotation per 160ms; a 500ms deadline must
+    // ride through several sweeps before firing.
+    TimerWheel wheel(16, 10, 1000);
+    wheel.schedule(1, 1500);
+    std::vector<std::uint64_t> fired;
+    for (std::uint64_t t = 1010; t < 1500; t += 37) {
+        wheel.advance(t, fired);
+        ASSERT_TRUE(fired.empty()) << "fired early at " << t;
+    }
+    wheel.advance(1510, fired);
+    ASSERT_EQ(fired.size(), 1u);
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnTheNextAdvance)
+{
+    TimerWheel wheel(16, 10, 1000);
+    wheel.schedule(1, 900); // already overdue when armed
+    std::vector<std::uint64_t> fired;
+    wheel.advance(1020, fired);
+    ASSERT_EQ(fired.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Poller backends: identical semantics for epoll and poll.
+// ---------------------------------------------------------------------
+
+class PollerBackends : public testing::TestWithParam<PollerBackend>
+{
+};
+
+TEST_P(PollerBackends, PipeReadinessAndInterestChanges)
+{
+    Poller poller(GetParam());
+    EXPECT_EQ(poller.backend(), GetParam());
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    poller.add(fds[0], true, false);
+
+    std::vector<Poller::Event> events;
+    EXPECT_EQ(poller.wait(events, 0), 0);
+
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    ASSERT_GE(poller.wait(events, 1000), 1);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].fd, fds[0]);
+    EXPECT_TRUE(events[0].readable);
+
+    // Interest off: the byte is still there, but we asked not to know.
+    poller.modify(fds[0], false, false);
+    EXPECT_EQ(poller.wait(events, 0), 0);
+
+    poller.modify(fds[0], true, false);
+    EXPECT_GE(poller.wait(events, 0), 1);
+
+    poller.remove(fds[0]);
+    EXPECT_EQ(poller.wait(events, 0), 0);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+namespace
+{
+
+std::string
+backendTestName(
+    const testing::TestParamInfo<PollerBackend> &param_info)
+{
+    return pollerBackendName(param_info.param);
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerBackends,
+                         testing::Values(PollerBackend::Epoll,
+                                         PollerBackend::Poll),
+                         backendTestName);
+
+// ---------------------------------------------------------------------
+// The loop end to end, with synthetic handlers.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+HttpResponse
+jsonError(int status, const std::string &msg)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = "{\"error\": \"" + msg + "\"}\n";
+    return resp;
+}
+
+/** Loop answering GET <anything> with "echo:<path>" inline. */
+HttpLoopConfig
+echoConfig(PollerBackend backend = defaultPollerBackend())
+{
+    HttpLoopConfig cfg;
+    cfg.port = 0;
+    cfg.backend = backend;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HttpServerLoopTest, KeepAliveServesManyRequestsPerConnection)
+{
+    QuietLog quiet;
+    HttpServerLoop loop(
+        echoConfig(),
+        [](const HttpRequest &req, const std::string &,
+           HttpServerLoop::Token, HttpResponse &out) {
+            out.body = "echo:" + req.path;
+            return true;
+        },
+        jsonError);
+    loop.start();
+    ASSERT_GT(loop.port(), 0);
+
+    HttpClient client("127.0.0.1", loop.port());
+    std::string error;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(client.send("GET", "/r" + std::to_string(i), "",
+                                false, error))
+            << error;
+        HttpResponse resp;
+        ASSERT_TRUE(client.readResponse(resp, error)) << error;
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, "echo:/r" + std::to_string(i));
+    }
+    EXPECT_EQ(client.reuses(), 4u);
+
+    loop.requestStop();
+    loop.join();
+    HttpLoopStats stats = loop.stats();
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.keepAliveReuses, 4u);
+    EXPECT_EQ(stats.parseErrors, 0u);
+    EXPECT_EQ(stats.aborted, 0u);
+}
+
+TEST(HttpServerLoopTest, PollBackendServesIdentically)
+{
+    QuietLog quiet;
+    HttpServerLoop loop(
+        echoConfig(PollerBackend::Poll),
+        [](const HttpRequest &req, const std::string &,
+           HttpServerLoop::Token, HttpResponse &out) {
+            out.body = "echo:" + req.path;
+            return true;
+        },
+        jsonError);
+    loop.start();
+
+    HttpResponse resp =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/poll");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "echo:/poll");
+}
+
+TEST(HttpServerLoopTest, DeferredCompletionsFlowBackToTheConnection)
+{
+    QuietLog quiet;
+    std::atomic<HttpServerLoop::Token> pending{0};
+    HttpServerLoop loop(
+        echoConfig(),
+        [&](const HttpRequest &, const std::string &,
+            HttpServerLoop::Token token, HttpResponse &) {
+            pending.store(token);
+            return false; // completed later, from another thread
+        },
+        jsonError);
+    loop.start();
+
+    std::thread completer([&] {
+        while (pending.load() == 0)
+            std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        HttpResponse resp;
+        resp.body = "deferred";
+        EXPECT_TRUE(loop.complete(pending.load(), std::move(resp)));
+    });
+
+    HttpResponse resp =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/slow");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "deferred");
+    completer.join();
+}
+
+TEST(HttpServerLoopTest, LargeBodiesStreamChunkedAndRoundTrip)
+{
+    QuietLog quiet;
+    HttpLoopConfig cfg = echoConfig();
+    cfg.streamThresholdBytes = 1024;
+    cfg.chunkBytes = 512;
+    std::string big(100 * 1024, 'x');
+    for (std::size_t i = 0; i < big.size(); i += 97)
+        big[i] = static_cast<char>('a' + (i / 97) % 26);
+
+    HttpServerLoop loop(
+        cfg,
+        [&](const HttpRequest &, const std::string &,
+            HttpServerLoop::Token, HttpResponse &out) {
+            out.body = big;
+            return true;
+        },
+        jsonError);
+    loop.start();
+
+    // Keep-alive response above the threshold: chunked framing on the
+    // wire, byte-identical body after de-chunking, connection reusable.
+    HttpClient client("127.0.0.1", loop.port());
+    std::string error;
+    ASSERT_TRUE(client.send("GET", "/big", "", false, error)) << error;
+    HttpResponse resp;
+    ASSERT_TRUE(client.readResponse(resp, error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.header("transfer-encoding"), "chunked");
+    EXPECT_EQ(resp.body, big);
+
+    ASSERT_TRUE(client.send("GET", "/again", "", false, error))
+        << error;
+    ASSERT_TRUE(client.readResponse(resp, error)) << error;
+    EXPECT_EQ(resp.body, big);
+    EXPECT_GE(loop.stats().chunkedResponses, 2u);
+}
+
+TEST(HttpServerLoopTest, MaxConnsShedsWith503)
+{
+    QuietLog quiet;
+    HttpLoopConfig cfg = echoConfig();
+    cfg.maxConns = 1;
+    HttpServerLoop loop(
+        cfg,
+        [](const HttpRequest &, const std::string &,
+           HttpServerLoop::Token, HttpResponse &out) {
+            out.body = "ok";
+            return true;
+        },
+        jsonError);
+    loop.start();
+
+    // Fill the one slot (a full round trip guarantees registration).
+    HttpClient holder("127.0.0.1", loop.port());
+    std::string error;
+    ASSERT_TRUE(holder.send("GET", "/hold", "", false, error)) << error;
+    HttpResponse resp;
+    ASSERT_TRUE(holder.readResponse(resp, error)) << error;
+
+    HttpResponse shed =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/x");
+    EXPECT_EQ(shed.status, 503);
+    EXPECT_EQ(shed.header("retry-after"), "1");
+    EXPECT_GE(loop.stats().overloadClosed, 1u);
+}
+
+TEST(HttpServerLoopTest, ParseErrorsAnswerAndClose)
+{
+    QuietLog quiet;
+    HttpServerLoop loop(
+        echoConfig(),
+        [](const HttpRequest &, const std::string &,
+           HttpServerLoop::Token, HttpResponse &out) {
+            out.body = "ok";
+            return true;
+        },
+        jsonError);
+    loop.start();
+
+    HttpClient client("127.0.0.1", loop.port());
+    std::string error;
+    ASSERT_TRUE(client.sendRaw("BOGUS\r\n\r\n", error)) << error;
+    HttpResponse resp;
+    ASSERT_TRUE(client.readResponse(resp, error)) << error;
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_EQ(resp.header("connection"), "close");
+    EXPECT_EQ(loop.stats().parseErrors, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Latency histogram (pvar_loadgen's measurement core).
+// ---------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, SmallValuesAreExact)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 50; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 50u);
+    EXPECT_EQ(h.percentileUs(50.0), 25u);
+    EXPECT_EQ(h.percentileUs(100.0), 50u);
+    EXPECT_EQ(h.maxUs(), 50u);
+    EXPECT_DOUBLE_EQ(h.meanUs(), 25.5);
+}
+
+TEST(LatencyHistogramTest, LargeValuesResolveWithinAFewPercent)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    for (double p : {50.0, 90.0, 95.0, 99.0}) {
+        double expect = p / 100.0 * 100000.0;
+        double got = static_cast<double>(h.percentileUs(p));
+        EXPECT_NEAR(got, expect, expect * 0.04) << "p" << p;
+    }
+}
+
+TEST(LatencyHistogramTest, MergeIsElementWise)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    a.record(1000);
+    b.record(10);
+    b.record(2000000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.maxUs(), 2000000u);
+    EXPECT_EQ(a.percentileUs(50.0), 10u);
+}
+
+TEST(LatencyHistogramTest, EmptyIsAllZeros)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentileUs(99.0), 0u);
+    EXPECT_DOUBLE_EQ(h.meanUs(), 0.0);
+}

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -679,4 +680,238 @@ TEST(StudyServiceFaults, HealthzReportsDegradedStore)
     EXPECT_EQ(doc.at("status").asString(), "degraded");
     EXPECT_TRUE(doc.at("store").at("degraded").asBool());
     EXPECT_GE(doc.at("store").at("failed_appends").asNumber(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// The protocol-feature matrix: keep-alive, pipelining, slow-loris
+// timeouts, mid-stream aborts, and per-client fair admission, all over
+// real sockets (and all re-run under TSan by scripts/check.sh).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Poll @p pred every couple of ms until true or @p timeout_ms. */
+template <typename Pred>
+bool
+waitFor(Pred pred, int timeout_ms = 5000)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(StudyServiceProtocol, KeepAliveReusesOneConnection)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    svc.start();
+
+    HttpClient client("127.0.0.1", svc.port());
+    std::string error;
+    std::string first_body;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(client.send("GET", "/devices", "", false, error))
+            << error;
+        HttpResponse resp;
+        ASSERT_TRUE(client.readResponse(resp, error)) << error;
+        EXPECT_EQ(resp.status, 200);
+        if (i == 0)
+            first_body = resp.body;
+        else
+            EXPECT_EQ(resp.body, first_body);
+    }
+    EXPECT_EQ(client.reuses(), 2u);
+
+    // /healthz on the same connection reports the loop's own view:
+    // one connection accepted, reused for every request after its
+    // first, nothing aborted or malformed.
+    ASSERT_TRUE(client.send("GET", "/healthz", "", false, error))
+        << error;
+    HttpResponse health;
+    ASSERT_TRUE(client.readResponse(health, error)) << error;
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(health.body, doc, error)) << health.body;
+    const JsonValue &server = doc.at("server");
+    EXPECT_EQ(server.at("backend").asString(),
+              pollerBackendName(defaultPollerBackend()));
+    EXPECT_EQ(server.at("open").asNumber(), 1.0);
+    EXPECT_EQ(server.at("accepted").asNumber(), 1.0);
+    EXPECT_GE(server.at("keepalive_reuses").asNumber(), 3.0);
+    EXPECT_EQ(server.at("in_flight").asNumber(), 0.0);
+    EXPECT_EQ(server.at("aborted").asNumber(), 0.0);
+    EXPECT_EQ(server.at("parse_errors").asNumber(), 0.0);
+    EXPECT_GT(server.at("bytes_in").asNumber(), 0.0);
+    EXPECT_GT(server.at("bytes_out").asNumber(), 0.0);
+
+    svc.stop();
+    EXPECT_EQ(svc.loopStats().keepAliveReuses, 3u);
+}
+
+TEST(StudyServiceProtocol, PipelinedRequestsAnswerInOrder)
+{
+    QuietLog quiet;
+    StudyService svc(testServiceConfig());
+    svc.start();
+
+    // Two requests in one write; the responses must come back in
+    // request order whatever the server's internal scheduling does.
+    HttpClient client("127.0.0.1", svc.port());
+    std::string error;
+    ASSERT_TRUE(client.sendRaw("GET /devices HTTP/1.1\r\n\r\n"
+                               "GET /healthz HTTP/1.1\r\n\r\n",
+                               error))
+        << error;
+
+    HttpResponse devices;
+    ASSERT_TRUE(client.readResponse(devices, error)) << error;
+    EXPECT_EQ(devices.status, 200);
+    EXPECT_EQ(devices.body,
+              fleetToJson(DeviceRegistry::builtin().entries()) + "\n");
+
+    HttpResponse health;
+    ASSERT_TRUE(client.readResponse(health, error)) << error;
+    EXPECT_EQ(health.status, 200);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(health.body, doc, error)) << health.body;
+    EXPECT_EQ(doc.at("status").asString(), "ok");
+
+    svc.stop();
+}
+
+TEST(StudyServiceProtocol, SlowLorisConnectionsTimeOut)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.idleTimeoutMs = 200;
+    StudyService svc(cfg);
+    svc.start();
+
+    // Dribble a partial request head and stall: the idle deadline
+    // must close the connection rather than hold the slot forever.
+    HttpClient loris("127.0.0.1", svc.port());
+    std::string error;
+    ASSERT_TRUE(loris.sendRaw("GET /devices HTTP/1.1\r\nX-Drib", error))
+        << error;
+    HttpResponse never;
+    EXPECT_FALSE(loris.readResponse(never, error));
+    EXPECT_TRUE(waitFor([&] {
+        return svc.loopStats().timeoutsFired >= 1;
+    })) << "idle timeout never fired";
+
+    // The server is unharmed: a well-behaved client still gets served.
+    EXPECT_EQ(
+        httpRequest("127.0.0.1", svc.port(), "GET", "/devices").status,
+        200);
+    svc.stop();
+}
+
+TEST(StudyServiceProtocol, MidStreamAbortIsCountedNotServed)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.workers = 1;
+    StudyService svc(cfg);
+    svc.pauseWorkersForTest();
+    svc.start();
+
+    // Queue a study, then abort the connection (RST) while the worker
+    // still owes the response.
+    HttpClient client("127.0.0.1", svc.port());
+    std::string error;
+    ASSERT_TRUE(
+        client.send("POST", "/study", kUnitBody, false, error))
+        << error;
+    ASSERT_TRUE(waitFor([&] { return svc.stats().queued == 1; }));
+    client.abortConnection();
+    ASSERT_TRUE(waitFor([&] { return svc.loopStats().open == 0; }))
+        << "loop never noticed the abort";
+
+    // The worker finishes the now-orphaned study; the response is
+    // dropped and counted, not delivered to a recycled connection.
+    svc.resumeWorkersForTest();
+    EXPECT_TRUE(waitFor([&] { return svc.loopStats().aborted == 1; }))
+        << "aborted response never counted";
+    svc.stop();
+}
+
+TEST(StudyServiceProtocol, FairShareAdmissionIsPerClient)
+{
+    QuietLog quiet;
+    ServiceConfig cfg = testServiceConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 8;
+    cfg.retryAfterSec = 1;
+    StudyService svc(cfg);
+    svc.pauseWorkersForTest();
+    svc.start();
+
+    // Client A (127.0.0.1) floods six studies into the queue.
+    constexpr int kFlood = 6;
+    std::vector<std::thread> flood;
+    for (int i = 0; i < kFlood; ++i) {
+        flood.emplace_back([&] {
+            HttpResponse resp = httpRequest(
+                "127.0.0.1", svc.port(), "POST", "/study", kUnitBody);
+            EXPECT_EQ(resp.status, 200) << resp.body;
+        });
+    }
+    ASSERT_TRUE(waitFor([&] { return svc.stats().queued == kFlood; }));
+
+    // Client B (bound to 127.0.0.2, a distinct loopback identity)
+    // is admitted: with two clients sharing depth 8 its share is 4
+    // and it holds nothing yet.
+    HttpClient b1("127.0.0.1", svc.port());
+    std::string error;
+    ASSERT_TRUE(b1.connect(error, "127.0.0.2")) << error;
+    ASSERT_TRUE(b1.send("POST", "/study", kUnitBody, false, error))
+        << error;
+    ASSERT_TRUE(
+        waitFor([&] { return svc.stats().queued == kFlood + 1; }));
+
+    // A holds 6 of its share of 4: rejected for fairness while the
+    // queue still has room (7 of 8), with a backlog-derived
+    // Retry-After (7 queued / 1 worker = 7s).
+    HttpResponse unfair = httpRequest("127.0.0.1", svc.port(), "POST",
+                                      "/study", kUnitBody);
+    EXPECT_EQ(unfair.status, 429);
+    EXPECT_NE(unfair.body.find("fair queue share"), std::string::npos)
+        << unfair.body;
+    EXPECT_EQ(unfair.header("retry-after"), "7");
+
+    // B's second study is still admitted (it holds 1 of 4), filling
+    // the queue...
+    HttpClient b2("127.0.0.1", svc.port());
+    ASSERT_TRUE(b2.connect(error, "127.0.0.2")) << error;
+    ASSERT_TRUE(b2.send("POST", "/study", kUnitBody, false, error))
+        << error;
+    ASSERT_TRUE(
+        waitFor([&] { return svc.stats().queued == kFlood + 2; }));
+
+    // ...so the next rejection is queue-full, not fairness.
+    HttpResponse full = httpRequest("127.0.0.1", svc.port(), "POST",
+                                    "/study", kUnitBody);
+    EXPECT_EQ(full.status, 429);
+    EXPECT_NE(full.body.find("queue full"), std::string::npos)
+        << full.body;
+
+    // Drain: everyone admitted gets a 200 with identical bytes.
+    svc.resumeWorkersForTest();
+    HttpResponse r1, r2;
+    EXPECT_TRUE(b1.readResponse(r1, error)) << error;
+    EXPECT_TRUE(b2.readResponse(r2, error)) << error;
+    EXPECT_EQ(r1.status, 200);
+    EXPECT_EQ(r2.status, 200);
+    EXPECT_EQ(r1.body, r2.body);
+    for (std::thread &t : flood)
+        t.join();
+    EXPECT_EQ(svc.stats().rejected, 2u);
+    svc.stop();
 }

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * pvar_loadgen: native load generator for the study service.
+ *
+ *   pvar_loadgen --port N [options]
+ *     --host ADDR       server address (default 127.0.0.1)
+ *     --port N          server port (required)
+ *     --path P          endpoint to drive (default /devices)
+ *     --method M        GET | POST (default: POST when a body is
+ *                       given, GET otherwise)
+ *     --body JSON       request body (e.g. a /study request)
+ *     --body-file FILE  read the request body from FILE
+ *     --connections N   concurrent connections (default 4)
+ *     --rps R           open-loop target arrival rate; omitted runs
+ *                       closed-loop (as fast as responses return)
+ *     --duration-ms N   measured window (default 2000)
+ *     --warmup-ms N     discarded warmup window (default 200)
+ *     --close           one connection per request (no keep-alive)
+ *     --json FILE       write the JSON report to FILE ('-' = stdout)
+ *     --sample FILE     write one sampled 200 body to FILE (for
+ *                       byte-identity diffs against pvar_study)
+ *     --quiet           suppress the human-readable summary
+ *     --help            this text
+ *
+ * Open-loop latencies are measured from each request's *scheduled*
+ * arrival time, so a lagging server is charged its queueing delay
+ * instead of hiding it (no coordinated omission). Exit status is 1
+ * when any transport error or non-2xx response occurred.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/loadgen.hh"
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+using namespace pvar;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "pvar_loadgen: drive the study service and report latency\n"
+        "\n"
+        "  --host ADDR       server address (default 127.0.0.1)\n"
+        "  --port N          server port (required)\n"
+        "  --path P          endpoint to drive (default /devices)\n"
+        "  --method M        GET | POST (default: POST when a body\n"
+        "                    is given, GET otherwise)\n"
+        "  --body JSON       request body (e.g. a /study request)\n"
+        "  --body-file FILE  read the request body from FILE\n"
+        "  --connections N   concurrent connections (default 4)\n"
+        "  --rps R           open-loop target arrival rate; omitted\n"
+        "                    runs closed-loop\n"
+        "  --duration-ms N   measured window (default 2000)\n"
+        "  --warmup-ms N     discarded warmup window (default 200)\n"
+        "  --close           one connection per request\n"
+        "  --json FILE       write the JSON report ('-' = stdout)\n"
+        "  --sample FILE     write one sampled 200 body to FILE\n"
+        "  --quiet           suppress the summary line\n"
+        "  --help            this text\n");
+}
+
+/** Parse an integer option value or die with a one-line error. */
+long long
+intArg(const std::string &opt, const char *text, long long min)
+{
+    long long v = 0;
+    if (!parseIntStrict(text, v) || v < min) {
+        fatal("pvar_loadgen: %s needs an integer >= %lld, got '%s'",
+              opt.c_str(), min, text);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadGenConfig cfg;
+    cfg.port = 0;
+    std::string method;
+    std::string json_path;
+    std::string sample_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("pvar_loadgen: %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            cfg.host = next();
+        } else if (arg == "--port") {
+            cfg.port = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--path") {
+            cfg.path = next();
+        } else if (arg == "--method") {
+            method = next();
+            if (method != "GET" && method != "POST")
+                fatal("pvar_loadgen: --method must be GET or POST, "
+                      "got '%s'",
+                      method.c_str());
+        } else if (arg == "--body") {
+            cfg.body = next();
+        } else if (arg == "--body-file") {
+            const char *path = next();
+            std::ifstream f(path);
+            if (!f)
+                fatal("pvar_loadgen: cannot read '%s'", path);
+            std::ostringstream ss;
+            ss << f.rdbuf();
+            cfg.body = ss.str();
+        } else if (arg == "--connections") {
+            cfg.connections = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--rps") {
+            double r = 0.0;
+            const char *text = next();
+            if (!parseDoubleStrict(text, r) || r <= 0.0)
+                fatal("pvar_loadgen: --rps needs a positive number, "
+                      "got '%s'",
+                      text);
+            cfg.targetRps = r;
+        } else if (arg == "--duration-ms") {
+            cfg.durationMs = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--warmup-ms") {
+            cfg.warmupMs = static_cast<int>(intArg(arg, next(), 0));
+        } else if (arg == "--close") {
+            cfg.keepAlive = false;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--sample") {
+            sample_path = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+            setLogLevel(LogLevel::Quiet);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+    if (cfg.port == 0)
+        fatal("pvar_loadgen: --port is required");
+    cfg.method = !method.empty() ? method
+                 : cfg.body.empty() ? "GET"
+                                    : "POST";
+
+    LoadGenReport report = runLoadGen(cfg);
+
+    if (!quiet) {
+        std::printf(
+            "%s %s: %llu requests in %.2fs = %.0f rps "
+            "(%s, %d conns%s)\n",
+            cfg.method.c_str(), cfg.path.c_str(),
+            static_cast<unsigned long long>(report.requests),
+            report.elapsedSec, report.rps,
+            cfg.keepAlive ? "keep-alive" : "close",
+            cfg.connections,
+            cfg.targetRps > 0.0
+                ? strfmt(", open loop @ %.0f rps", cfg.targetRps)
+                      .c_str()
+                : "");
+        std::printf(
+            "latency us: p50=%llu p95=%llu p99=%llu max=%llu  "
+            "errors=%llu non-2xx=%llu reuses=%llu\n",
+            static_cast<unsigned long long>(
+                report.latency.percentileUs(50.0)),
+            static_cast<unsigned long long>(
+                report.latency.percentileUs(95.0)),
+            static_cast<unsigned long long>(
+                report.latency.percentileUs(99.0)),
+            static_cast<unsigned long long>(report.latency.maxUs()),
+            static_cast<unsigned long long>(report.errors),
+            static_cast<unsigned long long>(report.non2xx()),
+            static_cast<unsigned long long>(report.keepAliveReuses));
+    }
+
+    if (!json_path.empty()) {
+        std::string json = loadGenReportJson(cfg, report);
+        if (json_path == "-") {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::ofstream f(json_path);
+            if (!f)
+                fatal("pvar_loadgen: cannot write '%s'",
+                      json_path.c_str());
+            f << json;
+        }
+    }
+    if (!sample_path.empty()) {
+        std::ofstream f(sample_path);
+        if (!f)
+            fatal("pvar_loadgen: cannot write '%s'",
+                  sample_path.c_str());
+        f << report.sampleBody;
+    }
+
+    return report.errors == 0 && report.non2xx() == 0 ? 0 : 1;
+}

@@ -8,6 +8,9 @@
  *     --port-file PATH  write the bound port to PATH (for --port 0)
  *     --workers N       concurrent /study jobs (default 2)
  *     --queue N         pending-study queue depth (default 8)
+ *     --max-conns N     open-connection cap (default 256)
+ *     --idle-timeout MS per-connection idle deadline (default 5000)
+ *     --poller KIND     readiness backend: epoll | poll
  *     --jobs N          experiment workers per study (default: all
  *                       hardware threads)
  *     --iterations N    default iterations per experiment (default 5)
@@ -64,6 +67,12 @@ usage()
         "  --port-file PATH  write the bound port to PATH\n"
         "  --workers N       concurrent /study jobs (default 2)\n"
         "  --queue N         pending-study queue depth (default 8)\n"
+        "  --max-conns N     open-connection cap; beyond it accepts\n"
+        "                    answer 503 and close (default 256)\n"
+        "  --idle-timeout MS per-connection idle/slow-loris deadline\n"
+        "                    in milliseconds (default 5000, min 100)\n"
+        "  --poller KIND     readiness backend: \"epoll\" (default on\n"
+        "                    Linux) or \"poll\" (portable fallback)\n"
         "  --jobs N          experiment workers per study (default:\n"
         "                    all hardware threads)\n"
         "  --iterations N    default iterations per experiment "
@@ -130,6 +139,17 @@ main(int argc, char **argv)
         } else if (arg == "--queue") {
             cfg.queueDepth =
                 static_cast<std::size_t>(intArg(arg, next(), 1));
+        } else if (arg == "--max-conns") {
+            cfg.maxConns = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--idle-timeout") {
+            cfg.idleTimeoutMs =
+                static_cast<int>(intArg(arg, next(), 100));
+        } else if (arg == "--poller") {
+            std::string kind = next();
+            if (!parsePollerBackend(kind, cfg.backend))
+                fatal("pvar_served: --poller must be \"epoll\" or "
+                      "\"poll\", got \"%s\"",
+                      kind.c_str());
         } else if (arg == "--jobs") {
             cfg.study.jobs = static_cast<int>(intArg(arg, next(), 1));
         } else if (arg == "--iterations") {
