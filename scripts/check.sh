@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification sweep: configure, build (warnings as errors), run
-# the test suite, replay a pinned chaos plan (fault injection), run
-# the thread-pool/protocol tests under ThreadSanitizer, and execute
-# every bench binary's shape checks.
+# the test suite, replay a pinned chaos plan (fault injection), soak
+# the service under syscall-level fault injection (pvar_chaos), run
+# the thread-pool/protocol tests under ThreadSanitizer plus the
+# service/store tests under AddressSanitizer, and execute every bench
+# binary's shape checks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -310,6 +312,19 @@ EOF
 service_load ./build/pvar_served ./build/pvar_loadgen \
     ./build/pvar_study 1
 
+# Chaos soak: the service under syscall-level fault injection
+# (EMFILE/ECONNABORTED accepts, short reads/writes, resets, EPIPE,
+# EINTR, ENOSPC, fsync EIO) followed by a SIGKILL mid-traffic. Each
+# seed must uphold every invariant: no crash, 2xx bodies byte-equal
+# to the CLI oracle, non-2xx only as deliberate sheds, a coherent
+# /healthz, and a store that recovers with zero bad records. Short
+# here; EXPERIMENTS.md documents the long soak.
+chaos_soak() {
+    local chaos=$1 seeds=$2 duration=$3
+    "$chaos" --seeds "$seeds" --duration "$duration"
+}
+chaos_soak ./build/pvar_chaos 3 2
+
 # ThreadSanitizer pass over the parallel runner: the pool unit tests,
 # the protocol determinism tests, the spec/JSON layer feeding the
 # parallel scheduler, the service (acceptor + workers + cache under
@@ -319,7 +334,7 @@ cmake -B build-tsan -G Ninja -DPVAR_SANITIZE=thread
 cmake --build build-tsan \
     --target test_parallel test_protocol test_json test_spec \
         test_service test_eventloop test_store test_fault pvar_study \
-        pvar_served pvar_loadgen pvar_storectl
+        pvar_served pvar_loadgen pvar_storectl pvar_chaos
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_eventloop
 ./build-tsan/tests/test_fault
@@ -348,6 +363,21 @@ batch_identity ./build-tsan/pvar_study
 crowd_identity ./build-tsan/pvar_study ./build-tsan/pvar_storectl
 service_load ./build-tsan/pvar_served ./build-tsan/pvar_loadgen \
     ./build-tsan/pvar_study 0
+chaos_soak ./build-tsan/pvar_chaos 2 2
+
+# AddressSanitizer pass over the I/O-heavy layers: the event loop's
+# buffer handling under short reads/writes, the record log's recovery
+# paths, and the whole service while a chaos soak injects syscall
+# faults into every transport and persistence edge.
+cmake -B build-asan -G Ninja -DPVAR_SANITIZE=address
+cmake --build build-asan \
+    --target test_eventloop test_store test_fault test_service \
+        pvar_chaos
+./build-asan/tests/test_eventloop
+./build-asan/tests/test_store
+./build-asan/tests/test_fault
+./build-asan/tests/test_service
+chaos_soak ./build-asan/pvar_chaos 2 2
 
 fail=0
 for b in build/bench/bench_*; do

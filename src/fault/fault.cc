@@ -23,6 +23,10 @@ constexpr SiteName kSiteNames[kFaultSiteCount] = {
     {FaultSite::ThermaboxRegulate, "thermabox.regulate"},
     {FaultSite::ExperimentRun, "experiment.run"},
     {FaultSite::HttpAccept, "http.accept"},
+    {FaultSite::NetAccept, "net.accept"},
+    {FaultSite::NetRead, "net.read"},
+    {FaultSite::NetWrite, "net.write"},
+    {FaultSite::StoreWrite, "store.write"},
 };
 
 struct KindName
@@ -38,6 +42,24 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Stuck, "stuck"},
 };
 
+struct ModeName
+{
+    SysFaultMode mode;
+    const char *name;
+};
+
+constexpr ModeName kModeNames[] = {
+    {SysFaultMode::Default, ""},
+    {SysFaultMode::Eintr, "eintr"},
+    {SysFaultMode::Eagain, "eagain"},
+    {SysFaultMode::Emfile, "emfile"},
+    {SysFaultMode::ConnAborted, "econnaborted"},
+    {SysFaultMode::ConnReset, "econnreset"},
+    {SysFaultMode::Pipe, "epipe"},
+    {SysFaultMode::NoSpace, "enospc"},
+    {SysFaultMode::Short, "short"},
+};
+
 /** splitmix64 finalizer: a full-avalanche 64-bit mixer. */
 std::uint64_t
 mix64(std::uint64_t z)
@@ -48,24 +70,36 @@ mix64(std::uint64_t z)
     return z ^ (z >> 31);
 }
 
-/** Deterministic uniform in [0, 1) for one (seed, site, scope, count). */
+/**
+ * Deterministic uniform in [0, 1) for one (seed, site, rule, scope,
+ * count). The rule's index participates so stacked probability rules
+ * on one site draw independently — without it the rule with the
+ * largest probability would shadow every smaller one (any draw below
+ * the small threshold is also below the large one, and the first
+ * matching rule wins).
+ */
 double
-faultUniform(std::uint64_t seed, FaultSite site, std::uint64_t scope,
-             std::uint64_t count)
+faultUniform(std::uint64_t seed, FaultSite site, std::size_t rule,
+             std::uint64_t scope, std::uint64_t count)
 {
     std::uint64_t h = mix64(seed);
     h = mix64(h ^ (static_cast<std::uint64_t>(site) + 1));
+    h = mix64(h ^ (static_cast<std::uint64_t>(rule) + 1));
     h = mix64(h ^ scope);
     h = mix64(h ^ count);
     return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
 // The shared_ptr keeps the plan alive while workers may still be
-// reading it through the raw pointer; install/clear swap both under
-// the mutex. Callers install before fan-out and clear after workers
-// quiesce, so the raw pointer never outlives the owner.
+// reading it through the raw pointer. A live swap (install/clear
+// while other threads run faultCheck) cannot free the old plan —
+// a reader may have loaded the raw pointer an instant earlier — so
+// displaced owners are retired, not destroyed. Plans are tiny and
+// processes install O(1) of them, so the retire list stays bounded
+// and the hot path stays a single acquire load.
 std::mutex g_planMutex;
 std::shared_ptr<const FaultPlan> g_planOwner;
+std::vector<std::shared_ptr<const FaultPlan>> g_retiredPlans;
 
 std::array<std::atomic<std::uint64_t>, kFaultSiteCount> g_counts{};
 std::array<std::atomic<std::uint64_t>, kFaultSiteCount> g_fired{};
@@ -89,7 +123,8 @@ check(const FaultPlan &plan, FaultSite site)
         frame ? frame->counts[idx]++
               : g_counts[idx].fetch_add(1, std::memory_order_relaxed);
 
-    for (const FaultRule &rule : plan.rules()) {
+    for (std::size_t r = 0; r < plan.rules().size(); ++r) {
+        const FaultRule &rule = plan.rules()[r];
         if (rule.site != site)
             continue;
         bool fire = false;
@@ -101,7 +136,7 @@ check(const FaultPlan &plan, FaultSite site)
                    (count - rule.after) % rule.every == 0;
         } else if (rule.probability > 0.0) {
             fire = count >= rule.after &&
-                   faultUniform(plan.seed(), site, scope, count) <
+                   faultUniform(plan.seed(), site, r, scope, count) <
                        rule.probability;
         }
         if (!fire)
@@ -117,7 +152,7 @@ check(const FaultPlan &plan, FaultSite site)
             ++frame->fired[idx];
         else
             g_fired[idx].fetch_add(1, std::memory_order_relaxed);
-        return FaultHit{true, rule.kind, rule.value};
+        return FaultHit{true, rule.kind, rule.value, rule.mode};
     }
     return FaultHit{};
 }
@@ -173,6 +208,24 @@ faultKindFromName(const std::string &name, FaultKind &out)
     return false;
 }
 
+const char *
+sysFaultModeName(SysFaultMode mode)
+{
+    return kModeNames[static_cast<std::size_t>(mode)].name;
+}
+
+bool
+sysFaultModeFromName(const std::string &name, SysFaultMode &out)
+{
+    for (const ModeName &m : kModeNames) {
+        if (name == m.name) {
+            out = m.mode;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 installFaultPlan(std::shared_ptr<const FaultPlan> plan)
 {
@@ -185,6 +238,8 @@ installFaultPlan(std::shared_ptr<const FaultPlan> plan)
     }
     fault_detail::g_activePlan.store(plan.get(),
                                      std::memory_order_release);
+    if (g_planOwner != nullptr)
+        g_retiredPlans.push_back(std::move(g_planOwner));
     g_planOwner = std::move(plan);
 }
 
@@ -194,7 +249,8 @@ clearFaultPlan()
     std::lock_guard<std::mutex> lock(g_planMutex);
     fault_detail::g_activePlan.store(nullptr,
                                      std::memory_order_release);
-    g_planOwner.reset();
+    if (g_planOwner != nullptr)
+        g_retiredPlans.push_back(std::move(g_planOwner));
 }
 
 std::shared_ptr<const FaultPlan>

@@ -4,8 +4,9 @@
  *
  * A FaultPlan names *sites* (instrumented points in the codebase) and
  * attaches rules describing when a call through that site should fail.
- * Decisions are pure functions of (plan seed, site, scope id,
- * per-scope invocation count): nothing depends on wall-clock time,
+ * Decisions are pure functions of (plan seed, site, rule index,
+ * scope id, per-scope invocation count): nothing depends on wall-clock
+ * time,
  * thread identity, or scheduling order, so a chaos run replays
  * bit-identically from its serialized plan — including under a
  * different `--jobs` count.
@@ -16,10 +17,13 @@
  * faultCheck() inside the scope counts invocations *per scope*, so
  * "the 3rd sensor read of task 7, attempt 1" fires identically no
  * matter which worker runs it or when. Calls outside any scope
- * (the HTTP acceptor, store flushes at study boundaries) fall back to
- * global atomic counters; those sites only affect transport and
- * persistence, never study bytes, so their timing nondeterminism is
- * harmless.
+ * (the HTTP acceptor, the net.* / store.* syscall sites, store flushes
+ * at study boundaries) fall back to global atomic counters; those
+ * sites only affect transport and persistence, never study bytes, so
+ * their timing nondeterminism is harmless — and because each decision
+ * is a pure function of the per-site invocation count, the *set* of
+ * counts at which a rule fires is identical for a given seed no
+ * matter how threads interleave.
  *
  * Zero overhead when idle: with no plan installed, faultCheck() is a
  * single relaxed atomic load and a predictable branch.
@@ -47,9 +51,13 @@ enum class FaultSite : std::uint8_t
     ThermaboxRegulate, ///< "thermabox.regulate": controller outage
     ExperimentRun,     ///< "experiment.run": the whole run errors out
     HttpAccept,        ///< "http.accept": accepted connection dropped
+    NetAccept,         ///< "net.accept": accept(2) errno injection
+    NetRead,           ///< "net.read": recv(2) short reads / resets
+    NetWrite,          ///< "net.write": send(2) short writes / EPIPE
+    StoreWrite,        ///< "store.write": write(2) ENOSPC / torn write
 };
 
-constexpr std::size_t kFaultSiteCount = 6;
+constexpr std::size_t kFaultSiteCount = 10;
 
 /** Canonical site name ("store.append", ...). */
 const char *faultSiteName(FaultSite site);
@@ -73,6 +81,32 @@ const char *faultKindName(FaultKind kind);
 bool faultKindFromName(const std::string &name, FaultKind &out);
 
 /**
+ * How a syscall-level site (net.*, store.write, store.fsync) should
+ * fail when a rule fires. Default leaves the choice to the site's
+ * canonical failure (EMFILE for net.accept, ECONNRESET for net.read,
+ * EPIPE for net.write, ENOSPC for store.write). The mode is ignored by
+ * non-syscall sites, whose behavior is fully described by FaultKind.
+ */
+enum class SysFaultMode : std::uint8_t
+{
+    Default,     ///< site-specific canonical errno
+    Eintr,       ///< "eintr": interrupted before any work
+    Eagain,      ///< "eagain": would-block storm
+    Emfile,      ///< "emfile": fd table exhausted (accept)
+    ConnAborted, ///< "econnaborted": connection died in the backlog
+    ConnReset,   ///< "econnreset": peer reset mid-stream
+    Pipe,        ///< "epipe": peer closed the write side
+    NoSpace,     ///< "enospc": disk full (store.write)
+    Short,       ///< "short": partial transfer; rule value = fraction
+};
+
+/** Canonical mode name ("eintr", "short", ...; "" for Default). */
+const char *sysFaultModeName(SysFaultMode mode);
+
+/** Parse a mode name; false when unknown. */
+bool sysFaultModeFromName(const std::string &name, SysFaultMode &out);
+
+/**
  * One injection rule. Triggers are checked in this order; the first
  * configured one decides:
  *
@@ -93,6 +127,7 @@ struct FaultRule
     std::uint64_t every = 0;
     std::uint64_t times = 0;
     double value = 0.0; ///< site-specific magnitude (e.g. stuck offset)
+    SysFaultMode mode = SysFaultMode::Default; ///< syscall failure shape
 };
 
 /** The outcome of one faultCheck(): fired + how to fail. */
@@ -101,6 +136,7 @@ struct FaultHit
     bool fired = false;
     FaultKind kind = FaultKind::Io;
     double value = 0.0;
+    SysFaultMode mode = SysFaultMode::Default;
 };
 
 /** A seeded set of rules; immutable once installed. */
@@ -147,13 +183,17 @@ class PermanentFaultError : public FaultError
 
 /**
  * Install @p plan process-wide (replacing any previous plan) and reset
- * all global invocation counters. Install before spawning workers;
- * the hot-path check reads the plan without synchronization beyond an
- * acquire load.
+ * all global invocation counters. Safe to call while other threads
+ * run faultCheck(): the displaced plan is retired, never freed, so an
+ * in-flight check against it stays valid; the hot-path check reads
+ * the plan without synchronization beyond an acquire load.
  */
 void installFaultPlan(std::shared_ptr<const FaultPlan> plan);
 
-/** Remove the installed plan (faultCheck returns to the no-op path). */
+/**
+ * Remove the installed plan (faultCheck returns to the no-op path).
+ * Like install, safe during concurrent faultCheck() calls.
+ */
 void clearFaultPlan();
 
 /** The currently installed plan (nullptr when none). */

@@ -61,6 +61,12 @@ ruleFromJson(const JsonValue &obj)
             rule.counts.push_back(u);
         }
     }
+    if (const JsonValue *mode = obj.find("mode")) {
+        if (!sysFaultModeFromName(mode->asString(), rule.mode)) {
+            throw JsonError(strfmt("unknown fault mode '%s'",
+                                   mode->asString().c_str()));
+        }
+    }
     rule.after = u64Field(obj, "after", 0);
     rule.every = u64Field(obj, "every", 0);
     rule.times = u64Field(obj, "times", 0);
@@ -82,6 +88,8 @@ toJson(const FaultPlan &plan)
         w.beginObject();
         w.key("site").value(faultSiteName(rule.site));
         w.key("kind").value(faultKindName(rule.kind));
+        if (rule.mode != SysFaultMode::Default)
+            w.key("mode").value(sysFaultModeName(rule.mode));
         w.key("probability").rawValue(jsonExactDouble(rule.probability));
         if (!rule.counts.empty()) {
             w.key("counts").beginArray();

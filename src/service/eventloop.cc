@@ -18,6 +18,7 @@
 #include <sys/epoll.h>
 #endif
 
+#include "fault/sysfault.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 
@@ -168,10 +169,12 @@ Poller::wait(std::vector<Event> &events, int timeout_ms)
 #ifdef __linux__
     if (_backend == PollerBackend::Epoll) {
         epoll_event ready[64];
-        int n;
-        do {
-            n = ::epoll_wait(_epfd, ready, 64, timeout_ms);
-        } while (n < 0 && errno == EINTR);
+        // EINTR counts as "nothing ready": retrying with the full
+        // original timeout would starve timer expiry under a signal
+        // storm, and the caller's loop re-polls immediately anyway.
+        int n = ::epoll_wait(_epfd, ready, 64, timeout_ms);
+        if (n < 0 && errno == EINTR)
+            return 0;
         if (n < 0)
             fatal("epoll_wait: %s", std::strerror(errno));
         for (int i = 0; i < n; ++i) {
@@ -186,10 +189,9 @@ Poller::wait(std::vector<Event> &events, int timeout_ms)
         return n;
     }
 #endif
-    int n;
-    do {
-        n = ::poll(_fds.data(), _fds.size(), timeout_ms);
-    } while (n < 0 && errno == EINTR);
+    int n = ::poll(_fds.data(), _fds.size(), timeout_ms);
+    if (n < 0 && errno == EINTR)
+        return 0; // same contract as the epoll path above
     if (n < 0)
         fatal("poll: %s", std::strerror(errno));
     for (const pollfd &pfd : _fds) {
@@ -364,6 +366,8 @@ HttpServerLoop::~HttpServerLoop()
         ::close(_wakeRead);
     if (_wakeWrite >= 0)
         ::close(_wakeWrite);
+    if (_reserveFd >= 0)
+        ::close(_reserveFd);
 }
 
 std::uint64_t
@@ -411,6 +415,10 @@ HttpServerLoop::start()
         ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
     _wakeRead = pipefd[0];
     _wakeWrite = pipefd[1];
+
+    // Best-effort: without the reserve, EMFILE accepts are still
+    // handled (warn + back off), just without draining the backlog.
+    _reserveFd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
     _thread = std::thread([this] { run(); });
 }
@@ -462,6 +470,7 @@ HttpServerLoop::stats() const
     s.timeoutsFired = _timeoutsFired.load();
     s.aborted = _aborted.load();
     s.overloadClosed = _overloadClosed.load();
+    s.fdExhaustedSheds = _fdExhaustedSheds.load();
     s.bytesIn = _bytesIn.load();
     s.bytesOut = _bytesOut.load();
     s.chunkedResponses = _chunkedResponses.load();
@@ -569,18 +578,73 @@ HttpServerLoop::run()
 }
 
 void
+HttpServerLoop::sendOverload503(int fd)
+{
+    // The socket is fresh (empty send buffer), so this cannot block;
+    // best-effort regardless — the peer may already be gone.
+    HttpResponse resp = _error(503, "too many connections");
+    resp.headers.emplace_back("Retry-After", "1");
+    std::string bytes =
+        serializeHttpResponseHead(resp, false, false) + resp.body;
+    ssize_t n;
+    do {
+        n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+}
+
+bool
+HttpServerLoop::shedAcceptWithReserveFd()
+{
+    if (_reserveFd < 0) {
+        // No reserve to burn: nothing to do but back off. The listen
+        // fd stays readable; we retry on the next loop iteration.
+        warn("event loop: accept: fd table exhausted and no reserve "
+             "fd; backing off");
+        return false;
+    }
+    ::close(_reserveFd);
+    _reserveFd = -1;
+    int fd;
+    do {
+        fd = ::accept(_listenFd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd >= 0) {
+        ++_fdExhaustedSheds;
+        sendOverload503(fd);
+        ::close(fd);
+    }
+    _reserveFd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    return fd >= 0;
+}
+
+void
 HttpServerLoop::acceptReady()
 {
     while (true) {
         sockaddr_in peer{};
         socklen_t len = sizeof(peer);
-        int fd = ::accept(_listenFd,
-                          reinterpret_cast<sockaddr *>(&peer), &len);
+        int fd = faultAccept(_listenFd,
+                             reinterpret_cast<sockaddr *>(&peer), &len);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            if (errno != EAGAIN && errno != EWOULDBLOCK)
-                warn("event loop: accept: %s", std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == ECONNABORTED) {
+                // The connection died in the backlog; move on to the
+                // next one.
+                continue;
+            }
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of descriptors: drain one backlog entry with a
+                // clean 503 instead of letting level-triggered
+                // readiness spin the loop hot, then re-enter to see
+                // whether more are pending.
+                if (shedAcceptWithReserveFd())
+                    continue;
+                return;
+            }
+            warn("event loop: accept: %s", std::strerror(errno));
             return;
         }
         if (_acceptGate && !_acceptGate()) {
@@ -588,17 +652,11 @@ HttpServerLoop::acceptReady()
             continue;
         }
         if (static_cast<int>(_conns.size()) >= _cfg.maxConns) {
-            // Overload: answer 503 on the fresh socket (its send
-            // buffer is empty, so this cannot block) and shed it.
-            HttpResponse resp = _error(503, "too many connections");
-            resp.headers.emplace_back("Retry-After", "1");
-            std::string bytes =
-                serializeHttpResponseHead(resp, false, false) +
-                resp.body;
+            // Overload: answer 503 on the fresh socket and shed it.
             // Count before the bytes go out: a caller that has read
             // the 503 must already observe the counter.
             ++_overloadClosed;
-            ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+            sendOverload503(fd);
             ::close(fd);
             continue;
         }
@@ -643,7 +701,7 @@ HttpServerLoop::connReadable(Conn &conn)
     std::size_t budget = 256 * 1024;
     char buf[16384];
     while (budget > 0) {
-        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        ssize_t n = faultRecv(conn.fd, buf, sizeof(buf), 0);
         if (n > 0) {
             _bytesIn.fetch_add(static_cast<std::uint64_t>(n));
             conn.parser.feed(buf, static_cast<std::size_t>(n));
@@ -802,9 +860,9 @@ HttpServerLoop::flushWrites(Conn &conn)
         }
         if (!conn.outPending())
             break;
-        ssize_t n = ::send(conn.fd, conn.out.data() + conn.outOff,
-                           conn.out.size() - conn.outOff,
-                           MSG_NOSIGNAL);
+        ssize_t n = faultSend(conn.fd, conn.out.data() + conn.outOff,
+                              conn.out.size() - conn.outOff,
+                              MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

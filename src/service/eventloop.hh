@@ -186,6 +186,7 @@ struct HttpLoopStats
     std::uint64_t timeoutsFired = 0;  ///< idle/slow-loris closes
     std::uint64_t aborted = 0;        ///< responses dropped, client gone
     std::uint64_t overloadClosed = 0; ///< accepts shed at maxConns
+    std::uint64_t fdExhaustedSheds = 0; ///< accepts shed via reserve fd
     std::uint64_t bytesIn = 0;
     std::uint64_t bytesOut = 0;
     std::uint64_t chunkedResponses = 0;
@@ -261,6 +262,14 @@ class HttpServerLoop
     int _port = 0;
     int _wakeRead = -1;
     int _wakeWrite = -1;
+    /**
+     * Reserve fd (open /dev/null) sacrificed when accept(2) reports
+     * EMFILE/ENFILE: closing it frees one descriptor, the pending
+     * connection is accepted, told 503 + Retry-After, and closed, and
+     * the reserve is reopened. The backlog drains with clean errors
+     * instead of the listen fd spinning hot in a level-triggered loop.
+     */
+    int _reserveFd = -1;
     std::thread _thread;
     std::atomic<bool> _stopRequested{false};
 
@@ -288,6 +297,7 @@ class HttpServerLoop
     std::atomic<std::uint64_t> _timeoutsFired{0};
     std::atomic<std::uint64_t> _aborted{0};
     std::atomic<std::uint64_t> _overloadClosed{0};
+    std::atomic<std::uint64_t> _fdExhaustedSheds{0};
     std::atomic<std::uint64_t> _bytesIn{0};
     std::atomic<std::uint64_t> _bytesOut{0};
     std::atomic<std::uint64_t> _chunkedResponses{0};
@@ -295,6 +305,12 @@ class HttpServerLoop
 
     void run();
     void acceptReady();
+    /** EMFILE/ENFILE path: drain one backlog entry with a 503.
+     *  Returns false when the backlog turned out to be empty (or no
+     *  reserve fd exists), telling acceptReady to stop looping. */
+    bool shedAcceptWithReserveFd();
+    /** Serialize + best-effort send a 503 on a doomed socket. */
+    void sendOverload503(int fd);
     void connReadable(Conn &conn);
     void connWritable(Conn &conn);
     void parseAndDispatch(Conn &conn);

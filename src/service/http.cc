@@ -9,10 +9,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "fault/sysfault.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 
@@ -56,7 +58,7 @@ bool
 sendAll(int fd, const char *data, std::size_t len)
 {
     while (len > 0) {
-        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        ssize_t n = faultSend(fd, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -64,6 +66,40 @@ sendAll(int fd, const char *data, std::size_t len)
         }
         data += n;
         len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Finish a connect(2) that EINTR interrupted. POSIX says the attempt
+ * proceeds asynchronously, so re-calling connect() would yield
+ * EALREADY: instead wait for writability and read the outcome from
+ * SO_ERROR. Returns true when connected; otherwise errno holds the
+ * failure.
+ */
+bool
+finishInterruptedConnect(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+        errno = ETIMEDOUT;
+        return false;
+    }
+    if (rc < 0)
+        return false;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+        return false;
+    if (err != 0) {
+        errno = err;
+        return false;
     }
     return true;
 }
@@ -371,7 +407,9 @@ HttpClient::connect(std::string &error, const std::string &bind_host)
         return false;
     }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
+                  sizeof(addr)) < 0 &&
+        (errno != EINTR ||
+         !finishInterruptedConnect(fd, _limits.ioTimeoutMs))) {
         error = strfmt("connect %s:%d: %s", _host.c_str(), _port,
                        std::strerror(errno));
         ::close(fd);
@@ -449,7 +487,7 @@ HttpClient::fillBuf(std::string &error)
     char chunk[4096];
     ssize_t n;
     do {
-        n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        n = faultRecv(_fd, chunk, sizeof(chunk), 0);
     } while (n < 0 && errno == EINTR);
     if (n < 0) {
         error = strfmt("recv: %s", std::strerror(errno));

@@ -110,6 +110,16 @@ LoadGenReport::non2xx() const
     return n;
 }
 
+std::uint64_t
+LoadGenReport::shed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[status, count] : statuses)
+        if (status == 429 || status == 503)
+            n += count;
+    return n;
+}
+
 namespace
 {
 
@@ -121,19 +131,50 @@ struct WorkerState
     std::uint64_t warmup = 0;
     std::uint64_t errors = 0;
     std::uint64_t reuses = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t bodyMismatches = 0;
     std::map<int, std::uint64_t> statuses;
     LatencyHistogram hist;
     std::string sample;
 };
 
+/**
+ * Capped jittered exponential backoff for attempt @p attempt. A shed
+ * response's Retry-After (seconds) raises the floor; the cap always
+ * wins so a hostile header cannot park a worker for minutes. Jitter
+ * (an LCG on @p rng) spreads retries over [ms/2, ms] so a shed burst
+ * does not come back as a synchronized thundering herd.
+ */
+std::int64_t
+backoffMs(const LoadGenConfig &cfg, int attempt, int retry_after_sec,
+          std::uint64_t &rng)
+{
+    std::int64_t base = std::max(cfg.retryBaseMs, 1);
+    std::int64_t cap = std::max<std::int64_t>(cfg.retryCapMs, base);
+    std::int64_t ms = base << std::min(attempt, 20);
+    ms = std::min(ms, cap);
+    if (retry_after_sec > 0) {
+        ms = std::max<std::int64_t>(
+            ms, static_cast<std::int64_t>(retry_after_sec) * 1000);
+        ms = std::min(ms, cap);
+    }
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    std::int64_t half = ms / 2;
+    return half + static_cast<std::int64_t>(
+                      (rng >> 33) %
+                      static_cast<std::uint64_t>(ms - half + 1));
+}
+
 void
-driveWorker(const LoadGenConfig &cfg, Clock::time_point t0,
+driveWorker(const LoadGenConfig &cfg, int worker, Clock::time_point t0,
             Clock::time_point warmup_end, Clock::time_point deadline,
             std::atomic<std::uint64_t> *arrival, WorkerState &out)
 {
     HttpClient client(cfg.host, cfg.port, cfg.limits);
     const double interval_us =
         cfg.targetRps > 0.0 ? 1e6 / cfg.targetRps : 0.0;
+    std::uint64_t rng =
+        0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(worker) + 1);
 
     while (true) {
         Clock::time_point now = Clock::now();
@@ -154,29 +195,63 @@ driveWorker(const LoadGenConfig &cfg, Clock::time_point t0,
             measure_from = sched;
         }
 
-        std::string error;
-        HttpResponse resp;
-        bool ok = client.send(cfg.method, cfg.path, cfg.body,
-                              !cfg.keepAlive, error) &&
-                  client.readResponse(resp, error);
-        Clock::time_point end = Clock::now();
-        if (!ok) {
-            ++out.errors;
-            client.close(); // reconnect on the next request
-            continue;
+        // One logical request: up to 1 + maxRetries attempts. Every
+        // attempt that produced a response is recorded (statuses count
+        // wire responses, not logical requests); only the decision to
+        // go again is retry-specific.
+        for (int attempt = 0;; ++attempt) {
+            std::string error;
+            HttpResponse resp;
+            bool ok = client.send(cfg.method, cfg.path, cfg.body,
+                                  !cfg.keepAlive, error) &&
+                      client.readResponse(resp, error);
+            Clock::time_point end = Clock::now();
+            if (!ok) {
+                client.close(); // reconnect on the next attempt
+                if (attempt < cfg.maxRetries && end < deadline) {
+                    ++out.retries;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            backoffMs(cfg, attempt, 0, rng)));
+                    measure_from = Clock::now();
+                    continue;
+                }
+                ++out.errors;
+                break;
+            }
+
+            if (measure_from < warmup_end) {
+                ++out.warmup;
+            } else {
+                ++out.requests;
+                ++out.statuses[resp.status];
+                out.hist.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(end - measure_from)
+                        .count()));
+                if (resp.status == 200) {
+                    if (!cfg.expectBody.empty() &&
+                        resp.body != cfg.expectBody)
+                        ++out.bodyMismatches;
+                    if (out.sample.empty())
+                        out.sample = resp.body;
+                }
+            }
+
+            bool is_shed = resp.status == 429 || resp.status == 503;
+            if (is_shed && attempt < cfg.maxRetries &&
+                end < deadline) {
+                long long after_sec = 0;
+                parseIntStrict(resp.header("retry-after"), after_sec);
+                ++out.retries;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoffMs(cfg, attempt,
+                              static_cast<int>(after_sec), rng)));
+                measure_from = Clock::now();
+                continue;
+            }
+            break;
         }
-        if (measure_from < warmup_end) {
-            ++out.warmup;
-            continue;
-        }
-        ++out.requests;
-        ++out.statuses[resp.status];
-        out.hist.record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                end - measure_from)
-                .count()));
-        if (resp.status == 200 && out.sample.empty())
-            out.sample = resp.body;
     }
     out.reuses = client.reuses();
 }
@@ -200,7 +275,7 @@ runLoadGen(const LoadGenConfig &cfg)
     threads.reserve(connections);
     for (int c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
-            driveWorker(cfg, t0, warmup_end, deadline, &arrival,
+            driveWorker(cfg, c, t0, warmup_end, deadline, &arrival,
                         states[c]);
         });
     }
@@ -216,6 +291,8 @@ runLoadGen(const LoadGenConfig &cfg)
         report.warmup += s.warmup;
         report.errors += s.errors;
         report.keepAliveReuses += s.reuses;
+        report.retries += s.retries;
+        report.bodyMismatches += s.bodyMismatches;
         for (const auto &[status, count] : s.statuses)
             report.statuses[status] += count;
         report.latency.merge(s.hist);
@@ -243,10 +320,15 @@ loadGenReportJson(const LoadGenConfig &cfg, const LoadGenReport &r)
     w.key("target_rps").value(cfg.targetRps);
     w.key("duration_ms").value(static_cast<long long>(cfg.durationMs));
     w.key("warmup_ms").value(static_cast<long long>(cfg.warmupMs));
+    w.key("max_retries").value(static_cast<long long>(cfg.maxRetries));
     w.key("requests").value(static_cast<long long>(r.requests));
     w.key("warmup_requests").value(static_cast<long long>(r.warmup));
     w.key("errors").value(static_cast<long long>(r.errors));
     w.key("non_2xx").value(static_cast<long long>(r.non2xx()));
+    w.key("shed").value(static_cast<long long>(r.shed()));
+    w.key("retries").value(static_cast<long long>(r.retries));
+    w.key("body_mismatches")
+        .value(static_cast<long long>(r.bodyMismatches));
     w.key("statuses").beginObject();
     for (const auto &[status, count] : r.statuses)
         w.key(strfmt("%d", status))

@@ -86,6 +86,29 @@ struct LoadGenConfig
     /** Reuse connections (keep-alive) vs one connection per request. */
     bool keepAlive = true;
 
+    /**
+     * Retries per request after a transport error or a 429/503 shed
+     * response, with capped jittered exponential backoff. A shed
+     * response's Retry-After header raises the backoff floor (still
+     * capped at retryCapMs). 0 disables retrying (every failure is
+     * final), matching the pre-retry behavior.
+     */
+    int maxRetries = 0;
+
+    /** First backoff step, in ms; doubles per attempt. */
+    int retryBaseMs = 10;
+
+    /** Backoff ceiling, in ms (also caps honored Retry-After). */
+    int retryCapMs = 1000;
+
+    /**
+     * Oracle body: when non-empty, every 200 response body must be
+     * byte-identical to it; divergences count in bodyMismatches.
+     * This is how the chaos harness proves fault injection never
+     * corrupts successful responses.
+     */
+    std::string expectBody;
+
     HttpLimits limits;
 };
 
@@ -99,6 +122,10 @@ struct LoadGenReport
     double elapsedSec = 0.0;     ///< measured window wall time
     double rps = 0.0;            ///< recorded requests / elapsed
     std::uint64_t keepAliveReuses = 0;
+    /** Backoff-and-retry attempts taken (transport errors + sheds). */
+    std::uint64_t retries = 0;
+    /** 200 bodies that differed from cfg.expectBody (0 when unset). */
+    std::uint64_t bodyMismatches = 0;
     LatencyHistogram latency;
 
     /** First 200 body seen, for byte-identity checks vs the CLI. */
@@ -106,6 +133,14 @@ struct LoadGenReport
 
     /** Responses outside 2xx (derived from statuses). */
     std::uint64_t non2xx() const;
+
+    /**
+     * Load-shedding responses (429 backpressure, 503 overload),
+     * derived from statuses. These are the service refusing work by
+     * design, not the service being wrong — exit codes and chaos
+     * invariants treat them separately from hard errors.
+     */
+    std::uint64_t shed() const;
 };
 
 /** Drive the service; blocks for warmup + duration. */

@@ -387,6 +387,8 @@ StudyService::handleHealthz()
         w.key("aborted").value(static_cast<long long>(ls.aborted));
         w.key("overload_closed")
             .value(static_cast<long long>(ls.overloadClosed));
+        w.key("fd_exhausted_sheds")
+            .value(static_cast<long long>(ls.fdExhaustedSheds));
         w.key("bytes_in").value(static_cast<long long>(ls.bytesIn));
         w.key("bytes_out").value(static_cast<long long>(ls.bytesOut));
         w.key("chunked")

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "fault/fault.hh"
+#include "fault/sysfault.hh"
 #include "sim/logging.hh"
 
 namespace pvar
@@ -69,12 +70,15 @@ preadAll(int fd, void *buf, std::size_t size, std::int64_t offset)
     return true;
 }
 
+// Goes through the store.write fault site: an injected short write
+// retries here exactly like a real one, and a following ENOSPC hit
+// leaves a torn record for recovery to truncate.
 bool
 writeAll(int fd, const void *buf, std::size_t size)
 {
     const unsigned char *p = static_cast<const unsigned char *>(buf);
     while (size > 0) {
-        ssize_t n = ::write(fd, p, size);
+        ssize_t n = faultWriteStore(fd, p, size);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -148,10 +152,19 @@ RecordLog::recover()
 
     if (size == 0) {
         // Fresh file: write the header eagerly so a crash right after
-        // creation still leaves a well-formed (empty) log.
+        // creation still leaves a well-formed (empty) log. A full disk
+        // here (ENOSPC) is a degradation, not a death sentence: the
+        // log starts memory-only and every append refuses, exactly as
+        // if the first append had failed. This matters most during
+        // compaction, whose fresh sibling log must never fatal the
+        // process.
         if (!writeAll(_fd, kMagic, kHeaderBytes)) {
-            fatal("record log: cannot initialize '%s': %s",
-                  _path.c_str(), std::strerror(errno));
+            warn("record log: cannot initialize '%s': %s — store "
+                 "degrades to memory-only",
+                 _path.c_str(), std::strerror(errno));
+            _degraded = true;
+            _end = 0;
+            return;
         }
         ::fsync(_fd);
         _end = static_cast<std::int64_t>(kHeaderBytes);
@@ -176,8 +189,12 @@ RecordLog::recover()
         if (::ftruncate(_fd, 0) != 0 ||
             ::lseek(_fd, 0, SEEK_SET) < 0 ||
             !writeAll(_fd, kMagic, kHeaderBytes)) {
-            fatal("record log: cannot reinitialize '%s': %s",
-                  _path.c_str(), std::strerror(errno));
+            warn("record log: cannot reinitialize '%s': %s — store "
+                 "degrades to memory-only",
+                 _path.c_str(), std::strerror(errno));
+            _degraded = true;
+            _end = 0;
+            return;
         }
         ::fsync(_fd);
         _end = static_cast<std::int64_t>(kHeaderBytes);
@@ -222,6 +239,13 @@ RecordLog::append(const std::string &key, const std::string &value)
     if (payload_size > kMaxPayloadBytes) {
         warn("record log: record too large (%zu bytes); dropped",
              payload_size);
+        return -1;
+    }
+
+    if (_degraded && _end == 0) {
+        // The header never made it to disk (ENOSPC at init): the file
+        // is not a valid log, so records must not follow.
+        ++_stats.failedAppends;
         return -1;
     }
 
@@ -331,8 +355,11 @@ RecordLog::sync()
     // established it and append() is the only writer.
     if (_fd < 0)
         return;
-    bool injected = faultCheck(FaultSite::StoreFsync).fired;
-    if (!injected && ::fsync(_fd) == 0) {
+    int rc;
+    do {
+        rc = faultFsyncStore(_fd);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
         ++_stats.syncs;
         _unsynced = 0;
         return;
@@ -344,8 +371,7 @@ RecordLog::sync()
     if (!_degraded) {
         warn("record log: fsync '%s' failed: %s — batched appends are "
              "not durable",
-             _path.c_str(),
-             injected ? "injected I/O fault" : std::strerror(errno));
+             _path.c_str(), std::strerror(errno));
     }
     _degraded = true;
 }

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include "fault/sysfault.hh"
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
 #include "store/codec.hh"
@@ -70,6 +73,11 @@ ExperimentStore::ExperimentStore(const std::string &dir, int sync_every)
            static_cast<unsigned long long>(_index.size()),
            static_cast<unsigned long long>(ls.bytes),
            recovered.c_str());
+    if (_log->degraded()) {
+        // The log could not even be initialized (e.g. ENOSPC writing
+        // the header): start memory-only rather than pretend.
+        noteDegradedLocked();
+    }
 }
 
 void
@@ -251,13 +259,20 @@ ExperimentStore::compact()
         }
     }
     if (::rename(tmp_path.c_str(), _log->path().c_str()) != 0) {
-        fatal("experiment store: rename '%s': %s", tmp_path.c_str(),
-              std::strerror(errno));
+        // The original log is still complete and live: abort the
+        // compaction instead of dying mid-operation.
+        warn("experiment store: compaction aborted (rename '%s': %s); "
+             "original log untouched",
+             tmp_path.c_str(), std::strerror(errno));
+        ::remove(tmp_path.c_str());
+        return 0;
     }
 
     std::string live_path = _log->path();
     _log = std::make_unique<RecordLog>(live_path, _syncEvery);
     rebuildIndexLocked();
+    if (_log->degraded())
+        noteDegradedLocked();
     return before.records - _log->stats().records;
 }
 
@@ -345,12 +360,22 @@ ExperimentStore::noteDegradedLocked()
          "memory-only — results from here on are not persisted",
          _dir.c_str());
     // Best-effort persistent evidence for storectl verify; if even
-    // this write fails there is nothing more to do.
-    std::FILE *f = std::fopen(markerPath().c_str(), "w");
-    if (f) {
-        std::fputs("degraded\n", f);
-        std::fclose(f);
-        _markerOnDisk = true;
+    // this write fails (the same full disk that degraded us) there is
+    // nothing more to do. Goes through the store.write site so chaos
+    // plans exercise this path too.
+    int fd = ::open(markerPath().c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+        static const char kText[] = "degraded\n";
+        ssize_t n;
+        do {
+            n = faultWriteStore(fd, kText, sizeof(kText) - 1);
+        } while (n < 0 && errno == EINTR);
+        if (n == static_cast<ssize_t>(sizeof(kText) - 1))
+            _markerOnDisk = true;
+        else
+            ::remove(markerPath().c_str());
+        ::close(fd);
     }
 }
 

@@ -13,12 +13,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "fault/fault.hh"
 #include "service/eventloop.hh"
 #include "service/http.hh"
 #include "service/loadgen.hh"
@@ -582,6 +584,50 @@ TEST(HttpServerLoopTest, MaxConnsShedsWith503)
     EXPECT_EQ(shed.status, 503);
     EXPECT_EQ(shed.header("retry-after"), "1");
     EXPECT_GE(loop.stats().overloadClosed, 1u);
+}
+
+TEST(HttpServerLoopTest, EmfileAcceptShedsViaReserveFd)
+{
+    QuietLog quiet;
+    HttpServerLoop loop(
+        echoConfig(),
+        [](const HttpRequest &, const std::string &,
+           HttpServerLoop::Token, HttpResponse &out) {
+            out.body = "ok";
+            return true;
+        },
+        jsonError);
+    loop.start();
+
+    // Count 0 is the accept below; every later accept(2) reports
+    // EMFILE. The loop must fall back to its reserve fd: close it,
+    // accept the pending connection anyway, answer 503, re-arm.
+    {
+        FaultPlan plan(1);
+        FaultRule rule;
+        rule.site = FaultSite::NetAccept;
+        rule.mode = SysFaultMode::Emfile;
+        rule.after = 1;
+        rule.every = 1;
+        plan.addRule(rule);
+        installFaultPlan(std::make_shared<FaultPlan>(plan));
+    }
+
+    HttpResponse first =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/a");
+    EXPECT_EQ(first.status, 200);
+
+    HttpResponse shed =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/b");
+    EXPECT_EQ(shed.status, 503);
+    EXPECT_EQ(shed.header("retry-after"), "1");
+    EXPECT_GE(loop.stats().fdExhaustedSheds, 1u);
+
+    // fd pressure gone: the same loop accepts normally again.
+    clearFaultPlan();
+    HttpResponse after =
+        httpRequest("127.0.0.1", loop.port(), "GET", "/c");
+    EXPECT_EQ(after.status, 200);
 }
 
 TEST(HttpServerLoopTest, ParseErrorsAnswerAndClose)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -54,6 +55,8 @@ TEST(FaultNames, SiteNamesRoundTrip)
         FaultSite::StoreAppend,    FaultSite::StoreFsync,
         FaultSite::SensorRead,     FaultSite::ThermaboxRegulate,
         FaultSite::ExperimentRun,  FaultSite::HttpAccept,
+        FaultSite::NetAccept,      FaultSite::NetRead,
+        FaultSite::NetWrite,       FaultSite::StoreWrite,
     };
     std::set<std::string> names;
     for (FaultSite s : sites) {
@@ -79,6 +82,32 @@ TEST(FaultNames, KindNamesRoundTrip)
     }
     FaultKind out;
     EXPECT_FALSE(faultKindFromName("gremlin", out));
+}
+
+TEST(FaultNames, SysFaultModeNamesRoundTrip)
+{
+    const SysFaultMode modes[] = {
+        SysFaultMode::Eintr,       SysFaultMode::Eagain,
+        SysFaultMode::Emfile,      SysFaultMode::ConnAborted,
+        SysFaultMode::ConnReset,   SysFaultMode::Pipe,
+        SysFaultMode::NoSpace,     SysFaultMode::Short,
+    };
+    std::set<std::string> names;
+    for (SysFaultMode m : modes) {
+        std::string name = sysFaultModeName(m);
+        EXPECT_FALSE(name.empty());
+        names.insert(name);
+        SysFaultMode parsed = SysFaultMode::Default;
+        ASSERT_TRUE(sysFaultModeFromName(name, parsed)) << name;
+        EXPECT_EQ(parsed, m);
+    }
+    EXPECT_EQ(names.size(), 8u) << "mode names must be unique";
+    // Default is the empty name (elided from JSON).
+    EXPECT_STREQ(sysFaultModeName(SysFaultMode::Default), "");
+    SysFaultMode out;
+    EXPECT_TRUE(sysFaultModeFromName("", out));
+    EXPECT_EQ(out, SysFaultMode::Default);
+    EXPECT_FALSE(sysFaultModeFromName("esplode", out));
 }
 
 TEST(FaultCheck, NoPlanNeverFires)
@@ -172,6 +201,100 @@ TEST(FaultCheck, ProbabilityIsDeterministicPerSeedScopeCount)
     PlanGuard guard{FaultPlan(plan)};
     EXPECT_NE(firingPattern(100, FaultSite::ExperimentRun, 1000),
               first);
+}
+
+TEST(FaultCheck, StackedProbabilityRulesDrawIndependently)
+{
+    // Two probability rules on one site: each must draw its own
+    // uniform. With a shared draw the first (larger) rule would
+    // shadow the second completely — every value below 0.1 is also
+    // below 0.5, and the first matching rule wins.
+    FaultPlan plan(5);
+    FaultRule big;
+    big.site = FaultSite::NetRead;
+    big.mode = SysFaultMode::Short;
+    big.probability = 0.5;
+    plan.addRule(big);
+    FaultRule small;
+    small.site = FaultSite::NetRead;
+    small.mode = SysFaultMode::ConnReset;
+    small.probability = 0.1;
+    plan.addRule(small);
+    PlanGuard guard(std::move(plan));
+
+    int shorts = 0, resets = 0;
+    FaultScope scope(17);
+    for (int i = 0; i < 2000; ++i) {
+        FaultHit hit = faultCheck(FaultSite::NetRead);
+        if (!hit.fired)
+            continue;
+        if (hit.mode == SysFaultMode::Short)
+            ++shorts;
+        else if (hit.mode == SysFaultMode::ConnReset)
+            ++resets;
+    }
+    EXPECT_GT(shorts, 700);
+    EXPECT_GT(resets, 30) << "the smaller rule must not be shadowed";
+}
+
+TEST(FaultCheck, ReplaySequenceIsPinned)
+{
+    // The exact firing sequence for (seed, site, rule, scope, count)
+    // is part of the replay contract: serialized chaos plans promise
+    // bit-identical reruns, so a change that shifts this pattern is a
+    // compatibility break, not a refactor.
+    FaultPlan plan(2026);
+    FaultRule rule;
+    rule.site = FaultSite::NetRead;
+    rule.mode = SysFaultMode::ConnReset;
+    rule.probability = 0.25;
+    plan.addRule(rule);
+    PlanGuard guard(std::move(plan));
+
+    EXPECT_EQ(
+        firingPattern(3, FaultSite::NetRead, 32),
+        (std::vector<bool>{
+            true,  false, true,  false, false, false, false, true,
+            true,  true,  false, false, false, false, false, false,
+            false, false, false, false, false, false, true,  true,
+            false, false, false, true,  false, true,  false, false}));
+}
+
+TEST(FaultCheck, UnscopedFiringCountsAreScheduleIndependent)
+{
+    // The syscall sites (net.*, store.write) count on global atomics
+    // with no scope. Each decision is a pure function of the per-site
+    // invocation count, so the *number* of fires over N calls is the
+    // same no matter how many threads interleave — the property that
+    // makes a chaos soak replayable at any --jobs.
+    FaultPlan plan(11);
+    FaultRule rule;
+    rule.site = FaultSite::NetWrite;
+    rule.probability = 0.3;
+    plan.addRule(rule);
+
+    int single = 0;
+    {
+        PlanGuard guard{FaultPlan(plan)};
+        for (int i = 0; i < 400; ++i)
+            single += faultCheck(FaultSite::NetWrite).fired ? 1 : 0;
+    }
+
+    PlanGuard guard{FaultPlan(plan)};
+    std::atomic<int> threaded{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&threaded] {
+            int mine = 0;
+            for (int i = 0; i < 100; ++i)
+                mine +=
+                    faultCheck(FaultSite::NetWrite).fired ? 1 : 0;
+            threaded.fetch_add(mine);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(threaded.load(), single);
 }
 
 TEST(FaultCheck, ScopedDecisionsAreThreadIndependent)
@@ -315,6 +438,50 @@ TEST(FaultJson, PlanRoundTripsAndReproducesDecisions)
         }
         EXPECT_EQ(original, replayed) << faultSiteName(site);
     }
+}
+
+TEST(FaultJson, SysFaultModeRoundTripsByteStable)
+{
+    FaultPlan plan(9);
+    FaultRule a;
+    a.site = FaultSite::NetWrite;
+    a.mode = SysFaultMode::Short;
+    a.probability = 0.25;
+    a.value = 0.5;
+    plan.addRule(a);
+    FaultRule b;
+    b.site = FaultSite::StoreWrite;
+    b.mode = SysFaultMode::NoSpace;
+    b.after = 3;
+    b.every = 7;
+    b.times = 2;
+    plan.addRule(b);
+    FaultRule c; // Default mode: the key is elided entirely
+    c.site = FaultSite::NetAccept;
+    c.every = 5;
+    plan.addRule(c);
+
+    std::string json = toJson(plan);
+    EXPECT_NE(json.find("\"mode\":\"short\""), std::string::npos);
+    EXPECT_NE(json.find("\"mode\":\"enospc\""), std::string::npos);
+    // Exactly the two non-default modes appear.
+    EXPECT_EQ(json.find("\"mode\":\"\""), std::string::npos);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, error)) << error;
+    FaultPlan reloaded = faultPlanFromJson(doc);
+    ASSERT_EQ(reloaded.rules().size(), 3u);
+    EXPECT_EQ(reloaded.rules()[0].mode, SysFaultMode::Short);
+    EXPECT_EQ(reloaded.rules()[1].mode, SysFaultMode::NoSpace);
+    EXPECT_EQ(reloaded.rules()[2].mode, SysFaultMode::Default);
+    EXPECT_EQ(toJson(reloaded), json);
+
+    // Unknown modes are schema violations, not silent defaults.
+    std::string bad = "{\"rules\": [{\"site\": \"net.read\", "
+                      "\"mode\": \"esplode\"}]}";
+    ASSERT_TRUE(parseJson(bad, doc, error)) << error;
+    EXPECT_THROW(faultPlanFromJson(doc), JsonError);
 }
 
 TEST(FaultJson, RejectsBadDocuments)

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -474,6 +475,55 @@ TEST(ExperimentStore, CompactionDropsSupersededAndOrphaned)
               encodeExperimentResult(makeResult(0)));
 
     // And the compacted file reopens clean.
+    ExperimentStore reopened(dir);
+    EXPECT_EQ(reopened.stats().records, 2u);
+    EXPECT_EQ(reopened.stats().truncatedBytes, 0u);
+}
+
+TEST(ExperimentStore, EnospcDuringCompactionAbortsAndKeepsOriginal)
+{
+    QuietLog quiet;
+    std::string dir = freshDir("compact_enospc");
+    std::string key = "{\"experiment\": \"rewritten\"}";
+    std::string other = "{\"experiment\": \"other\"}";
+
+    ExperimentStore store(dir);
+    store.put(key, makeResult(0));
+    store.put(key, makeResult(1)); // superseded below
+    store.put(key, makeResult(2));
+    store.put(other, makeResult(0));
+    store.sync();
+
+    // Disk full for every write(2) from here: the compaction's
+    // rewrite cannot even lay down the sibling file's header.
+    {
+        FaultPlan plan(1);
+        FaultRule rule;
+        rule.site = FaultSite::StoreWrite;
+        rule.mode = SysFaultMode::NoSpace;
+        rule.every = 1;
+        plan.addRule(rule);
+        installFaultPlan(std::make_shared<FaultPlan>(plan));
+    }
+    EXPECT_EQ(store.compact(), 0u);
+    clearFaultPlan();
+
+    // The abort left the original log live and whole — no partial
+    // rewrite renamed over it, no degradation, no stray sibling.
+    EXPECT_FALSE(store.degraded());
+    ExperimentStoreStats after = store.stats();
+    EXPECT_EQ(after.records, 2u);
+    EXPECT_EQ(after.logRecords, 4u);
+    struct stat st{};
+    EXPECT_NE(::stat((dir + "/experiments.log.compact").c_str(), &st),
+              0);
+    ExperimentResult out;
+    ASSERT_TRUE(store.get(key, out));
+    EXPECT_EQ(encodeExperimentResult(out),
+              encodeExperimentResult(makeResult(2)));
+
+    // With space back, the same store compacts fine.
+    EXPECT_EQ(store.compact(), 2u);
     ExperimentStore reopened(dir);
     EXPECT_EQ(reopened.stats().records, 2u);
     EXPECT_EQ(reopened.stats().truncatedBytes, 0u);

@@ -16,6 +16,14 @@
  *     --duration-ms N   measured window (default 2000)
  *     --warmup-ms N     discarded warmup window (default 200)
  *     --close           one connection per request (no keep-alive)
+ *     --retries N       retry each request up to N times after a
+ *                       transport error or 429/503 shed, with capped
+ *                       jittered backoff honoring Retry-After
+ *     --retry-base-ms N first backoff step (default 10)
+ *     --retry-cap-ms N  backoff ceiling (default 1000)
+ *     --expect-body-file FILE
+ *                       oracle: every 200 body must be byte-identical
+ *                       to FILE's contents; mismatches fail the run
  *     --json FILE       write the JSON report to FILE ('-' = stdout)
  *     --sample FILE     write one sampled 200 body to FILE (for
  *                       byte-identity diffs against pvar_study)
@@ -25,7 +33,9 @@
  * Open-loop latencies are measured from each request's *scheduled*
  * arrival time, so a lagging server is charged its queueing delay
  * instead of hiding it (no coordinated omission). Exit status is 1
- * when any transport error or non-2xx response occurred.
+ * when a transport error, a non-2xx response that was NOT load
+ * shedding (429/503), or an oracle body mismatch occurred — a service
+ * refusing work by design is not a failed run.
  */
 
 #include <cstdio>
@@ -61,6 +71,13 @@ usage()
         "  --duration-ms N   measured window (default 2000)\n"
         "  --warmup-ms N     discarded warmup window (default 200)\n"
         "  --close           one connection per request\n"
+        "  --retries N       retries per request on transport error\n"
+        "                    or 429/503 (capped jittered backoff,\n"
+        "                    honors Retry-After)\n"
+        "  --retry-base-ms N first backoff step (default 10)\n"
+        "  --retry-cap-ms N  backoff ceiling (default 1000)\n"
+        "  --expect-body-file FILE\n"
+        "                    every 200 body must match FILE exactly\n"
         "  --json FILE       write the JSON report ('-' = stdout)\n"
         "  --sample FILE     write one sampled 200 body to FILE\n"
         "  --quiet           suppress the summary line\n"
@@ -136,6 +153,20 @@ main(int argc, char **argv)
             cfg.warmupMs = static_cast<int>(intArg(arg, next(), 0));
         } else if (arg == "--close") {
             cfg.keepAlive = false;
+        } else if (arg == "--retries") {
+            cfg.maxRetries = static_cast<int>(intArg(arg, next(), 0));
+        } else if (arg == "--retry-base-ms") {
+            cfg.retryBaseMs = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--retry-cap-ms") {
+            cfg.retryCapMs = static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--expect-body-file") {
+            const char *path = next();
+            std::ifstream f(path);
+            if (!f)
+                fatal("pvar_loadgen: cannot read '%s'", path);
+            std::ostringstream ss;
+            ss << f.rdbuf();
+            cfg.expectBody = ss.str();
         } else if (arg == "--json") {
             json_path = next();
         } else if (arg == "--sample") {
@@ -175,7 +206,8 @@ main(int argc, char **argv)
                 : "");
         std::printf(
             "latency us: p50=%llu p95=%llu p99=%llu max=%llu  "
-            "errors=%llu non-2xx=%llu reuses=%llu\n",
+            "errors=%llu non-2xx=%llu shed=%llu retries=%llu "
+            "reuses=%llu\n",
             static_cast<unsigned long long>(
                 report.latency.percentileUs(50.0)),
             static_cast<unsigned long long>(
@@ -185,6 +217,8 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(report.latency.maxUs()),
             static_cast<unsigned long long>(report.errors),
             static_cast<unsigned long long>(report.non2xx()),
+            static_cast<unsigned long long>(report.shed()),
+            static_cast<unsigned long long>(report.retries),
             static_cast<unsigned long long>(report.keepAliveReuses));
     }
 
@@ -208,5 +242,11 @@ main(int argc, char **argv)
         f << report.sampleBody;
     }
 
-    return report.errors == 0 && report.non2xx() == 0 ? 0 : 1;
+    // Shed responses (429/503) are the service protecting itself, not
+    // the run failing: only hard errors, non-shed non-2xx statuses,
+    // and oracle mismatches make the exit code nonzero.
+    bool ok = report.errors == 0 &&
+              report.non2xx() == report.shed() &&
+              report.bodyMismatches == 0;
+    return ok ? 0 : 1;
 }
